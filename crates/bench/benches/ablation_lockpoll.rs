@@ -1,0 +1,44 @@
+//! Ablation: `MPI_Win_lock` lock-polling penalty on vs. off.
+//!
+//! The paper attributes the poor `X+SS` MPI+MPI performance to lock
+//! polling (Zhao et al.). Disabling only the per-waiter penalty in the
+//! model — keeping the queue logic identical — must collapse most of
+//! the slowdown, which this bench demonstrates by printing the virtual
+//! makespans and measuring the simulations. See also
+//! `figures --ablations` and the `figure_shapes` integration test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let table = CostTable::build(&Mandelbrot::quick());
+    let build = |machine: MachineParams| {
+        HierSchedule::builder()
+            .inter(Kind::STATIC)
+            .intra(Kind::SS)
+            .approach(Approach::MpiMpi)
+            .nodes(4)
+            .workers_per_node(16)
+            .machine(machine)
+            .build()
+    };
+    let with_poll = build(MachineParams::default());
+    let without_poll = build(MachineParams::default().without_lock_polling());
+    println!(
+        "STATIC+SS virtual makespan: polling on = {:.3}s, polling off = {:.3}s",
+        with_poll.simulate(&table).seconds(),
+        without_poll.simulate(&table).seconds()
+    );
+
+    let mut group = c.benchmark_group("ablation_lockpoll");
+    group.sample_size(10);
+    for (label, schedule) in [("polling-on", &with_poll), ("polling-off", &without_poll)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), schedule, |b, s| {
+            b.iter(|| s.simulate(&table).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

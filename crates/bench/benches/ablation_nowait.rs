@@ -1,0 +1,45 @@
+//! Ablation: the OpenMP `nowait` clause — the paper's stated future
+//! work. `nowait` removes the end-of-region barrier; any thread may
+//! then fetch the next chunk (requiring `MPI_THREAD_MULTIPLE`). The
+//! model runs the MPI+MPI protocol with OpenMP-atomic dispatch costs,
+//! sitting between the barrier baseline and the proposed approach.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let table = CostTable::build(&Mandelbrot::quick());
+    let build = |approach: Approach, nowait: bool| {
+        HierSchedule::builder()
+            .inter(Kind::GSS)
+            .intra(Kind::STATIC)
+            .approach(approach)
+            .nodes(4)
+            .workers_per_node(16)
+            .omp_nowait(nowait)
+            .build()
+    };
+    let barrier = build(Approach::MpiOpenMp, false);
+    let nowait = build(Approach::MpiOpenMp, true);
+    let mpi_mpi = build(Approach::MpiMpi, false);
+    println!(
+        "GSS+STATIC virtual makespan: OpenMP barrier = {:.3}s, OpenMP nowait = {:.3}s, MPI+MPI = {:.3}s",
+        barrier.simulate(&table).seconds(),
+        nowait.simulate(&table).seconds(),
+        mpi_mpi.simulate(&table).seconds()
+    );
+
+    let mut group = c.benchmark_group("ablation_nowait");
+    group.sample_size(10);
+    for (label, schedule) in
+        [("omp-barrier", &barrier), ("omp-nowait", &nowait), ("mpi-mpi", &mpi_mpi)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), schedule, |b, s| {
+            b.iter(|| s.simulate(&table).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

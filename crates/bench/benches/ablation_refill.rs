@@ -1,0 +1,44 @@
+//! Ablation: fastest-worker refill (the paper's proposal) vs. a
+//! dedicated per-node refiller (hierarchical master-worker style).
+//!
+//! With a dedicated refiller, workers that drain the queue while the
+//! refiller is busy computing must sit and re-probe; with the paper's
+//! policy the first free worker refills immediately. Prints the virtual
+//! makespans and measures the simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdls::prelude::*;
+use hier::sim::RefillPolicy;
+
+fn bench(c: &mut Criterion) {
+    let table = CostTable::build(&Mandelbrot::quick());
+    let build = |policy: RefillPolicy| {
+        HierSchedule::builder()
+            .inter(Kind::TSS)
+            .intra(Kind::FAC2)
+            .approach(Approach::MpiMpi)
+            .nodes(4)
+            .workers_per_node(16)
+            .refill(policy)
+            .build()
+    };
+    let fastest = build(RefillPolicy::Fastest);
+    let dedicated = build(RefillPolicy::Dedicated);
+    println!(
+        "TSS+FAC2 virtual makespan: fastest-refill = {:.3}s, dedicated-refiller = {:.3}s",
+        fastest.simulate(&table).seconds(),
+        dedicated.simulate(&table).seconds()
+    );
+
+    let mut group = c.benchmark_group("ablation_refill");
+    group.sample_size(10);
+    for (label, schedule) in [("fastest", &fastest), ("dedicated", &dedicated)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), schedule, |b, s| {
+            b.iter(|| s.simulate(&table).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

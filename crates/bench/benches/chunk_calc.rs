@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the distributed chunk calculation itself: the
+//! per-step cost of each technique's `chunk_size` (the arithmetic every
+//! worker runs inside its lock/epoch) and the cost of enumerating a
+//! whole schedule.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls::sequence::schedule_all;
+use dls::technique::WorkerCtx;
+use dls::{ChunkCalculator, Kind, LoopSpec, SchedState, Technique};
+
+fn bench_chunk_size(c: &mut Criterion) {
+    let spec = LoopSpec::new(1_000_000, 16).with_stats(1.0, 0.5).with_overhead(0.01);
+    let mut group = c.benchmark_group("chunk_size_per_step");
+    for kind in Kind::ALL {
+        let t = Technique::from_kind(kind);
+        // A mid-schedule state: step 40, ~3/4 scheduled.
+        let state = SchedState { step: 40, scheduled: 750_000 };
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &t, |b, t| {
+            b.iter(|| t.chunk_size(black_box(&spec), black_box(state), WorkerCtx::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_schedule(c: &mut Criterion) {
+    let spec = LoopSpec::new(100_000, 16).with_stats(1.0, 0.5).with_overhead(0.01);
+    let mut group = c.benchmark_group("full_schedule_enumeration");
+    for kind in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2, Kind::TFSS] {
+        let t = Technique::from_kind(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &t, |b, t| {
+            b.iter(|| schedule_all(black_box(&spec), t).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_size, bench_full_schedule);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Scheduling-path benchmarks of the hierarchical executors: the local
+//! work queue's sub-chunk dispatch, and full virtual-time runs of both
+//! approaches (simulator throughput on a fixed experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdls::prelude::*;
+use hier::queue::LocalQueue;
+
+fn bench_local_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_queue_take_sub_chunk");
+    for kind in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+        let t = Technique::from_kind(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &t, |b, t| {
+            b.iter(|| {
+                let mut q = LocalQueue::new();
+                q.deposit(0, 10_000);
+                let mut taken = 0u64;
+                while let Some(s) = q.take_sub_chunk(t, 16) {
+                    taken += s.len();
+                }
+                black_box(taken)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate_approaches(c: &mut Criterion) {
+    let w = Synthetic::uniform(50_000, 1_000, 100_000, 7);
+    let table = CostTable::build(&w);
+    let mut group = c.benchmark_group("simulate_4x16");
+    for approach in Approach::ALL {
+        let schedule = HierSchedule::builder()
+            .inter(Kind::GSS)
+            .intra(Kind::GSS)
+            .approach(approach)
+            .nodes(4)
+            .workers_per_node(16)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach),
+            &schedule,
+            |b, s| b.iter(|| s.simulate(&table).makespan),
+        );
+    }
+    group.finish();
+}
+
+fn bench_live_approaches(c: &mut Criterion) {
+    let w = Synthetic::uniform(5_000, 100, 5_000, 7);
+    let mut group = c.benchmark_group("live_2x4");
+    group.sample_size(10);
+    for approach in Approach::ALL {
+        let schedule = HierSchedule::builder()
+            .inter(Kind::GSS)
+            .intra(Kind::GSS)
+            .approach(approach)
+            .nodes(2)
+            .workers_per_node(4)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach),
+            &schedule,
+            |b, s| b.iter(|| s.run_live(&w).stats.total_iterations),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_queue,
+    bench_simulate_approaches,
+    bench_live_approaches
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the runtime primitives underneath the
+//! executors: the deterministic event queue, collective operations of
+//! the thread-backed MPI runtime, and point-to-point messaging.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cluster_sim::EventQueue;
+use mpisim::{Topology, Universe};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_push_pop");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Pseudo-random times, deterministic.
+                    q.push(i.wrapping_mul(0x9E37_79B9) % n, i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_8_ranks");
+    group.sample_size(20);
+    group.bench_function("allreduce", |b| {
+        b.iter(|| {
+            Universe::run(Topology::new(2, 4), |p| {
+                let w = p.world();
+                w.allreduce(u64::from(w.rank()), |a, b| a + b).unwrap()
+            })
+        })
+    });
+    group.bench_function("allgather", |b| {
+        b.iter(|| {
+            Universe::run(Topology::new(2, 4), |p| {
+                p.world().allgather(p.world().rank()).unwrap().len()
+            })
+        })
+    });
+    group.bench_function("barrier_x16", |b| {
+        b.iter(|| {
+            Universe::run(Topology::new(2, 4), |p| {
+                for _ in 0..16 {
+                    p.world().barrier();
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_p2p_pingpong(c: &mut Criterion) {
+    c.bench_function("pingpong_x100", |b| {
+        b.iter(|| {
+            Universe::run(Topology::new(1, 2), |p| {
+                let w = p.world();
+                if w.rank() == 0 {
+                    for i in 0..100u32 {
+                        w.send(1, 0, i).unwrap();
+                        let (_, _, _v): (_, _, u32) = w.recv(Some(1), Some(1)).unwrap();
+                    }
+                } else {
+                    for _ in 0..100 {
+                        let (_, _, v): (_, _, u32) = w.recv(Some(0), Some(0)).unwrap();
+                        w.send(0, 1, v).unwrap();
+                    }
+                }
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_collectives, bench_p2p_pingpong);
+criterion_main!(benches);

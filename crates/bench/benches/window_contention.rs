@@ -1,0 +1,55 @@
+//! Contention micro-benchmarks of the `mpisim` RMA window — the real
+//! (thread-backed) counterpart of the lock-polling model: fetch-and-op
+//! throughput and exclusive lock/unlock cycles as the number of ranks
+//! hammering one window grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpisim::{LockKind, RmaOp, Topology, Universe, Window};
+
+const OPS_PER_RANK: u64 = 200;
+
+fn bench_fetch_and_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_fetch_and_op");
+    for ranks in [1u32, 2, 4, 8] {
+        group.throughput(Throughput::Elements(u64::from(ranks) * OPS_PER_RANK));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Universe::run(Topology::single_node(ranks), |p| {
+                    let w = p.world();
+                    let win =
+                        Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+                    for _ in 0..OPS_PER_RANK {
+                        win.fetch_and_op(0, 0, 1, RmaOp::Sum).unwrap();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lock_unlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_lock_cycle");
+    for ranks in [1u32, 2, 4, 8] {
+        group.throughput(Throughput::Elements(u64::from(ranks) * OPS_PER_RANK));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Universe::run(Topology::single_node(ranks), |p| {
+                    let w = p.world();
+                    let win =
+                        Window::allocate(w, if w.rank() == 0 { 2 } else { 0 }).unwrap();
+                    for _ in 0..OPS_PER_RANK {
+                        win.lock(LockKind::Exclusive, 0).unwrap();
+                        let v = win.get(0, 0).unwrap();
+                        win.put(0, 0, v + 1).unwrap();
+                        win.unlock(LockKind::Exclusive, 0).unwrap();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_and_op, bench_lock_unlock);
+criterion_main!(benches);

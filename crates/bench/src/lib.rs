@@ -1,0 +1,29 @@
+//! Shared helpers for the benchmark harness and the `figures` binary.
+
+#![forbid(unsafe_code)]
+
+use hdls::prelude::*;
+
+/// Mandelbrot instance used by the figure sweeps (full paper scale).
+pub fn mandelbrot_paper() -> Mandelbrot {
+    Mandelbrot::paper()
+}
+
+/// Mandelbrot instance for `--quick` runs and benches.
+pub fn mandelbrot_quick() -> Mandelbrot {
+    Mandelbrot::quick()
+}
+
+/// PSIA instance used by the figure sweeps (full paper scale).
+pub fn psia_paper() -> workloads::PsiaStream {
+    workloads::PsiaStream::paper()
+}
+
+/// PSIA instance for `--quick` runs and benches: 16x fewer frames with
+/// 16x the per-frame cost.
+pub fn psia_quick() -> workloads::PsiaStream {
+    let mut base = Psia::single_object();
+    base.ns_scan *= 16;
+    base.ns_accum *= 16;
+    workloads::PsiaStream::new(base, 96, 0.1)
+}

@@ -1,0 +1,160 @@
+//! The `MPI_Win_lock` contention model.
+//!
+//! Zhao, Balaji & Gropp (ISPDC 2016) describe the lock-polling scheme
+//! most MPI one-sided implementations use for passive-target locks: a
+//! blocked origin repeatedly sends lock-attempt messages to the target
+//! until the lock is granted. The paper under reproduction attributes
+//! the poor `X+SS` performance of its MPI+MPI approach to exactly this:
+//! *"the number of lock-attempt messages increases when multiple
+//! processes try to acquire the same lock at the same time, and more
+//! overhead is introduced."*
+//!
+//! [`ContendedLock`] models this: each acquisition costs a base hold
+//! time plus a penalty proportional to the number of requests already
+//! queued when it arrives — the extra lock-attempt traffic every waiter
+//! injects into the target.
+
+use crate::time::Time;
+
+/// Result of one lock acquisition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockGrant {
+    /// When the lock was granted (critical section begins).
+    pub start: Time,
+    /// When the lock was released (grant + hold + penalties).
+    pub end: Time,
+    /// Requests that were queued ahead of this one on arrival.
+    pub queued_ahead: u64,
+}
+
+/// FCFS exclusive lock with a per-waiter polling penalty.
+#[derive(Clone, Debug)]
+pub struct ContendedLock {
+    /// Extra service time added per request queued ahead of an
+    /// acquisition (models lock-attempt message storms).
+    pub poll_penalty: Time,
+    free_at: Time,
+    /// `(arrive, end)` of recent grants, pruned lazily; used to compute
+    /// the queue depth seen by a new arrival.
+    recent: std::collections::VecDeque<(Time, Time)>,
+    acquisitions: u64,
+    contended: u64,
+    total_penalty: Time,
+}
+
+impl ContendedLock {
+    /// New lock with the given per-waiter polling penalty.
+    pub fn new(poll_penalty: Time) -> Self {
+        Self {
+            poll_penalty,
+            free_at: 0,
+            recent: std::collections::VecDeque::new(),
+            acquisitions: 0,
+            contended: 0,
+            total_penalty: 0,
+        }
+    }
+
+    /// Acquire at `arrive`, holding the lock for `hold` (the critical
+    /// section: the queue update the paper performs under
+    /// `MPI_Win_lock`). Returns the grant interval including penalties.
+    pub fn acquire(&mut self, arrive: Time, hold: Time) -> LockGrant {
+        // Queue depth = earlier grants still unfinished when we arrive.
+        while let Some(&(_, end)) = self.recent.front() {
+            if end <= arrive {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        let queued_ahead = self.recent.len() as u64;
+        let penalty = self.poll_penalty * queued_ahead;
+        let start = arrive.max(self.free_at);
+        let end = start + hold + penalty;
+        self.free_at = end;
+        self.recent.push_back((arrive, end));
+        self.acquisitions += 1;
+        if queued_ahead > 0 {
+            self.contended += 1;
+            self.total_penalty += penalty;
+        }
+        LockGrant { start, end, queued_ahead }
+    }
+
+    /// Total acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Acquisitions that found at least one request queued ahead.
+    pub fn contended(&self) -> u64 {
+        self.contended
+    }
+
+    /// Cumulative polling penalty added across all acquisitions.
+    pub fn total_penalty(&self) -> Time {
+        self.total_penalty
+    }
+
+    /// When the lock next becomes free.
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_acquire_costs_base_hold() {
+        let mut l = ContendedLock::new(100);
+        let g = l.acquire(1000, 50);
+        assert_eq!(g, LockGrant { start: 1000, end: 1050, queued_ahead: 0 });
+        assert_eq!(l.contended(), 0);
+    }
+
+    #[test]
+    fn waiters_pay_polling_penalty() {
+        let mut l = ContendedLock::new(100);
+        l.acquire(0, 50); // holds [0, 50)
+        let g1 = l.acquire(10, 50); // 1 ahead -> +100
+        assert_eq!(g1.queued_ahead, 1);
+        assert_eq!(g1.start, 50);
+        assert_eq!(g1.end, 200);
+        let g2 = l.acquire(20, 50); // 2 ahead -> +200
+        assert_eq!(g2.queued_ahead, 2);
+        assert_eq!(g2.end, 200 + 50 + 200);
+        assert_eq!(l.contended(), 2);
+        assert_eq!(l.total_penalty(), 300);
+    }
+
+    #[test]
+    fn storm_cost_grows_superlinearly() {
+        // P simultaneous requesters: total completion grows ~P^2 with
+        // polling, ~P without. This is the X+SS failure mode.
+        let finish = |penalty: Time, p: u64| {
+            let mut l = ContendedLock::new(penalty);
+            (0..p).map(|_| l.acquire(0, 50).end).max().unwrap()
+        };
+        let no_poll_8 = finish(0, 8);
+        let poll_8 = finish(100, 8);
+        let no_poll_16 = finish(0, 16);
+        let poll_16 = finish(100, 16);
+        assert_eq!(no_poll_8, 8 * 50);
+        assert!(poll_8 > no_poll_8);
+        // Doubling P doubles the no-poll time but more than doubles the
+        // polling time.
+        assert_eq!(no_poll_16 / no_poll_8, 2);
+        assert!(poll_16 > 2 * poll_8);
+    }
+
+    #[test]
+    fn lock_frees_up_after_quiet_period() {
+        let mut l = ContendedLock::new(100);
+        l.acquire(0, 50);
+        let g = l.acquire(1000, 50);
+        assert_eq!(g.queued_ahead, 0);
+        assert_eq!(g.start, 1000);
+    }
+}

@@ -1,0 +1,60 @@
+//! The interconnect model: a classic alpha-beta (latency + bandwidth)
+//! fabric with miniHPC's Omni-Path parameters as defaults.
+
+use crate::time::Time;
+
+/// Latency/bandwidth network model.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One-way message latency in ns. The raw Omni-Path figure is
+    /// ~100 ns; an MPI small-message path adds software overhead, so the
+    /// default is 1 µs end-to-end.
+    pub latency_ns: Time,
+    /// Link bandwidth in bytes per microsecond (Omni-Path: 100 Gbit/s =
+    /// 12.5 GB/s = 12_500 bytes/µs).
+    pub bytes_per_us: u64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self { latency_ns: 1_000, bytes_per_us: 12_500 }
+    }
+}
+
+impl NetworkModel {
+    /// Time for a one-way transfer of `bytes`.
+    pub fn transfer(&self, bytes: u64) -> Time {
+        self.latency_ns + (bytes * 1_000) / self.bytes_per_us.max(1)
+    }
+
+    /// Time for a remote atomic (fetch-and-op / CAS): request +
+    /// response, both tiny messages.
+    pub fn rma_round_trip(&self) -> Time {
+        2 * self.latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let net = NetworkModel::default();
+        assert_eq!(net.transfer(0), 1_000);
+        assert_eq!(net.transfer(8), 1_000); // 8 B below 1 ns of bandwidth
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let net = NetworkModel::default();
+        // 12.5 MB at 12.5 GB/s = 1 ms (+1 us latency).
+        assert_eq!(net.transfer(12_500_000), 1_000 + 1_000_000);
+    }
+
+    #[test]
+    fn rma_is_a_round_trip() {
+        let net = NetworkModel { latency_ns: 500, bytes_per_us: 12_500 };
+        assert_eq!(net.rma_round_trip(), 1_000);
+    }
+}

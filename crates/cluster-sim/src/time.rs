@@ -1,0 +1,45 @@
+//! Virtual time: integer nanoseconds.
+
+/// Virtual time / duration in nanoseconds. `u64` gives ~584 years of
+/// simulated time — ample.
+pub type Time = u64;
+
+/// One microsecond in [`Time`] units.
+pub const US: Time = 1_000;
+/// One millisecond in [`Time`] units.
+pub const MS: Time = 1_000_000;
+/// One second in [`Time`] units.
+pub const SEC: Time = 1_000_000_000;
+
+/// Render a time as seconds with millisecond precision, e.g. `"19.600s"`.
+pub fn fmt_secs(t: Time) -> String {
+    format!("{:.3}s", t as f64 / SEC as f64)
+}
+
+/// Convert to floating-point seconds.
+pub fn to_secs(t: Time) -> f64 {
+    t as f64 / SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_consistent() {
+        assert_eq!(1000 * US, MS);
+        assert_eq!(1000 * MS, SEC);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(19_600 * MS), "19.600s");
+        assert_eq!(fmt_secs(0), "0.000s");
+    }
+
+    #[test]
+    fn to_secs_roundtrip() {
+        assert!((to_secs(SEC) - 1.0).abs() < 1e-12);
+        assert!((to_secs(MS) - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Scaling reports: speedup and parallel efficiency across node
+//! counts, rendered as text tables — the derived metrics readers
+//! compute from Figures 4-7 by hand.
+
+use crate::schedule::HierSchedule;
+use cluster_sim::MachineParams;
+use dls::Kind;
+use hier::Approach;
+use workloads::CostTable;
+
+/// One row of a scaling study.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Total workers.
+    pub workers: u32,
+    /// Parallel loop time in seconds.
+    pub seconds: f64,
+    /// Speedup relative to the serial cost-table total.
+    pub speedup: f64,
+    /// Parallel efficiency: speedup / workers.
+    pub efficiency: f64,
+}
+
+/// A scaling study of one schedule configuration over node counts.
+#[derive(Clone, Debug)]
+pub struct ScalingStudy {
+    /// Label, e.g. `"GSS+STATIC (MPI+MPI)"`.
+    pub label: String,
+    /// One point per node count.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingStudy {
+    /// Run the study in virtual time.
+    pub fn run(
+        inter: Kind,
+        intra: Kind,
+        approach: Approach,
+        node_counts: &[u32],
+        workers_per_node: u32,
+        machine: MachineParams,
+        table: &CostTable,
+    ) -> ScalingStudy {
+        let serial_secs = table.stats().total as f64 / 1e9;
+        let points = node_counts
+            .iter()
+            .map(|&nodes| {
+                let seconds = HierSchedule::builder()
+                    .inter(inter)
+                    .intra(intra)
+                    .approach(approach)
+                    .nodes(nodes)
+                    .workers_per_node(workers_per_node)
+                    .machine(machine)
+                    .build()
+                    .simulate(table)
+                    .seconds();
+                let workers = nodes * workers_per_node;
+                let speedup = serial_secs / seconds.max(f64::MIN_POSITIVE);
+                ScalingPoint {
+                    nodes,
+                    workers,
+                    seconds,
+                    speedup,
+                    efficiency: speedup / f64::from(workers),
+                }
+            })
+            .collect();
+        ScalingStudy {
+            label: format!("{inter}+{intra} ({approach})"),
+            points,
+        }
+    }
+
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.label);
+        out.push_str("  nodes  workers     time    speedup  efficiency\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:>5} {:>8} {:>7.2}s {:>9.1}x {:>10.1}%\n",
+                p.nodes,
+                p.workers,
+                p.seconds,
+                p.speedup,
+                p.efficiency * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::synthetic::Synthetic;
+
+    fn study() -> ScalingStudy {
+        let w = Synthetic::uniform(30_000, 1_000, 50_000, 3);
+        let table = CostTable::build(&w);
+        ScalingStudy::run(
+            Kind::GSS,
+            Kind::GSS,
+            Approach::MpiMpi,
+            &[1, 2, 4, 8],
+            4,
+            MachineParams::default(),
+            &table,
+        )
+    }
+
+    #[test]
+    fn speedup_grows_with_nodes() {
+        let s = study();
+        assert_eq!(s.points.len(), 4);
+        for w in s.points.windows(2) {
+            assert!(w[1].speedup > w[0].speedup);
+        }
+    }
+
+    #[test]
+    fn efficiency_bounded_by_one() {
+        for p in study().points {
+            assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-9, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let s = study();
+        let text = s.render();
+        assert!(text.contains("GSS+GSS (MPI+MPI)"));
+        assert_eq!(text.lines().count(), 2 + s.points.len());
+    }
+}

@@ -1,0 +1,341 @@
+//! The [`HierSchedule`] builder — the main entry point of the library.
+
+use cluster_sim::{MachineParams, SimTopology};
+use dls::{Kind, Technique};
+use hier::live::{run_live, LiveConfig, LiveResult};
+use hier::sim::{simulate, SimConfig, SimResult};
+use hier::{Approach, HierSpec};
+use workloads::{CostTable, Workload};
+
+/// A fully-specified hierarchical schedule: techniques, approach,
+/// cluster shape and cost model. Build with [`HierSchedule::builder`].
+#[derive(Clone, Debug)]
+pub struct HierSchedule {
+    spec: HierSpec,
+    approach: Approach,
+    nodes: u32,
+    workers_per_node: u32,
+    machine: MachineParams,
+    trace: bool,
+    record_chunks: bool,
+    slowdown: Vec<f64>,
+    refill: hier::sim::RefillPolicy,
+    omp_nowait: bool,
+    weights: Vec<f64>,
+    awf: Option<dls::adaptive::AwfVariant>,
+    global_mode: hier::GlobalQueueMode,
+}
+
+impl HierSchedule {
+    /// Start building a schedule (defaults: `GSS+GSS`, MPI+MPI, 4 nodes
+    /// x 16 workers, default machine parameters).
+    pub fn builder() -> HierScheduleBuilder {
+        HierScheduleBuilder::default()
+    }
+
+    /// The `X+Y` combination.
+    pub fn spec(&self) -> HierSpec {
+        self.spec
+    }
+
+    /// The intra-node implementation.
+    pub fn approach(&self) -> Approach {
+        self.approach
+    }
+
+    /// `(nodes, workers_per_node)`.
+    pub fn shape(&self) -> (u32, u32) {
+        (self.nodes, self.workers_per_node)
+    }
+
+    /// Run in virtual time against a precomputed cost table.
+    /// Deterministic; models the full cluster of this schedule.
+    pub fn simulate(&self, table: &CostTable) -> SimResult {
+        simulate(&self.sim_config(), table)
+    }
+
+    /// Run in virtual time under the *hierarchical master-worker*
+    /// execution model (HDSS style, the paper's related work): dedicated
+    /// global and per-node masters serve chunk requests over messages
+    /// instead of shared queues.
+    pub fn simulate_master_worker(&self, table: &CostTable) -> SimResult {
+        hier::sim::simulate_master_worker(&self.sim_config(), table)
+    }
+
+    /// Run in virtual time under the *flat* master-worker model
+    /// (DLB-tool style): every worker requests chunks directly from one
+    /// global master — the configuration whose master bottleneck
+    /// motivated hierarchical DLS in the first place.
+    pub fn simulate_flat_master_worker(&self, table: &CostTable) -> SimResult {
+        hier::sim::simulate_flat_master_worker(&self.sim_config(), table)
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(
+            SimTopology::new(self.nodes, self.workers_per_node),
+            self.machine,
+            self.spec,
+            self.approach,
+        );
+        cfg.trace = self.trace;
+        cfg.record_chunks = self.record_chunks;
+        cfg.slowdown = self.slowdown.clone();
+        cfg.refill = self.refill;
+        cfg.omp_nowait = self.omp_nowait;
+        cfg.weights = self.weights.clone();
+        cfg.awf = self.awf;
+        cfg.global_mode = self.global_mode;
+        cfg
+    }
+
+    /// Run for real on OS threads, executing the workload's kernel.
+    pub fn run_live(&self, workload: &(dyn Workload + Sync)) -> LiveResult {
+        run_live(&self.live_config(), workload)
+    }
+
+    /// Run the hierarchical master-worker model for real (dedicated
+    /// global master at rank 0, working local masters, two-sided
+    /// messaging).
+    pub fn run_live_master_worker(&self, workload: &(dyn Workload + Sync)) -> LiveResult {
+        hier::live::run_live_master_worker(&self.live_config(), workload)
+    }
+
+    /// Run the flat master-worker model for real (every worker requests
+    /// directly from the dedicated master at rank 0).
+    pub fn run_live_flat_master_worker(
+        &self,
+        workload: &(dyn Workload + Sync),
+    ) -> LiveResult {
+        hier::live::run_live_flat_master_worker(&self.live_config(), workload)
+    }
+
+    fn live_config(&self) -> LiveConfig {
+        let mut cfg = LiveConfig::new(
+            self.nodes,
+            self.workers_per_node,
+            self.spec,
+            self.approach,
+        );
+        cfg.weights = self.weights.clone();
+        cfg.awf = self.awf;
+        cfg.global_mode = self.global_mode;
+        cfg
+    }
+}
+
+/// Builder for [`HierSchedule`].
+#[derive(Clone, Debug)]
+pub struct HierScheduleBuilder {
+    inter: Technique,
+    intra: Technique,
+    approach: Approach,
+    nodes: u32,
+    workers_per_node: u32,
+    machine: MachineParams,
+    trace: bool,
+    record_chunks: bool,
+    slowdown: Vec<f64>,
+    refill: hier::sim::RefillPolicy,
+    omp_nowait: bool,
+    weights: Vec<f64>,
+    awf: Option<dls::adaptive::AwfVariant>,
+    global_mode: hier::GlobalQueueMode,
+}
+
+impl Default for HierScheduleBuilder {
+    fn default() -> Self {
+        Self {
+            inter: Technique::gss(),
+            intra: Technique::gss(),
+            approach: Approach::MpiMpi,
+            nodes: 4,
+            workers_per_node: 16,
+            machine: MachineParams::default(),
+            trace: false,
+            record_chunks: false,
+            slowdown: Vec::new(),
+            refill: hier::sim::RefillPolicy::Fastest,
+            omp_nowait: false,
+            weights: Vec::new(),
+            awf: None,
+            global_mode: hier::GlobalQueueMode::SingleAtomic,
+        }
+    }
+}
+
+impl HierScheduleBuilder {
+    /// Inter-node technique by kind (default parameters).
+    pub fn inter(mut self, kind: Kind) -> Self {
+        self.inter = Technique::from_kind(kind);
+        self
+    }
+
+    /// Inter-node technique with explicit parameters.
+    pub fn inter_technique(mut self, t: Technique) -> Self {
+        self.inter = t;
+        self
+    }
+
+    /// Intra-node technique by kind (default parameters).
+    pub fn intra(mut self, kind: Kind) -> Self {
+        self.intra = Technique::from_kind(kind);
+        self
+    }
+
+    /// Intra-node technique with explicit parameters.
+    pub fn intra_technique(mut self, t: Technique) -> Self {
+        self.intra = t;
+        self
+    }
+
+    /// MPI+MPI (proposed) or MPI+OpenMP (baseline).
+    pub fn approach(mut self, a: Approach) -> Self {
+        self.approach = a;
+        self
+    }
+
+    /// Number of compute nodes.
+    pub fn nodes(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one node");
+        self.nodes = n;
+        self
+    }
+
+    /// Workers per node (ranks or team threads).
+    pub fn workers_per_node(mut self, w: u32) -> Self {
+        assert!(w > 0, "need at least one worker per node");
+        self.workers_per_node = w;
+        self
+    }
+
+    /// Virtual-time cost constants.
+    pub fn machine(mut self, m: MachineParams) -> Self {
+        self.machine = m;
+        self
+    }
+
+    /// Record per-worker timeline segments in `simulate`.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Record executed sub-chunks in `simulate`.
+    pub fn record_chunks(mut self, on: bool) -> Self {
+        self.record_chunks = on;
+        self
+    }
+
+    /// Per-worker slowdown multipliers (failure injection).
+    pub fn slowdown(mut self, s: Vec<f64>) -> Self {
+        self.slowdown = s;
+        self
+    }
+
+    /// Local-queue refill policy for MPI+MPI `simulate` runs.
+    pub fn refill(mut self, policy: hier::sim::RefillPolicy) -> Self {
+        self.refill = policy;
+        self
+    }
+
+    /// Model OpenMP's `nowait` clause for MPI+OpenMP `simulate` runs
+    /// (the paper's future work).
+    pub fn omp_nowait(mut self, on: bool) -> Self {
+        self.omp_nowait = on;
+        self
+    }
+
+    /// Static mean-normalised per-worker weights for weighted
+    /// techniques (WF), indexed by global worker id.
+    pub fn weights(mut self, w: Vec<f64>) -> Self {
+        self.weights = w;
+        self
+    }
+
+    /// Enable adaptive weighted factoring at the intra-node level
+    /// (MPI+MPI): sub-chunks are WF-sized with weights learned from
+    /// measured worker rates (extension beyond the paper's four
+    /// techniques).
+    pub fn awf(mut self, variant: dls::adaptive::AwfVariant) -> Self {
+        self.awf = Some(variant);
+        self
+    }
+
+    /// How the global queue is realised over RMA (MPI+MPI): the
+    /// single-atomic distributed chunk calculation (default) or
+    /// lock-guarded counters.
+    pub fn global_queue(mut self, mode: hier::GlobalQueueMode) -> Self {
+        self.global_mode = mode;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> HierSchedule {
+        HierSchedule {
+            spec: HierSpec { inter: self.inter, intra: self.intra },
+            approach: self.approach,
+            nodes: self.nodes,
+            workers_per_node: self.workers_per_node,
+            machine: self.machine,
+            trace: self.trace,
+            record_chunks: self.record_chunks,
+            slowdown: self.slowdown,
+            refill: self.refill,
+            omp_nowait: self.omp_nowait,
+            weights: self.weights,
+            awf: self.awf,
+            global_mode: self.global_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::synthetic::Synthetic;
+
+    #[test]
+    fn builder_defaults() {
+        let s = HierSchedule::builder().build();
+        assert_eq!(s.shape(), (4, 16));
+        assert_eq!(s.approach(), Approach::MpiMpi);
+        assert_eq!(s.spec().label(), "GSS+GSS");
+    }
+
+    #[test]
+    fn simulate_and_live_agree_on_totals() {
+        let w = Synthetic::uniform(2_000, 10, 100, 5);
+        let table = CostTable::build(&w);
+        let s = HierSchedule::builder()
+            .inter(Kind::FAC2)
+            .intra(Kind::GSS)
+            .nodes(2)
+            .workers_per_node(3)
+            .build();
+        let sim = s.simulate(&table);
+        let live = s.run_live(&w);
+        assert_eq!(sim.stats.total_iterations, 2_000);
+        assert_eq!(live.stats.total_iterations, 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        HierSchedule::builder().nodes(0);
+    }
+
+    #[test]
+    fn openmp_approach_runs() {
+        let w = Synthetic::constant(500, 100);
+        let table = CostTable::build(&w);
+        let s = HierSchedule::builder()
+            .inter(Kind::GSS)
+            .intra(Kind::STATIC)
+            .approach(Approach::MpiOpenMp)
+            .nodes(2)
+            .workers_per_node(4)
+            .build();
+        let r = s.simulate(&table);
+        assert_eq!(r.stats.total_iterations, 500);
+    }
+}

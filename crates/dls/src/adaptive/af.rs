@@ -1,0 +1,222 @@
+//! AF: adaptive factoring (Banicescu & Liu, 2000; Cariño & Banicescu,
+//! 2008 — the paper's reference [29]).
+//!
+//! Factoring assumes the iteration-time mean `mu` and deviation `sigma`
+//! are known *before* the loop; adaptive factoring estimates both
+//! **during** the loop from each worker's measured chunk times and
+//! recomputes the batch chunk size accordingly:
+//!
+//! ```text
+//! D = P * sigma^2 / mu        T = (chunk execution rate estimate)
+//! chunk = (D + 2*T*R - sqrt(D^2 + 4*D*T*R)) / (2*mu)
+//! ```
+//!
+//! where `R` is the remaining loop size. We use the practical per-worker
+//! formulation: each worker keeps running estimates `(mu_i, sigma_i)`
+//! and sizes its own next chunk from them.
+
+use crate::chunk::{Chunk, LoopSpec, SchedState};
+
+/// Per-worker running estimate of the iteration-time distribution.
+#[derive(Clone, Copy, Debug, Default)]
+struct Estimate {
+    iters: u64,
+    /// Sum of per-chunk mean times (for mu).
+    sum_time: f64,
+    /// Sum of squared per-iteration times, approximated per chunk.
+    sum_sq: f64,
+    chunks: u64,
+}
+
+impl Estimate {
+    fn mu(&self) -> Option<f64> {
+        (self.iters > 0).then(|| self.sum_time / self.iters as f64)
+    }
+
+    fn sigma(&self) -> f64 {
+        match (self.mu(), self.iters) {
+            (Some(mu), n) if n > 1 => {
+                let var = (self.sum_sq / n as f64 - mu * mu).max(0.0);
+                var.sqrt()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Stateful adaptive-factoring scheduler. Drive with
+/// [`AfScheduler::next_chunk`] and [`AfScheduler::record`], like
+/// [`crate::adaptive::AwfScheduler`].
+#[derive(Clone, Debug)]
+pub struct AfScheduler {
+    spec: LoopSpec,
+    state: SchedState,
+    est: Vec<Estimate>,
+    /// Chunk size used before a worker has any measurements: the FAC2
+    /// opening move, `ceil(N / (2P))`.
+    warmup: u64,
+}
+
+impl AfScheduler {
+    /// New scheduler for `spec.n_workers` workers.
+    pub fn new(spec: LoopSpec) -> Self {
+        let warmup = spec.n_iters.div_ceil(2 * spec.p()).max(1);
+        Self {
+            spec,
+            state: SchedState::START,
+            est: vec![Estimate::default(); spec.p() as usize],
+            warmup,
+        }
+    }
+
+    /// The scheduling state (step / scheduled counters).
+    pub fn state(&self) -> SchedState {
+        self.state
+    }
+
+    /// Obtain the next chunk for `worker`, or `None` when exhausted.
+    pub fn next_chunk(&mut self, worker: u32) -> Option<Chunk> {
+        if self.state.exhausted(&self.spec) {
+            return None;
+        }
+        let remaining = self.state.remaining(&self.spec) as f64;
+        let size = match self.est.get(worker as usize).and_then(|e| e.mu().map(|mu| (e, mu))) {
+            Some((e, mu)) if mu > 0.0 => {
+                let p = self.spec.p() as f64;
+                let sigma = e.sigma();
+                // D = P * sigma^2 / mu; T = mu (mean iteration time as
+                // the rate scale). With sigma = 0 this collapses to
+                // R / P — the deterministic optimum.
+                let d = p * sigma * sigma / mu;
+                let t = mu;
+                let chunk =
+                    (d + 2.0 * t * remaining - (d * d + 4.0 * d * t * remaining).sqrt())
+                        / (2.0 * t * p);
+                chunk.ceil().max(1.0) as u64
+            }
+            _ => self.warmup,
+        };
+        self.state.take(&self.spec, size)
+    }
+
+    /// Record a completed chunk's measured execution time.
+    pub fn record(&mut self, worker: u32, chunk: Chunk, time: f64) {
+        if let Some(e) = self.est.get_mut(worker as usize) {
+            let n = chunk.len as f64;
+            e.iters += chunk.len;
+            e.sum_time += time.max(0.0);
+            // Approximate per-iteration second moment from the chunk
+            // mean (the per-chunk variance is unobservable).
+            let per_iter = (time / n).max(0.0);
+            e.sum_sq += per_iter * per_iter * n;
+            e.chunks += 1;
+        }
+    }
+
+    /// Current `(mu, sigma)` estimate for a worker, if any.
+    pub fn estimate(&self, worker: u32) -> Option<(f64, f64)> {
+        let e = self.est.get(worker as usize)?;
+        e.mu().map(|mu| (mu, e.sigma()))
+    }
+
+    /// True once every iteration has been assigned.
+    pub fn exhausted(&self) -> bool {
+        self.state.exhausted(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_exactly_once;
+
+    fn run(n: u64, p: u32, time_of: impl Fn(u32, u64) -> f64) -> (Vec<Chunk>, AfScheduler) {
+        let mut s = AfScheduler::new(LoopSpec::new(n, p));
+        let mut all = Vec::new();
+        let mut w = 0u32;
+        while let Some(chunk) = s.next_chunk(w) {
+            s.record(w, chunk, time_of(w, chunk.len));
+            all.push(chunk);
+            w = (w + 1) % p;
+        }
+        (all, s)
+    }
+
+    #[test]
+    fn covers_loop_exactly_once() {
+        let (chunks, _) = run(10_000, 4, |_, len| len as f64);
+        check_exactly_once(&chunks, 10_000).unwrap();
+    }
+
+    #[test]
+    fn warmup_uses_fac2_opening() {
+        let mut s = AfScheduler::new(LoopSpec::new(1024, 4));
+        let c = s.next_chunk(0).unwrap();
+        assert_eq!(c.len, 128);
+    }
+
+    #[test]
+    fn deterministic_times_converge_to_r_over_p() {
+        // With sigma = 0 the AF formula gives R/P: the second chunk of a
+        // worker should be about a quarter of the remainder (P = 4).
+        let mut s = AfScheduler::new(LoopSpec::new(100_000, 4));
+        let first = s.next_chunk(0).unwrap();
+        s.record(0, first, first.len as f64 * 2.0);
+        let second = s.next_chunk(0).unwrap();
+        let remaining_before = 100_000 - first.len;
+        let expected = remaining_before / 4;
+        let diff = second.len.abs_diff(expected);
+        assert!(diff <= expected / 10 + 1, "second {} vs R/P {}", second.len, expected);
+    }
+
+    #[test]
+    fn noisy_times_give_smaller_chunks_than_deterministic() {
+        let (_, clean) = {
+            let mut s = AfScheduler::new(LoopSpec::new(100_000, 4));
+            let c = s.next_chunk(0).unwrap();
+            s.record(0, c, c.len as f64);
+            let next = s.next_chunk(0).unwrap();
+            (c, next)
+        };
+        // Same history volume but alternating fast/slow chunks ->
+        // nonzero sigma estimate -> more conservative chunk.
+        let noisy = {
+            let mut s = AfScheduler::new(LoopSpec::new(100_000, 4));
+            let c1 = s.next_chunk(0).unwrap();
+            s.record(0, c1, c1.len as f64 * 0.2);
+            let c2 = s.next_chunk(0).unwrap();
+            s.record(0, c2, c2.len as f64 * 3.0);
+            s.next_chunk(0).unwrap()
+        };
+        assert!(
+            noisy.len < clean.len,
+            "noisy {} should be below deterministic {}",
+            noisy.len,
+            clean.len
+        );
+    }
+
+    #[test]
+    fn estimates_track_measured_rates() {
+        let mut s = AfScheduler::new(LoopSpec::new(1_000, 2));
+        assert!(s.estimate(0).is_none());
+        let c = s.next_chunk(0).unwrap();
+        s.record(0, c, c.len as f64 * 5.0);
+        let (mu, sigma) = s.estimate(0).unwrap();
+        assert!((mu - 5.0).abs() < 1e-9);
+        assert!(sigma.abs() < 1e-9, "single uniform chunk has no spread");
+    }
+
+    #[test]
+    fn terminates_with_unmeasured_workers() {
+        // Workers that never report still get warmup chunks; the loop
+        // must terminate.
+        let mut s = AfScheduler::new(LoopSpec::new(500, 8));
+        let mut count = 0;
+        while s.next_chunk(3).is_some() {
+            count += 1;
+            assert!(count < 100, "must terminate");
+        }
+        assert!(s.exhausted());
+    }
+}

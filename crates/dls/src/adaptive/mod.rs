@@ -1,0 +1,14 @@
+//! Adaptive DLS techniques: AWF and its batch/chunk variants.
+//!
+//! Adaptive techniques measure worker performance *during* the loop and
+//! re-weight future chunks accordingly, so — unlike the non-adaptive
+//! calculators — they carry mutable state and are driven through an
+//! explicit scheduler object ([`AwfScheduler`]). In the hierarchical
+//! executors this state lives behind the same lock/window that guards the
+//! work queue, preserving the distributed-calculation structure.
+
+mod af;
+mod awf;
+
+pub use af::AfScheduler;
+pub use awf::{AwfScheduler, AwfVariant, WorkerReport};

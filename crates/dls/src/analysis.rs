@@ -1,0 +1,171 @@
+//! Schedule analysis: exact chunk-profile enumeration and theoretical
+//! scheduling-step bounds per technique.
+//!
+//! The number of scheduling steps is the quantity that multiplies every
+//! per-step overhead (an RMA round-trip, an `MPI_Win_lock` cycle, an
+//! OpenMP dispatch), so the DLS literature characterises techniques by
+//! it: STATIC needs at most `P` steps, SS exactly `N`, GSS `O(P log N)`
+//! and the factoring family `O(P log(N/P))`. [`step_bound`] encodes
+//! those bounds; the property tests verify every enumeration stays
+//! within them.
+
+use crate::chunk::LoopSpec;
+use crate::sequence::ChunkSequence;
+use crate::technique::{Kind, Technique};
+
+/// Exact profile of a technique's schedule for one loop, computed by
+/// enumeration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleProfile {
+    /// Number of scheduling steps (chunks handed out).
+    pub steps: u64,
+    /// Smallest chunk.
+    pub min_chunk: u64,
+    /// Largest chunk.
+    pub max_chunk: u64,
+    /// Mean chunk size.
+    pub mean_chunk: f64,
+}
+
+impl ScheduleProfile {
+    /// Total scheduling overhead if every step costs `h` time units.
+    pub fn overhead(&self, h: f64) -> f64 {
+        self.steps as f64 * h
+    }
+}
+
+/// Enumerate the schedule and summarise it.
+pub fn profile(spec: &LoopSpec, technique: &Technique) -> ScheduleProfile {
+    let mut steps = 0u64;
+    let mut min_chunk = u64::MAX;
+    let mut max_chunk = 0u64;
+    for c in ChunkSequence::new(spec, technique) {
+        steps += 1;
+        min_chunk = min_chunk.min(c.len);
+        max_chunk = max_chunk.max(c.len);
+    }
+    if steps == 0 {
+        min_chunk = 0;
+    }
+    ScheduleProfile {
+        steps,
+        min_chunk,
+        max_chunk,
+        mean_chunk: if steps > 0 { spec.n_iters as f64 / steps as f64 } else { 0.0 },
+    }
+}
+
+/// A proven upper bound on the number of scheduling steps a technique
+/// needs for a loop of `n` iterations over `p` workers (with default
+/// technique parameters). `None` when no simple closed form exists
+/// (RND's step count is distribution-dependent; FAC/FSC depend on the
+/// loop statistics).
+pub fn step_bound(kind: Kind, n: u64, p: u32) -> Option<u64> {
+    if n == 0 {
+        return Some(0);
+    }
+    let p = u64::from(p.max(1));
+    match kind {
+        Kind::STATIC => Some(p.min(n)),
+        Kind::SS => Some(n),
+        Kind::GSS => {
+            // Each step removes at least a 1/p fraction (ceil), so after
+            // p*ln(n) steps at most ~1 iteration remains; add p slack
+            // for the all-ones tail.
+            let ln_n = (n as f64).ln().max(1.0);
+            Some((p as f64 * ln_n).ceil() as u64 + 2 * p + 1)
+        }
+        Kind::TSS => {
+            // By construction S = ceil(2N / (F + L)) planned steps; the
+            // floor interpolation can lose up to one iteration per step,
+            // each served by at most one extra unit-sized step.
+            let f = n.div_ceil(2 * p).max(1);
+            let s = (2 * n).div_ceil(f + 1);
+            Some(2 * s + 2)
+        }
+        Kind::FAC2 | Kind::WF => {
+            // Each batch of p chunks halves the remainder: at most
+            // ceil(log2(n)) + 1 batches before chunks clamp to 1, plus
+            // the tail of ones (at most p per final unit batch).
+            let log2 = 64 - (n.max(1) - 1).leading_zeros() as u64 + 1;
+            Some(p * (log2 + 2) + n.min(p * 2))
+        }
+        Kind::TFSS => {
+            // Never more steps than TSS plus one batch of slack.
+            step_bound(Kind::TSS, n, p as u32).map(|s| s + p)
+        }
+        Kind::FAC | Kind::FSC | Kind::RND => None,
+    }
+}
+
+/// Rank the paper's techniques by enumerated step count for a loop —
+/// the "scheduling-overhead spectrum" (STATIC least, SS most).
+pub fn overhead_spectrum(spec: &LoopSpec) -> Vec<(Kind, u64)> {
+    let mut rows: Vec<(Kind, u64)> = Kind::PAPER
+        .iter()
+        .map(|&k| (k, profile(spec, &Technique::from_kind(k)).steps))
+        .collect();
+    rows.sort_by_key(|&(_, steps)| steps);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_static() {
+        let spec = LoopSpec::new(100, 4);
+        let p = profile(&spec, &Technique::static_());
+        assert_eq!(p.steps, 4);
+        assert_eq!(p.min_chunk, 25);
+        assert_eq!(p.max_chunk, 25);
+        assert_eq!(p.mean_chunk, 25.0);
+    }
+
+    #[test]
+    fn profile_empty_loop() {
+        let spec = LoopSpec::new(0, 4);
+        let p = profile(&spec, &Technique::gss());
+        assert_eq!(p.steps, 0);
+        assert_eq!(p.min_chunk, 0);
+        assert_eq!(p.overhead(10.0), 0.0);
+    }
+
+    #[test]
+    fn bounds_hold_for_sampled_loops() {
+        for kind in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2, Kind::TFSS, Kind::WF]
+        {
+            for (n, p) in [(1u64, 1u32), (100, 4), (1000, 16), (99_999, 7), (4096, 64)] {
+                let spec = LoopSpec::new(n, p);
+                let steps = profile(&spec, &Technique::from_kind(kind)).steps;
+                let bound = step_bound(kind, n, p).unwrap();
+                assert!(steps <= bound, "{kind}: steps {steps} > bound {bound} (n={n} p={p})");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_orders_static_before_ss() {
+        let spec = LoopSpec::new(10_000, 16);
+        let spectrum = overhead_spectrum(&spec);
+        assert_eq!(spectrum.first().unwrap().0, Kind::STATIC);
+        assert_eq!(spectrum.last().unwrap().0, Kind::SS);
+        // Monotone non-decreasing step counts.
+        assert!(spectrum.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn no_bound_for_statistics_dependent_kinds() {
+        assert!(step_bound(Kind::FAC, 100, 4).is_none());
+        assert!(step_bound(Kind::RND, 100, 4).is_none());
+        assert!(step_bound(Kind::FSC, 100, 4).is_none());
+    }
+
+    #[test]
+    fn overhead_scales_with_steps() {
+        let spec = LoopSpec::new(1000, 4);
+        let ss = profile(&spec, &Technique::ss());
+        assert_eq!(ss.overhead(2.0), 2000.0);
+    }
+}

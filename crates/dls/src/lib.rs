@@ -1,0 +1,64 @@
+//! # dls — Dynamic Loop Self-Scheduling techniques
+//!
+//! This crate implements the dynamic loop self-scheduling (DLS) techniques
+//! evaluated in *"Hierarchical Dynamic Loop Self-Scheduling on
+//! Distributed-Memory Systems Using an MPI+MPI Approach"* (Eleliemy &
+//! Ciorba, 2019), in the **distributed chunk-calculation formulation**
+//! introduced by the same authors (PDP 2019): the size of the chunk handed
+//! out at scheduling step `s` is a pure function of
+//!
+//! * the loop specification ([`LoopSpec`]: total iterations `n`, number of
+//!   workers `p`, technique parameters), and
+//! * the shared scheduling state ([`SchedState`]: the latest scheduling
+//!   step and the total number of already-scheduled iterations).
+//!
+//! Because the function is pure, *any* worker that atomically advances the
+//! shared state can compute its own chunk without a master process — this
+//! is what makes the techniques usable over an MPI RMA window or an MPI-3
+//! shared-memory window (see the `mpisim` and `hier` crates).
+//!
+//! ## Techniques
+//!
+//! | Name | Kind | Origin |
+//! |---|---|---|
+//! | `STATIC` | static | classic block scheduling |
+//! | `SS` | dynamic, non-adaptive | Tang & Yew, 1986 |
+//! | `GSS` | dynamic, non-adaptive | Polychronopoulos & Kuck, 1987 |
+//! | `TSS` | dynamic, non-adaptive | Tzen & Ni, 1993 |
+//! | `FAC` | dynamic, non-adaptive | Flynn Hummel et al., 1992 |
+//! | `FAC2` | dynamic, non-adaptive | practical factoring variant |
+//! | `TFSS` | dynamic, non-adaptive | Chronopoulos et al., 2001 |
+//! | `FSC` | dynamic, non-adaptive | fixed-size chunking (Kruskal & Weiss) |
+//! | `RND` | dynamic, non-adaptive | random chunk sizes |
+//! | `WF` | dynamic, weighted | Flynn Hummel et al., 1996 |
+//! | `AWF`(-B,-C,-D,-E) | dynamic, adaptive | Banicescu et al., 2003 |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dls::{LoopSpec, Technique, sequence::ChunkSequence};
+//!
+//! let spec = LoopSpec::new(1000, 4);
+//! let gss = Technique::gss();
+//! let chunks: Vec<_> = ChunkSequence::new(&spec, &gss).collect();
+//! // GSS chunks decrease and cover [0, 1000) exactly.
+//! assert_eq!(chunks.iter().map(|c| c.len).sum::<u64>(), 1000);
+//! assert!(chunks.windows(2).all(|w| w[0].len >= w[1].len));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod analysis;
+pub mod chunk;
+pub mod nonadaptive;
+pub mod openmp;
+pub mod sequence;
+pub mod single_counter;
+pub mod technique;
+pub mod verify;
+pub mod weighted;
+
+pub use chunk::{Chunk, LoopSpec, SchedState};
+pub use technique::{ChunkCalculator, Kind, Technique};

@@ -1,0 +1,157 @@
+//! FAC: factoring (Flynn Hummel, Schonberg & Flynn, 1992) — iterations are
+//! scheduled in *batches* of `P` equally-sized chunks. The fraction of the
+//! remaining work allocated per batch follows a probabilistic model that
+//! consults the mean `mu` and standard deviation `sigma` of the iteration
+//! execution times.
+
+use super::div_ceil;
+use crate::chunk::{LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// Probabilistic factoring.
+///
+/// At the start of batch `j` with `R_j` remaining iterations:
+///
+/// ```text
+/// b_j = (P / (2 * sqrt(R_j))) * (sigma / mu)
+/// x_j = 1 + b_j^2 + b_j * sqrt(b_j^2 + 2)
+/// chunk_j = ceil(R_j / (x_j * P))
+/// ```
+///
+/// With `sigma = 0` this degenerates to `x_j = 1`, i.e. each batch takes
+/// the whole remainder in equal chunks (one batch total). The remaining
+/// state `R_j` is reconstructed exactly from the scheduling step by
+/// replaying batch sizes — an `O(batches)` pure computation, so the
+/// distributed chunk-calculation property is preserved.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Factoring;
+
+impl Factoring {
+    /// Chunk size for batch `j` given the remainder `r` at batch start.
+    fn batch_chunk(spec: &LoopSpec, r: u64) -> u64 {
+        if r == 0 {
+            return 1;
+        }
+        let p = spec.p() as f64;
+        let ratio = if spec.mean_iter_time > 0.0 {
+            spec.sigma_iter_time / spec.mean_iter_time
+        } else {
+            0.0
+        };
+        let b = (p / (2.0 * (r as f64).sqrt())) * ratio;
+        let x = 1.0 + b * b + b * (b * b + 2.0).sqrt();
+        let denom = (x * p).max(1.0);
+        ((r as f64 / denom).ceil() as u64).max(1)
+    }
+
+    /// Replay batches to find the chunk size at scheduling step `step`.
+    pub(crate) fn chunk_at_step(spec: &LoopSpec, step: u64) -> u64 {
+        let p = spec.p();
+        let batch = step / p;
+        let mut r = spec.n_iters;
+        let mut chunk = Self::batch_chunk(spec, r);
+        for _ in 0..batch {
+            r = r.saturating_sub(chunk * p);
+            if r == 0 {
+                return 1;
+            }
+            chunk = Self::batch_chunk(spec, r);
+        }
+        chunk
+    }
+}
+
+impl ChunkCalculator for Factoring {
+    #[inline]
+    fn chunk_size(&self, spec: &LoopSpec, state: SchedState, _ctx: WorkerCtx) -> u64 {
+        Self::chunk_at_step(spec, state.step)
+    }
+
+    fn name(&self) -> &'static str {
+        "FAC"
+    }
+}
+
+/// Replay helper shared with FAC2/WF-style batch techniques: remainder at
+/// the start of the batch containing `step`, where each batch consists of
+/// `P` chunks of `chunk_of(remainder)` iterations.
+pub(crate) fn remainder_at_batch(
+    n: u64,
+    p: u64,
+    step: u64,
+    chunk_of: impl Fn(u64) -> u64,
+) -> u64 {
+    let batch = step / p;
+    let mut r = n;
+    for _ in 0..batch {
+        let c = chunk_of(r);
+        r = r.saturating_sub(c * p);
+        if r == 0 {
+            break;
+        }
+    }
+    r
+}
+
+/// FAC2-style batch chunk: half the remainder split into `P` chunks.
+pub(crate) fn half_remainder_chunk(r: u64, p: u64) -> u64 {
+    div_ceil(r, 2 * p).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::ChunkSequence;
+    use crate::technique::Technique;
+    use crate::verify::{assert_partition, is_nonincreasing};
+
+    #[test]
+    fn zero_sigma_takes_whole_remainder_in_one_batch() {
+        let spec = LoopSpec::new(100, 4); // sigma = 0
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::fac()).collect();
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.len == 25));
+        assert_partition(&chunks, 100);
+    }
+
+    #[test]
+    fn positive_sigma_schedules_in_multiple_batches() {
+        let spec = LoopSpec::new(1000, 4).with_stats(1.0, 0.5);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::fac()).collect();
+        assert!(chunks.len() > 4, "expected several batches, got {}", chunks.len());
+        assert_partition(&chunks, 1000);
+        assert!(is_nonincreasing(&chunks));
+    }
+
+    #[test]
+    fn batch_has_equal_chunks() {
+        let spec = LoopSpec::new(10_000, 8).with_stats(1.0, 1.0);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::fac()).collect();
+        // All chunks within one batch of 8 have the same size (except a
+        // clamped final chunk).
+        for batch in chunks.chunks(8) {
+            let full = &batch[..batch.len().saturating_sub(1)];
+            if let Some(first) = full.first() {
+                assert!(full.iter().all(|c| c.len == first.len));
+            }
+        }
+    }
+
+    #[test]
+    fn higher_variance_gives_smaller_first_chunk() {
+        let low = LoopSpec::new(10_000, 8).with_stats(1.0, 0.1);
+        let high = LoopSpec::new(10_000, 8).with_stats(1.0, 2.0);
+        let c_low = Factoring::chunk_at_step(&low, 0);
+        let c_high = Factoring::chunk_at_step(&high, 0);
+        assert!(c_high < c_low, "{c_high} !< {c_low}");
+    }
+
+    #[test]
+    fn replay_is_consistent_with_sequence() {
+        let spec = LoopSpec::new(5000, 4).with_stats(2.0, 1.5);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::fac()).collect();
+        for c in &chunks[..chunks.len() - 1] {
+            assert_eq!(c.len, Factoring::chunk_at_step(&spec, c.step), "{c:?}");
+        }
+    }
+}

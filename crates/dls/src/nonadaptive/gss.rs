@@ -1,0 +1,103 @@
+//! GSS: guided self-scheduling (Polychronopoulos & Kuck, 1987) — each
+//! request receives `ceil(R/P)` iterations, where `R` is the remaining
+//! loop size. A compromise between the balance of SS and the low overhead
+//! of STATIC.
+
+use super::div_ceil;
+use crate::chunk::{LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// Guided self-scheduling with a configurable minimum chunk size
+/// (OpenMP's `schedule(guided, k)` uses the same rule with minimum `k`).
+///
+/// ```
+/// use dls::{sequence::schedule_all, LoopSpec, Technique};
+///
+/// let sizes: Vec<u64> = schedule_all(&LoopSpec::new(100, 4), &Technique::gss())
+///     .iter().map(|c| c.len).collect();
+/// assert_eq!(&sizes[..4], &[25, 19, 14, 11]); // ceil(R/P) cascade
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Guided {
+    /// Lower bound on the chunk size; the classic GSS uses 1.
+    pub min_chunk: u64,
+}
+
+impl Default for Guided {
+    fn default() -> Self {
+        Self { min_chunk: 1 }
+    }
+}
+
+impl Guided {
+    /// GSS with a minimum chunk of `min_chunk` iterations.
+    pub fn with_min_chunk(min_chunk: u64) -> Self {
+        Self { min_chunk: min_chunk.max(1) }
+    }
+}
+
+impl ChunkCalculator for Guided {
+    #[inline]
+    fn chunk_size(&self, spec: &LoopSpec, state: SchedState, _ctx: WorkerCtx) -> u64 {
+        let remaining = state.remaining(spec);
+        div_ceil(remaining, spec.p()).max(self.min_chunk)
+    }
+
+    fn name(&self) -> &'static str {
+        "GSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::ChunkSequence;
+    use crate::technique::Technique;
+    use crate::verify::{assert_partition, is_nonincreasing};
+
+    #[test]
+    fn first_chunk_is_n_over_p() {
+        let spec = LoopSpec::new(1000, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::gss()).collect();
+        assert_eq!(chunks[0].len, 250);
+        assert_partition(&chunks, 1000);
+    }
+
+    #[test]
+    fn sizes_never_increase() {
+        let spec = LoopSpec::new(12345, 7);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::gss()).collect();
+        assert!(is_nonincreasing(&chunks));
+        assert_partition(&chunks, 12345);
+    }
+
+    #[test]
+    fn known_sequence_n100_p4() {
+        // R: 100 -> 25; 75 -> 19; 56 -> 14; 42 -> 11; 31 -> 8; 23 -> 6;
+        // 17 -> 5; 12 -> 3; 9 -> 3; 6 -> 2; 4 -> 1; 3 -> 1; 2 -> 1; 1 -> 1
+        let spec = LoopSpec::new(100, 4);
+        let sizes: Vec<u64> =
+            ChunkSequence::new(&spec, &Technique::gss()).map(|c| c.len).collect();
+        assert_eq!(sizes, vec![25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn min_chunk_respected() {
+        let spec = LoopSpec::new(100, 4);
+        let t = Technique::Gss(Guided::with_min_chunk(10));
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &t).collect();
+        // All chunks except possibly the final clamped one are >= 10.
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.len >= 10, "{c:?}");
+        }
+        assert_partition(&chunks, 100);
+    }
+
+    #[test]
+    fn tail_is_all_ones() {
+        let spec = LoopSpec::new(50, 5);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::gss()).collect();
+        let last = chunks.last().unwrap();
+        assert_eq!(last.len, 1);
+    }
+}

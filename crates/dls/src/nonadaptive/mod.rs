@@ -1,0 +1,30 @@
+//! Non-adaptive DLS techniques: the chunk size is a pure function of the
+//! loop specification and the shared scheduling state, using only
+//! information available before the loop starts.
+
+mod fac;
+mod fac2;
+mod fsc;
+mod gss;
+mod rnd;
+mod ss;
+mod static_;
+mod tfss;
+mod tss;
+
+pub use fac::Factoring;
+pub use fac2::Factoring2;
+pub use fsc::FixedSizeChunking;
+pub use gss::Guided;
+pub use rnd::RandomChunking;
+pub use ss::SelfScheduling;
+pub use static_::StaticChunking;
+pub use tfss::TrapezoidFactoring;
+pub use tss::Trapezoid;
+
+/// Integer ceiling division; `div_ceil(0, d) == 0`.
+#[inline]
+pub(crate) fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}

@@ -1,0 +1,47 @@
+//! SS: pure self-scheduling (Tang & Yew, 1986) — every request yields a
+//! single iteration. Maximum load balance, maximum scheduling overhead.
+
+use crate::chunk::{LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// One iteration per scheduling step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelfScheduling;
+
+impl ChunkCalculator for SelfScheduling {
+    #[inline]
+    fn chunk_size(&self, _spec: &LoopSpec, _state: SchedState, _ctx: WorkerCtx) -> u64 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::ChunkSequence;
+    use crate::technique::Technique;
+    use crate::verify::assert_partition;
+
+    #[test]
+    fn one_iteration_per_step() {
+        let spec = LoopSpec::new(17, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::ss()).collect();
+        assert_eq!(chunks.len(), 17);
+        assert!(chunks.iter().all(|c| c.len == 1));
+        assert_partition(&chunks, 17);
+    }
+
+    #[test]
+    fn steps_are_sequential() {
+        let spec = LoopSpec::new(5, 2);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::ss()).collect();
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.step, i as u64);
+            assert_eq!(c.start, i as u64);
+        }
+    }
+}

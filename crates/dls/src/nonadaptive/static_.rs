@@ -1,0 +1,71 @@
+//! STATIC: classic block scheduling — one chunk of `ceil(N/P)` iterations
+//! per worker, fixed before execution. Lowest scheduling overhead, no
+//! ability to react to imbalance.
+
+use super::div_ceil;
+use crate::chunk::{LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// Block scheduling. Every one of the first `P` scheduling steps yields a
+/// chunk of `ceil(N/P)`; the last chunk is clamped by the caller, so the
+/// loop is covered in at most `P` steps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticChunking;
+
+impl ChunkCalculator for StaticChunking {
+    #[inline]
+    fn chunk_size(&self, spec: &LoopSpec, _state: SchedState, _ctx: WorkerCtx) -> u64 {
+        div_ceil(spec.n_iters, spec.p()).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "STATIC"
+    }
+
+    fn is_dynamic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::ChunkSequence;
+    use crate::technique::Technique;
+    use crate::verify::assert_partition;
+
+    #[test]
+    fn exact_division() {
+        let spec = LoopSpec::new(100, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::static_()).collect();
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.len == 25));
+        assert_partition(&chunks, 100);
+    }
+
+    #[test]
+    fn uneven_division_last_chunk_short() {
+        let spec = LoopSpec::new(10, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::static_()).collect();
+        // ceil(10/4) = 3 -> 3,3,3,1
+        assert_eq!(chunks.iter().map(|c| c.len).collect::<Vec<_>>(), vec![3, 3, 3, 1]);
+        assert_partition(&chunks, 10);
+    }
+
+    #[test]
+    fn fewer_iterations_than_workers() {
+        let spec = LoopSpec::new(3, 8);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::static_()).collect();
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len == 1));
+        assert_partition(&chunks, 3);
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        let spec = LoopSpec::new(42, 1);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::static_()).collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len, 42);
+    }
+}

@@ -1,0 +1,88 @@
+//! TFSS: trapezoid factoring self-scheduling (Chronopoulos et al., 2001) —
+//! combines TSS's linearly decreasing sizes with FAC's batching: each
+//! batch consists of `P` equal chunks whose size is the *mean* of the next
+//! `P` TSS chunk sizes.
+
+use super::tss::Trapezoid;
+use crate::chunk::{LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// Trapezoid factoring self-scheduling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrapezoidFactoring {
+    /// Underlying trapezoid parameters (first/last chunk sizes).
+    pub tss: Trapezoid,
+}
+
+impl TrapezoidFactoring {
+    /// Chunk size at scheduling step `step`.
+    pub fn chunk_at_step(spec: &LoopSpec, tss: &Trapezoid, step: u64) -> u64 {
+        let p = spec.p();
+        let params = tss.params(spec);
+        let batch = step / p;
+        // Mean of TSS sizes for steps [batch*p, batch*p + p):
+        // F - delta*(batch*p + (p-1)/2), clamped to [L, F].
+        let mid = batch as f64 * p as f64 + (p as f64 - 1.0) / 2.0;
+        let mean = params.first as f64 - params.delta * mid;
+        (mean.floor() as i64).clamp(params.last as i64, params.first as i64) as u64
+    }
+}
+
+impl ChunkCalculator for TrapezoidFactoring {
+    #[inline]
+    fn chunk_size(&self, spec: &LoopSpec, state: SchedState, _ctx: WorkerCtx) -> u64 {
+        Self::chunk_at_step(spec, &self.tss, state.step)
+    }
+
+    fn name(&self) -> &'static str {
+        "TFSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::ChunkSequence;
+    use crate::technique::Technique;
+    use crate::verify::{assert_partition, is_nonincreasing};
+
+    #[test]
+    fn covers_loop_nonincreasing() {
+        for (n, p) in [(1000u64, 4u32), (9999, 8), (64, 16), (100_000, 16)] {
+            let spec = LoopSpec::new(n, p);
+            let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::tfss()).collect();
+            assert_partition(&chunks, n);
+            assert!(is_nonincreasing(&chunks), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn batch_chunks_equal() {
+        let spec = LoopSpec::new(10_000, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::tfss()).collect();
+        for batch in chunks.chunks(4) {
+            let full = &batch[..batch.len().saturating_sub(1)];
+            if let Some(first) = full.first() {
+                assert!(full.iter().all(|c| c.len == first.len));
+            }
+        }
+    }
+
+    #[test]
+    fn first_chunk_smaller_than_tss_first() {
+        let spec = LoopSpec::new(10_000, 8);
+        let tfss_first = TrapezoidFactoring::chunk_at_step(&spec, &Trapezoid::default(), 0);
+        let tss_first = Trapezoid::default().params(&spec).first;
+        assert!(tfss_first <= tss_first);
+        assert!(tfss_first > 0);
+    }
+
+    #[test]
+    fn decreases_across_batches() {
+        let spec = LoopSpec::new(100_000, 8);
+        let c0 = TrapezoidFactoring::chunk_at_step(&spec, &Trapezoid::default(), 0);
+        let c1 = TrapezoidFactoring::chunk_at_step(&spec, &Trapezoid::default(), 8);
+        let c2 = TrapezoidFactoring::chunk_at_step(&spec, &Trapezoid::default(), 16);
+        assert!(c0 > c1 && c1 > c2, "{c0} {c1} {c2}");
+    }
+}

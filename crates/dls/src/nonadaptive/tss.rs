@@ -1,0 +1,136 @@
+//! TSS: trapezoid self-scheduling (Tzen & Ni, 1993) — chunk sizes decrease
+//! *linearly* from a first size `F` to a last size `L`, so each scheduling
+//! step only needs one subtraction (cheaper per step than GSS's division).
+
+use super::div_ceil;
+use crate::chunk::{LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// Trapezoid self-scheduling.
+///
+/// With the Tzen & Ni defaults, `F = ceil(N / (2P))` and `L = 1`. The
+/// number of scheduling steps is `S = ceil(2N / (F + L))` and the linear
+/// decrement is `delta = (F - L) / (S - 1)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Trapezoid {
+    /// Explicit first chunk size; `None` selects `ceil(N / (2P))`.
+    pub first: Option<u64>,
+    /// Explicit last chunk size; `None` selects 1.
+    pub last: Option<u64>,
+}
+
+impl Trapezoid {
+    /// TSS with explicit first and last chunk sizes.
+    pub fn with_bounds(first: u64, last: u64) -> Self {
+        Self { first: Some(first.max(1)), last: Some(last.max(1)) }
+    }
+
+    /// Resolved `(F, L, S, delta)` for a given loop.
+    pub fn params(&self, spec: &LoopSpec) -> TssParams {
+        let n = spec.n_iters;
+        let f = self.first.unwrap_or_else(|| div_ceil(n, 2 * spec.p())).max(1);
+        let l = self.last.unwrap_or(1).clamp(1, f);
+        let steps = div_ceil(2 * n, f + l).max(1);
+        let delta = if steps > 1 { (f - l) as f64 / (steps - 1) as f64 } else { 0.0 };
+        TssParams { first: f, last: l, steps, delta }
+    }
+}
+
+/// Resolved TSS parameters for a specific loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TssParams {
+    /// First chunk size `F`.
+    pub first: u64,
+    /// Last chunk size `L`.
+    pub last: u64,
+    /// Planned number of scheduling steps `S`.
+    pub steps: u64,
+    /// Linear decrement per step.
+    pub delta: f64,
+}
+
+impl ChunkCalculator for Trapezoid {
+    #[inline]
+    fn chunk_size(&self, spec: &LoopSpec, state: SchedState, _ctx: WorkerCtx) -> u64 {
+        let p = self.params(spec);
+        // Linear interpolation F - s*delta, floored, never below L.
+        let s = state.step.min(p.steps.saturating_sub(1));
+        let size = (p.first as f64 - s as f64 * p.delta).floor() as u64;
+        size.clamp(p.last, p.first)
+    }
+
+    fn name(&self) -> &'static str {
+        "TSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::ChunkSequence;
+    use crate::technique::Technique;
+    use crate::verify::{assert_partition, is_nonincreasing};
+
+    #[test]
+    fn default_params() {
+        let spec = LoopSpec::new(1000, 4);
+        let p = Trapezoid::default().params(&spec);
+        assert_eq!(p.first, 125); // ceil(1000/8)
+        assert_eq!(p.last, 1);
+        assert_eq!(p.steps, div_ceil(2000, 126)); // 16
+    }
+
+    #[test]
+    fn covers_loop_and_decreases() {
+        let spec = LoopSpec::new(1000, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::tss()).collect();
+        assert_partition(&chunks, 1000);
+        assert!(is_nonincreasing(&chunks));
+        assert_eq!(chunks[0].len, 125);
+    }
+
+    #[test]
+    fn linear_decrement_between_consecutive_steps() {
+        let spec = LoopSpec::new(10_000, 8);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::tss()).collect();
+        let p = Trapezoid::default().params(&spec);
+        // Every consecutive difference is delta rounded to a neighbour
+        // integer (floor interpolation), except the clamped tail.
+        for w in chunks.windows(2).take(p.steps as usize - 2) {
+            let diff = w[0].len as i64 - w[1].len as i64;
+            let d = p.delta;
+            assert!(
+                (diff as f64 - d).abs() <= 1.0,
+                "diff {diff} not within 1 of delta {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_bounds() {
+        let spec = LoopSpec::new(100, 4);
+        let t = Technique::Tss(Trapezoid::with_bounds(20, 5));
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &t).collect();
+        assert_eq!(chunks[0].len, 20);
+        assert_partition(&chunks, 100);
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.len >= 5);
+        }
+    }
+
+    #[test]
+    fn tiny_loop_single_step() {
+        let spec = LoopSpec::new(1, 4);
+        let chunks: Vec<_> = ChunkSequence::new(&spec, &Technique::tss()).collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len, 1);
+    }
+
+    #[test]
+    fn last_never_exceeds_first() {
+        let t = Trapezoid::with_bounds(3, 50);
+        let spec = LoopSpec::new(100, 2);
+        let p = t.params(&spec);
+        assert!(p.last <= p.first);
+    }
+}

@@ -1,0 +1,192 @@
+//! OpenMP `schedule` clause semantics and the paper's Table 1 mapping
+//! between DLS techniques and OpenMP scheduling options.
+//!
+//! The intra-node baseline of the paper executes chunks with the Intel
+//! OpenMP runtime, which supports `static`, `dynamic`, and `guided`. This
+//! module models those three dispatchers so the MPI+OpenMP executor (in
+//! the `hier` crate) reproduces their chunking exactly.
+
+use crate::chunk::{LoopSpec, SchedState};
+use crate::nonadaptive::{Guided, SelfScheduling, StaticChunking};
+use crate::technique::{ChunkCalculator, Kind, Technique, WorkerCtx};
+use std::fmt;
+
+/// An OpenMP `schedule(kind[, chunk])` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OmpSchedule {
+    /// `schedule(static)` (block) or `schedule(static, k)` (block-cyclic;
+    /// we model the `k = None` block form the paper uses).
+    Static {
+        /// Optional chunk granularity.
+        chunk: Option<u64>,
+    },
+    /// `schedule(dynamic, k)`; `k` defaults to 1.
+    Dynamic {
+        /// Chunk granularity (defaults to 1).
+        chunk: u64,
+    },
+    /// `schedule(guided, k)`; `k` defaults to 1 and acts as the minimum
+    /// chunk size.
+    Guided {
+        /// Minimum chunk size (defaults to 1).
+        chunk: u64,
+    },
+}
+
+impl OmpSchedule {
+    /// `schedule(static)`.
+    pub fn static_block() -> Self {
+        OmpSchedule::Static { chunk: None }
+    }
+
+    /// `schedule(dynamic, 1)`.
+    pub fn dynamic1() -> Self {
+        OmpSchedule::Dynamic { chunk: 1 }
+    }
+
+    /// `schedule(guided, 1)`.
+    pub fn guided1() -> Self {
+        OmpSchedule::Guided { chunk: 1 }
+    }
+
+    /// The equivalent DLS technique (the inverse of Table 1).
+    pub fn to_technique(self) -> Technique {
+        match self {
+            OmpSchedule::Static { chunk: None } => Technique::Static(StaticChunking),
+            OmpSchedule::Static { chunk: Some(k) } => {
+                // Block-cyclic static behaves like fixed-size chunking for
+                // coverage purposes.
+                Technique::Fsc(crate::nonadaptive::FixedSizeChunking::with_chunk(k))
+            }
+            OmpSchedule::Dynamic { chunk: 1 } => Technique::Ss(SelfScheduling),
+            OmpSchedule::Dynamic { chunk: k } => {
+                Technique::Fsc(crate::nonadaptive::FixedSizeChunking::with_chunk(k))
+            }
+            OmpSchedule::Guided { chunk: k } => Technique::Gss(Guided::with_min_chunk(k)),
+        }
+    }
+
+    /// Chunk size this clause would dispatch at the given state — used by
+    /// the OpenMP team model in the `hier` crate.
+    pub fn chunk_size(&self, spec: &LoopSpec, state: SchedState) -> u64 {
+        self.to_technique().chunk_size(spec, state, WorkerCtx::default())
+    }
+}
+
+impl fmt::Display for OmpSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpSchedule::Static { chunk: None } => write!(f, "schedule(static)"),
+            OmpSchedule::Static { chunk: Some(k) } => write!(f, "schedule(static,{k})"),
+            OmpSchedule::Dynamic { chunk } => write!(f, "schedule(dynamic,{chunk})"),
+            OmpSchedule::Guided { chunk } => write!(f, "schedule(guided,{chunk})"),
+        }
+    }
+}
+
+/// A row of the paper's Table 1: a DLS technique and the OpenMP
+/// `schedule` clause that implements it, if any.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Row {
+    /// DLS technique.
+    pub technique: Kind,
+    /// Equivalent OpenMP schedule clause, `None` when the OpenMP standard
+    /// offers no equivalent (TSS, FAC2, ...).
+    pub omp: Option<OmpSchedule>,
+}
+
+/// The paper's Table 1: mapping between the DLS techniques and the OpenMP
+/// `schedule` clause options. Techniques without an OpenMP equivalent are
+/// included with `omp = None`, which is exactly the limitation the
+/// MPI+MPI approach removes.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row { technique: Kind::STATIC, omp: Some(OmpSchedule::static_block()) },
+        Table1Row { technique: Kind::SS, omp: Some(OmpSchedule::dynamic1()) },
+        Table1Row { technique: Kind::GSS, omp: Some(OmpSchedule::guided1()) },
+        Table1Row { technique: Kind::TSS, omp: None },
+        Table1Row { technique: Kind::FAC2, omp: None },
+    ]
+}
+
+/// The OpenMP clause implementing a DLS technique, if the (Intel) OpenMP
+/// runtime the paper uses supports one.
+pub fn omp_equivalent(kind: Kind) -> Option<OmpSchedule> {
+    match kind {
+        Kind::STATIC => Some(OmpSchedule::static_block()),
+        Kind::SS => Some(OmpSchedule::dynamic1()),
+        Kind::GSS => Some(OmpSchedule::guided1()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::schedule_all;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].omp, Some(OmpSchedule::Static { chunk: None }));
+        assert_eq!(t[1].omp, Some(OmpSchedule::Dynamic { chunk: 1 }));
+        assert_eq!(t[2].omp, Some(OmpSchedule::Guided { chunk: 1 }));
+        assert!(t[3].omp.is_none()); // TSS
+        assert!(t[4].omp.is_none()); // FAC2
+    }
+
+    #[test]
+    fn clauses_chunk_like_their_technique() {
+        let spec = LoopSpec::new(1000, 4);
+        // guided,1 == GSS
+        let via_clause: Vec<_> = schedule_all(&spec, &OmpSchedule::guided1().to_technique());
+        let via_gss: Vec<_> = schedule_all(&spec, &Technique::gss());
+        assert_eq!(
+            via_clause.iter().map(|c| c.len).collect::<Vec<_>>(),
+            via_gss.iter().map(|c| c.len).collect::<Vec<_>>()
+        );
+        // dynamic,1 == SS
+        let dyn1 = schedule_all(&spec, &OmpSchedule::dynamic1().to_technique());
+        assert_eq!(dyn1.len(), 1000);
+        // static == STATIC
+        let st = schedule_all(&spec, &OmpSchedule::static_block().to_technique());
+        assert_eq!(st.len(), 4);
+    }
+
+    #[test]
+    fn dynamic_k_chunks_fixed() {
+        let spec = LoopSpec::new(100, 4);
+        let chunks = schedule_all(&spec, &OmpSchedule::Dynamic { chunk: 8 }.to_technique());
+        for c in &chunks[..chunks.len() - 1] {
+            assert_eq!(c.len, 8);
+        }
+    }
+
+    #[test]
+    fn guided_k_min_chunk() {
+        let spec = LoopSpec::new(100, 4);
+        let chunks = schedule_all(&spec, &OmpSchedule::Guided { chunk: 9 }.to_technique());
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.len >= 9);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OmpSchedule::static_block().to_string(), "schedule(static)");
+        assert_eq!(OmpSchedule::dynamic1().to_string(), "schedule(dynamic,1)");
+        assert_eq!(OmpSchedule::Guided { chunk: 4 }.to_string(), "schedule(guided,4)");
+        assert_eq!(OmpSchedule::Static { chunk: Some(2) }.to_string(), "schedule(static,2)");
+    }
+
+    #[test]
+    fn omp_equivalent_only_for_intel_supported() {
+        assert!(omp_equivalent(Kind::STATIC).is_some());
+        assert!(omp_equivalent(Kind::SS).is_some());
+        assert!(omp_equivalent(Kind::GSS).is_some());
+        assert!(omp_equivalent(Kind::TSS).is_none());
+        assert!(omp_equivalent(Kind::FAC2).is_none());
+        assert!(omp_equivalent(Kind::TFSS).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Sequential reference scheduler: enumerates the chunk sequence a
+//! technique produces when steps are taken strictly in order. Used as the
+//! ground truth in tests and by the simulators.
+
+use crate::chunk::{Chunk, LoopSpec, SchedState};
+use crate::technique::{ChunkCalculator, WorkerCtx};
+
+/// Iterator over the chunks of a loop under a given technique, in
+/// scheduling-step order with unit worker weight.
+pub struct ChunkSequence<'a, C: ChunkCalculator + ?Sized> {
+    spec: &'a LoopSpec,
+    calc: &'a C,
+    state: SchedState,
+}
+
+impl<'a, C: ChunkCalculator + ?Sized> ChunkSequence<'a, C> {
+    /// Start a fresh enumeration.
+    pub fn new(spec: &'a LoopSpec, calc: &'a C) -> Self {
+        Self { spec, calc, state: SchedState::START }
+    }
+
+    /// The scheduling state after the chunks yielded so far.
+    pub fn state(&self) -> SchedState {
+        self.state
+    }
+}
+
+impl<'a, C: ChunkCalculator + ?Sized> Iterator for ChunkSequence<'a, C> {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        if self.state.exhausted(self.spec) {
+            return None;
+        }
+        let size = self.calc.chunk_size(self.spec, self.state, WorkerCtx::default());
+        self.state.take(self.spec, size)
+    }
+}
+
+/// Collect the full chunk sequence of a technique for a loop.
+pub fn schedule_all<C: ChunkCalculator + ?Sized>(spec: &LoopSpec, calc: &C) -> Vec<Chunk> {
+    ChunkSequence::new(spec, calc).collect()
+}
+
+/// Number of scheduling steps a technique needs for a loop — the metric
+/// that determines total scheduling overhead.
+pub fn step_count<C: ChunkCalculator + ?Sized>(spec: &LoopSpec, calc: &C) -> u64 {
+    ChunkSequence::new(spec, calc).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::{Kind, Technique};
+    use crate::verify::assert_partition;
+
+    #[test]
+    fn all_techniques_terminate_and_cover() {
+        for kind in Kind::ALL {
+            let t = Technique::from_kind(kind);
+            for (n, p) in [(1u64, 1u32), (1, 16), (100, 4), (1000, 16), (9973, 7)] {
+                let spec = LoopSpec::new(n, p).with_stats(1.0, 0.3).with_overhead(0.01);
+                let chunks = schedule_all(&spec, &t);
+                assert_partition(&chunks, n);
+                assert!(
+                    chunks.len() as u64 <= n,
+                    "{kind} produced more steps than iterations"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_count_ordering_ss_most_static_least() {
+        let spec = LoopSpec::new(10_000, 16);
+        let ss = step_count(&spec, &Technique::ss());
+        let gss = step_count(&spec, &Technique::gss());
+        let stat = step_count(&spec, &Technique::static_());
+        assert_eq!(ss, 10_000);
+        assert_eq!(stat, 16);
+        assert!(stat < gss && gss < ss);
+    }
+
+    #[test]
+    fn sequence_state_tracks_progress() {
+        let spec = LoopSpec::new(100, 4);
+        let t = Technique::gss();
+        let mut seq = ChunkSequence::new(&spec, &t);
+        seq.next();
+        assert_eq!(seq.state().step, 1);
+        assert_eq!(seq.state().scheduled, 25);
+    }
+
+    #[test]
+    fn empty_loop_yields_nothing() {
+        let spec = LoopSpec::new(0, 4);
+        assert_eq!(schedule_all(&spec, &Technique::gss()).len(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The single-shared-counter formulation of the distributed
+//! chunk-calculation approach (Eleliemy & Ciorba, PDP 2019 — the
+//! paper's reference [15]).
+//!
+//! Instead of a work queue holding *two* values (step and scheduled)
+//! updated under a lock, the shared state is **one counter**: the
+//! latest scheduling step. A worker atomically fetch-and-increments it
+//! and then computes its chunk's start *and* size locally, as a pure
+//! function of the step index — no lock, no master, one atomic.
+//!
+//! [`assignment`] is that pure function for every technique in this
+//! crate (by exact replay of the deterministic schedule), and
+//! [`assignment_fast`] provides the O(1)/O(log) closed forms the PDP
+//! paper derives where they exist.
+
+use crate::chunk::{LoopSpec, SchedState};
+use crate::nonadaptive::FixedSizeChunking;
+use crate::sequence::ChunkSequence;
+use crate::technique::{ChunkCalculator, Technique, WorkerCtx};
+
+/// The chunk assigned to scheduling step `step`, as `(start, len)`, or
+/// `None` when the schedule has fewer steps. Pure in `step`: any worker
+/// computes the same assignment from the same counter value.
+///
+/// Exact for every technique (deterministic replay of the preceding
+/// steps — `O(step)` worst case); use [`assignment_fast`] when a closed
+/// form exists.
+pub fn assignment(technique: &Technique, spec: &LoopSpec, step: u64) -> Option<(u64, u64)> {
+    let mut state = SchedState::START;
+    for _ in 0..step {
+        if state.exhausted(spec) {
+            return None;
+        }
+        let size = technique.chunk_size(spec, state, WorkerCtx::default());
+        state.take(spec, size)?;
+    }
+    if state.exhausted(spec) {
+        return None;
+    }
+    let size = technique.chunk_size(spec, state, WorkerCtx::default());
+    let chunk = state.take(spec, size)?;
+    Some((chunk.start, chunk.len))
+}
+
+/// Closed-form assignment where one exists (STATIC, SS, FSC): `O(1)`,
+/// no replay. Returns `None` for techniques without a practical closed
+/// form — callers fall back to [`assignment`].
+pub fn assignment_fast(technique: &Technique, spec: &LoopSpec, step: u64) -> Option<(u64, u64)> {
+    let n = spec.n_iters;
+    match technique {
+        Technique::Ss(_) => (step < n).then_some((step, 1)),
+        Technique::Static(_) => {
+            let chunk = n.div_ceil(spec.p()).max(1);
+            let start = step.checked_mul(chunk)?;
+            (start < n).then(|| (start, chunk.min(n - start)))
+        }
+        Technique::Fsc(fsc) => {
+            let chunk = FixedSizeChunking::resolved(fsc, spec).max(1);
+            let start = step.checked_mul(chunk)?;
+            (start < n).then(|| (start, chunk.min(n - start)))
+        }
+        _ => None,
+    }
+}
+
+/// Number of scheduling steps in the full schedule — the exclusive
+/// upper bound on counter values that receive work.
+pub fn total_steps(technique: &Technique, spec: &LoopSpec) -> u64 {
+    ChunkSequence::new(spec, technique).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::Kind;
+    use crate::verify::check_exactly_once;
+
+    #[test]
+    fn assignment_matches_sequence_for_every_technique() {
+        let spec = LoopSpec::new(1_000, 4).with_stats(1.0, 0.4).with_overhead(0.02);
+        for kind in Kind::ALL {
+            let t = Technique::from_kind(kind);
+            for (s, chunk) in ChunkSequence::new(&spec, &t).enumerate() {
+                let (start, len) =
+                    assignment(&t, &spec, s as u64).unwrap_or_else(|| panic!("{kind} step {s}"));
+                assert_eq!((start, len), (chunk.start, chunk.len), "{kind} step {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_none_past_schedule_end() {
+        let spec = LoopSpec::new(100, 4);
+        for kind in Kind::ALL {
+            let t = Technique::from_kind(kind);
+            let steps = total_steps(&t, &spec);
+            assert!(assignment(&t, &spec, steps).is_none(), "{kind}");
+            assert!(assignment(&t, &spec, steps + 7).is_none(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_exact_where_defined() {
+        let spec = LoopSpec::new(997, 6);
+        for kind in [Kind::STATIC, Kind::SS, Kind::FSC] {
+            let t = Technique::from_kind(kind);
+            for step in 0..total_steps(&t, &spec) + 3 {
+                assert_eq!(
+                    assignment_fast(&t, &spec, step),
+                    assignment(&t, &spec, step),
+                    "{kind} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_declines_dynamic_remainder_techniques() {
+        let spec = LoopSpec::new(100, 4);
+        assert!(assignment_fast(&Technique::gss(), &spec, 0).is_none());
+        assert!(assignment_fast(&Technique::fac2(), &spec, 0).is_none());
+    }
+
+    #[test]
+    fn out_of_order_steps_still_partition() {
+        // Workers may observe counter values in any order; the union of
+        // assignments must still partition the loop.
+        let spec = LoopSpec::new(500, 3);
+        let t = Technique::fac2();
+        let steps = total_steps(&t, &spec);
+        let mut order: Vec<u64> = (0..steps).collect();
+        order.reverse();
+        order.swap(0, steps as usize / 2);
+        let chunks: Vec<crate::Chunk> = order
+            .iter()
+            .map(|&s| {
+                let (start, len) = assignment(&t, &spec, s).unwrap();
+                crate::Chunk { start, len, step: s }
+            })
+            .collect();
+        check_exactly_once(&chunks, 500).unwrap();
+    }
+}

@@ -1,0 +1,405 @@
+//! The [`ChunkCalculator`] trait, the [`Kind`] enumeration and the
+//! [`Technique`] enum that provides static dispatch over every
+//! non-adaptive technique in this crate.
+
+use crate::chunk::{LoopSpec, SchedState};
+use crate::nonadaptive::{
+    Factoring, Factoring2, FixedSizeChunking, Guided, RandomChunking, SelfScheduling,
+    StaticChunking, Trapezoid, TrapezoidFactoring,
+};
+use crate::weighted::WeightedFactoring;
+use std::fmt;
+use std::str::FromStr;
+
+/// Per-request context: which worker is asking and its relative weight.
+///
+/// Non-weighted techniques ignore both fields. Weights are normalised so
+/// that the *mean* weight across workers is 1.0 (a weight of 2.0 means
+/// "twice as fast as average").
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerCtx {
+    /// Requesting worker id, `0..p`.
+    pub worker: u32,
+    /// Relative speed weight of the requesting worker (mean-normalised).
+    pub weight: f64,
+}
+
+impl Default for WorkerCtx {
+    fn default() -> Self {
+        Self { worker: 0, weight: 1.0 }
+    }
+}
+
+impl WorkerCtx {
+    /// Context for worker `w` with unit weight.
+    pub fn worker(w: u32) -> Self {
+        Self { worker: w, weight: 1.0 }
+    }
+}
+
+/// A dynamic loop self-scheduling technique in the distributed
+/// chunk-calculation formulation.
+///
+/// Implementations must be *pure*: the returned size may depend only on
+/// `spec`, `state` and `ctx`. This is what allows any worker to compute
+/// its own chunk after atomically advancing the shared state.
+pub trait ChunkCalculator: Send + Sync {
+    /// Size of the chunk to hand out at `state.step`, given that
+    /// `state.scheduled` iterations are already assigned.
+    ///
+    /// The returned value may exceed the remaining iterations; callers
+    /// clamp via [`SchedState::take`]. Must be at least 1 whenever
+    /// iterations remain.
+    fn chunk_size(&self, spec: &LoopSpec, state: SchedState, ctx: WorkerCtx) -> u64;
+
+    /// Short upper-case display name (e.g. `"GSS"`).
+    fn name(&self) -> &'static str;
+
+    /// False only for `STATIC`, whose whole schedule is fixed up front.
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+}
+
+/// Identifies a technique without carrying its parameters; used for
+/// parsing CLI arguments and labelling results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Kind {
+    /// Fully static block scheduling.
+    STATIC,
+    /// Pure self-scheduling, one iteration per request.
+    SS,
+    /// Guided self-scheduling.
+    GSS,
+    /// Trapezoid self-scheduling.
+    TSS,
+    /// Factoring (probabilistic, needs `mu`/`sigma`).
+    FAC,
+    /// Practical factoring: half the remainder per batch.
+    FAC2,
+    /// Trapezoid factoring self-scheduling.
+    TFSS,
+    /// Fixed-size chunking (Kruskal & Weiss).
+    FSC,
+    /// Random chunk sizes.
+    RND,
+    /// Weighted factoring.
+    WF,
+}
+
+impl Kind {
+    /// All kinds, in spectrum order from least to most scheduling
+    /// overhead-tolerant.
+    pub const ALL: [Kind; 10] = [
+        Kind::STATIC,
+        Kind::FSC,
+        Kind::GSS,
+        Kind::TSS,
+        Kind::FAC,
+        Kind::FAC2,
+        Kind::TFSS,
+        Kind::WF,
+        Kind::RND,
+        Kind::SS,
+    ];
+
+    /// The four techniques the paper evaluates at each level, plus STATIC.
+    pub const PAPER: [Kind; 5] = [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kind::STATIC => "STATIC",
+            Kind::SS => "SS",
+            Kind::GSS => "GSS",
+            Kind::TSS => "TSS",
+            Kind::FAC => "FAC",
+            Kind::FAC2 => "FAC2",
+            Kind::TFSS => "TFSS",
+            Kind::FSC => "FSC",
+            Kind::RND => "RND",
+            Kind::WF => "WF",
+        }
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Kind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "STATIC" => Ok(Kind::STATIC),
+            "SS" => Ok(Kind::SS),
+            "GSS" => Ok(Kind::GSS),
+            "TSS" => Ok(Kind::TSS),
+            "FAC" => Ok(Kind::FAC),
+            "FAC2" => Ok(Kind::FAC2),
+            "TFSS" => Ok(Kind::TFSS),
+            "FSC" => Ok(Kind::FSC),
+            "RND" => Ok(Kind::RND),
+            "WF" => Ok(Kind::WF),
+            other => Err(format!("unknown DLS technique: {other:?}")),
+        }
+    }
+}
+
+/// Enum-dispatched technique carrying its parameters. Cheap to copy and
+/// `Send + Sync`, so a single value can serve every worker.
+#[derive(Clone, Copy, Debug)]
+pub enum Technique {
+    /// See [`StaticChunking`].
+    Static(StaticChunking),
+    /// See [`SelfScheduling`].
+    Ss(SelfScheduling),
+    /// See [`Guided`].
+    Gss(Guided),
+    /// See [`Trapezoid`].
+    Tss(Trapezoid),
+    /// See [`Factoring`].
+    Fac(Factoring),
+    /// See [`Factoring2`].
+    Fac2(Factoring2),
+    /// See [`TrapezoidFactoring`].
+    Tfss(TrapezoidFactoring),
+    /// See [`FixedSizeChunking`].
+    Fsc(FixedSizeChunking),
+    /// See [`RandomChunking`].
+    Rnd(RandomChunking),
+    /// See [`WeightedFactoring`].
+    Wf(WeightedFactoring),
+}
+
+impl Technique {
+    /// STATIC with default parameters.
+    pub fn static_() -> Self {
+        Technique::Static(StaticChunking)
+    }
+
+    /// SS (one iteration per request).
+    pub fn ss() -> Self {
+        Technique::Ss(SelfScheduling)
+    }
+
+    /// GSS with a minimum chunk of 1.
+    pub fn gss() -> Self {
+        Technique::Gss(Guided::default())
+    }
+
+    /// TSS with the Tzen & Ni default first/last chunk sizes.
+    pub fn tss() -> Self {
+        Technique::Tss(Trapezoid::default())
+    }
+
+    /// FAC (consults `mu`/`sigma` from the [`LoopSpec`]).
+    pub fn fac() -> Self {
+        Technique::Fac(Factoring)
+    }
+
+    /// FAC2 (half the remainder per batch).
+    pub fn fac2() -> Self {
+        Technique::Fac2(Factoring2)
+    }
+
+    /// TFSS.
+    pub fn tfss() -> Self {
+        Technique::Tfss(TrapezoidFactoring::default())
+    }
+
+    /// FSC (consults `mu`/`sigma`/`h` from the [`LoopSpec`]).
+    pub fn fsc() -> Self {
+        Technique::Fsc(FixedSizeChunking::default())
+    }
+
+    /// RND with the given seed.
+    pub fn rnd(seed: u64) -> Self {
+        Technique::Rnd(RandomChunking::new(seed))
+    }
+
+    /// WF (weighted factoring; weights come from [`WorkerCtx`]).
+    pub fn wf() -> Self {
+        Technique::Wf(WeightedFactoring)
+    }
+
+    /// Build a technique with default parameters from its [`Kind`].
+    pub fn from_kind(kind: Kind) -> Self {
+        match kind {
+            Kind::STATIC => Self::static_(),
+            Kind::SS => Self::ss(),
+            Kind::GSS => Self::gss(),
+            Kind::TSS => Self::tss(),
+            Kind::FAC => Self::fac(),
+            Kind::FAC2 => Self::fac2(),
+            Kind::TFSS => Self::tfss(),
+            Kind::FSC => Self::fsc(),
+            Kind::RND => Self::rnd(0x5eed),
+            Kind::WF => Self::wf(),
+        }
+    }
+
+    /// The [`Kind`] of this technique.
+    pub fn kind(&self) -> Kind {
+        match self {
+            Technique::Static(_) => Kind::STATIC,
+            Technique::Ss(_) => Kind::SS,
+            Technique::Gss(_) => Kind::GSS,
+            Technique::Tss(_) => Kind::TSS,
+            Technique::Fac(_) => Kind::FAC,
+            Technique::Fac2(_) => Kind::FAC2,
+            Technique::Tfss(_) => Kind::TFSS,
+            Technique::Fsc(_) => Kind::FSC,
+            Technique::Rnd(_) => Kind::RND,
+            Technique::Wf(_) => Kind::WF,
+        }
+    }
+}
+
+impl ChunkCalculator for Technique {
+    #[inline]
+    fn chunk_size(&self, spec: &LoopSpec, state: SchedState, ctx: WorkerCtx) -> u64 {
+        match self {
+            Technique::Static(t) => t.chunk_size(spec, state, ctx),
+            Technique::Ss(t) => t.chunk_size(spec, state, ctx),
+            Technique::Gss(t) => t.chunk_size(spec, state, ctx),
+            Technique::Tss(t) => t.chunk_size(spec, state, ctx),
+            Technique::Fac(t) => t.chunk_size(spec, state, ctx),
+            Technique::Fac2(t) => t.chunk_size(spec, state, ctx),
+            Technique::Tfss(t) => t.chunk_size(spec, state, ctx),
+            Technique::Fsc(t) => t.chunk_size(spec, state, ctx),
+            Technique::Rnd(t) => t.chunk_size(spec, state, ctx),
+            Technique::Wf(t) => t.chunk_size(spec, state, ctx),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    fn is_dynamic(&self) -> bool {
+        !matches!(self, Technique::Static(_))
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Technique {
+    type Err = String;
+
+    /// Parse a technique with optional parameters, for CLI tools:
+    ///
+    /// * `"GSS"` — any [`Kind`] name, default parameters;
+    /// * `"GSS:4"` — guided with minimum chunk 4;
+    /// * `"TSS:100:2"` — trapezoid with first/last chunk sizes;
+    /// * `"FSC:64"` — fixed chunks of 64;
+    /// * `"RND:1234"` — random with seed.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let kind: Kind = head.parse()?;
+        let args: Vec<&str> = parts.collect();
+        let num = |i: usize| -> Result<u64, String> {
+            args.get(i)
+                .ok_or_else(|| format!("{kind}: missing parameter {i}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{kind}: bad parameter {:?}: {e}", args[i]))
+        };
+        match (kind, args.len()) {
+            (_, 0) => Ok(Technique::from_kind(kind)),
+            (Kind::GSS, 1) => Ok(Technique::Gss(Guided::with_min_chunk(num(0)?))),
+            (Kind::TSS, 2) => Ok(Technique::Tss(Trapezoid::with_bounds(num(0)?, num(1)?))),
+            (Kind::FSC, 1) => Ok(Technique::Fsc(FixedSizeChunking::with_chunk(num(0)?))),
+            (Kind::RND, 1) => Ok(Technique::Rnd(RandomChunking::new(num(0)?))),
+            (Kind::RND, 3) => {
+                Ok(Technique::Rnd(RandomChunking::with_range(num(0)?, num(1)?, num(2)?)))
+            }
+            _ => Err(format!("{kind} does not take {} parameter(s)", args.len())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip_via_str() {
+        for kind in Kind::ALL {
+            let parsed: Kind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("nope".parse::<Kind>().is_err());
+    }
+
+    #[test]
+    fn kind_parse_is_case_insensitive() {
+        assert_eq!("gss".parse::<Kind>().unwrap(), Kind::GSS);
+        assert_eq!("fac2".parse::<Kind>().unwrap(), Kind::FAC2);
+    }
+
+    #[test]
+    fn technique_from_kind_roundtrip() {
+        for kind in Kind::ALL {
+            assert_eq!(Technique::from_kind(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn only_static_is_not_dynamic() {
+        for kind in Kind::ALL {
+            let t = Technique::from_kind(kind);
+            assert_eq!(t.is_dynamic(), kind != Kind::STATIC, "{kind}");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Technique::gss().to_string(), "GSS");
+        assert_eq!(Kind::FAC2.to_string(), "FAC2");
+    }
+
+    #[test]
+    fn technique_parsing_with_parameters() {
+        let t: Technique = "gss:8".parse().unwrap();
+        assert!(matches!(t, Technique::Gss(Guided { min_chunk: 8 })));
+        let t: Technique = "TSS:100:2".parse().unwrap();
+        assert!(matches!(
+            t,
+            Technique::Tss(Trapezoid { first: Some(100), last: Some(2) })
+        ));
+        let t: Technique = "FSC:64".parse().unwrap();
+        assert!(matches!(t, Technique::Fsc(FixedSizeChunking { explicit: Some(64), .. })));
+        let t: Technique = "RND:7".parse().unwrap();
+        assert!(matches!(t, Technique::Rnd(RandomChunking { seed: 7, range: None })));
+        let t: Technique = "RND:7:10:50".parse().unwrap();
+        assert!(matches!(
+            t,
+            Technique::Rnd(RandomChunking { seed: 7, range: Some((10, 50)) })
+        ));
+    }
+
+    #[test]
+    fn technique_parsing_rejects_bad_input() {
+        assert!("BOGUS".parse::<Technique>().is_err());
+        assert!("SS:3".parse::<Technique>().is_err());
+        assert!("GSS:x".parse::<Technique>().is_err());
+        assert!("TSS:5".parse::<Technique>().is_err());
+    }
+
+    #[test]
+    fn technique_parsing_defaults() {
+        for kind in Kind::ALL {
+            let t: Technique = kind.name().parse().unwrap();
+            assert_eq!(t.kind(), kind);
+        }
+    }
+}

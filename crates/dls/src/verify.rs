@@ -1,0 +1,129 @@
+//! Invariant checkers shared by unit tests, property tests, and the
+//! executors' debug assertions.
+
+use crate::chunk::Chunk;
+
+/// Error describing how a chunk sequence fails to partition `[0, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A chunk has zero length.
+    EmptyChunk {
+        /// Index of the offending chunk in the sequence.
+        index: usize,
+    },
+    /// Chunk `index` does not start where the previous one ended.
+    Gap {
+        /// Index of the offending chunk in the sequence.
+        index: usize,
+        /// Expected start.
+        expected: u64,
+        /// Actual start.
+        actual: u64,
+    },
+    /// The sequence covers fewer or more than `n` iterations.
+    WrongTotal {
+        /// Sum of chunk lengths.
+        total: u64,
+        /// Expected loop size.
+        n: u64,
+    },
+}
+
+/// Check that `chunks`, in order, exactly partition `[0, n)`:
+/// contiguous, non-empty, and totalling `n`.
+pub fn check_partition(chunks: &[Chunk], n: u64) -> Result<(), PartitionError> {
+    let mut next = 0u64;
+    for (index, c) in chunks.iter().enumerate() {
+        if c.len == 0 {
+            return Err(PartitionError::EmptyChunk { index });
+        }
+        if c.start != next {
+            return Err(PartitionError::Gap { index, expected: next, actual: c.start });
+        }
+        next = c.end();
+    }
+    if next != n {
+        return Err(PartitionError::WrongTotal { total: next, n });
+    }
+    Ok(())
+}
+
+/// Panic with a descriptive message if the sequence is not a partition.
+#[track_caller]
+pub fn assert_partition(chunks: &[Chunk], n: u64) {
+    if let Err(e) = check_partition(chunks, n) {
+        panic!("chunk sequence is not a partition of [0, {n}): {e:?}");
+    }
+}
+
+/// True if chunk lengths never increase along the sequence (allowing the
+/// final clamped chunk to be anything not larger than its predecessor).
+pub fn is_nonincreasing(chunks: &[Chunk]) -> bool {
+    chunks.windows(2).all(|w| w[0].len >= w[1].len)
+}
+
+/// True when chunks assigned to the same `[0, n)` range from *multiple
+/// unordered* sources (e.g. several workers) still cover every iteration
+/// exactly once. Sorts by start first.
+pub fn check_exactly_once(chunks: &[Chunk], n: u64) -> Result<(), PartitionError> {
+    let mut sorted: Vec<Chunk> = chunks.to_vec();
+    sorted.sort_by_key(|c| c.start);
+    check_partition(&sorted, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(start: u64, len: u64, step: u64) -> Chunk {
+        Chunk { start, len, step }
+    }
+
+    #[test]
+    fn accepts_valid_partition() {
+        let chunks = [c(0, 3, 0), c(3, 2, 1), c(5, 5, 2)];
+        assert!(check_partition(&chunks, 10).is_ok());
+    }
+
+    #[test]
+    fn detects_gap() {
+        let chunks = [c(0, 3, 0), c(4, 6, 1)];
+        assert_eq!(
+            check_partition(&chunks, 10),
+            Err(PartitionError::Gap { index: 1, expected: 3, actual: 4 })
+        );
+    }
+
+    #[test]
+    fn detects_overlap_as_gap() {
+        let chunks = [c(0, 5, 0), c(3, 7, 1)];
+        assert!(matches!(check_partition(&chunks, 10), Err(PartitionError::Gap { .. })));
+    }
+
+    #[test]
+    fn detects_wrong_total() {
+        let chunks = [c(0, 5, 0)];
+        assert_eq!(
+            check_partition(&chunks, 10),
+            Err(PartitionError::WrongTotal { total: 5, n: 10 })
+        );
+    }
+
+    #[test]
+    fn detects_empty_chunk() {
+        let chunks = [c(0, 0, 0)];
+        assert_eq!(check_partition(&chunks, 0), Err(PartitionError::EmptyChunk { index: 0 }));
+    }
+
+    #[test]
+    fn exactly_once_ignores_order() {
+        let chunks = [c(5, 5, 1), c(0, 5, 0)];
+        assert!(check_exactly_once(&chunks, 10).is_ok());
+    }
+
+    #[test]
+    fn nonincreasing_checks() {
+        assert!(is_nonincreasing(&[c(0, 5, 0), c(5, 5, 1), c(10, 1, 2)]));
+        assert!(!is_nonincreasing(&[c(0, 1, 0), c(1, 5, 1)]));
+    }
+}

@@ -1,0 +1,85 @@
+//! Real-thread executors over the `mpisim` runtime.
+//!
+//! These run the *actual* protocols — MPI-3 shared-memory windows with
+//! `MPI_Win_lock` for the proposed approach, an OpenMP-style persistent
+//! thread team with implicit region barriers for the baseline — and the
+//! *actual* application kernels. They validate functional correctness
+//! (every iteration executed exactly once, checksums equal to a serial
+//! run); timing fidelity at scale is the `sim` backend's job.
+
+mod master_worker;
+mod mpi_mpi;
+mod mpi_omp;
+
+pub use master_worker::{run_live_flat_master_worker, run_live_master_worker};
+pub use mpi_mpi::run_live_mpi_mpi;
+pub use mpi_omp::run_live_mpi_omp;
+
+use crate::config::{Approach, HierSpec};
+use crate::queue::SubChunk;
+use crate::stats::RunStats;
+use workloads::Workload;
+
+/// Configuration of one real-thread run.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Simulated compute nodes.
+    pub nodes: u32,
+    /// Workers per node: MPI ranks (MPI+MPI) or team threads
+    /// (MPI+OpenMP).
+    pub workers_per_node: u32,
+    /// The `X+Y` scheduling combination.
+    pub spec: HierSpec,
+    /// Which implementation of the intra-node level.
+    pub approach: Approach,
+    /// Static per-worker weights for weighted techniques (WF): indexed
+    /// by global worker id, mean-normalised. Empty means unit weights.
+    pub weights: Vec<f64>,
+    /// Adaptive weighted factoring at the intra-node level (MPI+MPI
+    /// only): when set, sub-chunks are WF-sized with weights learned
+    /// from measured rates, whose history lives in the node's shared
+    /// window next to the queue counters.
+    pub awf: Option<dls::adaptive::AwfVariant>,
+    /// How the global queue is realised over RMA (MPI+MPI only).
+    pub global_mode: crate::config::GlobalQueueMode,
+}
+
+impl LiveConfig {
+    /// Configuration with unit weights and no adaptivity.
+    pub fn new(nodes: u32, workers_per_node: u32, spec: HierSpec, approach: Approach) -> Self {
+        Self {
+            nodes,
+            workers_per_node,
+            spec,
+            approach,
+            weights: Vec::new(),
+            awf: None,
+            global_mode: crate::config::GlobalQueueMode::SingleAtomic,
+        }
+    }
+}
+
+/// Result of one real-thread run.
+#[derive(Clone, Debug)]
+pub struct LiveResult {
+    /// Counters (iterations, sub-chunks, fetches, lock stats).
+    pub stats: RunStats,
+    /// Sum of `Workload::execute` over every executed iteration —
+    /// equals the serial checksum iff execution was exactly-once.
+    pub checksum: u64,
+    /// Every executed sub-chunk, tagged with its global worker id.
+    pub executed: Vec<(u32, SubChunk)>,
+}
+
+/// Run a hierarchical loop for real, dispatching on the approach.
+pub fn run_live(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
+    match cfg.approach {
+        Approach::MpiMpi => run_live_mpi_mpi(cfg, workload),
+        Approach::MpiOpenMp => run_live_mpi_omp(cfg, workload),
+    }
+}
+
+/// The serial reference checksum a correct run must reproduce.
+pub fn serial_checksum(workload: &dyn Workload) -> u64 {
+    (0..workload.n_iters()).map(|i| workload.execute(i)).sum()
+}

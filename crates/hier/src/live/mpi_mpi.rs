@@ -1,0 +1,343 @@
+//! Real-thread MPI+MPI executor: the paper's proposed approach on the
+//! `mpisim` runtime.
+//!
+//! * The **global work queue** is an RMA window exposed by world rank 0
+//!   holding `[step, scheduled]`, updated under `MPI_Win_lock(EXCLUSIVE)`
+//!   — the distributed chunk-calculation state.
+//! * Each node's **local work queue** is an `MPI_Win_allocate_shared`
+//!   window on the node communicator holding
+//!   `[refilling, global_done, lo, hi, step, taken]`, updated under
+//!   `MPI_Win_lock(EXCLUSIVE)` + `MPI_Win_sync`.
+//! * A worker that drains the local queue and sees no refill in flight
+//!   sets the `refilling` flag and fetches the next chunk itself — the
+//!   fastest worker takes the responsibility; nobody blocks.
+
+use super::{LiveConfig, LiveResult};
+use crate::queue::SubChunk;
+use crate::stats::RunStats;
+use mpisim::{LockKind, Topology, Universe, Window};
+use workloads::Workload;
+
+// Local window slot indices.
+const REFILLING: usize = 0;
+const GLOBAL_DONE: usize = 1;
+const LO: usize = 2;
+const HI: usize = 3;
+const STEP: usize = 4;
+const TAKEN: usize = 5;
+/// Start of the AWF measurement history: per local rank, two slots —
+/// cumulative iterations and cumulative time in ns.
+const HIST_BASE: usize = 6;
+
+fn local_slots(wpn: u32) -> usize {
+    HIST_BASE + 2 * wpn as usize
+}
+
+// Global window slot indices (on world rank 0).
+const GSTEP: usize = 0;
+const GSCHED: usize = 1;
+
+struct RankOutcome {
+    worker: u32,
+    node: u32,
+    iterations: u64,
+    sub_chunks: u64,
+    global_fetches: u64,
+    deposits: u64,
+    checksum: u64,
+    executed: Vec<(u32, SubChunk)>,
+    /// `(acquisitions, contended)` of the node lock, reported by local
+    /// rank 0 only (None elsewhere) to avoid double counting.
+    lock_stats: Option<(u64, u64)>,
+    global_accesses: u64,
+}
+
+/// Run the MPI+MPI approach with real threads.
+pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
+    let topology = Topology::new(cfg.nodes, cfg.workers_per_node);
+    let n = workload.n_iters();
+    assert!(n <= i64::MAX as u64, "loop too large for i64 window slots");
+    let inter_spec = dls::LoopSpec::new(n, cfg.nodes);
+    let wpn = cfg.workers_per_node;
+    let spec = cfg.spec;
+    let awf = cfg.awf;
+    let weights = cfg.weights.clone();
+    let global_mode = cfg.global_mode;
+
+    let outcomes = Universe::run(topology, move |p| {
+        let world = p.world();
+        let me = world.rank();
+        let global_win =
+            Window::allocate(world, if me == 0 { 2 } else { 0 }).expect("global window");
+        let node_comm = world.split_shared().expect("node communicator");
+        let local_win = Window::allocate_shared(
+            &node_comm,
+            if node_comm.rank() == 0 { local_slots(wpn) } else { 0 },
+        )
+        .expect("local shared window");
+        world.barrier();
+
+        let mut out = RankOutcome {
+            worker: me,
+            node: p.node_id(),
+            iterations: 0,
+            sub_chunks: 0,
+            global_fetches: 0,
+            deposits: 0,
+            checksum: 0,
+            executed: Vec::new(),
+            lock_stats: None,
+            global_accesses: 0,
+        };
+
+        loop {
+            // ---- probe the local queue under the window lock ----
+            local_win.lock(LockKind::Exclusive, 0).expect("lock local");
+            local_win.sync();
+            let lo = local_win.get(0, LO).expect("lo") as u64;
+            let hi = local_win.get(0, HI).expect("hi") as u64;
+            let step = local_win.get(0, STEP).expect("step") as u64;
+            let taken = local_win.get(0, TAKEN).expect("taken") as u64;
+            let len = hi - lo;
+
+            if taken < len {
+                let local = node_comm.rank();
+                // Weight: learned from the shared history under AWF,
+                // configured statically otherwise. AWF replaces the
+                // intra technique with WF over the learned weights.
+                let (technique, weight) = if awf.is_some() {
+                    let hist: Vec<(u64, u64)> = (0..wpn as usize)
+                        .map(|r| {
+                            let iters =
+                                local_win.get(0, HIST_BASE + 2 * r).expect("hist") as u64;
+                            let time =
+                                local_win.get(0, HIST_BASE + 2 * r + 1).expect("hist")
+                                    as u64;
+                            (iters, time)
+                        })
+                        .collect();
+                    let w = crate::adaptive::weights_from_hist(&hist)[local as usize];
+                    (dls::Technique::wf(), w)
+                } else {
+                    (spec.intra, weights.get(me as usize).copied().unwrap_or(1.0))
+                };
+                let ctx = dls::technique::WorkerCtx { worker: local, weight };
+                let size =
+                    crate::queue::sub_chunk_size_for(&technique, len, wpn, step, taken, ctx);
+                local_win.put(0, STEP, (step + 1) as i64).expect("step");
+                local_win.put(0, TAKEN, (taken + size) as i64).expect("taken");
+                local_win.sync();
+                local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                let sub = SubChunk { start: lo + taken, end: lo + taken + size };
+                let started = std::time::Instant::now();
+                execute(workload, &sub, &mut out);
+                if awf.is_some() {
+                    // Charge the measured kernel time to the shared
+                    // history (AWF-C style: per chunk completion).
+                    let elapsed = started.elapsed().as_nanos().min(i64::MAX as u128) as i64;
+                    local_win.lock(LockKind::Exclusive, 0).expect("lock hist");
+                    let i_slot = HIST_BASE + 2 * local as usize;
+                    let it = local_win.get(0, i_slot).expect("hist");
+                    let tm = local_win.get(0, i_slot + 1).expect("hist");
+                    local_win.put(0, i_slot, it + sub.len() as i64).expect("hist");
+                    // Ensure a nonzero time so rates stay finite.
+                    local_win.put(0, i_slot + 1, tm + elapsed.max(1)).expect("hist");
+                    local_win.sync();
+                    local_win.unlock(LockKind::Exclusive, 0).expect("unlock hist");
+                }
+                continue;
+            }
+
+            let global_done = local_win.get(0, GLOBAL_DONE).expect("done") != 0;
+            let refilling = local_win.get(0, REFILLING).expect("refilling") != 0;
+            if global_done {
+                local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                break;
+            }
+            if refilling {
+                // A peer is refilling: back off briefly and re-probe.
+                local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                std::thread::yield_now();
+                continue;
+            }
+            // This worker becomes the refiller.
+            local_win.put(0, REFILLING, 1).expect("set refilling");
+            local_win.sync();
+            local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+
+            // ---- fetch a chunk from the global queue ----
+            out.global_accesses += 1;
+            let fetched = match global_mode {
+                crate::config::GlobalQueueMode::SingleAtomic => {
+                    // The PDP'19 distributed chunk calculation: one
+                    // fetch-and-increment of the step counter, then the
+                    // chunk bounds are a pure local function of it.
+                    let my_step =
+                        global_win.fetch_and_op(0, GSTEP, 1, mpisim::RmaOp::Sum)
+                            .expect("fetch step") as u64;
+                    dls::single_counter::assignment(&spec.inter, &inter_spec, my_step)
+                        .map(|(start, len)| (start, start + len))
+                }
+                crate::config::GlobalQueueMode::LockedCounters => {
+                    global_win.lock(LockKind::Exclusive, 0).expect("lock global");
+                    let gstep = global_win.get(0, GSTEP).expect("gstep") as u64;
+                    let gsched = global_win.get(0, GSCHED).expect("gsched") as u64;
+                    let fetched = if gsched < n {
+                        let state = dls::SchedState { step: gstep, scheduled: gsched };
+                        let size = dls::ChunkCalculator::chunk_size(
+                            &spec.inter,
+                            &inter_spec,
+                            state,
+                            dls::technique::WorkerCtx::default(),
+                        )
+                        .clamp(1, n - gsched);
+                        global_win.put(0, GSTEP, (gstep + 1) as i64).expect("gstep");
+                        global_win
+                            .put(0, GSCHED, (gsched + size) as i64)
+                            .expect("gsched");
+                        Some((gsched, gsched + size))
+                    } else {
+                        None
+                    };
+                    global_win.unlock(LockKind::Exclusive, 0).expect("unlock global");
+                    fetched
+                }
+            };
+
+            // ---- deposit (or mark the node done) ----
+            local_win.lock(LockKind::Exclusive, 0).expect("lock local");
+            match fetched {
+                Some((clo, chi)) => {
+                    out.global_fetches += 1;
+                    out.deposits += 1;
+                    local_win.put(0, LO, clo as i64).expect("lo");
+                    local_win.put(0, HI, chi as i64).expect("hi");
+                    local_win.put(0, STEP, 0).expect("step");
+                    local_win.put(0, TAKEN, 0).expect("taken");
+                }
+                None => {
+                    local_win.put(0, GLOBAL_DONE, 1).expect("done");
+                }
+            }
+            local_win.put(0, REFILLING, 0).expect("clear refilling");
+            local_win.sync();
+            local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+        }
+
+        world.barrier();
+        if node_comm.rank() == 0 {
+            let (acq, contended, _) = local_win.lock_stats(0).expect("stats");
+            out.lock_stats = Some((acq, contended));
+        }
+        out
+    });
+
+    aggregate(cfg, outcomes)
+}
+
+fn execute(workload: &dyn Workload, sub: &SubChunk, out: &mut RankOutcome) {
+    for i in sub.start..sub.end {
+        out.checksum = out.checksum.wrapping_add(workload.execute(i));
+    }
+    out.iterations += sub.len();
+    out.sub_chunks += 1;
+    out.executed.push((out.worker, *sub));
+}
+
+fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>) -> LiveResult {
+    let total_workers = (cfg.nodes * cfg.workers_per_node) as usize;
+    let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
+    let mut checksum = 0u64;
+    let mut executed = Vec::new();
+    for o in outcomes {
+        let w = o.worker as usize;
+        stats.workers[w].iterations = o.iterations;
+        stats.workers[w].sub_chunks = o.sub_chunks;
+        stats.workers[w].global_fetches = o.global_fetches;
+        let node = &mut stats.nodes[o.node as usize];
+        node.deposits += o.deposits;
+        node.sub_chunks += o.sub_chunks;
+        if let Some((acq, contended)) = o.lock_stats {
+            node.lock_acquisitions = acq;
+            node.lock_contended = contended;
+        }
+        stats.global_accesses += o.global_accesses;
+        stats.total_iterations += o.iterations;
+        checksum = checksum.wrapping_add(o.checksum);
+        executed.extend(o.executed);
+    }
+    LiveResult { stats, checksum, executed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HierSpec};
+    use crate::live::serial_checksum;
+    use dls::verify::check_exactly_once;
+    use dls::Kind;
+    use workloads::synthetic::Synthetic;
+
+    fn run(spec: HierSpec, nodes: u32, wpn: u32, n: u64) -> (LiveResult, u64) {
+        let w = Synthetic::uniform(n, 1, 100, 3);
+        let cfg = LiveConfig::new(nodes, wpn, spec, Approach::MpiMpi);
+        let serial = serial_checksum(&w);
+        (run_live_mpi_mpi(&cfg, &w), serial)
+    }
+
+    fn assert_exact(r: &LiveResult, serial: u64, n: u64) {
+        assert_eq!(r.checksum, serial, "checksum mismatch vs serial");
+        assert_eq!(r.stats.total_iterations, n);
+        let chunks: Vec<dls::Chunk> = r
+            .executed
+            .iter()
+            .map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 })
+            .collect();
+        check_exactly_once(&chunks, n).expect("exactly-once");
+    }
+
+    #[test]
+    fn all_paper_combinations_execute_exactly_once() {
+        for inter in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2] {
+            for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+                let (r, serial) = run(HierSpec::new(inter, intra), 2, 3, 600);
+                assert_exact(&r, serial, 600);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let (r, serial) = run(HierSpec::new(Kind::GSS, Kind::SS), 1, 4, 300);
+        assert_exact(&r, serial, 300);
+    }
+
+    #[test]
+    fn single_worker_per_node() {
+        let (r, serial) = run(HierSpec::new(Kind::FAC2, Kind::GSS), 3, 1, 300);
+        assert_exact(&r, serial, 300);
+    }
+
+    #[test]
+    fn tiny_loop_fewer_iterations_than_workers() {
+        let (r, serial) = run(HierSpec::new(Kind::GSS, Kind::GSS), 2, 4, 5);
+        assert_exact(&r, serial, 5);
+    }
+
+    #[test]
+    fn lock_stats_populated() {
+        let (r, _) = run(HierSpec::new(Kind::GSS, Kind::SS), 2, 4, 500);
+        for node in &r.stats.nodes {
+            assert!(node.lock_acquisitions > 0);
+        }
+    }
+
+    #[test]
+    fn every_worker_participates_on_balanced_load() {
+        let w = Synthetic::constant(2000, 20_000); // ~20us per iteration
+        let cfg =
+            LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
+        let r = run_live_mpi_mpi(&cfg, &w);
+        assert_eq!(r.stats.total_iterations, 2000);
+    }
+}

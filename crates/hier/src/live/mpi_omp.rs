@@ -1,0 +1,266 @@
+//! Real-thread MPI+OpenMP executor: the baseline hybrid on the `mpisim`
+//! runtime, with the intra-node level running on the `openmp-sim`
+//! worksharing runtime.
+//!
+//! One MPI rank per node. Inside each rank, an OpenMP-style team
+//! executes chunks: thread 0 (the main thread — the only one allowed to
+//! call MPI, as the paper notes) fetches chunks from the global RMA
+//! window; every worksharing region over a chunk ends in the **implicit
+//! team barrier** `openmp_sim::TeamCtx::for_each` provides, so fast
+//! threads wait for the slowest one before the next chunk can be
+//! fetched.
+//!
+//! As on the paper's testbed (Intel OpenMP), only `schedule(static)`,
+//! `schedule(dynamic)` and `schedule(guided)` exist at this level:
+//! requesting TSS/FAC2/... intra-node under MPI+OpenMP panics with the
+//! same limitation message the paper gives for skipping those
+//! combinations.
+
+use super::{LiveConfig, LiveResult};
+use crate::queue::SubChunk;
+use crate::stats::RunStats;
+use dls::openmp::{omp_equivalent, OmpSchedule};
+use dls::technique::WorkerCtx;
+use dls::ChunkCalculator;
+use mpisim::{LockKind, Topology, Universe, Window};
+use openmp_sim::{Schedule, Team, TeamCtx};
+use parking_lot::Mutex;
+use workloads::Workload;
+
+const GSTEP: usize = 0;
+const GSCHED: usize = 1;
+
+#[derive(Default)]
+struct ThreadOutcome {
+    iterations: u64,
+    sub_chunks: u64,
+    checksum: u64,
+    executed: Vec<SubChunk>,
+}
+
+struct NodeOutcome {
+    node: u32,
+    threads: Vec<ThreadOutcome>,
+    global_fetches: u64,
+    global_accesses: u64,
+    deposits: u64,
+}
+
+/// The intra technique as an `openmp-sim` schedule, or the paper's
+/// limitation message.
+fn omp_schedule(intra: &dls::Technique) -> Schedule {
+    match omp_equivalent(intra.kind()) {
+        Some(OmpSchedule::Static { chunk }) => Schedule::Static { chunk },
+        Some(OmpSchedule::Dynamic { chunk }) => Schedule::Dynamic { chunk },
+        Some(OmpSchedule::Guided { chunk }) => Schedule::Guided { chunk },
+        None => panic!(
+            "the Intel OpenMP runtime only supports schedule(static|dynamic|guided); \
+             {} at the intra-node level requires Approach::MpiMpi",
+            intra.kind()
+        ),
+    }
+}
+
+/// Run the MPI+OpenMP approach with real threads.
+pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
+    // One MPI process per node; the team provides the node's parallelism.
+    let topology = Topology::new(cfg.nodes, 1);
+    let n = workload.n_iters();
+    assert!(n <= i64::MAX as u64, "loop too large for i64 window slots");
+    let inter_spec = dls::LoopSpec::new(n, cfg.nodes);
+    let schedule = omp_schedule(&cfg.spec.intra);
+    let team_size = cfg.workers_per_node;
+    let spec = cfg.spec;
+
+    let outcomes = Universe::run(topology, move |p| {
+        let world = p.world();
+        let me = world.rank();
+        let global_win =
+            Window::allocate(world, if me == 0 { 2 } else { 0 }).expect("global window");
+        world.barrier();
+
+        let chunk_slot: Mutex<Option<(u64, u64)>> = Mutex::new(None);
+        let fetches = Mutex::new((0u64, 0u64, 0u64)); // fetches, accesses, deposits
+
+        let thread_outcomes = Team::new(team_size).parallel(|ctx| {
+            team_thread(
+                ctx, workload, &global_win, &chunk_slot, &fetches, &spec, &inter_spec,
+                schedule, n,
+            )
+        });
+
+        let f = fetches.into_inner();
+        NodeOutcome {
+            node: me,
+            threads: thread_outcomes,
+            global_fetches: f.0,
+            global_accesses: f.1,
+            deposits: f.2,
+        }
+    });
+
+    aggregate(cfg, outcomes)
+}
+
+/// One team thread's life: thread 0 fetches chunks over MPI; everyone
+/// executes worksharing regions with the implicit end barrier.
+#[allow(clippy::too_many_arguments)]
+fn team_thread(
+    ctx: &TeamCtx,
+    workload: &dyn Workload,
+    global_win: &Window,
+    chunk_slot: &Mutex<Option<(u64, u64)>>,
+    fetches: &Mutex<(u64, u64, u64)>,
+    spec: &crate::config::HierSpec,
+    inter_spec: &dls::LoopSpec,
+    schedule: Schedule,
+    n: u64,
+) -> ThreadOutcome {
+    let mut out = ThreadOutcome::default();
+    loop {
+        // Only the main thread calls MPI.
+        ctx.master(|| {
+            global_win.lock(LockKind::Exclusive, 0).expect("lock global");
+            let gstep = global_win.get(0, GSTEP).expect("gstep") as u64;
+            let gsched = global_win.get(0, GSCHED).expect("gsched") as u64;
+            let mut f = fetches.lock();
+            f.1 += 1;
+            let fetched = if gsched < n {
+                let state = dls::SchedState { step: gstep, scheduled: gsched };
+                let size = spec
+                    .inter
+                    .chunk_size(inter_spec, state, WorkerCtx::default())
+                    .clamp(1, n - gsched);
+                global_win.put(0, GSTEP, (gstep + 1) as i64).expect("gstep");
+                global_win.put(0, GSCHED, (gsched + size) as i64).expect("gsched");
+                f.0 += 1;
+                f.2 += 1;
+                Some((gsched, gsched + size))
+            } else {
+                None
+            };
+            drop(f);
+            global_win.unlock(LockKind::Exclusive, 0).expect("unlock global");
+            *chunk_slot.lock() = fetched;
+        });
+        // Region start: the team waits for the fetch.
+        ctx.barrier();
+        let Some((lo, hi)) = *chunk_slot.lock() else {
+            break;
+        };
+        // The worksharing region; `for_each_dispatch` ends in the
+        // implicit barrier the paper's Figure 2 illustrates.
+        ctx.for_each_dispatch(lo..hi, schedule, |r| {
+            for i in r.clone() {
+                out.checksum = out.checksum.wrapping_add(workload.execute(i));
+            }
+            out.iterations += r.end - r.start;
+            out.sub_chunks += 1;
+            out.executed.push(SubChunk { start: r.start, end: r.end });
+        });
+    }
+    out
+}
+
+fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>) -> LiveResult {
+    let team = cfg.workers_per_node;
+    let total_workers = (cfg.nodes * team) as usize;
+    let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
+    let mut checksum = 0u64;
+    let mut executed = Vec::new();
+    for o in outcomes {
+        for (tid, t) in o.threads.into_iter().enumerate() {
+            let w = o.node * team + tid as u32;
+            stats.workers[w as usize].iterations = t.iterations;
+            stats.workers[w as usize].sub_chunks = t.sub_chunks;
+            stats.nodes[o.node as usize].sub_chunks += t.sub_chunks;
+            stats.total_iterations += t.iterations;
+            checksum = checksum.wrapping_add(t.checksum);
+            executed.extend(t.executed.into_iter().map(|s| (w, s)));
+        }
+        stats.workers[(o.node * team) as usize].global_fetches = o.global_fetches;
+        stats.nodes[o.node as usize].deposits = o.deposits;
+        stats.global_accesses += o.global_accesses;
+    }
+    LiveResult { stats, checksum, executed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HierSpec};
+    use crate::live::serial_checksum;
+    use dls::verify::check_exactly_once;
+    use dls::Kind;
+    use workloads::synthetic::Synthetic;
+
+    fn run(spec: HierSpec, nodes: u32, wpn: u32, n: u64) -> (LiveResult, u64) {
+        let w = Synthetic::uniform(n, 1, 100, 3);
+        let cfg = LiveConfig::new(nodes, wpn, spec, Approach::MpiOpenMp);
+        let serial = serial_checksum(&w);
+        (run_live_mpi_omp(&cfg, &w), serial)
+    }
+
+    fn assert_exact(r: &LiveResult, serial: u64, n: u64) {
+        assert_eq!(r.checksum, serial, "checksum mismatch vs serial");
+        assert_eq!(r.stats.total_iterations, n);
+        let chunks: Vec<dls::Chunk> = r
+            .executed
+            .iter()
+            .map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 })
+            .collect();
+        check_exactly_once(&chunks, n).expect("exactly-once");
+    }
+
+    #[test]
+    fn openmp_supported_combinations_execute_exactly_once() {
+        for inter in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2] {
+            for intra in [Kind::STATIC, Kind::SS, Kind::GSS] {
+                let (r, serial) = run(HierSpec::new(inter, intra), 2, 3, 600);
+                assert_exact(&r, serial, 600);
+            }
+        }
+    }
+
+    #[test]
+    fn only_thread_zero_fetches() {
+        let (r, _) = run(HierSpec::new(Kind::GSS, Kind::GSS), 2, 4, 800);
+        for (w, ws) in r.stats.workers.iter().enumerate() {
+            if w % 4 != 0 {
+                assert_eq!(ws.global_fetches, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn static_intra_splits_blocks() {
+        let (r, serial) = run(HierSpec::new(Kind::STATIC, Kind::STATIC), 2, 4, 800);
+        assert_exact(&r, serial, 800);
+        // STATIC+STATIC: every thread executes exactly one block of 100.
+        for ws in &r.stats.workers {
+            assert_eq!(ws.iterations, 100);
+            assert_eq!(ws.sub_chunks, 1);
+        }
+    }
+
+    #[test]
+    fn tiny_loop() {
+        let (r, serial) = run(HierSpec::new(Kind::GSS, Kind::SS), 2, 4, 3);
+        assert_exact(&r, serial, 3);
+    }
+
+    #[test]
+    fn single_node_single_thread() {
+        let (r, serial) = run(HierSpec::new(Kind::FAC2, Kind::GSS), 1, 1, 200);
+        assert_exact(&r, serial, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "Intel OpenMP runtime only supports")]
+    fn unsupported_intra_technique_rejected() {
+        let w = Synthetic::constant(10, 1);
+        let cfg =
+            LiveConfig::new(1, 2, HierSpec::new(Kind::GSS, Kind::TSS), Approach::MpiOpenMp);
+        run_live_mpi_omp(&cfg, &w);
+    }
+}

@@ -1,0 +1,199 @@
+//! Virtual-time (discrete-event) executors for both approaches.
+//!
+//! Workers never touch the wall clock: compute time comes from a
+//! [`workloads::CostTable`], scheduling costs from
+//! [`cluster_sim::MachineParams`], and contention from
+//! [`cluster_sim::Resource`] / [`cluster_sim::ContendedLock`]. Results
+//! are exactly reproducible and independent of host load — which is how
+//! the paper's 16-node figures are regenerated on a single-core machine.
+
+mod master_worker;
+mod mpi_mpi;
+mod mpi_omp;
+
+pub use master_worker::{simulate_flat_master_worker, simulate_master_worker};
+pub use mpi_mpi::simulate_mpi_mpi;
+pub use mpi_omp::simulate_mpi_omp;
+
+/// Who may refill a node's local queue from the global queue (MPI+MPI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RefillPolicy {
+    /// The paper's proposal: whichever worker first finds the queue
+    /// empty refills it ("the fastest MPI process always takes this
+    /// responsibility").
+    #[default]
+    Fastest,
+    /// Ablation: only the node's first rank may refill (a dedicated
+    /// local master, as in hierarchical master-worker schemes); other
+    /// workers re-probe until it does.
+    Dedicated,
+}
+
+use crate::config::{Approach, HierSpec};
+use crate::queue::SubChunk;
+use crate::stats::RunStats;
+use cluster_sim::{MachineParams, SimTopology, Time, Trace};
+use workloads::CostTable;
+
+/// Configuration of one virtual-time run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Cluster shape.
+    pub topology: SimTopology,
+    /// Cost constants.
+    pub machine: MachineParams,
+    /// The `X+Y` scheduling combination.
+    pub spec: HierSpec,
+    /// Which implementation of the intra-node level.
+    pub approach: Approach,
+    /// Record per-worker timeline segments (Figures 2/3).
+    pub trace: bool,
+    /// Record every executed sub-chunk (for exactly-once verification).
+    pub record_chunks: bool,
+    /// Per-worker speed multipliers for failure injection / systemic
+    /// imbalance: iteration costs on worker `w` are scaled by
+    /// `slowdown[w]`. Empty means all 1.0.
+    pub slowdown: Vec<f64>,
+    /// Who refills the local queue (MPI+MPI only).
+    pub refill: RefillPolicy,
+    /// How the global queue is realised over RMA (MPI+MPI only).
+    pub global_mode: crate::config::GlobalQueueMode,
+    /// Static per-worker weights for weighted techniques (WF): indexed
+    /// by global worker id, mean-normalised. Empty means unit weights.
+    pub weights: Vec<f64>,
+    /// Adaptive weighted factoring at the intra-node level (MPI+MPI
+    /// only): when set, the intra technique's sub-chunk is scaled by
+    /// weights learned from measured worker rates.
+    pub awf: Option<dls::adaptive::AwfVariant>,
+    /// Model the `nowait` clause for MPI+OpenMP (the paper's future
+    /// work): no end-of-region barrier; threads dispatch through the
+    /// OpenMP runtime's atomic and any thread may fetch the next chunk
+    /// (which requires `MPI_THREAD_MULTIPLE`). Implemented as the
+    /// MPI+MPI protocol with the window lock replaced by an OpenMP
+    /// dispatch.
+    pub omp_nowait: bool,
+}
+
+impl SimConfig {
+    /// A run with tracing and chunk recording off.
+    pub fn new(
+        topology: SimTopology,
+        machine: MachineParams,
+        spec: HierSpec,
+        approach: Approach,
+    ) -> Self {
+        Self {
+            topology,
+            machine,
+            spec,
+            approach,
+            trace: false,
+            record_chunks: false,
+            slowdown: Vec::new(),
+            refill: RefillPolicy::Fastest,
+            global_mode: crate::config::GlobalQueueMode::SingleAtomic,
+            weights: Vec::new(),
+            awf: None,
+            omp_nowait: false,
+        }
+    }
+
+    pub(crate) fn scaled_cost(&self, worker: u32, raw: u64) -> Time {
+        match self.slowdown.get(worker as usize) {
+            Some(&f) if f != 1.0 => (raw as f64 * f).round().max(1.0) as Time,
+            _ => raw,
+        }
+    }
+}
+
+/// Result of one virtual-time run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Parallel loop time (the y-axis of Figures 4-7).
+    pub makespan: Time,
+    /// Counters.
+    pub stats: RunStats,
+    /// Timeline (empty unless `SimConfig::trace`).
+    pub trace: Trace,
+    /// Total lock-polling penalty accumulated at local-queue locks
+    /// (MPI+MPI only; the Fig. 4 `X+SS` pathology).
+    pub lock_poll_penalty: Time,
+    /// Executed sub-chunks per worker (empty unless
+    /// `SimConfig::record_chunks`).
+    pub executed: Vec<(u32, SubChunk)>,
+}
+
+impl SimResult {
+    /// Makespan in seconds — the unit of the paper's figures.
+    pub fn seconds(&self) -> f64 {
+        cluster_sim::time::to_secs(self.makespan)
+    }
+}
+
+/// Run one virtual-time experiment, dispatching on the approach.
+pub fn simulate(cfg: &SimConfig, table: &CostTable) -> SimResult {
+    match cfg.approach {
+        Approach::MpiMpi => simulate_mpi_mpi(cfg, table),
+        Approach::MpiOpenMp if cfg.omp_nowait => simulate_mpi_omp_nowait(cfg, table),
+        Approach::MpiOpenMp => simulate_mpi_omp(cfg, table),
+    }
+}
+
+/// The `nowait` variant of MPI+OpenMP: structurally the MPI+MPI
+/// protocol (no end-of-region barrier, fastest-thread refill), but the
+/// local dispatch costs one OpenMP runtime atomic instead of an
+/// `MPI_Win_lock` cycle and suffers no lock polling.
+pub fn simulate_mpi_omp_nowait(cfg: &SimConfig, table: &CostTable) -> SimResult {
+    let mut nowait_cfg = cfg.clone();
+    nowait_cfg.machine.shm_lock_hold_ns = cfg.machine.omp_dispatch_ns;
+    nowait_cfg.machine.shm_poll_penalty_ns = 0;
+    simulate_mpi_mpi(&nowait_cfg, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::SimTopology;
+    use dls::Kind;
+    use workloads::synthetic::Synthetic;
+
+    #[test]
+    fn nowait_between_barrier_and_mpi_mpi() {
+        // nowait removes the barrier but keeps the cheap OpenMP
+        // dispatch: never slower than the barrier baseline, never
+        // slower than MPI+MPI (whose lock costs more per dispatch).
+        let w = Synthetic::bimodal(20_000, 50_000, 5_000_000, 3, 7);
+        let table = CostTable::build(&w);
+        let run = |approach, nowait| {
+            let mut cfg = SimConfig::new(
+                SimTopology::new(2, 8),
+                MachineParams::default(),
+                HierSpec::new(Kind::GSS, Kind::STATIC),
+                approach,
+            );
+            cfg.omp_nowait = nowait;
+            simulate(&cfg, &table)
+        };
+        let barrier = run(Approach::MpiOpenMp, false);
+        let nowait = run(Approach::MpiOpenMp, true);
+        let mpi_mpi = run(Approach::MpiMpi, false);
+        assert_eq!(nowait.stats.total_iterations, 20_000);
+        assert!(nowait.makespan <= barrier.makespan);
+        assert!(nowait.makespan <= mpi_mpi.makespan);
+    }
+
+    #[test]
+    fn nowait_flag_ignored_for_mpi_mpi() {
+        let w = Synthetic::constant(2_000, 1_000);
+        let table = CostTable::build(&w);
+        let mut cfg = SimConfig::new(
+            SimTopology::new(2, 4),
+            MachineParams::default(),
+            HierSpec::new(Kind::GSS, Kind::GSS),
+            Approach::MpiMpi,
+        );
+        let plain = simulate(&cfg, &table).makespan;
+        cfg.omp_nowait = true;
+        assert_eq!(simulate(&cfg, &table).makespan, plain);
+    }
+}

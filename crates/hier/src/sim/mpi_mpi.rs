@@ -1,0 +1,363 @@
+//! Virtual-time executor for the proposed MPI+MPI approach.
+//!
+//! Every worker is an MPI rank. A free worker takes a sub-chunk from its
+//! node's local queue (an `MPI_Win_lock`-guarded shared-memory window,
+//! modelled by [`ContendedLock`]). A worker that finds the queue empty
+//! *and no refill in flight* marks itself the refiller — "the fastest
+//! MPI process always takes this responsibility" — fetches a chunk from
+//! the global queue (a passive-target RMA transaction, serialized at the
+//! target by a [`Resource`]) and deposits it locally. Workers that find
+//! the queue empty while a peer's refill is in flight re-probe after a
+//! short back-off instead of blocking — nobody ever waits at a chunk
+//! boundary (the paper's Figure 3 scenario).
+//!
+//! A worker terminates once the global queue is exhausted and its local
+//! queue is empty.
+
+use super::{SimConfig, SimResult};
+use crate::queue::LocalQueue;
+use crate::stats::RunStats;
+use cluster_sim::trace::SegmentKind;
+use cluster_sim::{ContendedLock, EventQueue, Resource, Time, Trace};
+use dls::{ChunkCalculator, LoopSpec, SchedState};
+use workloads::CostTable;
+
+enum Event {
+    /// Worker is free: probe the local queue.
+    TryLocal(u32),
+    /// Worker's RMA request reaches the global queue's host.
+    GlobalArrive(u32),
+    /// Worker's RMA response arrived: deposit `Some((lo, hi))`, or mark
+    /// the node globally done on `None`.
+    Deposit(u32, Option<(u64, u64)>),
+}
+
+struct NodeState {
+    queue: LocalQueue,
+    lock: ContendedLock,
+    /// A worker of this node is fetching from the global queue.
+    refilling: bool,
+    /// The global queue was observed exhausted by this node's refiller.
+    global_done: bool,
+    /// Adaptive weight history (AWF intra), when enabled.
+    awf: Option<crate::adaptive::AwfHistory>,
+}
+
+/// Run the MPI+MPI approach in virtual time.
+pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
+    let nodes = cfg.topology.nodes;
+    let wpn = cfg.topology.workers_per_node;
+    let total_workers = cfg.topology.total_workers();
+    let n_iters = table.n_iters();
+    let inter_spec = LoopSpec::new(n_iters, nodes);
+    let m = &cfg.machine;
+
+    let mut global_state = SchedState::START;
+    let mut global_q = Resource::new();
+    let mut node_states: Vec<NodeState> = (0..nodes)
+        .map(|_| NodeState {
+            queue: LocalQueue::new(),
+            lock: ContendedLock::new(m.shm_poll_penalty_ns),
+            refilling: false,
+            global_done: false,
+            awf: cfg.awf.map(|v| crate::adaptive::AwfHistory::new(v, wpn)),
+        })
+        .collect();
+
+    let mut stats = RunStats::new(total_workers as usize, nodes as usize);
+    let mut trace = if cfg.trace { Trace::recording() } else { Trace::disabled() };
+    let mut executed = Vec::new();
+    let mut events = EventQueue::new();
+    let mut finish_time = vec![0 as Time; total_workers as usize];
+
+    for w in 0..total_workers {
+        events.push(0, Event::TryLocal(w));
+    }
+
+    // Take a sub-chunk (queue known non-empty), record it, and schedule
+    // the worker's next probe after the compute burst. `sched_ns` is the
+    // scheduling time this worker spent obtaining the sub-chunk (charged
+    // to its AWF history under the -D/-E variants).
+    let execute_sub = |w: u32,
+                           node: &mut NodeState,
+                           node_idx: usize,
+                           grant_end: Time,
+                           sched_ns: Time,
+                           stats: &mut RunStats,
+                           trace: &mut Trace,
+                           executed: &mut Vec<(u32, crate::queue::SubChunk)>,
+                           events: &mut EventQueue<Event>| {
+        let local = w % wpn;
+        // AWF is *adaptive weighted factoring*: it replaces the intra
+        // technique with WF driven by the learned weights.
+        let (technique, weight) = match &node.awf {
+            Some(h) => (dls::Technique::wf(), h.weight(local)),
+            None => (cfg.spec.intra, cfg.weights.get(w as usize).copied().unwrap_or(1.0)),
+        };
+        let ctx = dls::technique::WorkerCtx { worker: local, weight };
+        let sub = node
+            .queue
+            .take_sub_chunk_for(&technique, wpn, ctx)
+            .expect("caller checked non-empty");
+        let cost = cfg.scaled_cost(w, table.range_cost(sub.start, sub.end));
+        if let Some(h) = &mut node.awf {
+            h.record(local, sub.len(), cost, sched_ns);
+        }
+        trace.record(w, grant_end, grant_end + cost, SegmentKind::Compute);
+        stats.workers[w as usize].iterations += sub.len();
+        stats.workers[w as usize].sub_chunks += 1;
+        stats.nodes[node_idx].sub_chunks += 1;
+        if cfg.record_chunks {
+            executed.push((w, sub));
+        }
+        events.push(grant_end + cost, Event::TryLocal(w));
+    };
+
+    while let Some((t, ev)) = events.pop() {
+        match ev {
+            Event::TryLocal(w) => {
+                let node_idx = (w / wpn) as usize;
+                let node = &mut node_states[node_idx];
+                // One MPI_Win_lock / update / MPI_Win_sync / unlock cycle.
+                let grant = node.lock.acquire(t, m.shm_lock_hold_ns);
+                stats.nodes[node_idx].lock_acquisitions += 1;
+                if grant.queued_ahead > 0 {
+                    stats.nodes[node_idx].lock_contended += 1;
+                }
+                trace.record(w, t, grant.end, SegmentKind::Sched);
+                if !node.queue.is_empty() {
+                    execute_sub(
+                        w, node, node_idx, grant.end, grant.end - t, &mut stats,
+                        &mut trace, &mut executed, &mut events,
+                    );
+                } else if node.global_done {
+                    finish_time[w as usize] = grant.end;
+                } else if !node.refilling
+                    && (cfg.refill == super::RefillPolicy::Fastest || w % wpn == 0)
+                {
+                    // This worker takes the refill responsibility: under
+                    // the paper's policy because it is the fastest free
+                    // one; under the ablation because it is the node's
+                    // dedicated local master.
+                    node.refilling = true;
+                    events.push(grant.end + m.net.latency_ns, Event::GlobalArrive(w));
+                } else {
+                    // A peer's refill is in flight: re-probe shortly.
+                    trace.record(w, grant.end, grant.end + m.shm_retry_ns, SegmentKind::Sync);
+                    events.push(grant.end + m.shm_retry_ns, Event::TryLocal(w));
+                }
+            }
+            Event::GlobalArrive(w) => {
+                // Serialized service at the global queue's host; then the
+                // response travels back and the origin runs the
+                // distributed chunk calculation. The lock-guarded
+                // two-counter variant pays two extra round trips
+                // (MPI_Win_lock + MPI_Win_unlock) per fetch.
+                let (_, served) = global_q.request(t, m.rma_service_ns);
+                stats.global_accesses += 1;
+                let mode_extra = match cfg.global_mode {
+                    crate::config::GlobalQueueMode::SingleAtomic => 0,
+                    crate::config::GlobalQueueMode::LockedCounters => {
+                        2 * m.net.rma_round_trip()
+                    }
+                };
+                let done = served + m.net.latency_ns + m.chunk_calc_ns + mode_extra;
+                trace.record(w, t, done, SegmentKind::Sched);
+                let payload = if global_state.exhausted(&inter_spec) {
+                    None
+                } else {
+                    let size = cfg.spec.inter.chunk_size(
+                        &inter_spec,
+                        global_state,
+                        dls::technique::WorkerCtx::default(),
+                    );
+                    let chunk =
+                        global_state.take(&inter_spec, size).expect("not exhausted");
+                    stats.workers[w as usize].global_fetches += 1;
+                    Some((chunk.start, chunk.end()))
+                };
+                events.push(done, Event::Deposit(w, payload));
+            }
+            Event::Deposit(w, payload) => {
+                let node_idx = (w / wpn) as usize;
+                let node = &mut node_states[node_idx];
+                let grant = node.lock.acquire(t, m.shm_lock_hold_ns);
+                stats.nodes[node_idx].lock_acquisitions += 1;
+                if grant.queued_ahead > 0 {
+                    stats.nodes[node_idx].lock_contended += 1;
+                }
+                trace.record(w, t, grant.end, SegmentKind::Sched);
+                node.refilling = false;
+                match payload {
+                    Some((lo, hi)) => {
+                        node.queue.deposit(lo, hi);
+                        stats.nodes[node_idx].deposits += 1;
+                        execute_sub(
+                            w, node, node_idx, grant.end, grant.end - t, &mut stats,
+                            &mut trace, &mut executed, &mut events,
+                        );
+                    }
+                    None => {
+                        node.global_done = true;
+                        // The refiller itself may still find leftovers
+                        // deposited by racing peers; re-probe once.
+                        if node.queue.is_empty() {
+                            finish_time[w as usize] = grant.end;
+                        } else {
+                            events.push(grant.end, Event::TryLocal(w));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let makespan = finish_time.iter().copied().max().unwrap_or(0);
+    for (w, &ft) in finish_time.iter().enumerate() {
+        trace.record(w as u32, ft, makespan, SegmentKind::Idle);
+    }
+    stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
+    let lock_poll_penalty = node_states.iter().map(|n| n.lock.total_penalty()).sum();
+
+    SimResult { makespan, stats, trace, lock_poll_penalty, executed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HierSpec};
+    use cluster_sim::{MachineParams, SimTopology};
+    use dls::verify::check_exactly_once;
+    use dls::Kind;
+    use workloads::synthetic::Synthetic;
+
+    fn run(spec: HierSpec, nodes: u32, wpn: u32, n: u64) -> SimResult {
+        let w = Synthetic::uniform(n, 50, 500, 7);
+        let table = CostTable::build(&w);
+        let mut cfg = SimConfig::new(
+            SimTopology::new(nodes, wpn),
+            MachineParams::default(),
+            spec,
+            Approach::MpiMpi,
+        );
+        cfg.record_chunks = true;
+        simulate_mpi_mpi(&cfg, &table)
+    }
+
+    fn assert_covers(result: &SimResult, n: u64) {
+        let chunks: Vec<dls::Chunk> = result
+            .executed
+            .iter()
+            .map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 })
+            .collect();
+        check_exactly_once(&chunks, n).expect("every iteration exactly once");
+        assert_eq!(result.stats.total_iterations, n);
+    }
+
+    #[test]
+    fn executes_every_iteration_exactly_once() {
+        for inter in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2] {
+            for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+                let r = run(HierSpec::new(inter, intra), 4, 4, 3000);
+                assert_covers(&r, 3000);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_single_worker() {
+        let r = run(HierSpec::new(Kind::GSS, Kind::GSS), 1, 1, 100);
+        assert_covers(&r, 100);
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(HierSpec::new(Kind::GSS, Kind::STATIC), 4, 4, 2000);
+        let b = run(HierSpec::new(Kind::GSS, Kind::STATIC), 4, 4, 2000);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.executed, b.executed);
+    }
+
+    #[test]
+    fn more_nodes_faster() {
+        let slow = run(HierSpec::new(Kind::GSS, Kind::GSS), 2, 4, 20_000);
+        let fast = run(HierSpec::new(Kind::GSS, Kind::GSS), 8, 4, 20_000);
+        assert!(
+            fast.makespan < slow.makespan,
+            "8 nodes ({}) should beat 2 nodes ({})",
+            fast.makespan,
+            slow.makespan
+        );
+    }
+
+    #[test]
+    fn static_inter_one_chunk_per_node() {
+        let r = run(HierSpec::new(Kind::STATIC, Kind::GSS), 4, 2, 1000);
+        let fetches: u64 = r.stats.workers.iter().map(|w| w.global_fetches).sum();
+        assert_eq!(fetches, 4, "STATIC inter over 4 nodes = 4 chunks");
+        // The refill-flag protocol must spread them one per node.
+        for n in &r.stats.nodes {
+            assert_eq!(n.deposits, 1);
+        }
+    }
+
+    #[test]
+    fn ss_intra_contends_on_the_lock() {
+        let r = run(HierSpec::new(Kind::STATIC, Kind::SS), 2, 8, 4000);
+        assert!(r.lock_poll_penalty > 0, "SS must trigger lock polling");
+        let contended: u64 = r.stats.nodes.iter().map(|n| n.lock_contended).sum();
+        assert!(contended > 0);
+    }
+
+    #[test]
+    fn static_intra_less_lock_pressure_than_ss() {
+        let ss = run(HierSpec::new(Kind::STATIC, Kind::SS), 2, 8, 4000);
+        let st = run(HierSpec::new(Kind::STATIC, Kind::STATIC), 2, 8, 4000);
+        assert!(st.lock_poll_penalty < ss.lock_poll_penalty);
+        let acq = |r: &SimResult| -> u64 {
+            r.stats.nodes.iter().map(|n| n.lock_acquisitions).sum()
+        };
+        assert!(acq(&st) < acq(&ss));
+    }
+
+    #[test]
+    fn slowdown_injection_shifts_work_away() {
+        // Compute-dominated iterations (50 us >> lock hold), so the
+        // lock never equalises the workers by itself.
+        let w = Synthetic::constant(4000, 50_000);
+        let table = CostTable::build(&w);
+        let mut cfg = SimConfig::new(
+            SimTopology::new(1, 4),
+            MachineParams::default(),
+            HierSpec::new(Kind::GSS, Kind::SS),
+            Approach::MpiMpi,
+        );
+        cfg.slowdown = vec![4.0, 1.0, 1.0, 1.0]; // worker 0 is 4x slower
+        let r = simulate_mpi_mpi(&cfg, &table);
+        assert_eq!(r.stats.total_iterations, 4000);
+        let iters: Vec<u64> = r.stats.workers.iter().map(|w| w.iterations).collect();
+        assert!(
+            iters[0] < iters[1] / 2,
+            "SS must give the slow worker far fewer iterations: {iters:?}"
+        );
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let w = Synthetic::constant(200, 100);
+        let table = CostTable::build(&w);
+        let mut cfg = SimConfig::new(
+            SimTopology::new(1, 2),
+            MachineParams::default(),
+            HierSpec::new(Kind::GSS, Kind::GSS),
+            Approach::MpiMpi,
+        );
+        cfg.trace = true;
+        let r = simulate_mpi_mpi(&cfg, &table);
+        assert!(!r.trace.segments().is_empty());
+        let totals = r.trace.totals();
+        assert!(totals.compute > 0);
+        assert!(totals.sched > 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Process groups (`MPI_Group`): local set-like handles over world
+//! ranks, plus collective communicator creation from a group.
+
+use crate::comm::Comm;
+use crate::error::Result;
+
+/// An ordered set of world ranks — the local (non-collective) group
+/// object of MPI.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    world_ranks: Vec<u32>,
+}
+
+impl Group {
+    pub(crate) fn new(world_ranks: Vec<u32>) -> Self {
+        Self { world_ranks }
+    }
+
+    /// Number of processes in the group.
+    pub fn size(&self) -> u32 {
+        self.world_ranks.len() as u32
+    }
+
+    /// True when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.world_ranks.is_empty()
+    }
+
+    /// Group rank of a world rank, if present.
+    pub fn rank_of(&self, world_rank: u32) -> Option<u32> {
+        self.world_ranks.iter().position(|&r| r == world_rank).map(|p| p as u32)
+    }
+
+    /// World rank of a group rank.
+    pub fn world_rank(&self, group_rank: u32) -> Option<u32> {
+        self.world_ranks.get(group_rank as usize).copied()
+    }
+
+    /// `MPI_Group_incl`: the subgroup of the given group ranks, in the
+    /// given order.
+    pub fn incl(&self, ranks: &[u32]) -> Option<Group> {
+        let mut out = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            out.push(self.world_ranks.get(r as usize).copied()?);
+        }
+        Some(Group::new(out))
+    }
+
+    /// `MPI_Group_excl`: the group without the given group ranks.
+    pub fn excl(&self, ranks: &[u32]) -> Group {
+        let exclude: std::collections::HashSet<u32> = ranks.iter().copied().collect();
+        Group::new(
+            self.world_ranks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !exclude.contains(&(*i as u32)))
+                .map(|(_, &r)| r)
+                .collect(),
+        )
+    }
+
+    /// `MPI_Group_union`: members of `self`, then members of `other`
+    /// not already present.
+    pub fn union(&self, other: &Group) -> Group {
+        let mut out = self.world_ranks.clone();
+        for &r in &other.world_ranks {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        Group::new(out)
+    }
+
+    /// `MPI_Group_intersection`: members of `self` also in `other`, in
+    /// `self`'s order.
+    pub fn intersection(&self, other: &Group) -> Group {
+        Group::new(
+            self.world_ranks
+                .iter()
+                .copied()
+                .filter(|r| other.world_ranks.contains(r))
+                .collect(),
+        )
+    }
+
+    /// `MPI_Group_difference`: members of `self` not in `other`.
+    pub fn difference(&self, other: &Group) -> Group {
+        Group::new(
+            self.world_ranks
+                .iter()
+                .copied()
+                .filter(|r| !other.world_ranks.contains(r))
+                .collect(),
+        )
+    }
+
+    /// `MPI_Group_translate_ranks`: map each of `ranks` (group ranks in
+    /// `self`) to the corresponding group rank in `other`, `None` where
+    /// absent.
+    pub fn translate_ranks(&self, ranks: &[u32], other: &Group) -> Vec<Option<u32>> {
+        ranks
+            .iter()
+            .map(|&r| self.world_rank(r).and_then(|w| other.rank_of(w)))
+            .collect()
+    }
+}
+
+impl Comm {
+    /// `MPI_Comm_group`: the group of this communicator.
+    pub fn group(&self) -> Group {
+        Group::new(self.state.world_ranks.clone())
+    }
+
+    /// `MPI_Comm_dup`: a new communicator with the same membership and
+    /// fresh internal channels. Collective.
+    pub fn dup(&self) -> Result<Comm> {
+        self.split(0, self.rank())
+    }
+
+    /// `MPI_Comm_create`: a new communicator over `group` (which must
+    /// be a subset of this communicator). Collective over *this*
+    /// communicator; ranks outside the group get `None` (MPI's
+    /// `MPI_COMM_NULL`).
+    pub fn comm_create(&self, group: &Group) -> Result<Option<Comm>> {
+        let my_world = self.state.world_ranks[self.rank() as usize];
+        let member = group.rank_of(my_world);
+        // Key = position in the group (preserves group order); color 1
+        // for members, 0 for the rest.
+        let comm = match member {
+            Some(pos) => self.split(1, pos)?,
+            None => {
+                self.split(0, self.rank())?;
+                return Ok(None);
+            }
+        };
+        Ok(Some(comm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Topology, Universe};
+
+    #[test]
+    fn group_set_operations() {
+        let a = Group::new(vec![0, 1, 2, 3]);
+        let b = Group::new(vec![2, 3, 4]);
+        assert_eq!(a.union(&b), Group::new(vec![0, 1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), Group::new(vec![2, 3]));
+        assert_eq!(a.difference(&b), Group::new(vec![0, 1]));
+        assert_eq!(a.incl(&[3, 0]), Some(Group::new(vec![3, 0])));
+        assert_eq!(a.incl(&[9]), None);
+        assert_eq!(a.excl(&[0, 2]), Group::new(vec![1, 3]));
+    }
+
+    #[test]
+    fn translate_ranks_across_groups() {
+        let a = Group::new(vec![10, 20, 30]);
+        let b = Group::new(vec![30, 10]);
+        assert_eq!(a.translate_ranks(&[0, 1, 2], &b), vec![Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn comm_group_reflects_membership() {
+        Universe::run(Topology::new(2, 2), |p| {
+            let g = p.world().group();
+            assert_eq!(g.size(), 4);
+            assert_eq!(g.rank_of(p.world().rank()), Some(p.world().rank()));
+        });
+    }
+
+    #[test]
+    fn dup_is_independent_channel() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let dup = w.dup().unwrap();
+            assert_eq!(dup.rank(), w.rank());
+            assert_eq!(dup.size(), w.size());
+            if w.rank() == 0 {
+                // A message on the dup must not be visible on world.
+                dup.send(1, 5, 77u8).unwrap();
+            } else {
+                assert!(!w.probe(Some(0), Some(5)));
+                let (_, _, v): (_, _, u8) = dup.recv(Some(0), Some(5)).unwrap();
+                assert_eq!(v, 77);
+            }
+        });
+    }
+
+    #[test]
+    fn comm_create_subsets() {
+        let out = Universe::run(Topology::new(1, 4), |p| {
+            let w = p.world();
+            // Group of the odd ranks, reversed order.
+            let group = w.group().incl(&[3, 1]).unwrap();
+            let sub = w.comm_create(&group).unwrap();
+            sub.map(|c| (c.rank(), c.size()))
+        });
+        assert_eq!(out, vec![None, Some((1, 2)), None, Some((0, 2))]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Nonblocking point-to-point operations (`MPI_Isend` / `MPI_Irecv`).
+//!
+//! Sends are buffered in this runtime, so an `isend` completes
+//! immediately — matching MPI's standard-mode semantics for small
+//! messages. An `irecv` posts nothing; it captures the matching
+//! criteria and performs the matched receive on
+//! [`RecvRequest::wait`], preserving MPI's non-overtaking order
+//! relative to other receives issued by the same rank *at wait time*.
+
+use crate::comm::Comm;
+use crate::error::Result;
+
+/// Handle for a nonblocking send. Completed at creation (buffered).
+#[derive(Debug)]
+pub struct SendRequest {
+    completed: bool,
+}
+
+impl SendRequest {
+    /// Wait for completion (a no-op for buffered sends).
+    pub fn wait(mut self) -> Result<()> {
+        self.completed = true;
+        Ok(())
+    }
+
+    /// Nonblocking completion test.
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// Handle for a nonblocking typed receive.
+pub struct RecvRequest<T> {
+    comm: Comm,
+    src: Option<u32>,
+    tag: Option<i32>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Send + 'static> RecvRequest<T> {
+    /// Block until a matching message arrives; returns
+    /// `(source, tag, value)`.
+    pub fn wait(self) -> Result<(u32, i32, T)> {
+        self.comm.recv(self.src, self.tag)
+    }
+
+    /// Nonblocking completion test: is a matching message queued?
+    pub fn test(&self) -> bool {
+        self.comm.probe(self.src, self.tag)
+    }
+}
+
+impl Comm {
+    /// `MPI_Isend`: start a nonblocking standard-mode send. The message
+    /// is buffered, so the returned request is already complete.
+    pub fn isend<T: Send + 'static>(&self, dest: u32, tag: i32, value: T) -> Result<SendRequest> {
+        self.send(dest, tag, value)?;
+        Ok(SendRequest { completed: true })
+    }
+
+    /// `MPI_Irecv`: post a nonblocking receive. Matching happens at
+    /// [`RecvRequest::wait`] / [`RecvRequest::test`].
+    pub fn irecv<T: Send + 'static>(&self, src: Option<u32>, tag: Option<i32>) -> RecvRequest<T> {
+        RecvRequest { comm: self.clone(), src, tag, _marker: std::marker::PhantomData }
+    }
+
+    /// `MPI_Sendrecv`: exchange with two (possibly different) partners
+    /// without deadlock.
+    pub fn sendrecv<S, R>(
+        &self,
+        dest: u32,
+        send_tag: i32,
+        value: S,
+        src: u32,
+        recv_tag: i32,
+    ) -> Result<R>
+    where
+        S: Send + 'static,
+        R: Send + 'static,
+    {
+        self.send(dest, send_tag, value)?;
+        let (_, _, v) = self.recv(Some(src), Some(recv_tag))?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Topology, Universe};
+
+    #[test]
+    fn isend_completes_immediately() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            if w.rank() == 0 {
+                let req = w.isend(1, 0, 7u32).unwrap();
+                assert!(req.test());
+                req.wait().unwrap();
+            } else {
+                let (_, _, v): (_, _, u32) = w.recv(Some(0), Some(0)).unwrap();
+                assert_eq!(v, 7);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_then_wait() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            if w.rank() == 1 {
+                let req = w.irecv::<u64>(Some(0), Some(3));
+                // Not yet arrived (rank 0 waits for our signal).
+                assert!(!req.test());
+                w.send(0, 9, ()).unwrap();
+                let (_, _, v) = req.wait().unwrap();
+                assert_eq!(v, 99);
+            } else {
+                let (_, _, ()) = w.recv(Some(1), Some(9)).unwrap();
+                w.send(1, 3, 99u64).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_exchange() {
+        let out = Universe::run(Topology::new(1, 4), |p| {
+            let w = p.world();
+            let right = (w.rank() + 1) % w.size();
+            let left = (w.rank() + w.size() - 1) % w.size();
+            // Send my rank to the right, receive from the left.
+            let v: u32 = w.sendrecv(right, 0, w.rank(), left, 0).unwrap();
+            v
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn symmetric_sendrecv_does_not_deadlock() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let peer = 1 - w.rank();
+            let v: u32 = w.sendrecv(peer, 0, w.rank() * 10, peer, 0).unwrap();
+            assert_eq!(v, peer * 10);
+        });
+    }
+}

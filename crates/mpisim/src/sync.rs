@@ -1,0 +1,223 @@
+//! A queued reader/writer lock with *manual* acquire/release (MPI's
+//! `MPI_Win_lock` / `MPI_Win_unlock` are separate calls, so a guard-based
+//! lock cannot model them) and contention accounting.
+//!
+//! The contention counters matter: the paper attributes the poor
+//! performance of `X+SS` under MPI+MPI to `MPI_Win_lock`'s *lock-polling*
+//! implementation, where each blocked process repeatedly issues
+//! lock-attempt messages (Zhao, Balaji & Gropp, ISPDC 2016). The
+//! `cluster-sim` crate turns these counts into virtual time; here they
+//! are exposed as statistics.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+struct Inner {
+    exclusive: bool,
+    shared: u32,
+    /// Threads currently blocked in an acquire.
+    waiting: u32,
+}
+
+/// Cumulative lock statistics, updated atomically.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Total successful acquisitions (shared + exclusive).
+    pub acquisitions: AtomicU64,
+    /// Acquisitions that had to block at least once.
+    pub contended: AtomicU64,
+    /// Total wake-ups while the lock was still unavailable — a proxy for
+    /// the number of lock-attempt polls an MPI implementation would send.
+    pub polls: AtomicU64,
+}
+
+impl LockStats {
+    /// Snapshot `(acquisitions, contended, polls)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.acquisitions.load(Ordering::Relaxed),
+            self.contended.load(Ordering::Relaxed),
+            self.polls.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Manual-release reader/writer lock with FIFO-ish wakeup and contention
+/// statistics.
+#[derive(Default)]
+pub struct QueuedLock {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    stats: LockStats,
+}
+
+impl QueuedLock {
+    /// New unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire exclusively, blocking until no holder remains.
+    pub fn lock_exclusive(&self) {
+        let mut inner = self.inner.lock();
+        let mut blocked = false;
+        while inner.exclusive || inner.shared > 0 {
+            blocked = true;
+            inner.waiting += 1;
+            self.stats.polls.fetch_add(1, Ordering::Relaxed);
+            self.cv.wait(&mut inner);
+            inner.waiting -= 1;
+        }
+        inner.exclusive = true;
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if blocked {
+            self.stats.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Acquire shared, blocking while an exclusive holder exists.
+    pub fn lock_shared(&self) {
+        let mut inner = self.inner.lock();
+        let mut blocked = false;
+        while inner.exclusive {
+            blocked = true;
+            inner.waiting += 1;
+            self.stats.polls.fetch_add(1, Ordering::Relaxed);
+            self.cv.wait(&mut inner);
+            inner.waiting -= 1;
+        }
+        inner.shared += 1;
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if blocked {
+            self.stats.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Release an exclusive hold. Returns `false` (and does nothing) if
+    /// the lock is not exclusively held.
+    pub fn unlock_exclusive(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.exclusive {
+            return false;
+        }
+        inner.exclusive = false;
+        self.cv.notify_all();
+        true
+    }
+
+    /// Release one shared hold. Returns `false` if no shared hold exists.
+    pub fn unlock_shared(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.shared == 0 {
+            return false;
+        }
+        inner.shared -= 1;
+        if inner.shared == 0 {
+            self.cv.notify_all();
+        }
+        true
+    }
+
+    /// Try to acquire exclusively without blocking.
+    pub fn try_lock_exclusive(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.exclusive || inner.shared > 0 {
+            self.stats.polls.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        inner.exclusive = true;
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Threads currently blocked waiting for this lock.
+    pub fn waiters(&self) -> u32 {
+        self.inner.lock().waiting
+    }
+
+    /// Contention statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn exclusive_excludes() {
+        let lock = Arc::new(QueuedLock::new());
+        lock.lock_exclusive();
+        assert!(!lock.try_lock_exclusive());
+        assert!(lock.unlock_exclusive());
+        assert!(lock.try_lock_exclusive());
+        assert!(lock.unlock_exclusive());
+    }
+
+    #[test]
+    fn shared_allows_readers_blocks_writer() {
+        let lock = QueuedLock::new();
+        lock.lock_shared();
+        lock.lock_shared();
+        assert!(!lock.try_lock_exclusive());
+        assert!(lock.unlock_shared());
+        assert!(lock.unlock_shared());
+        assert!(lock.try_lock_exclusive());
+    }
+
+    #[test]
+    fn unlock_without_lock_rejected() {
+        let lock = QueuedLock::new();
+        assert!(!lock.unlock_exclusive());
+        assert!(!lock.unlock_shared());
+    }
+
+    #[test]
+    fn contention_counted() {
+        let lock = Arc::new(QueuedLock::new());
+        lock.lock_exclusive();
+        let l2 = Arc::clone(&lock);
+        let t = thread::spawn(move || {
+            l2.lock_exclusive();
+            l2.unlock_exclusive();
+        });
+        // Give the second thread a chance to block.
+        while lock.waiters() == 0 {
+            thread::yield_now();
+        }
+        lock.unlock_exclusive();
+        t.join().unwrap();
+        let (acq, contended, polls) = lock.stats().snapshot();
+        assert_eq!(acq, 2);
+        assert!(contended >= 1);
+        assert!(polls >= 1);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_stress() {
+        let lock = Arc::new(QueuedLock::new());
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    lock.lock_exclusive();
+                    // Non-atomic read-modify-write protected by our lock.
+                    let v = *counter.lock();
+                    *counter.lock() = v + 1;
+                    lock.unlock_exclusive();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8 * 200);
+    }
+}

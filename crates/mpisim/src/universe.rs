@@ -1,0 +1,122 @@
+//! Launching a simulated MPI world: one thread per rank.
+
+use crate::comm::{Comm, CommState};
+use crate::topology::Topology;
+
+/// A rank's handle to the simulated MPI environment — what `MPI_Init`
+/// plus `MPI_COMM_WORLD` gives a real MPI process.
+pub struct Process {
+    world: Comm,
+    topology: Topology,
+}
+
+impl Process {
+    /// The world communicator handle for this rank.
+    pub fn world(&self) -> &Comm {
+        &self.world
+    }
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> u32 {
+        self.world.rank()
+    }
+
+    /// The compute node this rank lives on.
+    pub fn node_id(&self) -> u32 {
+        self.topology.node_of(self.world.rank())
+    }
+
+    /// This rank's index within its node.
+    pub fn local_rank(&self) -> u32 {
+        self.topology.local_rank_of(self.world.rank())
+    }
+
+    /// The launch topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+}
+
+/// Entry point of the simulated runtime.
+pub struct Universe;
+
+impl Universe {
+    /// Launch `topology.world_size()` ranks, run `f` on each (in its own
+    /// OS thread), and return the per-rank results in world-rank order.
+    ///
+    /// Panics if any rank panics (after all other ranks have been
+    /// joined or have panicked too), mirroring `MPI_Abort` semantics.
+    pub fn run<T, F>(topology: Topology, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Process) -> T + Send + Sync,
+    {
+        let size = topology.world_size();
+        let world_state = CommState::new((0..size).collect(), topology);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let state = std::sync::Arc::clone(&world_state);
+                    scope.spawn(move || {
+                        let process = Process {
+                            world: Comm { state, rank },
+                            topology,
+                        };
+                        f(&process)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| e.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into());
+                        panic!("rank {rank} panicked: {msg}");
+                    }
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_get_distinct_ids() {
+        let out = Universe::run(Topology::new(2, 3), |p| p.rank());
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn node_and_local_ranks() {
+        let out = Universe::run(Topology::new(2, 2), |p| (p.node_id(), p.local_rank()));
+        assert_eq!(out, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_propagates() {
+        Universe::run(Topology::new(1, 2), |p| {
+            if p.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 must not deadlock waiting for rank 1.
+        });
+    }
+
+    #[test]
+    fn closure_can_capture_environment() {
+        let base = 100u32;
+        let out = Universe::run(Topology::new(1, 3), |p| base + p.rank());
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+}

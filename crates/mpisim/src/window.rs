@@ -1,0 +1,539 @@
+//! RMA windows: passive-target one-sided operations and MPI-3
+//! shared-memory windows.
+//!
+//! A window is a buffer of `i64` elements contributed per rank (the only
+//! element type the hierarchical DLS queues need — scheduling step and
+//! scheduled-iteration counters). All accesses are sequentially
+//! consistent atomics, which is *stronger* than MPI's separate memory
+//! model but matches the `MPI_Win_lock`/`MPI_Fetch_and_op` usage the
+//! paper relies on.
+
+use crate::comm::{Comm, TAG_WIN};
+use crate::error::{Error, Result};
+use crate::sync::QueuedLock;
+use std::sync::atomic::{fence, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// `MPI_Win_lock` lock type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// `MPI_LOCK_EXCLUSIVE`.
+    Exclusive,
+    /// `MPI_LOCK_SHARED`.
+    Shared,
+}
+
+/// Predefined op for `MPI_Fetch_and_op`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmaOp {
+    /// `MPI_SUM` — fetch-and-add.
+    Sum,
+    /// `MPI_REPLACE` — atomic swap.
+    Replace,
+    /// `MPI_MIN`.
+    Min,
+    /// `MPI_MAX`.
+    Max,
+    /// `MPI_NO_OP` — atomic read.
+    NoOp,
+}
+
+struct WinState {
+    data: Vec<AtomicI64>,
+    /// `(offset, len)` of each rank's region within `data`.
+    regions: Vec<(usize, usize)>,
+    /// One passive-target lock per rank region.
+    locks: Vec<QueuedLock>,
+    shared: bool,
+}
+
+/// A window handle held by one rank. Cloning is cheap.
+///
+/// ```
+/// use mpisim::{RmaOp, Topology, Universe, Window};
+///
+/// let totals = Universe::run(Topology::single_node(4), |p| {
+///     let w = p.world();
+///     let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+///     win.fetch_and_op(0, 0, 1, RmaOp::Sum).unwrap(); // everyone increments
+///     w.barrier();
+///     win.get(0, 0).unwrap()
+/// });
+/// assert_eq!(totals, vec![4; 4]);
+/// ```
+#[derive(Clone)]
+pub struct Window {
+    state: Arc<WinState>,
+    comm: Comm,
+}
+
+impl Window {
+    /// `MPI_Win_create`-style collective allocation: every rank
+    /// contributes `local_len` elements (may differ per rank), zeroed.
+    pub fn allocate(comm: &Comm, local_len: usize) -> Result<Window> {
+        Self::build(comm, local_len, false)
+    }
+
+    /// `MPI_Win_allocate_shared`: like [`Window::allocate`] but requires
+    /// the communicator to be confined to one compute node.
+    pub fn allocate_shared(comm: &Comm, local_len: usize) -> Result<Window> {
+        if comm.node_scope().is_none() {
+            return Err(Error::NotShared);
+        }
+        Self::build(comm, local_len, true)
+    }
+
+    fn build(comm: &Comm, local_len: usize, shared: bool) -> Result<Window> {
+        let lens: Vec<usize> = comm.allgather(local_len)?;
+        let state = if comm.rank() == 0 {
+            let mut regions = Vec::with_capacity(lens.len());
+            let mut offset = 0usize;
+            for &len in &lens {
+                regions.push((offset, len));
+                offset += len;
+            }
+            let state = Arc::new(WinState {
+                data: (0..offset).map(|_| AtomicI64::new(0)).collect(),
+                locks: (0..lens.len()).map(|_| QueuedLock::new()).collect(),
+                regions,
+                shared,
+            });
+            for dest in 1..comm.size() {
+                comm.send(dest, TAG_WIN, Arc::clone(&state))?;
+            }
+            state
+        } else {
+            let (_, _, state): (_, _, Arc<WinState>) = comm.recv(Some(0), Some(TAG_WIN))?;
+            state
+        };
+        Ok(Window { state, comm: comm.clone() })
+    }
+
+    /// The communicator the window was created over.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// True for windows created with [`Window::allocate_shared`].
+    pub fn is_shared(&self) -> bool {
+        self.state.shared
+    }
+
+    /// Length of `target`'s region.
+    pub fn len_of(&self, target: u32) -> Result<usize> {
+        self.region(target).map(|(_, len)| len)
+    }
+
+    fn region(&self, target: u32) -> Result<(usize, usize)> {
+        self.state
+            .regions
+            .get(target as usize)
+            .copied()
+            .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })
+    }
+
+    fn slot(&self, target: u32, disp: usize) -> Result<&AtomicI64> {
+        let (offset, len) = self.region(target)?;
+        if disp >= len {
+            return Err(Error::OffsetOutOfRange { offset: disp, len });
+        }
+        Ok(&self.state.data[offset + disp])
+    }
+
+    /// `MPI_Win_lock(kind, target)`: begin a passive-target access epoch
+    /// on `target`'s region. Blocks until granted.
+    pub fn lock(&self, kind: LockKind, target: u32) -> Result<()> {
+        let lock = self
+            .state
+            .locks
+            .get(target as usize)
+            .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
+        match kind {
+            LockKind::Exclusive => lock.lock_exclusive(),
+            LockKind::Shared => lock.lock_shared(),
+        }
+        Ok(())
+    }
+
+    /// Nonblocking exclusive lock attempt (an extension real MPI lacks;
+    /// useful for tests and backoff schemes). Returns `true` when the
+    /// lock was acquired — the caller must then
+    /// `unlock(LockKind::Exclusive, target)`.
+    pub fn try_lock_exclusive(&self, target: u32) -> Result<bool> {
+        let lock = self
+            .state
+            .locks
+            .get(target as usize)
+            .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
+        Ok(lock.try_lock_exclusive())
+    }
+
+    /// `MPI_Win_unlock(target)`: end the epoch begun by [`Window::lock`].
+    pub fn unlock(&self, kind: LockKind, target: u32) -> Result<()> {
+        let lock = self
+            .state
+            .locks
+            .get(target as usize)
+            .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
+        let ok = match kind {
+            LockKind::Exclusive => lock.unlock_exclusive(),
+            LockKind::Shared => lock.unlock_shared(),
+        };
+        if ok {
+            fence(Ordering::SeqCst);
+            Ok(())
+        } else {
+            Err(Error::NotLocked)
+        }
+    }
+
+    /// `MPI_Fetch_and_op`: atomically apply `op` with `operand` to the
+    /// element at (`target`, `disp`) and return the previous value.
+    pub fn fetch_and_op(&self, target: u32, disp: usize, operand: i64, op: RmaOp) -> Result<i64> {
+        let slot = self.slot(target, disp)?;
+        let prev = match op {
+            RmaOp::Sum => slot.fetch_add(operand, Ordering::SeqCst),
+            RmaOp::Replace => slot.swap(operand, Ordering::SeqCst),
+            RmaOp::Min => slot.fetch_min(operand, Ordering::SeqCst),
+            RmaOp::Max => slot.fetch_max(operand, Ordering::SeqCst),
+            RmaOp::NoOp => slot.load(Ordering::SeqCst),
+        };
+        Ok(prev)
+    }
+
+    /// `MPI_Compare_and_swap`: if the element equals `expected`, replace
+    /// it with `new`; returns the previous value either way.
+    pub fn compare_and_swap(
+        &self,
+        target: u32,
+        disp: usize,
+        expected: i64,
+        new: i64,
+    ) -> Result<i64> {
+        let slot = self.slot(target, disp)?;
+        Ok(match slot.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        })
+    }
+
+    /// `MPI_Get` of one element.
+    pub fn get(&self, target: u32, disp: usize) -> Result<i64> {
+        Ok(self.slot(target, disp)?.load(Ordering::SeqCst))
+    }
+
+    /// `MPI_Put` of one element.
+    pub fn put(&self, target: u32, disp: usize, value: i64) -> Result<()> {
+        self.slot(target, disp)?.store(value, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// `MPI_Get` of a whole region.
+    pub fn get_all(&self, target: u32) -> Result<Vec<i64>> {
+        let (offset, len) = self.region(target)?;
+        Ok(self.state.data[offset..offset + len]
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .collect())
+    }
+
+    /// `MPI_Accumulate` with a predefined op on a single element — like
+    /// [`Window::fetch_and_op`] but without returning the old value.
+    pub fn accumulate(&self, target: u32, disp: usize, operand: i64, op: RmaOp) -> Result<()> {
+        self.fetch_and_op(target, disp, operand, op).map(|_| ())
+    }
+
+    /// `MPI_Get` of `len` consecutive elements starting at `disp`.
+    pub fn get_range(&self, target: u32, disp: usize, len: usize) -> Result<Vec<i64>> {
+        let (offset, region_len) = self.region(target)?;
+        if disp + len > region_len {
+            return Err(Error::OffsetOutOfRange { offset: disp + len, len: region_len });
+        }
+        Ok(self.state.data[offset + disp..offset + disp + len]
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .collect())
+    }
+
+    /// `MPI_Put` of consecutive elements starting at `disp`.
+    pub fn put_range(&self, target: u32, disp: usize, values: &[i64]) -> Result<()> {
+        let (offset, region_len) = self.region(target)?;
+        if disp + values.len() > region_len {
+            return Err(Error::OffsetOutOfRange {
+                offset: disp + values.len(),
+                len: region_len,
+            });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.state.data[offset + disp + i].store(v, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    /// `MPI_Win_lock_all`: shared-lock every rank's region (ascending
+    /// rank order, so concurrent `lock_all` calls cannot deadlock).
+    pub fn lock_all(&self) {
+        for lock in &self.state.locks {
+            lock.lock_shared();
+        }
+    }
+
+    /// `MPI_Win_unlock_all`: release the epoch begun by
+    /// [`Window::lock_all`].
+    pub fn unlock_all(&self) -> Result<()> {
+        for lock in &self.state.locks {
+            if !lock.unlock_shared() {
+                return Err(Error::NotLocked);
+            }
+        }
+        fence(Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// `MPI_Win_flush`: complete outstanding operations at `target`.
+    /// All operations in this runtime complete eagerly, so this is a
+    /// memory fence.
+    pub fn flush(&self, _target: u32) {
+        fence(Ordering::SeqCst);
+    }
+
+    /// `MPI_Win_sync`: memory barrier for the unified window model.
+    pub fn sync(&self) {
+        fence(Ordering::SeqCst);
+    }
+
+    /// Contention statistics of `target`'s lock:
+    /// `(acquisitions, contended, polls)`.
+    pub fn lock_stats(&self, target: u32) -> Result<(u64, u64, u64)> {
+        let lock = self
+            .state
+            .locks
+            .get(target as usize)
+            .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
+        Ok(lock.stats().snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Topology, Universe};
+
+    #[test]
+    fn fetch_and_add_is_atomic_across_ranks() {
+        let out = Universe::run(Topology::new(2, 4), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+            // Every rank increments rank 0's counter 100 times.
+            let mut last = 0;
+            for _ in 0..100 {
+                last = win.fetch_and_op(0, 0, 1, RmaOp::Sum).unwrap();
+            }
+            w.barrier();
+            let total = win.get(0, 0).unwrap();
+            assert_eq!(total, 800);
+            last
+        });
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn compare_and_swap_unique_winner() {
+        let out = Universe::run(Topology::new(1, 8), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+            let prev = win.compare_and_swap(0, 0, 0, i64::from(w.rank()) + 1).unwrap();
+            w.barrier();
+            prev == 0
+        });
+        assert_eq!(out.iter().filter(|&&won| won).count(), 1);
+    }
+
+    #[test]
+    fn shared_window_requires_single_node_comm() {
+        Universe::run(Topology::new(2, 2), |p| {
+            let w = p.world();
+            assert!(matches!(Window::allocate_shared(w, 1), Err(Error::NotShared)));
+            let node = w.split_shared().unwrap();
+            let win = Window::allocate_shared(&node, 2).unwrap();
+            assert!(win.is_shared());
+        });
+    }
+
+    #[test]
+    fn shared_window_visible_to_node_peers() {
+        Universe::run(Topology::new(2, 2), |p| {
+            let node = p.world().split_shared().unwrap();
+            let win = Window::allocate_shared(&node, 1).unwrap();
+            if node.rank() == 0 {
+                win.put(0, 0, 1000 + i64::from(p.node_id())).unwrap();
+            }
+            node.barrier();
+            let v = win.get(0, 0).unwrap();
+            assert_eq!(v, 1000 + i64::from(p.node_id()));
+        });
+    }
+
+    #[test]
+    fn exclusive_lock_serialises_read_modify_write() {
+        let out = Universe::run(Topology::new(1, 8), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+            for _ in 0..50 {
+                win.lock(LockKind::Exclusive, 0).unwrap();
+                // Unprotected get+put would race; the lock must make it safe.
+                let v = win.get(0, 0).unwrap();
+                win.put(0, 0, v + 1).unwrap();
+                win.unlock(LockKind::Exclusive, 0).unwrap();
+            }
+            w.barrier();
+            win.get(0, 0).unwrap()
+        });
+        assert_eq!(out[0], 400);
+    }
+
+    #[test]
+    fn unlock_without_lock_is_error() {
+        Universe::run(Topology::new(1, 1), |p| {
+            let win = Window::allocate(p.world(), 1).unwrap();
+            assert_eq!(
+                win.unlock(LockKind::Exclusive, 0).unwrap_err(),
+                Error::NotLocked
+            );
+        });
+    }
+
+    #[test]
+    fn offset_out_of_range() {
+        Universe::run(Topology::new(1, 1), |p| {
+            let win = Window::allocate(p.world(), 2).unwrap();
+            assert!(matches!(
+                win.get(0, 2),
+                Err(Error::OffsetOutOfRange { offset: 2, len: 2 })
+            ));
+        });
+    }
+
+    #[test]
+    fn regions_are_per_rank() {
+        Universe::run(Topology::new(1, 3), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, 1).unwrap();
+            win.put(w.rank(), 0, i64::from(w.rank()) * 7).unwrap();
+            w.barrier();
+            for r in 0..3 {
+                assert_eq!(win.get(r, 0).unwrap(), i64::from(r) * 7);
+            }
+        });
+    }
+
+    #[test]
+    fn min_max_noop_ops() {
+        Universe::run(Topology::new(1, 1), |p| {
+            let win = Window::allocate(p.world(), 1).unwrap();
+            win.put(0, 0, 10).unwrap();
+            assert_eq!(win.fetch_and_op(0, 0, 3, RmaOp::Min).unwrap(), 10);
+            assert_eq!(win.get(0, 0).unwrap(), 3);
+            assert_eq!(win.fetch_and_op(0, 0, 50, RmaOp::Max).unwrap(), 3);
+            assert_eq!(win.get(0, 0).unwrap(), 50);
+            assert_eq!(win.fetch_and_op(0, 0, 123, RmaOp::NoOp).unwrap(), 50);
+            assert_eq!(win.get(0, 0).unwrap(), 50);
+            assert_eq!(win.fetch_and_op(0, 0, -7, RmaOp::Replace).unwrap(), 50);
+            assert_eq!(win.get(0, 0).unwrap(), -7);
+        });
+    }
+
+    #[test]
+    fn lock_stats_counted() {
+        Universe::run(Topology::new(1, 4), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+            for _ in 0..25 {
+                win.lock(LockKind::Exclusive, 0).unwrap();
+                win.unlock(LockKind::Exclusive, 0).unwrap();
+            }
+            w.barrier();
+            let (acq, _, _) = win.lock_stats(0).unwrap();
+            assert_eq!(acq, 100);
+        });
+    }
+
+    #[test]
+    fn range_put_get_roundtrip() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, 5).unwrap();
+            if w.rank() == 0 {
+                win.put_range(1, 1, &[10, 20, 30]).unwrap();
+            }
+            w.barrier();
+            assert_eq!(win.get_range(1, 1, 3).unwrap(), vec![10, 20, 30]);
+            assert_eq!(win.get(1, 0).unwrap(), 0);
+            assert_eq!(win.get(1, 4).unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn range_bounds_checked() {
+        Universe::run(Topology::new(1, 1), |p| {
+            let win = Window::allocate(p.world(), 3).unwrap();
+            assert!(win.get_range(0, 2, 2).is_err());
+            assert!(win.put_range(0, 0, &[1, 2, 3, 4]).is_err());
+            assert!(win.get_range(0, 0, 3).is_ok());
+        });
+    }
+
+    #[test]
+    fn accumulate_applies_op() {
+        Universe::run(Topology::new(1, 4), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+            win.accumulate(0, 0, 5, RmaOp::Sum).unwrap();
+            w.barrier();
+            assert_eq!(win.get(0, 0).unwrap(), 20);
+        });
+    }
+
+    #[test]
+    fn lock_all_excludes_exclusive() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, 1).unwrap();
+            if w.rank() == 0 {
+                win.lock_all();
+                w.send(1, 0, ()).unwrap();
+                let (_, _, ()) = w.recv(Some(1), Some(1)).unwrap();
+                win.unlock_all().unwrap();
+            } else {
+                let (_, _, ()) = w.recv(Some(0), Some(0)).unwrap();
+                // While rank 0 holds the shared lock_all, an exclusive
+                // try-lock cannot succeed (QueuedLock semantics).
+                assert!(!win.try_lock_exclusive(0).unwrap());
+                w.send(0, 1, ()).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn unlock_all_without_lock_errors() {
+        Universe::run(Topology::new(1, 1), |p| {
+            let win = Window::allocate(p.world(), 1).unwrap();
+            assert!(win.unlock_all().is_err());
+        });
+    }
+
+    #[test]
+    fn get_all_region() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, 3).unwrap();
+            if w.rank() == 1 {
+                for i in 0..3 {
+                    win.put(1, i, i as i64 + 1).unwrap();
+                }
+            }
+            w.barrier();
+            assert_eq!(win.get_all(1).unwrap(), vec![1, 2, 3]);
+        });
+    }
+}

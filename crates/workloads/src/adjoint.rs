@@ -1,0 +1,105 @@
+//! Adjoint convolution — a classic irregular-loop benchmark from the
+//! DLS literature (used by Banicescu et al. for factoring/AWF studies):
+//! `a[i] = sum_{j=i}^{N-1} b[j] * c[j-i]`, so iteration `i` performs
+//! `N - i` multiply-accumulates — a perfectly linear, monotonically
+//! *decreasing* cost profile, the adversarial case for STATIC block
+//! scheduling (the first block costs almost twice the mean).
+
+use crate::Workload;
+
+/// Adjoint convolution over synthetic operand vectors.
+pub struct AdjointConvolution {
+    b: Vec<f64>,
+    c: Vec<f64>,
+    /// Virtual cost per multiply-accumulate (ns).
+    pub ns_per_mac: u64,
+    /// Fixed virtual cost per iteration (ns).
+    pub ns_base: u64,
+}
+
+impl AdjointConvolution {
+    /// Problem of size `n` with deterministic, seed-derived operands.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mix = |x: u64| {
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let unit = |h: u64| (h >> 11) as f64 / (1u64 << 53) as f64;
+        let b = (0..n).map(|i| unit(mix(seed ^ i as u64)) * 2.0 - 1.0).collect();
+        let c = (0..n).map(|i| unit(mix(!seed ^ i as u64)) * 2.0 - 1.0).collect();
+        Self { b, c, ns_per_mac: 4, ns_base: 100 }
+    }
+
+    /// Compute `a[i]` with the real kernel.
+    pub fn value(&self, i: usize) -> f64 {
+        let n = self.b.len();
+        (i..n).map(|j| self.b[j] * self.c[j - i]).sum()
+    }
+}
+
+impl Workload for AdjointConvolution {
+    fn n_iters(&self) -> u64 {
+        self.b.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "AdjointConvolution"
+    }
+
+    fn execute(&self, i: u64) -> u64 {
+        // Quantised so parallel and serial runs compare bit-exactly.
+        (self.value(i as usize) * 1024.0).round() as i64 as u64
+    }
+
+    fn cost(&self, i: u64) -> u64 {
+        self.ns_base + (self.n_iters() - i) * self.ns_per_mac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostTable;
+
+    #[test]
+    fn cost_is_linearly_decreasing() {
+        let w = AdjointConvolution::new(100, 7);
+        for i in 1..100 {
+            assert_eq!(w.cost(i - 1) - w.cost(i), w.ns_per_mac);
+        }
+        assert_eq!(w.cost(99), 100 + 4);
+        assert_eq!(w.cost(0), 100 + 100 * 4);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        let w = AdjointConvolution::new(16, 3);
+        // Reference: direct double loop.
+        for i in 0..16usize {
+            let mut acc = 0.0;
+            for j in i..16 {
+                acc += w.b[j] * w.c[j - i];
+            }
+            assert_eq!(w.value(i), acc);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AdjointConvolution::new(64, 9);
+        let b = AdjointConvolution::new(64, 9);
+        assert!((0..64).all(|i| a.execute(i) == b.execute(i)));
+        let c = AdjointConvolution::new(64, 10);
+        assert!((0..64).any(|i| a.execute(i) != c.execute(i)));
+    }
+
+    #[test]
+    fn front_loaded_imbalance() {
+        let w = AdjointConvolution::new(1_000, 1);
+        let s = CostTable::build(&w).stats();
+        // Linear ramp: max ~ 2x mean.
+        assert!((s.imbalance_factor() - 2.0).abs() < 0.1, "{}", s.imbalance_factor());
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic oriented point clouds.
+//!
+//! Substitute for the paper's proprietary 3-D scan datasets. The
+//! scheduler only sees per-iteration *cost*, which for spin-images is
+//! driven by local point density — so clouds with controlled density
+//! variation reproduce the relevant behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An oriented point cloud: positions and unit normals.
+#[derive(Clone, Debug)]
+pub struct PointCloud {
+    /// Point positions.
+    pub points: Vec<[f64; 3]>,
+    /// Unit surface normals, one per point.
+    pub normals: Vec<[f64; 3]>,
+}
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    if n > 0.0 {
+        [v[0] / n, v[1] / n, v[2] / n]
+    } else {
+        [1.0, 0.0, 0.0]
+    }
+}
+
+impl PointCloud {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the cloud has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points uniformly distributed on a unit sphere, radial normals —
+    /// near-uniform density (low imbalance).
+    pub fn sphere(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(n);
+        let mut normals = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Marsaglia: uniform direction via normalized gaussians.
+            let dir = normalize([
+                gaussian(&mut rng),
+                gaussian(&mut rng),
+                gaussian(&mut rng),
+            ]);
+            points.push(dir);
+            normals.push(dir);
+        }
+        Self { points, normals }
+    }
+
+    /// Points on a torus `(R, r)` centred at the origin, analytic
+    /// normals — ring-shaped density.
+    pub fn torus(n: usize, major: f64, minor: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(n);
+        let mut normals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u = rng.gen::<f64>() * std::f64::consts::TAU;
+            let v = rng.gen::<f64>() * std::f64::consts::TAU;
+            let ring = [u.cos() * major, u.sin() * major, 0.0];
+            let p = [
+                (major + minor * v.cos()) * u.cos(),
+                (major + minor * v.cos()) * u.sin(),
+                minor * v.sin(),
+            ];
+            points.push(p);
+            normals.push(normalize([p[0] - ring[0], p[1] - ring[1], p[2] - ring[2]]));
+        }
+        Self { points, normals }
+    }
+
+    /// Gaussian clusters centred on a unit sphere — *uneven* density,
+    /// the default PSIA substrate (moderate imbalance: spin-images of
+    /// points inside dense clusters bin many more neighbours).
+    pub fn clustered(n: usize, clusters: usize, seed: u64) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centres: Vec<[f64; 3]> = (0..clusters)
+            .map(|_| {
+                normalize([gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng)])
+            })
+            .collect();
+        // Uneven cluster populations: cluster k gets weight (k+1).
+        let total_weight: usize = (1..=clusters).sum();
+        let mut points = Vec::with_capacity(n);
+        let mut normals = Vec::with_capacity(n);
+        for (k, centre) in centres.iter().enumerate() {
+            let share = n * (k + 1) / total_weight;
+            let spread = 0.18;
+            for _ in 0..share {
+                let p = [
+                    centre[0] + gaussian(&mut rng) * spread,
+                    centre[1] + gaussian(&mut rng) * spread,
+                    centre[2] + gaussian(&mut rng) * spread,
+                ];
+                points.push(p);
+                normals.push(normalize(p));
+            }
+        }
+        // Fill rounding remainder with points in the last cluster.
+        while points.len() < n {
+            let centre = centres[clusters - 1];
+            let p = [
+                centre[0] + gaussian(&mut rng) * 0.18,
+                centre[1] + gaussian(&mut rng) * 0.18,
+                centre[2] + gaussian(&mut rng) * 0.18,
+            ];
+            points.push(p);
+            normals.push(normalize(p));
+        }
+        Self { points, normals }
+    }
+}
+
+/// Standard gaussian via Box-Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_points_on_unit_sphere() {
+        let c = PointCloud::sphere(100, 1);
+        assert_eq!(c.len(), 100);
+        for p in &c.points {
+            let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normals_are_unit() {
+        for c in [
+            PointCloud::sphere(50, 2),
+            PointCloud::torus(50, 2.0, 0.5, 2),
+            PointCloud::clustered(50, 4, 2),
+        ] {
+            for n in &c.normals {
+                let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+                assert!((len - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PointCloud::clustered(64, 4, 42);
+        let b = PointCloud::clustered(64, 4, 42);
+        assert_eq!(a.points, b.points);
+        let c = PointCloud::clustered(64, 4, 43);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn clustered_requests_exact_count() {
+        for n in [10, 63, 100, 4096] {
+            assert_eq!(PointCloud::clustered(n, 7, 0).len(), n);
+        }
+    }
+
+    #[test]
+    fn torus_points_near_torus_surface() {
+        let c = PointCloud::torus(100, 2.0, 0.5, 9);
+        for p in &c.points {
+            let ring = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let d = ((ring - 2.0).powi(2) + p[2] * p[2]).sqrt();
+            assert!((d - 0.5).abs() < 1e-9);
+        }
+    }
+}

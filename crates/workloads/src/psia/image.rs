@@ -1,0 +1,174 @@
+//! The spin-image kernel (Johnson, 1997): bin the cloud into a 2-D
+//! histogram in cylindrical coordinates around one oriented point.
+
+use super::cloud::PointCloud;
+
+/// Spin-image generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinImageParams {
+    /// Image width (and height) in bins, `W`.
+    pub image_width: usize,
+    /// Side length of one bin in model units.
+    pub bin_size: f64,
+    /// Support-angle filter: candidates whose normal deviates from the
+    /// oriented point's normal by more than this cosine are skipped.
+    pub support_angle_cos: f64,
+}
+
+impl Default for SpinImageParams {
+    fn default() -> Self {
+        Self { image_width: 16, bin_size: 0.05, support_angle_cos: -1.0 }
+    }
+}
+
+/// A generated spin image plus its kernel statistics.
+#[derive(Clone, Debug)]
+pub struct SpinImage {
+    /// Row-major `W x W` histogram (bilinear-weighted counts).
+    pub bins: Vec<f32>,
+    /// Image width `W`.
+    pub width: usize,
+    /// Number of cloud points that fell inside the support and were
+    /// binned — the quantity that drives per-iteration cost.
+    pub contributing: u64,
+}
+
+impl SpinImage {
+    /// Quantised total mass of the histogram, for checksums.
+    pub fn mass_checksum(&self) -> u64 {
+        (self.bins.iter().map(|&b| f64::from(b)).sum::<f64>() * 16.0).round() as u64
+    }
+}
+
+/// Generate the spin image of oriented point `idx`.
+///
+/// For every other point `x`, with `p` the oriented point and `n` its
+/// normal: `beta = n . (x - p)` (elevation along the normal) and
+/// `alpha = sqrt(|x - p|^2 - beta^2)` (radial distance). Points with
+/// `0 <= alpha < W*bin` and `|beta| < (W/2)*bin` are accumulated
+/// bilinearly into the `W x W` histogram.
+pub fn spin_image(cloud: &PointCloud, idx: usize, params: &SpinImageParams) -> SpinImage {
+    let w = params.image_width;
+    let mut bins = vec![0.0f32; w * w];
+    let p = cloud.points[idx];
+    let n = cloud.normals[idx];
+    let alpha_max = w as f64 * params.bin_size;
+    let beta_max = (w as f64 / 2.0) * params.bin_size;
+    let mut contributing = 0u64;
+
+    for j in 0..cloud.len() {
+        if j == idx {
+            continue;
+        }
+        // Support-angle filter.
+        let nj = cloud.normals[j];
+        if n[0] * nj[0] + n[1] * nj[1] + n[2] * nj[2] < params.support_angle_cos {
+            continue;
+        }
+        let d = [
+            cloud.points[j][0] - p[0],
+            cloud.points[j][1] - p[1],
+            cloud.points[j][2] - p[2],
+        ];
+        let beta = n[0] * d[0] + n[1] * d[1] + n[2] * d[2];
+        let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        let alpha2 = dist2 - beta * beta;
+        if alpha2 < 0.0 {
+            continue; // numerical noise
+        }
+        let alpha = alpha2.sqrt();
+        if alpha >= alpha_max || beta.abs() >= beta_max {
+            continue;
+        }
+        // Continuous bin coordinates; beta = 0 maps to the vertical centre.
+        let a = alpha / params.bin_size;
+        let b = (beta_max - beta) / params.bin_size;
+        let ai = (a.floor() as usize).min(w - 1);
+        let bi = (b.floor() as usize).min(w - 1);
+        let fa = (a - ai as f64).clamp(0.0, 1.0);
+        let fb = (b - bi as f64).clamp(0.0, 1.0);
+        // Bilinear accumulation into up to four bins.
+        let mut add = |row: usize, col: usize, weight: f64| {
+            if row < w && col < w {
+                bins[row * w + col] += weight as f32;
+            }
+        };
+        add(bi, ai, (1.0 - fa) * (1.0 - fb));
+        add(bi, ai + 1, fa * (1.0 - fb));
+        add(bi + 1, ai, (1.0 - fa) * fb);
+        add(bi + 1, ai + 1, fa * fb);
+        contributing += 1;
+    }
+
+    SpinImage { bins, width: w, contributing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_point_cloud(offset: [f64; 3]) -> PointCloud {
+        PointCloud {
+            points: vec![[0.0, 0.0, 0.0], offset],
+            normals: vec![[0.0, 0.0, 1.0], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    #[test]
+    fn neighbour_within_support_is_binned() {
+        let cloud = two_point_cloud([0.1, 0.0, 0.1]);
+        let img = spin_image(&cloud, 0, &SpinImageParams::default());
+        assert_eq!(img.contributing, 1);
+        let mass: f32 = img.bins.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-5, "bilinear weights must sum to 1, got {mass}");
+    }
+
+    #[test]
+    fn far_point_is_outside_support() {
+        let cloud = two_point_cloud([10.0, 0.0, 0.0]);
+        let img = spin_image(&cloud, 0, &SpinImageParams::default());
+        assert_eq!(img.contributing, 0);
+        assert!(img.bins.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn beta_outside_vertical_support_skipped() {
+        // alpha = 0, beta = 10 bins above centre but W/2 = 8.
+        let cloud = two_point_cloud([0.0, 0.0, 0.5]);
+        let img = spin_image(&cloud, 0, &SpinImageParams::default());
+        assert_eq!(img.contributing, 0);
+    }
+
+    #[test]
+    fn support_angle_filter() {
+        let cloud = PointCloud {
+            points: vec![[0.0, 0.0, 0.0], [0.1, 0.0, 0.0]],
+            normals: vec![[0.0, 0.0, 1.0], [0.0, 0.0, -1.0]],
+        };
+        // Require normals within 90 degrees.
+        let mut params = SpinImageParams { support_angle_cos: 0.0, ..Default::default() };
+        let img = spin_image(&cloud, 0, &params);
+        assert_eq!(img.contributing, 0);
+        params.support_angle_cos = -1.0;
+        let img = spin_image(&cloud, 0, &params);
+        assert_eq!(img.contributing, 1);
+    }
+
+    #[test]
+    fn self_point_excluded() {
+        let cloud = two_point_cloud([100.0, 100.0, 100.0]);
+        let img = spin_image(&cloud, 0, &SpinImageParams::default());
+        assert_eq!(img.contributing, 0);
+    }
+
+    #[test]
+    fn beta_sign_maps_to_rows() {
+        // Above the tangent plane (beta > 0) lands in the upper half.
+        let above = two_point_cloud([0.05, 0.0, 0.2]);
+        let img = spin_image(&above, 0, &SpinImageParams::default());
+        let w = img.width;
+        let top_half: f32 = img.bins[..w * w / 2].iter().sum();
+        let bottom_half: f32 = img.bins[w * w / 2..].iter().sum();
+        assert!(top_half > bottom_half);
+    }
+}

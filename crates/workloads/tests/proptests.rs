@@ -1,0 +1,73 @@
+//! Property tests for the workloads: determinism, cost/execute
+//! consistency, traversal bijectivity, and stream semantics.
+
+use proptest::prelude::*;
+use workloads::synthetic::Synthetic;
+use workloads::{CostTable, Mandelbrot, Psia, PsiaStream, Traversal, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthetic_cost_is_pure(n in 1u64..2_000, seed in any::<u64>(), idx in 0u64..2_000) {
+        prop_assume!(idx < n);
+        let w = Synthetic::exponential(n, 250.0, seed);
+        prop_assert_eq!(w.cost(idx), w.cost(idx));
+        prop_assert_eq!(w.execute(idx), w.execute(idx));
+    }
+
+    #[test]
+    fn cost_table_total_matches_sum(n in 1u64..1_500, seed in any::<u64>()) {
+        let w = Synthetic::uniform(n, 5, 500, seed);
+        let t = CostTable::build(&w);
+        let direct: u64 = (0..n).map(|i| w.cost(i)).sum();
+        prop_assert_eq!(t.stats().total, direct);
+        prop_assert_eq!(t.range_cost(0, n), direct);
+    }
+
+    #[test]
+    fn range_cost_is_additive(n in 2u64..1_000, split in 1u64..999, seed in any::<u64>()) {
+        prop_assume!(split < n);
+        let w = Synthetic::gaussian(n, 200.0, 30.0, seed);
+        let t = CostTable::build(&w);
+        prop_assert_eq!(
+            t.range_cost(0, split) + t.range_cost(split, n),
+            t.range_cost(0, n)
+        );
+    }
+
+    #[test]
+    fn mandelbrot_tile_shuffle_bijective(tile_pow in 0u32..5) {
+        let mut m = Mandelbrot::tiny();
+        let tile = 1u32 << tile_pow; // powers of two divide 32*24
+        m.traversal = Traversal::TiledShuffle { tile };
+        let n = m.n_iters();
+        let mut seen = vec![false; n as usize];
+        for i in 0..n {
+            let p = m.pixel_of(i);
+            prop_assert!(p < n);
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn psia_stream_frame_periodic_checksums(frames in 1u64..5, idx in 0u64..192) {
+        let s = PsiaStream::new(Psia::tiny(), frames, 0.1);
+        let n = s.base().n_iters();
+        prop_assume!(idx < n);
+        for f in 1..frames {
+            prop_assert_eq!(s.execute(idx), s.execute(idx + f * n));
+        }
+    }
+
+    #[test]
+    fn stats_bounds(n in 1u64..2_000, lo in 1u64..100, span in 0u64..400, seed in any::<u64>()) {
+        let w = Synthetic::uniform(n, lo, lo + span, seed);
+        let s = CostTable::build(&w).stats();
+        prop_assert!(s.min >= lo);
+        prop_assert!(s.max <= lo + span);
+        prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        prop_assert!(s.imbalance_factor() >= 1.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Technique study on the adjoint-convolution benchmark (the classic
+//! front-loaded workload of the DLS literature): which intra-node
+//! technique copes best with a perfectly linear, decreasing cost
+//! profile, and how the two approaches compare on it.
+//!
+//! ```text
+//! cargo run --release --example adjoint_study
+//! ```
+
+use hdls::prelude::*;
+use workloads::AdjointConvolution;
+
+fn main() {
+    let mut w = AdjointConvolution::new(60_000, 0xADC0);
+    w.ns_per_mac = 12; // mean iteration ~360us at N = 60k
+    let table = CostTable::build(&w);
+    let stats = table.stats();
+    println!(
+        "adjoint convolution: N = {}, serial {:.1}s, max/mean = {:.2} (front-loaded)\n",
+        table.n_iters(),
+        stats.total as f64 / 1e9,
+        stats.imbalance_factor()
+    );
+
+    // Verify the parallel kernel against serial once.
+    let serial: u64 = (0..w.n_iters()).map(|i| w.execute(i)).sum();
+    let live = HierSchedule::builder()
+        .inter(Kind::FAC2)
+        .intra(Kind::GSS)
+        .nodes(2)
+        .workers_per_node(3)
+        .build()
+        .run_live(&AdjointConvolution::new(600, 0xADC0));
+    let small_serial: u64 =
+        (0..600).map(|i| AdjointConvolution::new(600, 0xADC0).execute(i)).sum();
+    assert_eq!(live.checksum, small_serial);
+    let _ = serial;
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "intra", "MPI+MPI", "MPI+OpenMP", "ratio"
+    );
+    for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+        let run = |approach| {
+            HierSchedule::builder()
+                .inter(Kind::GSS)
+                .intra(intra)
+                .approach(approach)
+                .nodes(4)
+                .workers_per_node(16)
+                .build()
+                .simulate(&table)
+                .seconds()
+        };
+        let mm = run(Approach::MpiMpi);
+        let spec = HierSpec::new(Kind::GSS, intra);
+        if spec.supported_by_openmp() {
+            let mo = run(Approach::MpiOpenMp);
+            println!("{:<10} {:>11.3}s {:>11.3}s {:>9.2}x", intra.name(), mm, mo, mo / mm);
+        } else {
+            println!("{:<10} {:>11.3}s {:>12} {:>10}", intra.name(), mm, "(n/a)", "-");
+        }
+    }
+
+    println!(
+        "\nThe front-loaded ramp makes STATIC's first block nearly twice\n\
+         the mean — factoring-family techniques (FAC2 first chunk = half\n\
+         of GSS's) were designed for exactly this shape."
+    );
+}

@@ -1,0 +1,52 @@
+//! DLS playground: print the chunk sequences, step counts and overhead
+//! spectrum of every technique for a loop — the "DLS spectrum" the
+//! paper's background section describes, as runnable output.
+//!
+//! ```text
+//! cargo run --release --example dls_playground [N] [P]
+//! ```
+
+use dls::analysis::{overhead_spectrum, profile, step_bound};
+use dls::sequence::ChunkSequence;
+use dls::{Kind, LoopSpec, Technique};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let p: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let spec = LoopSpec::new(n, p).with_stats(1.0, 0.3).with_overhead(0.05);
+
+    println!("loop: N = {n} iterations over P = {p} workers\n");
+
+    for kind in Kind::ALL {
+        let t = Technique::from_kind(kind);
+        let sizes: Vec<u64> = ChunkSequence::new(&spec, &t).map(|c| c.len).collect();
+        let shown = 12.min(sizes.len());
+        let head: Vec<String> = sizes[..shown].iter().map(u64::to_string).collect();
+        let ellipsis = if sizes.len() > shown { ", ..." } else { "" };
+        println!("{kind:<7} [{}{}]", head.join(", "), ellipsis);
+    }
+
+    println!("\nscheduling-overhead spectrum (steps = chunks handed out):");
+    println!("  {:<8} {:>7} {:>12} {:>12} {:>12}", "", "steps", "bound", "min chunk", "max chunk");
+    for (kind, steps) in overhead_spectrum(&spec) {
+        let prof = profile(&spec, &Technique::from_kind(kind));
+        let bound = step_bound(kind, n, p)
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  {:<8} {:>7} {:>12} {:>12} {:>12}",
+            kind.name(),
+            steps,
+            bound,
+            prof.min_chunk,
+            prof.max_chunk
+        );
+    }
+
+    println!(
+        "\nWith a per-step overhead h, total scheduling cost is steps x h:\n\
+         SS pays it N times, STATIC only P times — the trade-off every\n\
+         technique above balances differently."
+    );
+}

@@ -1,0 +1,80 @@
+//! Mandelbrot over a virtual cluster: sweep the paper's scheduling
+//! combinations on a reduced Mandelbrot instance and print a comparison
+//! table — a miniature of the paper's Figures 4-7.
+//!
+//! ```text
+//! cargo run --release --example mandelbrot_cluster
+//! ```
+
+use hdls::prelude::*;
+use workloads::Traversal;
+
+fn main() {
+    // A reduced boundary-zoom Mandelbrot (the full paper-scale instance
+    // lives behind `Mandelbrot::paper()`; this one keeps the example
+    // fast). The per-iteration virtual cost is scaled so the totals stay
+    // in the paper's regime.
+    let mandelbrot = Mandelbrot {
+        width: 1024,
+        height: 768,
+        max_iter: 50_000,
+        re: (-0.7485, -0.7445),
+        im: (0.1290, 0.1330),
+        ns_per_iter: 4_000,
+        ns_base: 500,
+        traversal: Traversal::TiledShuffle { tile: 48 },
+    };
+    println!("computing escape times for {} pixels...", mandelbrot.n_iters());
+    let table = CostTable::build(&mandelbrot);
+    let stats = table.stats();
+    println!(
+        "serial time {:.1}s (virtual), cost cov {:.2}\n",
+        stats.total as f64 / 1e9,
+        stats.cov()
+    );
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "combination", "MPI+MPI", "MPI+OpenMP", "ratio"
+    );
+    for inter in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2] {
+        for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+            let spec = HierSpec::new(inter, intra);
+            let run = |approach| {
+                HierSchedule::builder()
+                    .inter(inter)
+                    .intra(intra)
+                    .approach(approach)
+                    .nodes(4)
+                    .workers_per_node(16)
+                    .build()
+                    .simulate(&table)
+                    .seconds()
+            };
+            let mm = run(Approach::MpiMpi);
+            if spec.supported_by_openmp() {
+                let mo = run(Approach::MpiOpenMp);
+                println!(
+                    "{:<14} {:>11.2}s {:>11.2}s {:>7.2}x",
+                    spec.label(),
+                    mm,
+                    mo,
+                    mo / mm
+                );
+            } else {
+                println!(
+                    "{:<14} {:>11.2}s {:>12} {:>8}",
+                    spec.label(),
+                    mm,
+                    "(n/a)",
+                    "-"
+                );
+            }
+        }
+    }
+    println!(
+        "\n(n/a): the Intel OpenMP runtime only offers static/dynamic/guided,\n\
+         so TSS/FAC2 at the intra-node level exist only under MPI+MPI —\n\
+         one of the paper's arguments for the proposed approach."
+    );
+}

@@ -1,0 +1,64 @@
+//! Reproduce the motivation for hierarchical DLS: the master-worker
+//! execution models the paper's related work describes, side by side
+//! with the paper's two hierarchical approaches.
+//!
+//! "For a large number of workers, the master may simultaneously
+//! receive a large number [of] work requests, and ... the master
+//! becomes a performance bottleneck." — Section 2.
+//!
+//! ```text
+//! cargo run --release --example master_worker_bottleneck
+//! ```
+
+use hdls::prelude::*;
+
+fn main() {
+    // Fine-grained work amplifies request traffic: 200k cheap iterations.
+    let workload = Synthetic::uniform(200_000, 1_000, 20_000, 17);
+    let table = CostTable::build(&workload);
+    println!(
+        "workload: {} iterations, serial {:.2}s (virtual)\n",
+        table.n_iters(),
+        table.stats().total as f64 / 1e9
+    );
+
+    // Every model hands workers SS-granularity work (one iteration per
+    // request — maximum balance, maximum request traffic); what differs
+    // is *who* serves the requests.
+    type ModelRunner = fn(&HierSchedule, &CostTable) -> f64;
+    println!(
+        "{:<36} {:>8} {:>8} {:>8} {:>8}",
+        "who serves the SS requests", "2 nodes", "4 nodes", "8 nodes", "16 nodes"
+    );
+    let models: [(&str, ModelRunner); 4] = [
+        ("one global master (flat, DLB)", |s, t| s.simulate_flat_master_worker(t).seconds()),
+        ("per-node masters (HDSS)", |s, t| s.simulate_master_worker(t).seconds()),
+        ("OpenMP dispatcher (MPI+OpenMP)", |s, t| s.simulate(t).seconds()),
+        ("shared window queue (MPI+MPI)", |s, t| s.simulate(t).seconds()),
+    ];
+    for (i, (label, run)) in models.iter().enumerate() {
+        print!("{label:<36}");
+        for nodes in [2u32, 4, 8, 16] {
+            let schedule = HierSchedule::builder()
+                // Flat: SS straight from the global master. Hierarchical
+                // models: GSS chunks to nodes, SS within the node.
+                .inter(if i == 0 { Kind::SS } else { Kind::GSS })
+                .intra(Kind::SS)
+                .approach(if i == 2 { Approach::MpiOpenMp } else { Approach::MpiMpi })
+                .nodes(nodes)
+                .workers_per_node(16)
+                .build();
+            print!(" {:>7.3}s", run(&schedule, &table));
+        }
+        println!();
+    }
+
+    println!(
+        "\nThe flat master serializes all 200k requests: its runtime barely\n\
+         moves as nodes are added — the bottleneck that motivated\n\
+         hierarchical DLS. Distributing the service (per-node masters,\n\
+         OpenMP dispatch, or the paper's shared window queue) restores\n\
+         scaling; among those, the window-lock path is the costliest per\n\
+         request — the paper's Figure 4 SS observation."
+    );
+}

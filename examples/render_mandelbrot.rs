@@ -1,0 +1,53 @@
+//! Render the Mandelbrot workload to a PGM image, computing the pixels
+//! through the hierarchical scheduler's real-thread backend and
+//! verifying the parallel execution against serial, then writing the
+//! escape-time image to disk.
+//!
+//! ```text
+//! cargo run --release --example render_mandelbrot [out.pgm]
+//! ```
+
+use hdls::prelude::*;
+use std::io::Write;
+
+fn main() -> std::io::Result<()> {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "mandelbrot.pgm".into());
+    let mut m = Mandelbrot::quick();
+    // Row-major traversal for a directly viewable image.
+    m.traversal = workloads::Traversal::RowMajor;
+    m.width = 512;
+    m.height = 384;
+    m.max_iter = 2_000;
+    println!("computing {}x{} pixels on 2 nodes x 4 ranks...", m.width, m.height);
+
+    // Parallel execution through the real-thread backend; checksum
+    // verifies every pixel was computed exactly once.
+    let schedule = HierSchedule::builder()
+        .inter(Kind::FAC2)
+        .intra(Kind::GSS)
+        .approach(Approach::MpiMpi)
+        .nodes(2)
+        .workers_per_node(4)
+        .build();
+    let live = schedule.run_live(&m);
+    let serial: u64 = (0..m.n_iters()).map(|i| m.execute(i)).sum();
+    assert_eq!(live.checksum, serial, "parallel render must match serial");
+    println!("checksum verified ({:#x})", live.checksum);
+
+    // Write the escape-time image (log-scaled for contrast).
+    let mut pgm = Vec::new();
+    writeln!(pgm, "P5\n{} {}\n255", m.width, m.height)?;
+    let scale = 255.0 / f64::from(m.max_iter).ln();
+    for i in 0..m.n_iters() {
+        let e = m.escape_iterations(i);
+        let shade = if e >= m.max_iter {
+            0u8
+        } else {
+            255 - (f64::from(e.max(1)).ln() * scale) as u8
+        };
+        pgm.push(shade);
+    }
+    std::fs::write(&out_path, &pgm)?;
+    println!("wrote {out_path} ({} bytes)", pgm.len());
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Backend agreement: the real-thread executor and the virtual-time
+//! executor implement the *same protocols*, so structural quantities —
+//! iterations executed, exactly-once coverage, who is allowed to fetch
+//! from the global queue, which techniques OpenMP supports — must
+//! agree. (Timing-dependent quantities like chunk interleavings
+//! legitimately differ.)
+
+use dls::verify::check_exactly_once;
+use hdls::prelude::*;
+
+fn schedule(inter: Kind, intra: Kind, approach: Approach) -> HierSchedule {
+    HierSchedule::builder()
+        .inter(inter)
+        .intra(intra)
+        .approach(approach)
+        .nodes(2)
+        .workers_per_node(3)
+        .record_chunks(true)
+        .build()
+}
+
+fn coverage(chunks: &[(u32, hier::queue::SubChunk)], n: u64) {
+    let as_chunks: Vec<dls::Chunk> = chunks
+        .iter()
+        .map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 })
+        .collect();
+    check_exactly_once(&as_chunks, n).expect("exactly-once coverage");
+}
+
+#[test]
+fn both_backends_cover_exactly_once() {
+    let w = Synthetic::uniform(1_000, 10, 200, 4);
+    let table = CostTable::build(&w);
+    for approach in Approach::ALL {
+        for (inter, intra) in [(Kind::GSS, Kind::STATIC), (Kind::FAC2, Kind::SS)] {
+            let s = schedule(inter, intra, approach);
+            let sim = s.simulate(&table);
+            coverage(&sim.executed, w.n_iters());
+            let live = s.run_live(&w);
+            coverage(&live.executed, w.n_iters());
+            assert_eq!(sim.stats.total_iterations, live.stats.total_iterations);
+        }
+    }
+}
+
+#[test]
+fn static_static_produces_identical_partitions() {
+    // Fully static scheduling is timing-independent: both backends must
+    // produce the *same* sub-chunk boundaries.
+    let w = Synthetic::constant(960, 100);
+    let table = CostTable::build(&w);
+    let s = schedule(Kind::STATIC, Kind::STATIC, Approach::MpiMpi);
+    let sim = s.simulate(&table);
+    let live = s.run_live(&w);
+    let norm = |mut v: Vec<(u32, hier::queue::SubChunk)>| {
+        v.sort_by_key(|(_, s)| s.start);
+        v.into_iter().map(|(_, s)| (s.start, s.end)).collect::<Vec<_>>()
+    };
+    assert_eq!(norm(sim.executed), norm(live.executed));
+}
+
+#[test]
+fn global_fetch_discipline_matches() {
+    // Under MPI+OpenMP only node masters fetch; under MPI+MPI any rank
+    // may. Both backends must agree on that discipline.
+    let w = Synthetic::uniform(2_000, 10, 100, 8);
+    let table = CostTable::build(&w);
+    let check = |stats: &hier::RunStats, approach: Approach| {
+        for (i, ws) in stats.workers.iter().enumerate() {
+            if approach == Approach::MpiOpenMp && i % 3 != 0 {
+                assert_eq!(ws.global_fetches, 0, "{approach} worker {i}");
+            }
+        }
+        let total: u64 = stats.workers.iter().map(|w| w.global_fetches).sum();
+        assert!(total > 0);
+    };
+    for approach in Approach::ALL {
+        let s = schedule(Kind::GSS, Kind::GSS, approach);
+        check(&s.simulate(&table).stats, approach);
+        check(&s.run_live(&w).stats, approach);
+    }
+}
+
+#[test]
+fn deposits_equal_global_fetches_everywhere() {
+    let w = Synthetic::uniform(3_000, 5, 80, 2);
+    let table = CostTable::build(&w);
+    for approach in Approach::ALL {
+        let s = schedule(Kind::TSS, Kind::GSS, approach);
+        for stats in [s.simulate(&table).stats, s.run_live(&w).stats] {
+            let fetches: u64 = stats.workers.iter().map(|w| w.global_fetches).sum();
+            let deposits: u64 = stats.nodes.iter().map(|n| n.deposits).sum();
+            assert_eq!(fetches, deposits, "{approach}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-model integration tests: the four execution models (flat
+//! master-worker, hierarchical master-worker, MPI+OpenMP, MPI+MPI) and
+//! the two global-queue realisations must all compute the same loop,
+//! and their relative costs must tell the story the paper's related
+//! work describes.
+
+use hdls::prelude::*;
+use hier::live::serial_checksum;
+use hier::GlobalQueueMode;
+
+fn schedule(nodes: u32, wpn: u32) -> HierSchedule {
+    HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::GSS)
+        .nodes(nodes)
+        .workers_per_node(wpn)
+        .build()
+}
+
+#[test]
+fn all_execution_models_agree_live() {
+    let w = Synthetic::uniform(1_200, 1, 60, 21);
+    let serial = serial_checksum(&w);
+    let s = schedule(2, 3);
+    assert_eq!(s.run_live(&w).checksum, serial, "MPI+MPI");
+    assert_eq!(s.run_live_master_worker(&w).checksum, serial, "hierarchical MW");
+    assert_eq!(s.run_live_flat_master_worker(&w).checksum, serial, "flat MW");
+    let omp = HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::GSS)
+        .approach(Approach::MpiOpenMp)
+        .nodes(2)
+        .workers_per_node(3)
+        .build();
+    assert_eq!(omp.run_live(&w).checksum, serial, "MPI+OpenMP");
+}
+
+#[test]
+fn all_execution_models_agree_sim() {
+    let w = Synthetic::uniform(3_000, 50, 600, 22);
+    let table = CostTable::build(&w);
+    let s = schedule(3, 4);
+    assert_eq!(s.simulate(&table).stats.total_iterations, 3_000);
+    assert_eq!(s.simulate_master_worker(&table).stats.total_iterations, 3_000);
+    assert_eq!(s.simulate_flat_master_worker(&table).stats.total_iterations, 3_000);
+}
+
+#[test]
+fn global_queue_modes_agree_live() {
+    let w = Synthetic::uniform(900, 1, 40, 23);
+    let serial = serial_checksum(&w);
+    for mode in [GlobalQueueMode::SingleAtomic, GlobalQueueMode::LockedCounters] {
+        let r = HierSchedule::builder()
+            .inter(Kind::FAC2)
+            .intra(Kind::SS)
+            .nodes(2)
+            .workers_per_node(3)
+            .global_queue(mode)
+            .build()
+            .run_live(&w);
+        assert_eq!(r.checksum, serial, "{mode:?}");
+    }
+}
+
+#[test]
+fn locked_counters_cost_more_in_sim() {
+    // Each locked fetch pays two extra round trips, so with many global
+    // rounds the locked variant can only be slower (or equal).
+    let w = Synthetic::uniform(20_000, 500, 5_000, 24);
+    let table = CostTable::build(&w);
+    let run = |mode| {
+        HierSchedule::builder()
+            .inter(Kind::FAC2)
+            .intra(Kind::GSS)
+            .nodes(4)
+            .workers_per_node(4)
+            .global_queue(mode)
+            .build()
+            .simulate(&table)
+            .makespan
+    };
+    let atomic = run(GlobalQueueMode::SingleAtomic);
+    let locked = run(GlobalQueueMode::LockedCounters);
+    assert!(locked >= atomic, "locked {locked} < atomic {atomic}");
+}
+
+#[test]
+fn flat_master_slowest_on_fine_grained_work() {
+    // The paper's motivation, as a regression test.
+    let w = Synthetic::constant(50_000, 2_000);
+    let table = CostTable::build(&w);
+    let s = HierSchedule::builder()
+        .inter(Kind::SS)
+        .intra(Kind::SS)
+        .nodes(8)
+        .workers_per_node(8)
+        .build();
+    let flat = s.simulate_flat_master_worker(&table).makespan;
+    let s2 = HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::SS)
+        .nodes(8)
+        .workers_per_node(8)
+        .build();
+    let hier_mw = s2.simulate_master_worker(&table).makespan;
+    assert!(flat > hier_mw, "flat {flat} must exceed hierarchical {hier_mw}");
+}
+
+#[test]
+fn dedicated_masters_do_not_execute_iterations() {
+    let w = Synthetic::constant(2_000, 100);
+    let table = CostTable::build(&w);
+    let s = schedule(2, 4);
+    let live = s.run_live_flat_master_worker(&w);
+    assert_eq!(live.stats.workers[0].iterations, 0);
+    // In the sim, master-worker masters are modelled as extra entities,
+    // so every listed worker computes.
+    let sim = s.simulate_master_worker(&table);
+    assert!(sim.stats.workers.iter().all(|w| w.iterations > 0));
+}

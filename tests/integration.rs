@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: the full public API driving real
+//! workloads on the real-thread backend, verified against serial
+//! execution.
+
+use hdls::prelude::*;
+use hier::live::serial_checksum;
+
+fn live(
+    inter: Kind,
+    intra: Kind,
+    approach: Approach,
+    nodes: u32,
+    wpn: u32,
+    w: &(dyn Workload + Sync),
+) -> LiveResult {
+    HierSchedule::builder()
+        .inter(inter)
+        .intra(intra)
+        .approach(approach)
+        .nodes(nodes)
+        .workers_per_node(wpn)
+        .build()
+        .run_live(w)
+}
+
+#[test]
+fn mandelbrot_parallel_equals_serial() {
+    let m = Mandelbrot::tiny();
+    let serial = serial_checksum(&m);
+    for approach in Approach::ALL {
+        let r = live(Kind::GSS, Kind::GSS, approach, 2, 3, &m);
+        assert_eq!(r.checksum, serial, "{approach}");
+        assert_eq!(r.stats.total_iterations, m.n_iters());
+    }
+}
+
+#[test]
+fn psia_parallel_equals_serial() {
+    let p = Psia::tiny();
+    let serial = serial_checksum(&p);
+    for approach in Approach::ALL {
+        let r = live(Kind::FAC2, Kind::STATIC, approach, 2, 2, &p);
+        assert_eq!(r.checksum, serial, "{approach}");
+    }
+}
+
+#[test]
+fn every_paper_combination_live_mpi_mpi() {
+    let w = Synthetic::uniform(400, 1, 50, 9);
+    let serial = serial_checksum(&w);
+    for inter in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+        for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
+            let r = live(inter, intra, Approach::MpiMpi, 2, 2, &w);
+            assert_eq!(r.checksum, serial, "{inter}+{intra}");
+        }
+    }
+}
+
+#[test]
+fn extended_techniques_live() {
+    // Techniques beyond the paper's four also schedule correctly at
+    // both levels.
+    let w = Synthetic::exponential(500, 40.0, 3);
+    let serial = serial_checksum(&w);
+    for kind in [Kind::TFSS, Kind::FSC, Kind::RND, Kind::WF, Kind::FAC] {
+        let r = live(kind, kind, Approach::MpiMpi, 2, 3, &w);
+        assert_eq!(r.checksum, serial, "{kind}");
+    }
+}
+
+#[test]
+fn mpi_openmp_only_masters_touch_mpi() {
+    let w = Synthetic::constant(800, 10);
+    let r = live(Kind::GSS, Kind::GSS, Approach::MpiOpenMp, 2, 4, &w);
+    for (i, ws) in r.stats.workers.iter().enumerate() {
+        if i % 4 != 0 {
+            assert_eq!(ws.global_fetches, 0, "worker {i}");
+        }
+    }
+}
+
+#[test]
+fn psia_stream_covers_frames() {
+    let s = workloads::PsiaStream::new(Psia::tiny(), 3, 0.1);
+    let serial = serial_checksum(&s);
+    let r = live(Kind::GSS, Kind::SS, Approach::MpiMpi, 2, 2, &s);
+    assert_eq!(r.checksum, serial);
+    assert_eq!(r.stats.total_iterations, s.n_iters());
+}
+
+#[test]
+fn single_iteration_loop() {
+    let w = Synthetic::constant(1, 5);
+    for approach in Approach::ALL {
+        let r = live(Kind::GSS, Kind::GSS, approach, 2, 2, &w);
+        assert_eq!(r.stats.total_iterations, 1, "{approach}");
+    }
+}
+
+#[test]
+fn big_cluster_small_loop() {
+    // More workers than iterations: nobody may execute twice, nobody
+    // may deadlock.
+    let w = Synthetic::constant(7, 5);
+    let r = live(Kind::SS, Kind::SS, Approach::MpiMpi, 4, 4, &w);
+    assert_eq!(r.stats.total_iterations, 7);
+}

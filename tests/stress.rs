@@ -1,0 +1,95 @@
+//! Stress tests at paper-like scale on the real-thread runtime. These
+//! launch hundreds of OS threads and are `#[ignore]`d by default; run
+//! with `cargo test --release -- --ignored` when validating a change to
+//! the runtime or the executors.
+
+use hdls::prelude::*;
+use hier::live::serial_checksum;
+
+#[test]
+#[ignore = "256 threads; run with --ignored in release mode"]
+fn full_paper_scale_live_mpi_mpi() {
+    // 16 nodes x 16 ranks = 256 threads, as in the paper's largest runs.
+    let w = Synthetic::uniform(100_000, 1, 50, 11);
+    let serial = serial_checksum(&w);
+    let r = HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::GSS)
+        .approach(Approach::MpiMpi)
+        .nodes(16)
+        .workers_per_node(16)
+        .build()
+        .run_live(&w);
+    assert_eq!(r.checksum, serial);
+    assert_eq!(r.stats.total_iterations, 100_000);
+}
+
+#[test]
+#[ignore = "many threads; run with --ignored in release mode"]
+fn full_paper_scale_live_mpi_openmp() {
+    let w = Synthetic::uniform(100_000, 1, 50, 12);
+    let serial = serial_checksum(&w);
+    let r = HierSchedule::builder()
+        .inter(Kind::FAC2)
+        .intra(Kind::GSS)
+        .approach(Approach::MpiOpenMp)
+        .nodes(16)
+        .workers_per_node(16)
+        .build()
+        .run_live(&w);
+    assert_eq!(r.checksum, serial);
+}
+
+#[test]
+#[ignore = "repeated runs; run with --ignored"]
+fn live_mpi_mpi_repeated_runs_stable() {
+    // The SS + tiny-loop combination maximises lock churn and
+    // termination races; hammer it.
+    let w = Synthetic::uniform(500, 1, 20, 13);
+    let serial = serial_checksum(&w);
+    for round in 0..50 {
+        let r = HierSchedule::builder()
+            .inter(Kind::GSS)
+            .intra(Kind::SS)
+            .approach(Approach::MpiMpi)
+            .nodes(4)
+            .workers_per_node(4)
+            .build()
+            .run_live(&w);
+        assert_eq!(r.checksum, serial, "round {round}");
+    }
+}
+
+#[test]
+#[ignore = "real Mandelbrot kernel at scale; run with --ignored"]
+fn mandelbrot_quick_live_matches_serial() {
+    let m = Mandelbrot::quick();
+    let serial = serial_checksum(&m);
+    let r = HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::STATIC)
+        .approach(Approach::MpiMpi)
+        .nodes(4)
+        .workers_per_node(8)
+        .build()
+        .run_live(&m);
+    assert_eq!(r.checksum, serial);
+    assert_eq!(r.stats.total_iterations, m.n_iters());
+}
+
+#[test]
+#[ignore = "master-worker protocols under thread pressure; run with --ignored"]
+fn master_worker_scale_live() {
+    let w = Synthetic::uniform(50_000, 1, 30, 14);
+    let serial = serial_checksum(&w);
+    let s = HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::GSS)
+        .nodes(8)
+        .workers_per_node(8)
+        .build();
+    let hier_mw = s.run_live_master_worker(&w);
+    assert_eq!(hier_mw.checksum, serial);
+    let flat = s.run_live_flat_master_worker(&w);
+    assert_eq!(flat.checksum, serial);
+}
