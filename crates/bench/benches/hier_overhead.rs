@@ -37,11 +37,9 @@ fn bench_simulate_approaches(c: &mut Criterion) {
             .nodes(4)
             .workers_per_node(16)
             .build();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(approach),
-            &schedule,
-            |b, s| b.iter(|| s.simulate(&table).makespan),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(approach), &schedule, |b, s| {
+            b.iter(|| s.simulate(&table).makespan)
+        });
     }
     group.finish();
 }
@@ -58,19 +56,12 @@ fn bench_live_approaches(c: &mut Criterion) {
             .nodes(2)
             .workers_per_node(4)
             .build();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(approach),
-            &schedule,
-            |b, s| b.iter(|| s.run_live(&w).stats.total_iterations),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(approach), &schedule, |b, s| {
+            b.iter(|| s.run_live(&w).stats.total_iterations)
+        });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_local_queue,
-    bench_simulate_approaches,
-    bench_live_approaches
-);
+criterion_group!(benches, bench_local_queue, bench_simulate_approaches, bench_live_approaches);
 criterion_main!(benches);

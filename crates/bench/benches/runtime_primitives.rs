@@ -2,8 +2,8 @@
 //! executors: the deterministic event queue, collective operations of
 //! the thread-backed MPI runtime, and point-to-point messaging.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cluster_sim::EventQueue;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpisim::{Topology, Universe};
 
 fn bench_event_queue(c: &mut Criterion) {

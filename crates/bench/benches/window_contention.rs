@@ -16,8 +16,7 @@ fn bench_fetch_and_op(c: &mut Criterion) {
             b.iter(|| {
                 Universe::run(Topology::single_node(ranks), |p| {
                     let w = p.world();
-                    let win =
-                        Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+                    let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
                     for _ in 0..OPS_PER_RANK {
                         win.fetch_and_op(0, 0, 1, RmaOp::Sum).unwrap();
                     }
@@ -36,8 +35,7 @@ fn bench_lock_unlock(c: &mut Criterion) {
             b.iter(|| {
                 Universe::run(Topology::single_node(ranks), |p| {
                     let w = p.world();
-                    let win =
-                        Window::allocate(w, if w.rank() == 0 { 2 } else { 0 }).unwrap();
+                    let win = Window::allocate(w, if w.rank() == 0 { 2 } else { 0 }).unwrap();
                     for _ in 0..OPS_PER_RANK {
                         win.lock(LockKind::Exclusive, 0).unwrap();
                         let v = win.get(0, 0).unwrap();

@@ -9,9 +9,7 @@ fn bench_mandelbrot_pixel(c: &mut Criterion) {
     let m = Mandelbrot::tiny();
     // An interior pixel (max_iter) and an exterior one.
     let interior = (0..m.n_iters()).max_by_key(|&i| m.execute(i)).unwrap();
-    c.bench_function("mandelbrot_interior_pixel", |b| {
-        b.iter(|| m.execute(black_box(interior)))
-    });
+    c.bench_function("mandelbrot_interior_pixel", |b| b.iter(|| m.execute(black_box(interior))));
     c.bench_function("mandelbrot_exterior_pixel", |b| b.iter(|| m.execute(black_box(0))));
 }
 
@@ -22,15 +20,8 @@ fn bench_psia_spin_image(c: &mut Criterion) {
 
 fn bench_cost_table_build(c: &mut Criterion) {
     let m = Mandelbrot::tiny();
-    c.bench_function("cost_table_mandelbrot_tiny", |b| {
-        b.iter(|| CostTable::build(&m).n_iters())
-    });
+    c.bench_function("cost_table_mandelbrot_tiny", |b| b.iter(|| CostTable::build(&m).n_iters()));
 }
 
-criterion_group!(
-    benches,
-    bench_mandelbrot_pixel,
-    bench_psia_spin_image,
-    bench_cost_table_build
-);
+criterion_group!(benches, bench_mandelbrot_pixel, bench_psia_spin_image, bench_cost_table_build);
 criterion_main!(benches);

@@ -54,10 +54,18 @@ fn key_ratios(table: &CostTable, label: &str) {
     let mm_st2 = run(Kind::STATIC, Kind::STATIC, Approach::MpiMpi, 2);
     let mo_st2 = run(Kind::STATIC, Kind::STATIC, Approach::MpiOpenMp, 2);
     println!("{label}:");
-    println!("  GSS+STATIC @2:  MPI+MPI {mm_gs2:.2}s  MPI+OpenMP {mo_gs2:.2}s  (paper 19.6 vs 61.5)");
-    println!("  GSS+STATIC @16: MPI+MPI {mm_gs16:.2}s  MPI+OpenMP {mo_gs16:.2}s  (paper 3.1 vs 4.5)");
-    println!("  STATIC+SS @2:   MPI+MPI {mm_ss2:.2}s  MPI+OpenMP {mo_ss2:.2}s  (paper: MPI+MPI poorest)");
-    println!("  GSS+GSS @2:     MPI+MPI {mm_gg2:.2}s  MPI+OpenMP {mo_gg2:.2}s  (paper: MPI+MPI better)");
+    println!(
+        "  GSS+STATIC @2:  MPI+MPI {mm_gs2:.2}s  MPI+OpenMP {mo_gs2:.2}s  (paper 19.6 vs 61.5)"
+    );
+    println!(
+        "  GSS+STATIC @16: MPI+MPI {mm_gs16:.2}s  MPI+OpenMP {mo_gs16:.2}s  (paper 3.1 vs 4.5)"
+    );
+    println!(
+        "  STATIC+SS @2:   MPI+MPI {mm_ss2:.2}s  MPI+OpenMP {mo_ss2:.2}s  (paper: MPI+MPI poorest)"
+    );
+    println!(
+        "  GSS+GSS @2:     MPI+MPI {mm_gg2:.2}s  MPI+OpenMP {mo_gg2:.2}s  (paper: MPI+MPI better)"
+    );
     println!("  STATIC+STATIC @2: MPI+MPI {mm_st2:.2}s  MPI+OpenMP {mo_st2:.2}s  (paper: equal)");
 }
 

@@ -3,10 +3,15 @@
 //!
 //! ```text
 //! figures [--quick] [--table1] [--fig2] [--fig3] [--fig4] [--fig5]
-//!         [--fig6] [--fig7] [--ablations] [--speedup] [--csv DIR] [--all]
+//!         [--fig6] [--fig7] [--ablations] [--speedup] [--csv DIR]
+//!         [--trace DIR] [--all]
 //! figures --run inter=GSS intra=SS nodes=2,4,8 wpn=16 \
 //!               workload=mandelbrot-quick
 //! ```
+//!
+//! `--trace DIR` runs both approaches with intra-node STATIC/SS/GSS for
+//! real (OS threads) with tracing enabled and writes per-worker
+//! activity JSON plus chrome://tracing event files into `DIR`.
 //!
 //! With no figure flag, `--all` is assumed. `--quick` shrinks the
 //! workloads (fewer pixels / points, rescaled per-iteration cost) so a
@@ -37,6 +42,8 @@ struct Args {
     speedup: bool,
     /// Also write each figure grid as CSV into this directory.
     csv_dir: Option<std::path::PathBuf>,
+    /// Write per-worker activity JSON + chrome-trace files here.
+    trace_dir: Option<std::path::PathBuf>,
     /// `key=value` pairs following `--run`.
     custom: Vec<String>,
 }
@@ -54,6 +61,7 @@ fn parse_args() -> Args {
         ablations: false,
         speedup: false,
         csv_dir: None,
+        trace_dir: None,
         custom: Vec::new(),
     };
     let mut any = false;
@@ -66,6 +74,14 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 a.csv_dir = Some(dir.into());
+            }
+            "--trace" => {
+                let dir = args_iter.next().unwrap_or_else(|| {
+                    eprintln!("--trace requires a directory argument");
+                    std::process::exit(2);
+                });
+                a.trace_dir = Some(dir.into());
+                any = true;
             }
             "--quick" => a.quick = true,
             "--table1" => {
@@ -162,6 +178,9 @@ fn main() {
             run_figure(fig_no, inter, &mandel, &psia, machine, args.csv_dir.as_deref());
         }
     }
+    if let Some(dir) = args.trace_dir.as_deref() {
+        run_trace_export(dir, args.quick);
+    }
     if args.ablations {
         run_ablations(args.quick);
     }
@@ -171,6 +190,56 @@ fn main() {
     if !args.custom.is_empty() {
         run_custom(&args.custom, machine);
     }
+}
+
+/// Real-thread runs with tracing on, exported as per-worker activity
+/// JSON plus chrome://tracing event files — the paper's Figure 2/3
+/// breakdowns measured on actual executions instead of the simulator.
+fn run_trace_export(dir: &std::path::Path, quick: bool) {
+    println!("\n#############################################################");
+    println!("Per-worker activity export (live runs, wall-clock traces)");
+    let n = if quick { 4_000 } else { 20_000 };
+    let workload = Synthetic::uniform(n, 1_000, 50_000, 3);
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let (nodes, wpn) = (2u32, 4u32);
+    for approach in [Approach::MpiMpi, Approach::MpiOpenMp] {
+        for intra in [Kind::STATIC, Kind::SS, Kind::GSS] {
+            let r = HierSchedule::builder()
+                .inter(Kind::FAC2)
+                .intra(intra)
+                .approach(approach)
+                .nodes(nodes)
+                .workers_per_node(wpn)
+                .trace(true)
+                .build()
+                .run_live(&workload);
+            let label = format!("FAC2+{intra} ({approach})");
+            let report = ActivityReport::build(&label, &r.trace, &r.stats, nodes * wpn);
+            let slug = format!(
+                "{}_{}",
+                match approach {
+                    Approach::MpiMpi => "mpi_mpi",
+                    Approach::MpiOpenMp => "mpi_omp",
+                },
+                format!("{intra}").to_lowercase()
+            );
+            let activity = dir.join(format!("activity_{slug}.json"));
+            std::fs::write(&activity, report.to_json()).expect("write activity json");
+            let chrome = dir.join(format!("chrome_{slug}.json"));
+            std::fs::write(&chrome, chrome_trace(&r.trace, wpn)).expect("write chrome trace");
+            let polls: u64 = report.workers.iter().map(|w| w.lock_polls).sum();
+            println!(
+                "  {label:<22} makespan {:>7.3}ms  compute-cov {:.3}  failed lock polls {:>6}  \
+                 -> {}, {}",
+                report.makespan_ns as f64 / 1e6,
+                report.compute_cov,
+                polls,
+                activity.display(),
+                chrome.display()
+            );
+        }
+    }
+    println!("  open the chrome_*.json files in chrome://tracing or https://ui.perfetto.dev");
 }
 
 /// A user-specified sweep: both approaches over the given grid.
@@ -193,9 +262,7 @@ fn run_custom(pairs: &[String], machine: MachineParams) {
             "inter" => inter = value.parse().unwrap_or_else(|e| fail(e)),
             "intra" => intra = value.parse().unwrap_or_else(|e| fail(e)),
             "wpn" => {
-                wpn = value.parse().unwrap_or_else(
-                    |e: std::num::ParseIntError| fail(e.to_string()),
-                )
+                wpn = value.parse().unwrap_or_else(|e: std::num::ParseIntError| fail(e.to_string()))
             }
             "nodes" => {
                 nodes = value
@@ -213,11 +280,12 @@ fn run_custom(pairs: &[String], machine: MachineParams) {
     let table = build_workload(&workload);
     report_workload(&table);
     let spec = hier::HierSpec { inter, intra };
+    println!("\ncustom sweep: {} over {nodes:?} nodes x {wpn} workers/node", spec.label());
     println!(
-        "\ncustom sweep: {} over {nodes:?} nodes x {wpn} workers/node",
-        spec.label()
+        "    {:<12}{}",
+        "approach",
+        nodes.iter().map(|n| format!("{n:>6} nodes  ")).collect::<String>()
     );
-    println!("    {:<12}{}", "approach", nodes.iter().map(|n| format!("{n:>6} nodes  ")).collect::<String>());
     for approach in Approach::ALL {
         if approach == Approach::MpiOpenMp && !spec.supported_by_openmp() {
             println!("    {:<12}(not supported by the Intel OpenMP runtime)", approach.name());
@@ -337,8 +405,7 @@ fn run_ablations(quick: bool) {
     println!("    lock-guarded counters           : {:>8.3}s", locked.seconds());
 
     // 4. OpenMP nowait (the paper's future work).
-    let barrier =
-        base(Kind::GSS, Kind::STATIC, Approach::MpiOpenMp).build().simulate(&table);
+    let barrier = base(Kind::GSS, Kind::STATIC, Approach::MpiOpenMp).build().simulate(&table);
     let nowait = base(Kind::GSS, Kind::STATIC, Approach::MpiOpenMp)
         .omp_nowait(true)
         .build()
@@ -440,11 +507,7 @@ fn run_figure(
             for p in &grid {
                 csv.push_str(&format!(
                     "{},{},{},{},{:.6}\n",
-                    p.inter,
-                    p.intra,
-                    p.approach,
-                    p.nodes,
-                    p.seconds
+                    p.inter, p.intra, p.approach, p.nodes, p.seconds
                 ));
             }
             std::fs::create_dir_all(dir).expect("create csv dir");
@@ -458,10 +521,9 @@ fn run_figure(
 fn summarize(inter: Kind, grid: &[hdls::figures::FigurePoint]) {
     let get = |intra, approach, nodes| point(grid, intra, approach, nodes);
     if inter == Kind::STATIC {
-        if let (Some(mm), Some(mo)) = (
-            get(Kind::SS, Approach::MpiMpi, 16),
-            get(Kind::SS, Approach::MpiOpenMp, 16),
-        ) {
+        if let (Some(mm), Some(mo)) =
+            (get(Kind::SS, Approach::MpiMpi, 16), get(Kind::SS, Approach::MpiOpenMp, 16))
+        {
             println!(
                 "    check: STATIC+SS at 16 nodes -> MPI+MPI {mm:.1}s vs MPI+OpenMP {mo:.1}s \
                  (paper: MPI+MPI poorest; here {})",
@@ -474,10 +536,9 @@ fn summarize(inter: Kind, grid: &[hdls::figures::FigurePoint]) {
                 }
             );
         }
-    } else if let (Some(mm), Some(mo)) = (
-        get(Kind::STATIC, Approach::MpiMpi, 2),
-        get(Kind::STATIC, Approach::MpiOpenMp, 2),
-    ) {
+    } else if let (Some(mm), Some(mo)) =
+        (get(Kind::STATIC, Approach::MpiMpi, 2), get(Kind::STATIC, Approach::MpiOpenMp, 2))
+    {
         println!(
             "    check: {inter}+STATIC at 2 nodes -> MPI+MPI {mm:.1}s vs MPI+OpenMP {mo:.1}s \
              (paper: MPI+MPI faster on Mandelbrot, near-equal on PSIA; here {})",

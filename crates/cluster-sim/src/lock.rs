@@ -39,6 +39,7 @@ pub struct ContendedLock {
     recent: std::collections::VecDeque<(Time, Time)>,
     acquisitions: u64,
     contended: u64,
+    polls: u64,
     total_penalty: Time,
 }
 
@@ -51,6 +52,7 @@ impl ContendedLock {
             recent: std::collections::VecDeque::new(),
             acquisitions: 0,
             contended: 0,
+            polls: 0,
             total_penalty: 0,
         }
     }
@@ -76,6 +78,7 @@ impl ContendedLock {
         self.acquisitions += 1;
         if queued_ahead > 0 {
             self.contended += 1;
+            self.polls += queued_ahead;
             self.total_penalty += penalty;
         }
         LockGrant { start, end, queued_ahead }
@@ -89,6 +92,14 @@ impl ContendedLock {
     /// Acquisitions that found at least one request queued ahead.
     pub fn contended(&self) -> u64 {
         self.contended
+    }
+
+    /// Total failed lock-poll attempts: the sum of queue depths seen by
+    /// arriving acquisitions — each request queued ahead of an arrival
+    /// corresponds to one more round of lock-attempt messages the
+    /// arrival must send before being granted.
+    pub fn polls(&self) -> u64 {
+        self.polls
     }
 
     /// Cumulative polling penalty added across all acquisitions.
@@ -126,7 +137,20 @@ mod tests {
         assert_eq!(g2.queued_ahead, 2);
         assert_eq!(g2.end, 200 + 50 + 200);
         assert_eq!(l.contended(), 2);
+        assert_eq!(l.polls(), 3);
         assert_eq!(l.total_penalty(), 300);
+    }
+
+    #[test]
+    fn polls_counted_even_without_penalty() {
+        // With the polling penalty ablated away the *count* of failed
+        // poll attempts must still be observable.
+        let mut l = ContendedLock::new(0);
+        l.acquire(0, 50);
+        l.acquire(0, 50); // 1 ahead
+        l.acquire(0, 50); // 2 ahead
+        assert_eq!(l.polls(), 3);
+        assert_eq!(l.total_penalty(), 0);
     }
 
     #[test]

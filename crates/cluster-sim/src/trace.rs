@@ -145,8 +145,8 @@ impl Trace {
             let mut row = vec![' '; width];
             for s in self.segments.iter().filter(|s| s.worker == w) {
                 let a = (s.start as u128 * width as u128 / span as u128) as usize;
-                let b = ((s.end as u128 * width as u128).div_ceil(span as u128) as usize)
-                    .min(width);
+                let b =
+                    ((s.end as u128 * width as u128).div_ceil(span as u128) as usize).min(width);
                 let ch = match s.kind {
                     SegmentKind::Compute => '#',
                     SegmentKind::Sched => 's',
@@ -236,17 +236,13 @@ impl Trace {
         ));
         for w in 0..workers {
             let y = 24 + w * (row_h + gap);
-            svg.push_str(&format!(
-                r#"<text x="4" y="{}">w{w}</text>"#,
-                y + row_h - 5
-            ));
+            svg.push_str(&format!(r#"<text x="4" y="{}">w{w}</text>"#, y + row_h - 5));
             svg.push_str(&format!(
                 r##"<rect x="{label_w}" y="{y}" width="{width}" height="{row_h}" fill="#f2f2f2"/>"##
             ));
             for s in self.segments.iter().filter(|s| s.worker == w) {
                 let x = label_w as u64 + s.start * u64::from(width) / span;
-                let seg_w =
-                    ((s.end - s.start) * u64::from(width)).div_ceil(span).max(1);
+                let seg_w = ((s.end - s.start) * u64::from(width)).div_ceil(span).max(1);
                 let color = match s.kind {
                     SegmentKind::Compute => "#4caf50",
                     SegmentKind::Sched => "#ff9800",
@@ -265,8 +261,7 @@ impl Trace {
     /// Load imbalance of the compute time across `workers`:
     /// `max/mean - 1` (0.0 = perfectly balanced).
     pub fn compute_imbalance(&self, workers: u32) -> f64 {
-        let totals: Vec<Time> =
-            (0..workers).map(|w| self.worker_totals(w).compute).collect();
+        let totals: Vec<Time> = (0..workers).map(|w| self.worker_totals(w).compute).collect();
         let max = totals.iter().copied().max().unwrap_or(0);
         let sum: Time = totals.iter().sum();
         if sum == 0 || workers == 0 {

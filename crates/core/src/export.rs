@@ -1,0 +1,343 @@
+//! Observability exports: per-worker activity reports as JSON and
+//! chrome://tracing event files.
+//!
+//! Both backends can record a [`cluster_sim::Trace`] (virtual time in
+//! the simulator, wall-clock time in the live executors) and per-worker
+//! lock/RMA counters in [`hier::stats::RunStats`]. This module turns
+//! those into two machine-readable artefacts:
+//!
+//! * [`ActivityReport`] — per-worker [`ActivityTotals`] plus the lock
+//!   counters behind the paper's `X+SS` pathology, the compute-time
+//!   load-imbalance metrics (max/mean − 1 and the coefficient of
+//!   variation), and a log2 histogram of per-worker failed lock polls,
+//!   serialised with [`ActivityReport::to_json`].
+//! * [`chrome_trace`] — the same timeline as a chrome://tracing /
+//!   Perfetto-compatible JSON event array (`ph: "X"` complete events,
+//!   one track per worker, grouped by node).
+
+use cluster_sim::trace::{ActivityTotals, SegmentKind, Trace};
+use hier::stats::RunStats;
+
+/// One worker's row of an [`ActivityReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerActivity {
+    /// Global worker id.
+    pub worker: u32,
+    /// Time per activity kind from the trace.
+    pub totals: ActivityTotals,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Sub-chunks obtained from the node-local queue.
+    pub sub_chunks: u64,
+    /// Global chunks fetched.
+    pub global_fetches: u64,
+    /// Failed lock-poll attempts at RMA window locks.
+    pub lock_polls: u64,
+    /// Nanoseconds spent acquiring or holding RMA window locks.
+    pub lock_time_ns: u64,
+    /// RMA atomic operations issued.
+    pub rma_ops: u64,
+}
+
+/// One node's lock-activity row of an [`ActivityReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeActivity {
+    /// Node id.
+    pub node: u32,
+    /// Chunks deposited into the node-local queue.
+    pub deposits: u64,
+    /// Sub-chunks handed out by the node-local queue.
+    pub sub_chunks: u64,
+    /// Local-queue lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Acquisitions that found the lock contended.
+    pub lock_contended: u64,
+    /// Failed lock-poll attempts at the local-queue lock.
+    pub lock_polls: u64,
+}
+
+/// Everything the paper's Figures 2/3 break down per worker, in one
+/// exportable structure.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityReport {
+    /// Configuration label, e.g. `"GSS+SS (MPI+MPI)"`.
+    pub label: String,
+    /// Parallel loop time (latest segment end), in nanoseconds.
+    pub makespan_ns: u64,
+    /// Compute-time load imbalance: `max/mean - 1` (0.0 = balanced).
+    pub compute_imbalance: f64,
+    /// Coefficient of variation of per-worker compute time
+    /// (population standard deviation / mean; 0.0 when mean is 0).
+    pub compute_cov: f64,
+    /// Per-worker rows, indexed by global worker id.
+    pub workers: Vec<WorkerActivity>,
+    /// Per-node lock-activity rows.
+    pub nodes: Vec<NodeActivity>,
+    /// Log2 histogram of per-worker `lock_polls`: bucket 0 counts
+    /// workers with zero failed polls, bucket `i >= 1` counts workers
+    /// with `2^(i-1) <= polls < 2^i`.
+    pub lock_poll_histogram: Vec<u64>,
+}
+
+/// Place `value` in its log2 bucket (0 for zero, `i` for
+/// `2^(i-1) <= value < 2^i`).
+fn log2_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Log2 histogram over `values` (see [`ActivityReport::lock_poll_histogram`]).
+pub fn log2_histogram(values: impl IntoIterator<Item = u64>) -> Vec<u64> {
+    let mut buckets = Vec::new();
+    for v in values {
+        let b = log2_bucket(v);
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+impl ActivityReport {
+    /// Build a report from a run's trace and counters. `workers` is the
+    /// total worker count (trace worker ids must be `0..workers`).
+    pub fn build(label: &str, trace: &Trace, stats: &RunStats, workers: u32) -> ActivityReport {
+        let worker_rows: Vec<WorkerActivity> = (0..workers)
+            .map(|w| {
+                let counters = stats.workers.get(w as usize).copied().unwrap_or_default();
+                WorkerActivity {
+                    worker: w,
+                    totals: trace.worker_totals(w),
+                    iterations: counters.iterations,
+                    sub_chunks: counters.sub_chunks,
+                    global_fetches: counters.global_fetches,
+                    lock_polls: counters.lock_polls,
+                    lock_time_ns: counters.lock_time_ns,
+                    rma_ops: counters.rma_ops,
+                }
+            })
+            .collect();
+        let node_rows: Vec<NodeActivity> = stats
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeActivity {
+                node: i as u32,
+                deposits: n.deposits,
+                sub_chunks: n.sub_chunks,
+                lock_acquisitions: n.lock_acquisitions,
+                lock_contended: n.lock_contended,
+                lock_polls: n.lock_polls,
+            })
+            .collect();
+        let compute: Vec<f64> = worker_rows.iter().map(|w| w.totals.compute as f64).collect();
+        let mean = if compute.is_empty() {
+            0.0
+        } else {
+            compute.iter().sum::<f64>() / compute.len() as f64
+        };
+        let compute_cov = if mean > 0.0 {
+            let var =
+                compute.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / compute.len() as f64;
+            var.sqrt() / mean
+        } else {
+            0.0
+        };
+        ActivityReport {
+            label: label.to_string(),
+            makespan_ns: trace.makespan(),
+            compute_imbalance: trace.compute_imbalance(workers),
+            compute_cov,
+            lock_poll_histogram: log2_histogram(worker_rows.iter().map(|w| w.lock_polls)),
+            workers: worker_rows,
+            nodes: node_rows,
+        }
+    }
+
+    /// Serialise as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"label\": \"{}\",\n", escape(&self.label)));
+        out.push_str(&format!("  \"makespan_ns\": {},\n", self.makespan_ns));
+        out.push_str(&format!("  \"compute_imbalance\": {},\n", fmt_f64(self.compute_imbalance)));
+        out.push_str(&format!("  \"compute_cov\": {},\n", fmt_f64(self.compute_cov)));
+        out.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"worker\": {}, \"compute_ns\": {}, \"sched_ns\": {}, \
+                 \"sync_ns\": {}, \"idle_ns\": {}, \"iterations\": {}, \
+                 \"sub_chunks\": {}, \"global_fetches\": {}, \"lock_polls\": {}, \
+                 \"lock_time_ns\": {}, \"rma_ops\": {}}}{}\n",
+                w.worker,
+                w.totals.compute,
+                w.totals.sched,
+                w.totals.sync,
+                w.totals.idle,
+                w.iterations,
+                w.sub_chunks,
+                w.global_fetches,
+                w.lock_polls,
+                w.lock_time_ns,
+                w.rma_ops,
+                comma(i, self.workers.len())
+            ));
+        }
+        out.push_str("  ],\n  \"nodes\": [\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"node\": {}, \"deposits\": {}, \"sub_chunks\": {}, \
+                 \"lock_acquisitions\": {}, \"lock_contended\": {}, \
+                 \"lock_polls\": {}}}{}\n",
+                n.node,
+                n.deposits,
+                n.sub_chunks,
+                n.lock_acquisitions,
+                n.lock_contended,
+                n.lock_polls,
+                comma(i, self.nodes.len())
+            ));
+        }
+        out.push_str("  ],\n  \"lock_poll_histogram\": [");
+        for (i, b) in self.lock_poll_histogram.iter().enumerate() {
+            out.push_str(&format!("{}{}", b, comma(i, self.lock_poll_histogram.len())));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Serialise a trace as a chrome://tracing (about://tracing, Perfetto)
+/// JSON array of complete (`"ph": "X"`) events: one event per segment,
+/// timestamps and durations in microseconds, `pid` = node (from
+/// `workers_per_node`), `tid` = global worker id.
+pub fn chrome_trace(trace: &Trace, workers_per_node: u32) -> String {
+    let wpn = workers_per_node.max(1);
+    let mut out = String::from("[\n");
+    let segments = trace.segments();
+    for (i, s) in segments.iter().enumerate() {
+        let name = match s.kind {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Sched => "sched",
+            SegmentKind::Sync => "sync",
+            SegmentKind::Idle => "idle",
+        };
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}, \"pid\": {}, \"tid\": {}}}{}\n",
+            name,
+            name,
+            fmt_f64(s.start as f64 / 1e3),
+            fmt_f64(s.duration() as f64 / 1e3),
+            s.worker / wpn,
+            s.worker,
+            comma(i, segments.len())
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// A float literal that is always valid JSON (no NaN/inf, always a
+/// fractional part so readers parse it as a number, not an integer).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::trace::SegmentKind;
+
+    fn sample() -> (Trace, RunStats) {
+        let mut tr = Trace::recording();
+        tr.record(0, 0, 100, SegmentKind::Compute);
+        tr.record(0, 100, 120, SegmentKind::Sched);
+        tr.record(1, 0, 60, SegmentKind::Compute);
+        tr.record(1, 60, 120, SegmentKind::Idle);
+        let mut stats = RunStats::new(2, 1);
+        stats.workers[0].lock_polls = 5;
+        stats.workers[1].lock_polls = 0;
+        stats.workers[0].iterations = 10;
+        stats.nodes[0].lock_acquisitions = 7;
+        (tr, stats)
+    }
+
+    #[test]
+    fn report_aggregates_trace_and_counters() {
+        let (tr, stats) = sample();
+        let r = ActivityReport::build("GSS+SS (MPI+MPI)", &tr, &stats, 2);
+        assert_eq!(r.makespan_ns, 120);
+        assert_eq!(r.workers.len(), 2);
+        assert_eq!(r.workers[0].totals.compute, 100);
+        assert_eq!(r.workers[0].lock_polls, 5);
+        assert_eq!(r.nodes[0].lock_acquisitions, 7);
+        // mean 80, max 100 -> imbalance 0.25; stddev 20 -> cov 0.25.
+        assert!((r.compute_imbalance - 0.25).abs() < 1e-12);
+        assert!((r.compute_cov - 0.25).abs() < 1e-12);
+        // Polls 5 -> bucket 3 ([4, 8)); polls 0 -> bucket 0.
+        assert_eq!(r.lock_poll_histogram, vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let (tr, stats) = sample();
+        let json = ActivityReport::build("a \"quoted\" label", &tr, &stats, 2).to_json();
+        assert!(json.contains("\"label\": \"a \\\"quoted\\\" label\""));
+        assert!(json.contains("\"lock_polls\": 5"));
+        assert!(json.contains("\"lock_poll_histogram\": [1,0,0,1]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_emits_one_event_per_segment() {
+        let (tr, _) = sample();
+        let out = chrome_trace(&tr, 1);
+        assert!(out.trim_start().starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        assert_eq!(out.matches("\"ph\": \"X\"").count(), tr.segments().len());
+        // Worker 1 on 1 worker/node is pid 1.
+        assert!(out.contains("\"pid\": 1, \"tid\": 1"));
+        // 100 ns -> 0.1 us.
+        assert!(out.contains("\"ts\": 0.1"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        assert_eq!(log2_histogram([0, 1, 2, 3, 4, 7, 8]), vec![1, 1, 2, 2, 1]);
+        assert!(log2_histogram([]).is_empty());
+    }
+
+    #[test]
+    fn floats_always_json_numbers() {
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+    }
+}

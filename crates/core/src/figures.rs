@@ -77,12 +77,7 @@ pub fn figure_grid(
 }
 
 /// Fetch one point from a grid.
-pub fn point(
-    points: &[FigurePoint],
-    intra: Kind,
-    approach: Approach,
-    nodes: u32,
-) -> Option<f64> {
+pub fn point(points: &[FigurePoint], intra: Kind, approach: Approach, nodes: u32) -> Option<f64> {
     points
         .iter()
         .find(|p| p.intra == intra && p.approach == approach && p.nodes == nodes)
@@ -108,10 +103,8 @@ pub fn render_grid(title: &str, points: &[FigurePoint]) -> String {
         }
         out.push('\n');
         for approach in Approach::ALL {
-            let row: Vec<Option<f64>> = NODE_COUNTS
-                .iter()
-                .map(|&n| point(points, intra, approach, n))
-                .collect();
+            let row: Vec<Option<f64>> =
+                NODE_COUNTS.iter().map(|&n| point(points, intra, approach, n)).collect();
             if row.iter().all(Option::is_none) {
                 out.push_str(&format!(
                     "    {:<12}  (not supported by the Intel OpenMP runtime)\n",

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod export;
 pub mod figures;
 pub mod report;
 pub mod schedule;
@@ -67,6 +68,7 @@ pub use schedule::{HierSchedule, HierScheduleBuilder};
 
 /// Everything needed for typical use.
 pub mod prelude {
+    pub use crate::export::{chrome_trace, ActivityReport};
     pub use crate::figures::{self, FigurePoint};
     pub use crate::report::ScalingStudy;
     pub use crate::schedule::{HierSchedule, HierScheduleBuilder};

@@ -68,10 +68,7 @@ impl ScalingStudy {
                 }
             })
             .collect();
-        ScalingStudy {
-            label: format!("{inter}+{intra} ({approach})"),
-            points,
-        }
+        ScalingStudy { label: format!("{inter}+{intra} ({approach})"), points }
     }
 
     /// Render as a text table.

@@ -102,23 +102,16 @@ impl HierSchedule {
 
     /// Run the flat master-worker model for real (every worker requests
     /// directly from the dedicated master at rank 0).
-    pub fn run_live_flat_master_worker(
-        &self,
-        workload: &(dyn Workload + Sync),
-    ) -> LiveResult {
+    pub fn run_live_flat_master_worker(&self, workload: &(dyn Workload + Sync)) -> LiveResult {
         hier::live::run_live_flat_master_worker(&self.live_config(), workload)
     }
 
     fn live_config(&self) -> LiveConfig {
-        let mut cfg = LiveConfig::new(
-            self.nodes,
-            self.workers_per_node,
-            self.spec,
-            self.approach,
-        );
+        let mut cfg = LiveConfig::new(self.nodes, self.workers_per_node, self.spec, self.approach);
         cfg.weights = self.weights.clone();
         cfg.awf = self.awf;
         cfg.global_mode = self.global_mode;
+        cfg.trace = self.trace;
         cfg
     }
 }
@@ -214,7 +207,8 @@ impl HierScheduleBuilder {
         self
     }
 
-    /// Record per-worker timeline segments in `simulate`.
+    /// Record per-worker timeline segments in `simulate` (virtual
+    /// time) and `run_live` (wall-clock time).
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
         self

@@ -89,9 +89,8 @@ impl AfScheduler {
                 // R / P — the deterministic optimum.
                 let d = p * sigma * sigma / mu;
                 let t = mu;
-                let chunk =
-                    (d + 2.0 * t * remaining - (d * d + 4.0 * d * t * remaining).sqrt())
-                        / (2.0 * t * p);
+                let chunk = (d + 2.0 * t * remaining - (d * d + 4.0 * d * t * remaining).sqrt())
+                    / (2.0 * t * p);
                 chunk.ceil().max(1.0) as u64
             }
             _ => self.warmup,

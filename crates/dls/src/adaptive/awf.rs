@@ -126,8 +126,7 @@ impl AwfScheduler {
                 self.pending_updates = false;
             }
         }
-        let base =
-            crate::nonadaptive::Factoring2::chunk_at_step(&self.spec, self.state.step);
+        let base = crate::nonadaptive::Factoring2::chunk_at_step(&self.spec, self.state.step);
         let w = self.weights.get(worker as usize).copied().unwrap_or(1.0);
         let size = ((base as f64 * w).ceil() as u64).max(1);
         self.chunks_in_batch += 1;
@@ -168,8 +167,7 @@ impl AwfScheduler {
             return;
         }
         let mean_rate = measured.iter().sum::<f64>() / measured.len() as f64;
-        let scores: Vec<f64> =
-            rates.iter().map(|&r| if r > 0.0 { r } else { mean_rate }).collect();
+        let scores: Vec<f64> = rates.iter().map(|&r| if r > 0.0 { r } else { mean_rate }).collect();
         self.weights = normalize_weights(&scores);
     }
 

@@ -101,10 +101,8 @@ pub fn step_bound(kind: Kind, n: u64, p: u32) -> Option<u64> {
 /// Rank the paper's techniques by enumerated step count for a loop —
 /// the "scheduling-overhead spectrum" (STATIC least, SS most).
 pub fn overhead_spectrum(spec: &LoopSpec) -> Vec<(Kind, u64)> {
-    let mut rows: Vec<(Kind, u64)> = Kind::PAPER
-        .iter()
-        .map(|&k| (k, profile(spec, &Technique::from_kind(k)).steps))
-        .collect();
+    let mut rows: Vec<(Kind, u64)> =
+        Kind::PAPER.iter().map(|&k| (k, profile(spec, &Technique::from_kind(k)).steps)).collect();
     rows.sort_by_key(|&(_, steps)| steps);
     rows
 }

@@ -69,13 +69,7 @@ impl LoopSpec {
     /// except FAC and FSC, which degrade gracefully to FAC2-like and
     /// STATIC-like behaviour respectively.
     pub fn new(n_iters: u64, n_workers: u32) -> Self {
-        Self {
-            n_iters,
-            n_workers,
-            mean_iter_time: 1.0,
-            sigma_iter_time: 0.0,
-            overhead: 0.0,
-        }
+        Self { n_iters, n_workers, mean_iter_time: 1.0, sigma_iter_time: 0.0, overhead: 0.0 }
     }
 
     /// Attach measured iteration-time statistics (used by FAC, FSC).

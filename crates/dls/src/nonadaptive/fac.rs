@@ -75,12 +75,7 @@ impl ChunkCalculator for Factoring {
 /// Replay helper shared with FAC2/WF-style batch techniques: remainder at
 /// the start of the batch containing `step`, where each batch consists of
 /// `P` chunks of `chunk_of(remainder)` iterations.
-pub(crate) fn remainder_at_batch(
-    n: u64,
-    p: u64,
-    step: u64,
-    chunk_of: impl Fn(u64) -> u64,
-) -> u64 {
+pub(crate) fn remainder_at_batch(n: u64, p: u64, step: u64, chunk_of: impl Fn(u64) -> u64) -> u64 {
     let batch = step / p;
     let mut r = n;
     for _ in 0..batch {

@@ -100,8 +100,7 @@ mod tests {
     fn all_chunks_same_size() {
         let spec = LoopSpec::new(100, 4);
         let chunks: Vec<_> =
-            ChunkSequence::new(&spec, &Technique::Fsc(FixedSizeChunking::with_chunk(7)))
-                .collect();
+            ChunkSequence::new(&spec, &Technique::Fsc(FixedSizeChunking::with_chunk(7))).collect();
         assert_partition(&chunks, 100);
         for c in &chunks[..chunks.len() - 1] {
             assert_eq!(c.len, 7);

@@ -76,8 +76,7 @@ mod tests {
         // R: 100 -> 25; 75 -> 19; 56 -> 14; 42 -> 11; 31 -> 8; 23 -> 6;
         // 17 -> 5; 12 -> 3; 9 -> 3; 6 -> 2; 4 -> 1; 3 -> 1; 2 -> 1; 1 -> 1
         let spec = LoopSpec::new(100, 4);
-        let sizes: Vec<u64> =
-            ChunkSequence::new(&spec, &Technique::gss()).map(|c| c.len).collect();
+        let sizes: Vec<u64> = ChunkSequence::new(&spec, &Technique::gss()).map(|c| c.len).collect();
         assert_eq!(sizes, vec![25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1]);
     }
 

@@ -99,10 +99,7 @@ mod tests {
         for w in chunks.windows(2).take(p.steps as usize - 2) {
             let diff = w[0].len as i64 - w[1].len as i64;
             let d = p.delta;
-            assert!(
-                (diff as f64 - d).abs() <= 1.0,
-                "diff {diff} not within 1 of delta {d}"
-            );
+            assert!((diff as f64 - d).abs() <= 1.0, "diff {diff} not within 1 of delta {d}");
         }
     }
 

@@ -62,10 +62,7 @@ mod tests {
                 let spec = LoopSpec::new(n, p).with_stats(1.0, 0.3).with_overhead(0.01);
                 let chunks = schedule_all(&spec, &t);
                 assert_partition(&chunks, n);
-                assert!(
-                    chunks.len() as u64 <= n,
-                    "{kind} produced more steps than iterations"
-                );
+                assert!(chunks.len() as u64 <= n, "{kind} produced more steps than iterations");
             }
         }
     }

@@ -372,19 +372,13 @@ mod tests {
         let t: Technique = "gss:8".parse().unwrap();
         assert!(matches!(t, Technique::Gss(Guided { min_chunk: 8 })));
         let t: Technique = "TSS:100:2".parse().unwrap();
-        assert!(matches!(
-            t,
-            Technique::Tss(Trapezoid { first: Some(100), last: Some(2) })
-        ));
+        assert!(matches!(t, Technique::Tss(Trapezoid { first: Some(100), last: Some(2) })));
         let t: Technique = "FSC:64".parse().unwrap();
         assert!(matches!(t, Technique::Fsc(FixedSizeChunking { explicit: Some(64), .. })));
         let t: Technique = "RND:7".parse().unwrap();
         assert!(matches!(t, Technique::Rnd(RandomChunking { seed: 7, range: None })));
         let t: Technique = "RND:7:10:50".parse().unwrap();
-        assert!(matches!(
-            t,
-            Technique::Rnd(RandomChunking { seed: 7, range: Some((10, 50)) })
-        ));
+        assert!(matches!(t, Technique::Rnd(RandomChunking { seed: 7, range: Some((10, 50)) })));
     }
 
     #[test]

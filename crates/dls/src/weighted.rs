@@ -66,16 +66,8 @@ mod tests {
     fn faster_worker_gets_bigger_chunk() {
         let spec = LoopSpec::new(1024, 4);
         let wf = WeightedFactoring;
-        let slow = wf.chunk_size(
-            &spec,
-            SchedState::START,
-            WorkerCtx { worker: 0, weight: 0.5 },
-        );
-        let fast = wf.chunk_size(
-            &spec,
-            SchedState::START,
-            WorkerCtx { worker: 1, weight: 2.0 },
-        );
+        let slow = wf.chunk_size(&spec, SchedState::START, WorkerCtx { worker: 0, weight: 0.5 });
+        let fast = wf.chunk_size(&spec, SchedState::START, WorkerCtx { worker: 1, weight: 2.0 });
         assert!(fast > slow);
         assert_eq!(fast, 256); // 128 * 2
         assert_eq!(slow, 64); // 128 * 0.5

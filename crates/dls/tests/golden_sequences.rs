@@ -79,11 +79,8 @@ fn tfss_batch_means_decrease_linearly() {
     // batch sizes differ by ~P*delta.
     let s = sizes(10_000, 4, &Technique::tfss());
     let batch_sizes: Vec<u64> = s.chunks(4).map(|b| b[0]).collect();
-    let diffs: Vec<i64> = batch_sizes
-        .windows(2)
-        .map(|w| w[0] as i64 - w[1] as i64)
-        .take(5)
-        .collect();
+    let diffs: Vec<i64> =
+        batch_sizes.windows(2).map(|w| w[0] as i64 - w[1] as i64).take(5).collect();
     // delta = (F - L)/(S - 1) with F = 1250, S = ceil(20000/1251) = 16:
     // delta ~= 83.3, so batch diffs ~= 333.
     for d in diffs {
@@ -99,11 +96,7 @@ fn wf_scales_fac2_linearly_in_weight() {
     let wf = Technique::wf();
     let base = wf.chunk_size(&spec, SchedState::START, WorkerCtx::default());
     for (w, expected) in [(0.25, base / 4), (0.5, base / 2), (2.0, base * 2)] {
-        let got = wf.chunk_size(
-            &spec,
-            SchedState::START,
-            WorkerCtx { worker: 0, weight: w },
-        );
+        let got = wf.chunk_size(&spec, SchedState::START, WorkerCtx { worker: 0, weight: w });
         assert_eq!(got, expected, "weight {w}");
     }
 }

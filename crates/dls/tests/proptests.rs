@@ -9,9 +9,8 @@ use dls::{Kind, LoopSpec, Technique};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = LoopSpec> {
-    (1u64..200_000, 1u32..128, 0.0f64..4.0, 0.0f64..2.0).prop_map(|(n, p, sigma, h)| {
-        LoopSpec::new(n, p).with_stats(1.0, sigma).with_overhead(h)
-    })
+    (1u64..200_000, 1u32..128, 0.0f64..4.0, 0.0f64..2.0)
+        .prop_map(|(n, p, sigma, h)| LoopSpec::new(n, p).with_stats(1.0, sigma).with_overhead(h))
 }
 
 proptest! {

@@ -1,0 +1,82 @@
+//! Pinned regression cases discovered by property testing.
+//!
+//! The committed `proptests.proptest-regressions` seed file records the
+//! shrunk failure `n = 114, p = 58` — a loop where `p` exceeds `n / 2`,
+//! which historically broke chunk-size *floor* rounding: with
+//! `floor(114 / 58) = 1`, STATIC degenerated to 114 unit steps,
+//! violating its `steps <= p` bound (the fix is ceiling division,
+//! `div_ceil`). The vendored proptest shim does not replay upstream
+//! seed files, so the case is pinned here explicitly and exercised for
+//! every technique and every documented property.
+
+use dls::sequence::{schedule_all, step_count};
+use dls::verify::{check_partition, is_nonincreasing};
+use dls::{Kind, LoopSpec, Technique};
+
+const N: u64 = 114;
+const P: u32 = 58;
+
+#[test]
+fn n114_p58_static_honours_step_bound() {
+    let spec = LoopSpec::new(N, P);
+    let chunk = N.div_ceil(u64::from(P));
+    assert_eq!(chunk, 2, "ceil rounding must not collapse to 1");
+    let steps = step_count(&spec, &Technique::static_());
+    assert_eq!(steps, N.div_ceil(chunk));
+    assert!(
+        steps <= u64::from(P),
+        "STATIC took {steps} steps for n={N} p={P}; floor-rounding regression"
+    );
+}
+
+#[test]
+fn n114_p58_every_technique_partitions() {
+    for kind in Kind::ALL.iter().copied() {
+        let t = Technique::from_kind(kind);
+        for (sigma, h) in [(0.0, 0.0), (1.0, 0.5), (3.9, 1.9)] {
+            let spec = LoopSpec::new(N, P).with_stats(1.0, sigma).with_overhead(h);
+            let chunks = schedule_all(&spec, &t);
+            assert!(
+                check_partition(&chunks, N).is_ok(),
+                "{kind} failed to partition n={N} p={P} sigma={sigma} h={h}"
+            );
+            assert!(step_count(&spec, &t) <= N, "{kind} exceeded n steps at n={N} p={P}");
+        }
+    }
+}
+
+#[test]
+fn n114_p58_step_bounds_hold() {
+    let spec = LoopSpec::new(N, P);
+    for kind in Kind::ALL.iter().copied() {
+        if let Some(bound) = dls::analysis::step_bound(kind, N, P) {
+            let steps = step_count(&spec, &Technique::from_kind(kind));
+            assert!(steps <= bound, "{kind} needed {steps} steps, bound {bound} (n={N} p={P})");
+        }
+    }
+}
+
+#[test]
+fn n114_p58_decreasing_techniques_nonincreasing() {
+    let spec = LoopSpec::new(N, P).with_stats(1.0, 1.0);
+    for kind in [Kind::GSS, Kind::TSS, Kind::FAC, Kind::FAC2, Kind::TFSS] {
+        let chunks = schedule_all(&spec, &Technique::from_kind(kind));
+        assert!(is_nonincreasing(&chunks), "{kind} increased at n={N} p={P}");
+    }
+}
+
+#[test]
+fn p_exceeding_n_stays_sound() {
+    // The neighbourhood the shrunk case points at: p close to or above n.
+    for n in [1u64, 2, 57, 58, 113, 114, 115] {
+        for p in [57u32, 58, 59, 114, 115, 200] {
+            let spec = LoopSpec::new(n, p);
+            for kind in Kind::ALL.iter().copied() {
+                let t = Technique::from_kind(kind);
+                let chunks = schedule_all(&spec, &t);
+                assert!(check_partition(&chunks, n).is_ok(), "{kind} failed at n={n} p={p}");
+                assert!(step_count(&spec, &t) <= n.max(1), "{kind} n={n} p={p}");
+            }
+        }
+    }
+}

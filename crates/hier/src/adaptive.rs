@@ -49,10 +49,7 @@ impl AwfHistory {
 
     /// Current mean-normalised weight of `local` worker.
     pub fn weight(&self, local: u32) -> f64 {
-        weights_from_hist(&self.hist)
-            .get(local as usize)
-            .copied()
-            .unwrap_or(1.0)
+        weights_from_hist(&self.hist).get(local as usize).copied().unwrap_or(1.0)
     }
 
     /// Raw history (for window serialization on the live backend).

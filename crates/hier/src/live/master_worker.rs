@@ -112,7 +112,9 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<(u64, u64, Vec<SubChunk>)>) -> Live
         checksum = checksum.wrapping_add(cs);
         executed.extend(subs.into_iter().map(|s| (w as u32, s)));
     }
-    LiveResult { stats, checksum, executed }
+    // The message-passing models are comparison baselines; they do not
+    // record timelines.
+    LiveResult { stats, checksum, executed, trace: cluster_sim::Trace::disabled() }
 }
 
 /// Run the hierarchical master-worker model for real: rank 0 is the
@@ -120,10 +122,7 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<(u64, u64, Vec<SubChunk>)>) -> Live
 /// first rank is a working local master that owns the node queue and
 /// serves its node's other ranks; plain workers request from their
 /// local master.
-pub fn run_live_master_worker(
-    cfg: &LiveConfig,
-    workload: &(dyn Workload + Sync),
-) -> LiveResult {
+pub fn run_live_master_worker(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
     let topology = Topology::new(cfg.nodes, cfg.workers_per_node);
     let n = workload.n_iters();
     let wpn = cfg.workers_per_node;
@@ -183,9 +182,8 @@ fn local_master_loop(
     // Peers: every rank of this node except the local master itself
     // (and except the dedicated global master on node 0).
     let my_world = node * wpn + local_master_rank(node);
-    let mut active_peers = (node * wpn..(node + 1) * wpn)
-        .filter(|&r| r != my_world && r != 0)
-        .count() as u32;
+    let mut active_peers =
+        (node * wpn..(node + 1) * wpn).filter(|&r| r != my_world && r != 0).count() as u32;
 
     loop {
         if queue.is_empty() && !global_done {
@@ -204,9 +202,7 @@ fn local_master_loop(
         }
         while let Some(&src) = pending.front() {
             if let Some(sub) = queue.take_sub_chunk(intra, wpn) {
-                world
-                    .send(src, TAG_ASSIGN, Some((sub.start, sub.end)))
-                    .expect("assign peer");
+                world.send(src, TAG_ASSIGN, Some((sub.start, sub.end))).expect("assign peer");
                 pending.pop_front();
             } else if global_done {
                 world.send(src, TAG_ASSIGN, None::<(u64, u64)>).expect("terminate peer");
@@ -287,8 +283,7 @@ mod tests {
     fn flat_master_worker_exactly_once() {
         for tech in [Kind::SS, Kind::GSS, Kind::FAC2] {
             let w = Synthetic::uniform(700, 1, 80, 4);
-            let cfg =
-                LiveConfig::new(2, 3, HierSpec::new(tech, tech), Approach::MpiMpi);
+            let cfg = LiveConfig::new(2, 3, HierSpec::new(tech, tech), Approach::MpiMpi);
             let serial = serial_checksum(&w);
             let r = run_live_flat_master_worker(&cfg, &w);
             assert_exact(&r, serial, 700);
@@ -306,14 +301,11 @@ mod tests {
 
     #[test]
     fn hierarchical_master_worker_exactly_once() {
-        for (inter, intra) in [
-            (Kind::GSS, Kind::STATIC),
-            (Kind::FAC2, Kind::SS),
-            (Kind::TSS, Kind::GSS),
-        ] {
+        for (inter, intra) in
+            [(Kind::GSS, Kind::STATIC), (Kind::FAC2, Kind::SS), (Kind::TSS, Kind::GSS)]
+        {
             let w = Synthetic::uniform(900, 1, 80, 8);
-            let cfg =
-                LiveConfig::new(2, 3, HierSpec::new(inter, intra), Approach::MpiMpi);
+            let cfg = LiveConfig::new(2, 3, HierSpec::new(inter, intra), Approach::MpiMpi);
             let serial = serial_checksum(&w);
             let r = run_live_master_worker(&cfg, &w);
             assert_exact(&r, serial, 900);

@@ -42,6 +42,9 @@ pub struct LiveConfig {
     pub awf: Option<dls::adaptive::AwfVariant>,
     /// How the global queue is realised over RMA (MPI+MPI only).
     pub global_mode: crate::config::GlobalQueueMode,
+    /// Record per-worker timeline segments (wall-clock, relative to the
+    /// run's start) into [`LiveResult::trace`].
+    pub trace: bool,
 }
 
 impl LiveConfig {
@@ -55,6 +58,7 @@ impl LiveConfig {
             weights: Vec::new(),
             awf: None,
             global_mode: crate::config::GlobalQueueMode::SingleAtomic,
+            trace: false,
         }
     }
 }
@@ -69,6 +73,12 @@ pub struct LiveResult {
     pub checksum: u64,
     /// Every executed sub-chunk, tagged with its global worker id.
     pub executed: Vec<(u32, SubChunk)>,
+    /// Per-worker timeline in wall-clock nanoseconds since the run
+    /// started (empty unless [`LiveConfig::trace`]). Unlike the `sim`
+    /// backend's virtual-time traces these are measurements, so they
+    /// vary run to run — use them for activity breakdowns, not for
+    /// reproducible makespans.
+    pub trace: cluster_sim::Trace,
 }
 
 /// Run a hierarchical loop for real, dispatching on the approach.

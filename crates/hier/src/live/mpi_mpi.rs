@@ -15,7 +15,9 @@
 use super::{LiveConfig, LiveResult};
 use crate::queue::SubChunk;
 use crate::stats::RunStats;
-use mpisim::{LockKind, Topology, Universe, Window};
+use cluster_sim::trace::{SegmentKind, Trace};
+use mpisim::{LockKind, RankWinStats, Topology, Universe, Window};
+use std::time::Instant;
 use workloads::Workload;
 
 // Local window slot indices.
@@ -46,10 +48,16 @@ struct RankOutcome {
     deposits: u64,
     checksum: u64,
     executed: Vec<(u32, SubChunk)>,
-    /// `(acquisitions, contended)` of the node lock, reported by local
-    /// rank 0 only (None elsewhere) to avoid double counting.
-    lock_stats: Option<(u64, u64)>,
+    /// `(acquisitions, contended, polls)` of the node lock, reported by
+    /// local rank 0 only (None elsewhere) to avoid double counting.
+    lock_stats: Option<(u64, u64, u64)>,
     global_accesses: u64,
+    /// This rank's window counters, local + global window summed.
+    win_stats: RankWinStats,
+    /// Wall-clock timeline of this rank (empty unless tracing).
+    trace: Trace,
+    /// When this rank left the main loop, in ns since the run epoch.
+    finish_ns: u64,
 }
 
 /// Run the MPI+MPI approach with real threads.
@@ -63,8 +71,11 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
     let awf = cfg.awf;
     let weights = cfg.weights.clone();
     let global_mode = cfg.global_mode;
+    let do_trace = cfg.trace;
+    let epoch = Instant::now();
 
     let outcomes = Universe::run(topology, move |p| {
+        let now = || epoch.elapsed().as_nanos() as u64;
         let world = p.world();
         let me = world.rank();
         let global_win =
@@ -88,10 +99,14 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
             executed: Vec::new(),
             lock_stats: None,
             global_accesses: 0,
+            win_stats: RankWinStats::default(),
+            trace: if do_trace { Trace::recording() } else { Trace::disabled() },
+            finish_ns: 0,
         };
 
         loop {
             // ---- probe the local queue under the window lock ----
+            let probe_start = now();
             local_win.lock(LockKind::Exclusive, 0).expect("lock local");
             local_win.sync();
             let lo = local_win.get(0, LO).expect("lo") as u64;
@@ -108,11 +123,9 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                 let (technique, weight) = if awf.is_some() {
                     let hist: Vec<(u64, u64)> = (0..wpn as usize)
                         .map(|r| {
-                            let iters =
-                                local_win.get(0, HIST_BASE + 2 * r).expect("hist") as u64;
+                            let iters = local_win.get(0, HIST_BASE + 2 * r).expect("hist") as u64;
                             let time =
-                                local_win.get(0, HIST_BASE + 2 * r + 1).expect("hist")
-                                    as u64;
+                                local_win.get(0, HIST_BASE + 2 * r + 1).expect("hist") as u64;
                             (iters, time)
                         })
                         .collect();
@@ -122,19 +135,22 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                     (spec.intra, weights.get(me as usize).copied().unwrap_or(1.0))
                 };
                 let ctx = dls::technique::WorkerCtx { worker: local, weight };
-                let size =
-                    crate::queue::sub_chunk_size_for(&technique, len, wpn, step, taken, ctx);
+                let size = crate::queue::sub_chunk_size_for(&technique, len, wpn, step, taken, ctx);
                 local_win.put(0, STEP, (step + 1) as i64).expect("step");
                 local_win.put(0, TAKEN, (taken + size) as i64).expect("taken");
                 local_win.sync();
                 local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                out.trace.record(me, probe_start, now(), SegmentKind::Sched);
                 let sub = SubChunk { start: lo + taken, end: lo + taken + size };
                 let started = std::time::Instant::now();
+                let compute_start = now();
                 execute(workload, &sub, &mut out);
+                out.trace.record(me, compute_start, now(), SegmentKind::Compute);
                 if awf.is_some() {
                     // Charge the measured kernel time to the shared
                     // history (AWF-C style: per chunk completion).
                     let elapsed = started.elapsed().as_nanos().min(i64::MAX as u128) as i64;
+                    let hist_start = now();
                     local_win.lock(LockKind::Exclusive, 0).expect("lock hist");
                     let i_slot = HIST_BASE + 2 * local as usize;
                     let it = local_win.get(0, i_slot).expect("hist");
@@ -144,6 +160,7 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                     local_win.put(0, i_slot + 1, tm + elapsed.max(1)).expect("hist");
                     local_win.sync();
                     local_win.unlock(LockKind::Exclusive, 0).expect("unlock hist");
+                    out.trace.record(me, hist_start, now(), SegmentKind::Sched);
                 }
                 continue;
             }
@@ -152,12 +169,16 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
             let refilling = local_win.get(0, REFILLING).expect("refilling") != 0;
             if global_done {
                 local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                out.trace.record(me, probe_start, now(), SegmentKind::Sched);
                 break;
             }
             if refilling {
                 // A peer is refilling: back off briefly and re-probe.
                 local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
                 std::thread::yield_now();
+                // A queue-empty observation while a peer refills is peer
+                // waiting, not scheduling work of our own.
+                out.trace.record(me, probe_start, now(), SegmentKind::Sync);
                 continue;
             }
             // This worker becomes the refiller.
@@ -172,9 +193,9 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                     // The PDP'19 distributed chunk calculation: one
                     // fetch-and-increment of the step counter, then the
                     // chunk bounds are a pure local function of it.
-                    let my_step =
-                        global_win.fetch_and_op(0, GSTEP, 1, mpisim::RmaOp::Sum)
-                            .expect("fetch step") as u64;
+                    let my_step = global_win
+                        .fetch_and_op(0, GSTEP, 1, mpisim::RmaOp::Sum)
+                        .expect("fetch step") as u64;
                     dls::single_counter::assignment(&spec.inter, &inter_spec, my_step)
                         .map(|(start, len)| (start, start + len))
                 }
@@ -192,9 +213,7 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                         )
                         .clamp(1, n - gsched);
                         global_win.put(0, GSTEP, (gstep + 1) as i64).expect("gstep");
-                        global_win
-                            .put(0, GSCHED, (gsched + size) as i64)
-                            .expect("gsched");
+                        global_win.put(0, GSCHED, (gsched + size) as i64).expect("gsched");
                         Some((gsched, gsched + size))
                     } else {
                         None
@@ -222,13 +241,27 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
             local_win.put(0, REFILLING, 0).expect("clear refilling");
             local_win.sync();
             local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+            // The whole refill transaction (global fetch + deposit) is
+            // scheduling overhead.
+            out.trace.record(me, probe_start, now(), SegmentKind::Sched);
         }
 
+        out.finish_ns = now();
         world.barrier();
         if node_comm.rank() == 0 {
-            let (acq, contended, _) = local_win.lock_stats(0).expect("stats");
-            out.lock_stats = Some((acq, contended));
+            out.lock_stats = Some(local_win.lock_stats(0).expect("stats"));
         }
+        let lw = local_win.rank_stats();
+        let gw = global_win.rank_stats();
+        out.win_stats = RankWinStats {
+            lock_acquisitions: lw.lock_acquisitions + gw.lock_acquisitions,
+            failed_polls: lw.failed_polls + gw.failed_polls,
+            lock_wait_ns: lw.lock_wait_ns + gw.lock_wait_ns,
+            lock_held_ns: lw.lock_held_ns + gw.lock_held_ns,
+            rma_atomic_ops: lw.rma_atomic_ops + gw.rma_atomic_ops,
+            puts: lw.puts + gw.puts,
+            gets: lw.gets + gw.gets,
+        };
         out
     });
 
@@ -249,24 +282,35 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>) -> LiveResult {
     let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
     let mut checksum = 0u64;
     let mut executed = Vec::new();
+    let mut trace = if cfg.trace { Trace::recording() } else { Trace::disabled() };
+    let makespan_ns = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(0);
     for o in outcomes {
         let w = o.worker as usize;
         stats.workers[w].iterations = o.iterations;
         stats.workers[w].sub_chunks = o.sub_chunks;
         stats.workers[w].global_fetches = o.global_fetches;
+        stats.workers[w].lock_polls = o.win_stats.failed_polls;
+        stats.workers[w].lock_time_ns = o.win_stats.lock_wait_ns + o.win_stats.lock_held_ns;
+        stats.workers[w].rma_ops = o.win_stats.rma_atomic_ops;
         let node = &mut stats.nodes[o.node as usize];
         node.deposits += o.deposits;
         node.sub_chunks += o.sub_chunks;
-        if let Some((acq, contended)) = o.lock_stats {
+        if let Some((acq, contended, polls)) = o.lock_stats {
             node.lock_acquisitions = acq;
             node.lock_contended = contended;
+            node.lock_polls = polls;
         }
         stats.global_accesses += o.global_accesses;
         stats.total_iterations += o.iterations;
         checksum = checksum.wrapping_add(o.checksum);
         executed.extend(o.executed);
+        for s in o.trace.segments() {
+            trace.record(s.worker, s.start, s.end, s.kind);
+        }
+        // Pad the tail so every worker's timeline spans the makespan.
+        trace.record(o.worker, o.finish_ns, makespan_ns, SegmentKind::Idle);
     }
-    LiveResult { stats, checksum, executed }
+    LiveResult { stats, checksum, executed, trace }
 }
 
 #[cfg(test)]
@@ -333,10 +377,40 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_window_counters_recorded() {
+        let w = Synthetic::uniform(600, 1, 100, 3);
+        let mut cfg = LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
+        cfg.trace = true;
+        let r = run_live_mpi_mpi(&cfg, &w);
+        assert!(!r.trace.segments().is_empty());
+        let totals = r.trace.totals();
+        assert!(totals.compute > 0, "compute segments must be recorded");
+        assert!(totals.sched > 0, "sched segments must be recorded");
+        for w in 0..6 {
+            assert!(r.trace.worker_totals(w).total() > 0, "worker {w} has an empty timeline");
+        }
+        // Every rank locks the local window at least once per sub-chunk
+        // and issues a global fetch_and_op per refill attempt (successful
+        // fetches plus the exhaustion probe that comes back empty).
+        for ws in &r.stats.workers {
+            assert!(ws.lock_time_ns > 0, "time-in-lock must accumulate");
+            assert!(ws.rma_ops >= ws.global_fetches);
+        }
+        for node in &r.stats.nodes {
+            assert!(node.lock_acquisitions > 0);
+        }
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let (r, _) = run(HierSpec::new(Kind::GSS, Kind::SS), 1, 2, 100);
+        assert!(r.trace.segments().is_empty());
+    }
+
+    #[test]
     fn every_worker_participates_on_balanced_load() {
         let w = Synthetic::constant(2000, 20_000); // ~20us per iteration
-        let cfg =
-            LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
+        let cfg = LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
         let r = run_live_mpi_mpi(&cfg, &w);
         assert_eq!(r.stats.total_iterations, 2000);
     }

@@ -19,23 +19,28 @@
 use super::{LiveConfig, LiveResult};
 use crate::queue::SubChunk;
 use crate::stats::RunStats;
+use cluster_sim::trace::{SegmentKind, Trace};
 use dls::openmp::{omp_equivalent, OmpSchedule};
 use dls::technique::WorkerCtx;
 use dls::ChunkCalculator;
-use mpisim::{LockKind, Topology, Universe, Window};
+use mpisim::{LockKind, RankWinStats, Topology, Universe, Window};
 use openmp_sim::{Schedule, Team, TeamCtx};
 use parking_lot::Mutex;
+use std::time::Instant;
 use workloads::Workload;
 
 const GSTEP: usize = 0;
 const GSCHED: usize = 1;
 
-#[derive(Default)]
 struct ThreadOutcome {
     iterations: u64,
     sub_chunks: u64,
     checksum: u64,
     executed: Vec<SubChunk>,
+    /// Timeline keyed by the *local* thread id; remapped to global
+    /// worker ids during aggregation.
+    trace: Trace,
+    finish_ns: u64,
 }
 
 struct NodeOutcome {
@@ -44,6 +49,8 @@ struct NodeOutcome {
     global_fetches: u64,
     global_accesses: u64,
     deposits: u64,
+    /// The node rank's window counters (only thread 0 calls MPI).
+    win_stats: RankWinStats,
 }
 
 /// The intra technique as an `openmp-sim` schedule, or the paper's
@@ -71,6 +78,9 @@ pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
     let schedule = omp_schedule(&cfg.spec.intra);
     let team_size = cfg.workers_per_node;
     let spec = cfg.spec;
+    let do_trace = cfg.trace;
+    // Timeline epoch: every thread stamps segments relative to this.
+    let epoch = Instant::now();
 
     let outcomes = Universe::run(topology, move |p| {
         let world = p.world();
@@ -84,11 +94,21 @@ pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
 
         let thread_outcomes = Team::new(team_size).parallel(|ctx| {
             team_thread(
-                ctx, workload, &global_win, &chunk_slot, &fetches, &spec, &inter_spec,
-                schedule, n,
+                ctx,
+                workload,
+                &global_win,
+                &chunk_slot,
+                &fetches,
+                &spec,
+                &inter_spec,
+                schedule,
+                n,
+                do_trace,
+                epoch,
             )
         });
 
+        let win_stats = global_win.rank_stats();
         let f = fetches.into_inner();
         NodeOutcome {
             node: me,
@@ -96,6 +116,7 @@ pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
             global_fetches: f.0,
             global_accesses: f.1,
             deposits: f.2,
+            win_stats,
         }
     });
 
@@ -115,9 +136,21 @@ fn team_thread(
     inter_spec: &dls::LoopSpec,
     schedule: Schedule,
     n: u64,
+    do_trace: bool,
+    epoch: Instant,
 ) -> ThreadOutcome {
-    let mut out = ThreadOutcome::default();
+    let mut out = ThreadOutcome {
+        iterations: 0,
+        sub_chunks: 0,
+        checksum: 0,
+        executed: Vec::new(),
+        trace: if do_trace { Trace::recording() } else { Trace::disabled() },
+        finish_ns: 0,
+    };
+    let now = || epoch.elapsed().as_nanos() as u64;
+    let tid = ctx.thread_num();
     loop {
+        let fetch_start = now();
         // Only the main thread calls MPI.
         ctx.master(|| {
             global_win.lock(LockKind::Exclusive, 0).expect("lock global");
@@ -143,22 +176,36 @@ fn team_thread(
             global_win.unlock(LockKind::Exclusive, 0).expect("unlock global");
             *chunk_slot.lock() = fetched;
         });
+        if tid == 0 {
+            // The master's MPI round-trip is scheduling overhead.
+            out.trace.record(tid, fetch_start, now(), SegmentKind::Sched);
+        }
         // Region start: the team waits for the fetch.
+        let barrier_start = now();
         ctx.barrier();
+        out.trace.record(tid, barrier_start, now(), SegmentKind::Sync);
         let Some((lo, hi)) = *chunk_slot.lock() else {
             break;
         };
         // The worksharing region; `for_each_dispatch` ends in the
         // implicit barrier the paper's Figure 2 illustrates.
+        let mut last_end = now();
         ctx.for_each_dispatch(lo..hi, schedule, |r| {
+            let c0 = now();
             for i in r.clone() {
                 out.checksum = out.checksum.wrapping_add(workload.execute(i));
             }
             out.iterations += r.end - r.start;
             out.sub_chunks += 1;
             out.executed.push(SubChunk { start: r.start, end: r.end });
+            last_end = now();
+            out.trace.record(tid, c0, last_end, SegmentKind::Compute);
         });
+        // Fast threads sit in the region's implicit end barrier until
+        // the slowest one drains its share.
+        out.trace.record(tid, last_end, now(), SegmentKind::Sync);
     }
+    out.finish_ns = now();
     out
 }
 
@@ -168,6 +215,9 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>) -> LiveResult {
     let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
     let mut checksum = 0u64;
     let mut executed = Vec::new();
+    let mut trace = if cfg.trace { Trace::recording() } else { Trace::disabled() };
+    let makespan_ns =
+        outcomes.iter().flat_map(|o| o.threads.iter().map(|t| t.finish_ns)).max().unwrap_or(0);
     for o in outcomes {
         for (tid, t) in o.threads.into_iter().enumerate() {
             let w = o.node * team + tid as u32;
@@ -177,12 +227,27 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>) -> LiveResult {
             stats.total_iterations += t.iterations;
             checksum = checksum.wrapping_add(t.checksum);
             executed.extend(t.executed.into_iter().map(|s| (w, s)));
+            // Thread timelines are keyed by the local thread id; remap
+            // to the global worker id and pad the tail so every worker
+            // timeline spans the whole run.
+            for s in t.trace.segments() {
+                trace.record(w, s.start, s.end, s.kind);
+            }
+            trace.record(w, t.finish_ns, makespan_ns, SegmentKind::Idle);
         }
-        stats.workers[(o.node * team) as usize].global_fetches = o.global_fetches;
+        let master = (o.node * team) as usize;
+        stats.workers[master].global_fetches = o.global_fetches;
+        // Only thread 0 touches the global window, so the rank's window
+        // counters are the master worker's.
+        stats.workers[master].lock_polls = o.win_stats.failed_polls;
+        stats.workers[master].lock_time_ns = o.win_stats.lock_wait_ns + o.win_stats.lock_held_ns;
+        stats.workers[master].rma_ops = o.win_stats.rma_atomic_ops;
+        stats.nodes[o.node as usize].lock_acquisitions = o.win_stats.lock_acquisitions;
+        stats.nodes[o.node as usize].lock_polls = o.win_stats.failed_polls;
         stats.nodes[o.node as usize].deposits = o.deposits;
         stats.global_accesses += o.global_accesses;
     }
-    LiveResult { stats, checksum, executed }
+    LiveResult { stats, checksum, executed, trace }
 }
 
 #[cfg(test)]
@@ -256,11 +321,46 @@ mod tests {
     }
 
     #[test]
+    fn trace_covers_every_team_thread() {
+        let w = Synthetic::uniform(600, 1, 100, 3);
+        let mut cfg =
+            LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiOpenMp);
+        cfg.trace = true;
+        let r = run_live_mpi_omp(&cfg, &w);
+        let totals = r.trace.totals();
+        assert!(totals.compute > 0, "compute segments must be recorded");
+        assert!(totals.sched > 0, "the master's fetches are sched time");
+        assert!(totals.sync > 0, "region barriers are sync time");
+        for w in 0..6 {
+            assert!(r.trace.worker_totals(w).total() > 0, "worker {w} has an empty timeline");
+        }
+        // Only the master thread of each node touches MPI, so only it
+        // can accumulate window counters.
+        for (w, ws) in r.stats.workers.iter().enumerate() {
+            if w % 3 == 0 {
+                assert!(ws.rma_ops == 0, "chunk fetches use put/get, not atomics");
+                assert!(ws.lock_time_ns > 0, "the master holds the global lock");
+            } else {
+                assert_eq!(ws.lock_time_ns, 0);
+                assert_eq!(ws.lock_polls, 0);
+            }
+        }
+        for node in &r.stats.nodes {
+            assert!(node.lock_acquisitions > 0);
+        }
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let (r, _) = run(HierSpec::new(Kind::GSS, Kind::SS), 1, 2, 100);
+        assert!(r.trace.segments().is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "Intel OpenMP runtime only supports")]
     fn unsupported_intra_technique_rejected() {
         let w = Synthetic::constant(10, 1);
-        let cfg =
-            LiveConfig::new(1, 2, HierSpec::new(Kind::GSS, Kind::TSS), Approach::MpiOpenMp);
+        let cfg = LiveConfig::new(1, 2, HierSpec::new(Kind::GSS, Kind::TSS), Approach::MpiOpenMp);
         run_live_mpi_omp(&cfg, &w);
     }
 }

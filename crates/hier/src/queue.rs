@@ -168,9 +168,16 @@ pub fn sub_chunk_size_for(
     taken: u64,
     ctx: dls::technique::WorkerCtx,
 ) -> u64 {
+    // Callers may race past the end of a range (two workers observing the
+    // same slot before either CAS lands); an exhausted range yields 0
+    // rather than underflowing `range_len - taken`.
+    let remaining = range_len.saturating_sub(taken);
+    if remaining == 0 {
+        return 0;
+    }
     let spec = LoopSpec::new(range_len, p);
     let state = SchedState { step, scheduled: taken };
-    intra.chunk_size(&spec, state, ctx).clamp(1, range_len - taken)
+    intra.chunk_size(&spec, state, ctx).clamp(1, remaining)
 }
 
 #[cfg(test)]
@@ -259,6 +266,20 @@ mod tests {
         let sizes: Vec<u64> =
             std::iter::from_fn(|| q.take_sub_chunk(&t, 2)).map(|s| s.len()).collect();
         assert_eq!(sizes, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn sub_chunk_size_exhausted_range_returns_zero() {
+        // Regression: `taken >= range_len` used to underflow
+        // `range_len - taken` (debug panic) and feed `clamp(1, 0)`
+        // (release panic). An exhausted range must yield 0.
+        let t = Technique::ss();
+        assert_eq!(sub_chunk_size(&t, 100, 4, 100, 100), 0);
+        assert_eq!(sub_chunk_size(&t, 100, 4, 101, 150), 0);
+        assert_eq!(sub_chunk_size(&t, 0, 4, 0, 0), 0);
+        // A live range is unaffected.
+        assert_eq!(sub_chunk_size(&t, 100, 4, 0, 99), 1);
+        assert!(sub_chunk_size(&Technique::gss(), 100, 4, 0, 0) > 0);
     }
 
     #[test]

@@ -69,8 +69,7 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
 
     // Flat: one level, technique over all workers. Hierarchical: inter
     // over nodes feeding per-node local queues.
-    let global_spec =
-        LoopSpec::new(n_iters, if flat { total_workers } else { nodes });
+    let global_spec = LoopSpec::new(n_iters, if flat { total_workers } else { nodes });
     let mut global_state = SchedState::START;
     let mut global_master = Resource::new();
     let mut locals: Vec<MasterState> = (0..nodes)
@@ -135,10 +134,8 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
                         lm.pending.push_back(w);
                         if !lm.refilling {
                             lm.refilling = true;
-                            events.push(
-                                served + m.net.latency_ns,
-                                Event::GlobalArrive(node as u32),
-                            );
+                            events
+                                .push(served + m.net.latency_ns, Event::GlobalArrive(node as u32));
                         }
                     }
                 }
@@ -171,8 +168,7 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
                         // each reply is one more master service.
                         let mut reply_t = t;
                         while let Some(w) = lm.pending.pop_front() {
-                            let (_, served) =
-                                lm.service.request(reply_t, m.master_service_ns);
+                            let (_, served) = lm.service.request(reply_t, m.master_service_ns);
                             reply_t = served;
                             match lm.queue.take_sub_chunk(&cfg.spec.intra, wpn) {
                                 Some(sub) => {
@@ -217,15 +213,11 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
                         stats.workers[w as usize].iterations += hi - lo;
                         stats.workers[w as usize].sub_chunks += 1;
                         if cfg.record_chunks {
-                            executed.push((
-                                w,
-                                crate::queue::SubChunk { start: lo, end: hi },
-                            ));
+                            executed.push((w, crate::queue::SubChunk { start: lo, end: hi }));
                         }
                         let done = t + cost;
                         request_sent[w as usize] = done;
-                        let lat =
-                            if flat { m.net.latency_ns } else { m.intra_msg_latency_ns };
+                        let lat = if flat { m.net.latency_ns } else { m.intra_msg_latency_ns };
                         events.push(done + lat, Event::RequestArrive(w));
                     }
                     None => {
@@ -253,7 +245,6 @@ mod tests {
     use dls::verify::check_exactly_once;
     use dls::Kind;
     use workloads::synthetic::Synthetic;
-    
 
     fn cfg(spec: HierSpec, nodes: u32, wpn: u32) -> SimConfig {
         let mut c = SimConfig::new(
@@ -282,10 +273,7 @@ mod tests {
             for intra in [Kind::STATIC, Kind::SS, Kind::GSS] {
                 let w = Synthetic::uniform(2_000, 20, 300, 3);
                 let table = CostTable::build(&w);
-                let r = simulate_master_worker(
-                    &cfg(HierSpec::new(inter, intra), 3, 4),
-                    &table,
-                );
+                let r = simulate_master_worker(&cfg(HierSpec::new(inter, intra), 3, 4), &table);
                 assert_covers(&r, 2_000);
             }
         }
@@ -296,10 +284,7 @@ mod tests {
         for tech in [Kind::SS, Kind::GSS, Kind::FAC2] {
             let w = Synthetic::uniform(2_000, 20, 300, 3);
             let table = CostTable::build(&w);
-            let r = simulate_flat_master_worker(
-                &cfg(HierSpec::new(tech, tech), 3, 4),
-                &table,
-            );
+            let r = simulate_flat_master_worker(&cfg(HierSpec::new(tech, tech), 3, 4), &table);
             assert_covers(&r, 2_000);
         }
     }
@@ -312,8 +297,7 @@ mod tests {
         let table = CostTable::build(&w);
         let flat =
             simulate_flat_master_worker(&cfg(HierSpec::new(Kind::SS, Kind::SS), 16, 16), &table);
-        let hier =
-            simulate_master_worker(&cfg(HierSpec::new(Kind::GSS, Kind::SS), 16, 16), &table);
+        let hier = simulate_master_worker(&cfg(HierSpec::new(Kind::GSS, Kind::SS), 16, 16), &table);
         // The flat master handles one request per iteration, serially.
         let serialized = 100_000 * MachineParams::default().master_service_ns;
         assert!(flat.makespan >= serialized);

@@ -79,14 +79,14 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
     // scheduling time this worker spent obtaining the sub-chunk (charged
     // to its AWF history under the -D/-E variants).
     let execute_sub = |w: u32,
-                           node: &mut NodeState,
-                           node_idx: usize,
-                           grant_end: Time,
-                           sched_ns: Time,
-                           stats: &mut RunStats,
-                           trace: &mut Trace,
-                           executed: &mut Vec<(u32, crate::queue::SubChunk)>,
-                           events: &mut EventQueue<Event>| {
+                       node: &mut NodeState,
+                       node_idx: usize,
+                       grant_end: Time,
+                       sched_ns: Time,
+                       stats: &mut RunStats,
+                       trace: &mut Trace,
+                       executed: &mut Vec<(u32, crate::queue::SubChunk)>,
+                       events: &mut EventQueue<Event>| {
         let local = w % wpn;
         // AWF is *adaptive weighted factoring*: it replaces the intra
         // technique with WF driven by the learned weights.
@@ -95,10 +95,8 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
             None => (cfg.spec.intra, cfg.weights.get(w as usize).copied().unwrap_or(1.0)),
         };
         let ctx = dls::technique::WorkerCtx { worker: local, weight };
-        let sub = node
-            .queue
-            .take_sub_chunk_for(&technique, wpn, ctx)
-            .expect("caller checked non-empty");
+        let sub =
+            node.queue.take_sub_chunk_for(&technique, wpn, ctx).expect("caller checked non-empty");
         let cost = cfg.scaled_cost(w, table.range_cost(sub.start, sub.end));
         if let Some(h) = &mut node.awf {
             h.record(local, sub.len(), cost, sched_ns);
@@ -127,8 +125,15 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                 trace.record(w, t, grant.end, SegmentKind::Sched);
                 if !node.queue.is_empty() {
                     execute_sub(
-                        w, node, node_idx, grant.end, grant.end - t, &mut stats,
-                        &mut trace, &mut executed, &mut events,
+                        w,
+                        node,
+                        node_idx,
+                        grant.end,
+                        grant.end - t,
+                        &mut stats,
+                        &mut trace,
+                        &mut executed,
+                        &mut events,
                     );
                 } else if node.global_done {
                     finish_time[w as usize] = grant.end;
@@ -157,9 +162,7 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                 stats.global_accesses += 1;
                 let mode_extra = match cfg.global_mode {
                     crate::config::GlobalQueueMode::SingleAtomic => 0,
-                    crate::config::GlobalQueueMode::LockedCounters => {
-                        2 * m.net.rma_round_trip()
-                    }
+                    crate::config::GlobalQueueMode::LockedCounters => 2 * m.net.rma_round_trip(),
                 };
                 let done = served + m.net.latency_ns + m.chunk_calc_ns + mode_extra;
                 trace.record(w, t, done, SegmentKind::Sched);
@@ -171,8 +174,7 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                         global_state,
                         dls::technique::WorkerCtx::default(),
                     );
-                    let chunk =
-                        global_state.take(&inter_spec, size).expect("not exhausted");
+                    let chunk = global_state.take(&inter_spec, size).expect("not exhausted");
                     stats.workers[w as usize].global_fetches += 1;
                     Some((chunk.start, chunk.end()))
                 };
@@ -193,8 +195,15 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                         node.queue.deposit(lo, hi);
                         stats.nodes[node_idx].deposits += 1;
                         execute_sub(
-                            w, node, node_idx, grant.end, grant.end - t, &mut stats,
-                            &mut trace, &mut executed, &mut events,
+                            w,
+                            node,
+                            node_idx,
+                            grant.end,
+                            grant.end - t,
+                            &mut stats,
+                            &mut trace,
+                            &mut executed,
+                            &mut events,
                         );
                     }
                     None => {
@@ -217,6 +226,9 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
         trace.record(w as u32, ft, makespan, SegmentKind::Idle);
     }
     stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
+    for (i, node) in node_states.iter().enumerate() {
+        stats.nodes[i].lock_polls = node.lock.polls();
+    }
     let lock_poll_penalty = node_states.iter().map(|n| n.lock.total_penalty()).sum();
 
     SimResult { makespan, stats, trace, lock_poll_penalty, executed }
@@ -308,6 +320,8 @@ mod tests {
         assert!(r.lock_poll_penalty > 0, "SS must trigger lock polling");
         let contended: u64 = r.stats.nodes.iter().map(|n| n.lock_contended).sum();
         assert!(contended > 0);
+        let polls: u64 = r.stats.nodes.iter().map(|n| n.lock_polls).sum();
+        assert!(polls >= contended, "each contended acquire polls at least once");
     }
 
     #[test]
@@ -315,9 +329,8 @@ mod tests {
         let ss = run(HierSpec::new(Kind::STATIC, Kind::SS), 2, 8, 4000);
         let st = run(HierSpec::new(Kind::STATIC, Kind::STATIC), 2, 8, 4000);
         assert!(st.lock_poll_penalty < ss.lock_poll_penalty);
-        let acq = |r: &SimResult| -> u64 {
-            r.stats.nodes.iter().map(|n| n.lock_acquisitions).sum()
-        };
+        let acq =
+            |r: &SimResult| -> u64 { r.stats.nodes.iter().map(|n| n.lock_acquisitions).sum() };
         assert!(acq(&st) < acq(&ss));
     }
 

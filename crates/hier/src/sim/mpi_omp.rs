@@ -161,11 +161,8 @@ fn run_team(
     let mut clocks: Vec<Time> = vec![start; threads as usize];
     loop {
         // The earliest-free thread grabs the next sub-chunk.
-        let (i, _) = clocks
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &c)| (c, i))
-            .expect("non-empty team");
+        let (i, _) =
+            clocks.iter().enumerate().min_by_key(|&(i, &c)| (c, i)).expect("non-empty team");
         let w = node * threads + i as u32;
         let (_, dispatched) = dispatcher.request(clocks[i], m.omp_dispatch_ns);
         let Some(sub) = queue.take_sub_chunk(intra, threads) else {

@@ -10,6 +10,15 @@ pub struct WorkerStats {
     /// Global chunks this worker fetched (MPI+MPI: any worker may fetch;
     /// MPI+OpenMP: only thread 0 of each node).
     pub global_fetches: u64,
+    /// Failed lock-poll attempts this worker made at RMA window locks
+    /// (live backends only; the sim backends account polling per node).
+    pub lock_polls: u64,
+    /// Wall-clock nanoseconds this worker spent blocked acquiring or
+    /// holding RMA window locks (live backends only).
+    pub lock_time_ns: u64,
+    /// RMA atomic operations (`MPI_Fetch_and_op`, `MPI_Compare_and_swap`,
+    /// `MPI_Accumulate`) this worker issued (live backends only).
+    pub rma_ops: u64,
 }
 
 /// Per-node counters.
@@ -23,6 +32,9 @@ pub struct NodeStats {
     pub lock_acquisitions: u64,
     /// Lock acquisitions that found the lock contended.
     pub lock_contended: u64,
+    /// Failed lock-poll attempts at the local-queue lock — the
+    /// lock-attempt message count behind the paper's `X+SS` pathology.
+    pub lock_polls: u64,
 }
 
 /// Aggregate statistics of one hierarchical run.

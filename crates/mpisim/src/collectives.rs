@@ -131,10 +131,7 @@ impl Comm {
         self.check_rank(root)?;
         if self.rank() == root {
             if values.len() != self.size() as usize {
-                return Err(Error::RankOutOfRange {
-                    rank: values.len() as u32,
-                    size: self.size(),
-                });
+                return Err(Error::RankOutOfRange { rank: values.len() as u32, size: self.size() });
             }
             let mut own: Option<T> = None;
             for (dest, v) in values.into_iter().enumerate() {
@@ -153,16 +150,11 @@ impl Comm {
 
     /// `MPI_Scan` (inclusive prefix): rank `r` returns
     /// `op(v_0, ..., v_r)`. Linear chain.
-    pub fn scan<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        op: impl Fn(T, T) -> T,
-    ) -> Result<T> {
+    pub fn scan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> Result<T> {
         let acc = if self.rank() == 0 {
             value
         } else {
-            let (_, _, prev): (_, _, T) =
-                self.recv(Some(self.rank() - 1), Some(TAG_SCAN))?;
+            let (_, _, prev): (_, _, T) = self.recv(Some(self.rank() - 1), Some(TAG_SCAN))?;
             op(prev, value)
         };
         if self.rank() + 1 < self.size() {
@@ -198,10 +190,7 @@ impl Comm {
     /// returns the values every rank provided for `r`, in rank order.
     pub fn alltoall<T: Send + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
         if values.len() != self.size() as usize {
-            return Err(Error::RankOutOfRange {
-                rank: values.len() as u32,
-                size: self.size(),
-            });
+            return Err(Error::RankOutOfRange { rank: values.len() as u32, size: self.size() });
         }
         let mut own: Option<T> = None;
         for (dest, v) in values.into_iter().enumerate() {
@@ -278,9 +267,8 @@ mod tests {
 
     #[test]
     fn allgather_everywhere() {
-        let out = Universe::run(Topology::new(1, 3), |p| {
-            p.world().allgather(p.world().rank()).unwrap()
-        });
+        let out =
+            Universe::run(Topology::new(1, 3), |p| p.world().allgather(p.world().rank()).unwrap());
         assert_eq!(out, vec![vec![0, 1, 2]; 3]);
     }
 

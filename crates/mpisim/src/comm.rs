@@ -122,11 +122,8 @@ impl Comm {
     /// communicator.
     pub fn split(&self, color: u32, key: u32) -> Result<Comm> {
         let all: Vec<(u32, u32, u32)> = self.allgather((self.rank, color, key))?;
-        let mut group: Vec<(u32, u32)> = all
-            .iter()
-            .filter(|(_, c, _)| *c == color)
-            .map(|&(r, _, k)| (k, r))
-            .collect();
+        let mut group: Vec<(u32, u32)> =
+            all.iter().filter(|(_, c, _)| *c == color).map(|&(r, _, k)| (k, r)).collect();
         group.sort_unstable();
         let my_new_rank = group
             .iter()
@@ -134,10 +131,8 @@ impl Comm {
             .expect("caller must be in its own color group") as u32;
         let leader_old_rank = group[0].1;
         if self.rank == leader_old_rank {
-            let world_ranks: Vec<u32> = group
-                .iter()
-                .map(|&(_, r)| self.state.world_ranks[r as usize])
-                .collect();
+            let world_ranks: Vec<u32> =
+                group.iter().map(|&(_, r)| self.state.world_ranks[r as usize]).collect();
             let state = CommState::new(world_ranks, self.state.topology);
             for &(_, old_rank) in &group[1..] {
                 self.send(old_rank, TAG_SPLIT, Arc::clone(&state))?;

@@ -75,22 +75,14 @@ impl Group {
     /// `self`'s order.
     pub fn intersection(&self, other: &Group) -> Group {
         Group::new(
-            self.world_ranks
-                .iter()
-                .copied()
-                .filter(|r| other.world_ranks.contains(r))
-                .collect(),
+            self.world_ranks.iter().copied().filter(|r| other.world_ranks.contains(r)).collect(),
         )
     }
 
     /// `MPI_Group_difference`: members of `self` not in `other`.
     pub fn difference(&self, other: &Group) -> Group {
         Group::new(
-            self.world_ranks
-                .iter()
-                .copied()
-                .filter(|r| !other.world_ranks.contains(r))
-                .collect(),
+            self.world_ranks.iter().copied().filter(|r| !other.world_ranks.contains(r)).collect(),
         )
     }
 
@@ -98,10 +90,7 @@ impl Group {
     /// `self`) to the corresponding group rank in `other`, `None` where
     /// absent.
     pub fn translate_ranks(&self, ranks: &[u32], other: &Group) -> Vec<Option<u32>> {
-        ranks
-            .iter()
-            .map(|&r| self.world_rank(r).and_then(|w| other.rank_of(w)))
-            .collect()
+        ranks.iter().map(|&r| self.world_rank(r).and_then(|w| other.rank_of(w))).collect()
     }
 }
 

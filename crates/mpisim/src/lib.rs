@@ -50,10 +50,10 @@ pub mod universe;
 pub mod window;
 
 pub use comm::Comm;
+pub use error::{Error, Result};
 pub use group::Group;
 pub use request::{RecvRequest, SendRequest};
-pub use error::{Error, Result};
 pub use sync::{LockStats, QueuedLock};
 pub use topology::Topology;
 pub use universe::{Process, Universe};
-pub use window::{LockKind, RmaOp, Window};
+pub use window::{LockKind, RankWinStats, RmaOp, Window};

@@ -55,9 +55,9 @@ impl Mailbox {
     ) -> Result<(u32, i32, T)> {
         let mut queue = self.queue.lock();
         loop {
-            let pos = queue.iter().position(|e| {
-                src.is_none_or(|s| s == e.src) && tag.is_none_or(|t| t == e.tag)
-            });
+            let pos = queue
+                .iter()
+                .position(|e| src.is_none_or(|s| s == e.src) && tag.is_none_or(|t| t == e.tag));
             if let Some(pos) = pos {
                 let env = queue.remove(pos).expect("position just found");
                 let (esrc, etag) = (env.src, env.tag);
@@ -72,9 +72,10 @@ impl Mailbox {
 
     /// Non-blocking probe: does a matching message exist?
     pub(crate) fn probe(&self, src: Option<u32>, tag: Option<i32>) -> bool {
-        self.queue.lock().iter().any(|e| {
-            src.is_none_or(|s| s == e.src) && tag.is_none_or(|t| t == e.tag)
-        })
+        self.queue
+            .lock()
+            .iter()
+            .any(|e| src.is_none_or(|s| s == e.src) && tag.is_none_or(|t| t == e.tag))
     }
 
     /// Number of queued messages (diagnostics).

@@ -58,12 +58,15 @@ impl QueuedLock {
         Self::default()
     }
 
-    /// Acquire exclusively, blocking until no holder remains.
-    pub fn lock_exclusive(&self) {
+    /// Acquire exclusively, blocking until no holder remains. Returns
+    /// the number of failed poll attempts (wake-ups while the lock was
+    /// still unavailable) — the caller's share of the lock-attempt
+    /// traffic recorded in [`LockStats::polls`].
+    pub fn lock_exclusive(&self) -> u64 {
         let mut inner = self.inner.lock();
-        let mut blocked = false;
+        let mut polls = 0u64;
         while inner.exclusive || inner.shared > 0 {
-            blocked = true;
+            polls += 1;
             inner.waiting += 1;
             self.stats.polls.fetch_add(1, Ordering::Relaxed);
             self.cv.wait(&mut inner);
@@ -71,17 +74,20 @@ impl QueuedLock {
         }
         inner.exclusive = true;
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if blocked {
+        if polls > 0 {
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
         }
+        polls
     }
 
     /// Acquire shared, blocking while an exclusive holder exists.
-    pub fn lock_shared(&self) {
+    /// Returns the caller's failed poll attempts, as
+    /// [`QueuedLock::lock_exclusive`] does.
+    pub fn lock_shared(&self) -> u64 {
         let mut inner = self.inner.lock();
-        let mut blocked = false;
+        let mut polls = 0u64;
         while inner.exclusive {
-            blocked = true;
+            polls += 1;
             inner.waiting += 1;
             self.stats.polls.fetch_add(1, Ordering::Relaxed);
             self.cv.wait(&mut inner);
@@ -89,9 +95,10 @@ impl QueuedLock {
         }
         inner.shared += 1;
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if blocked {
+        if polls > 0 {
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
         }
+        polls
     }
 
     /// Release an exclusive hold. Returns `false` (and does nothing) if

@@ -59,10 +59,7 @@ impl Universe {
                 .map(|rank| {
                     let state = std::sync::Arc::clone(&world_state);
                     scope.spawn(move || {
-                        let process = Process {
-                            world: Comm { state, rank },
-                            topology,
-                        };
+                        let process = Process { world: Comm { state, rank }, topology };
                         f(&process)
                     })
                 })

@@ -11,8 +11,11 @@
 use crate::comm::{Comm, TAG_WIN};
 use crate::error::{Error, Result};
 use crate::sync::QueuedLock;
-use std::sync::atomic::{fence, AtomicI64, Ordering};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// `MPI_Win_lock` lock type.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +50,76 @@ struct WinState {
     shared: bool,
 }
 
+/// Snapshot of one rank's window activity counters — the per-rank view
+/// of the contention the paper attributes `X+SS` slowdowns to. Taken
+/// with [`Window::rank_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankWinStats {
+    /// Successful `MPI_Win_lock` epochs this rank opened (shared and
+    /// exclusive, including `try_lock` successes and `lock_all`).
+    pub lock_acquisitions: u64,
+    /// Failed poll attempts: wake-ups (or `try_lock` failures) while the
+    /// requested lock was still unavailable — this rank's share of the
+    /// lock-attempt message traffic.
+    pub failed_polls: u64,
+    /// Nanoseconds this rank spent blocked *acquiring* window locks.
+    pub lock_wait_ns: u64,
+    /// Nanoseconds this rank spent *inside* lock epochs (lock→unlock).
+    pub lock_held_ns: u64,
+    /// RMA atomic operations issued (`MPI_Fetch_and_op`,
+    /// `MPI_Compare_and_swap`, `MPI_Accumulate`).
+    pub rma_atomic_ops: u64,
+    /// `MPI_Put` operations issued (a multi-element put counts once).
+    pub puts: u64,
+    /// `MPI_Get` operations issued (a multi-element get counts once).
+    pub gets: u64,
+}
+
+/// This rank's cumulative counters plus the open-epoch bookkeeping the
+/// held-time measurement needs. One per rank per window (shared by
+/// clones of the same handle, which stay on the creating rank).
+#[derive(Default)]
+struct RankLocal {
+    lock_acquisitions: AtomicU64,
+    failed_polls: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    lock_held_ns: AtomicU64,
+    rma_atomic_ops: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    /// Grant instant of each epoch this rank currently holds, by target.
+    held_since: Mutex<HashMap<u32, Instant>>,
+}
+
+impl RankLocal {
+    fn granted(&self, target: u32, requested: Instant, polls: u64) {
+        let granted = Instant::now();
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.failed_polls.fetch_add(polls, Ordering::Relaxed);
+        self.lock_wait_ns
+            .fetch_add(granted.duration_since(requested).as_nanos() as u64, Ordering::Relaxed);
+        self.held_since.lock().insert(target, granted);
+    }
+
+    fn released(&self, target: u32) {
+        if let Some(granted) = self.held_since.lock().remove(&target) {
+            self.lock_held_ns.fetch_add(granted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> RankWinStats {
+        RankWinStats {
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            failed_polls: self.failed_polls.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            lock_held_ns: self.lock_held_ns.load(Ordering::Relaxed),
+            rma_atomic_ops: self.rma_atomic_ops.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A window handle held by one rank. Cloning is cheap.
 ///
 /// ```
@@ -65,6 +138,7 @@ struct WinState {
 pub struct Window {
     state: Arc<WinState>,
     comm: Comm,
+    rank: Arc<RankLocal>,
 }
 
 impl Window {
@@ -106,7 +180,7 @@ impl Window {
             let (_, _, state): (_, _, Arc<WinState>) = comm.recv(Some(0), Some(TAG_WIN))?;
             state
         };
-        Ok(Window { state, comm: comm.clone() })
+        Ok(Window { state, comm: comm.clone(), rank: Arc::new(RankLocal::default()) })
     }
 
     /// The communicator the window was created over.
@@ -148,10 +222,12 @@ impl Window {
             .locks
             .get(target as usize)
             .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
-        match kind {
+        let requested = Instant::now();
+        let polls = match kind {
             LockKind::Exclusive => lock.lock_exclusive(),
             LockKind::Shared => lock.lock_shared(),
-        }
+        };
+        self.rank.granted(target, requested, polls);
         Ok(())
     }
 
@@ -165,7 +241,14 @@ impl Window {
             .locks
             .get(target as usize)
             .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
-        Ok(lock.try_lock_exclusive())
+        let requested = Instant::now();
+        if lock.try_lock_exclusive() {
+            self.rank.granted(target, requested, 0);
+            Ok(true)
+        } else {
+            self.rank.failed_polls.fetch_add(1, Ordering::Relaxed);
+            Ok(false)
+        }
     }
 
     /// `MPI_Win_unlock(target)`: end the epoch begun by [`Window::lock`].
@@ -180,6 +263,7 @@ impl Window {
             LockKind::Shared => lock.unlock_shared(),
         };
         if ok {
+            self.rank.released(target);
             fence(Ordering::SeqCst);
             Ok(())
         } else {
@@ -191,6 +275,7 @@ impl Window {
     /// element at (`target`, `disp`) and return the previous value.
     pub fn fetch_and_op(&self, target: u32, disp: usize, operand: i64, op: RmaOp) -> Result<i64> {
         let slot = self.slot(target, disp)?;
+        self.rank.rma_atomic_ops.fetch_add(1, Ordering::Relaxed);
         let prev = match op {
             RmaOp::Sum => slot.fetch_add(operand, Ordering::SeqCst),
             RmaOp::Replace => slot.swap(operand, Ordering::SeqCst),
@@ -211,6 +296,7 @@ impl Window {
         new: i64,
     ) -> Result<i64> {
         let slot = self.slot(target, disp)?;
+        self.rank.rma_atomic_ops.fetch_add(1, Ordering::Relaxed);
         Ok(match slot.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(prev) => prev,
             Err(prev) => prev,
@@ -219,22 +305,24 @@ impl Window {
 
     /// `MPI_Get` of one element.
     pub fn get(&self, target: u32, disp: usize) -> Result<i64> {
-        Ok(self.slot(target, disp)?.load(Ordering::SeqCst))
+        let slot = self.slot(target, disp)?;
+        self.rank.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(slot.load(Ordering::SeqCst))
     }
 
     /// `MPI_Put` of one element.
     pub fn put(&self, target: u32, disp: usize, value: i64) -> Result<()> {
-        self.slot(target, disp)?.store(value, Ordering::SeqCst);
+        let slot = self.slot(target, disp)?;
+        self.rank.puts.fetch_add(1, Ordering::Relaxed);
+        slot.store(value, Ordering::SeqCst);
         Ok(())
     }
 
     /// `MPI_Get` of a whole region.
     pub fn get_all(&self, target: u32) -> Result<Vec<i64>> {
         let (offset, len) = self.region(target)?;
-        Ok(self.state.data[offset..offset + len]
-            .iter()
-            .map(|a| a.load(Ordering::SeqCst))
-            .collect())
+        self.rank.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(self.state.data[offset..offset + len].iter().map(|a| a.load(Ordering::SeqCst)).collect())
     }
 
     /// `MPI_Accumulate` with a predefined op on a single element — like
@@ -249,6 +337,7 @@ impl Window {
         if disp + len > region_len {
             return Err(Error::OffsetOutOfRange { offset: disp + len, len: region_len });
         }
+        self.rank.gets.fetch_add(1, Ordering::Relaxed);
         Ok(self.state.data[offset + disp..offset + disp + len]
             .iter()
             .map(|a| a.load(Ordering::SeqCst))
@@ -259,11 +348,9 @@ impl Window {
     pub fn put_range(&self, target: u32, disp: usize, values: &[i64]) -> Result<()> {
         let (offset, region_len) = self.region(target)?;
         if disp + values.len() > region_len {
-            return Err(Error::OffsetOutOfRange {
-                offset: disp + values.len(),
-                len: region_len,
-            });
+            return Err(Error::OffsetOutOfRange { offset: disp + values.len(), len: region_len });
         }
+        self.rank.puts.fetch_add(1, Ordering::Relaxed);
         for (i, &v) in values.iter().enumerate() {
             self.state.data[offset + disp + i].store(v, Ordering::SeqCst);
         }
@@ -273,18 +360,21 @@ impl Window {
     /// `MPI_Win_lock_all`: shared-lock every rank's region (ascending
     /// rank order, so concurrent `lock_all` calls cannot deadlock).
     pub fn lock_all(&self) {
-        for lock in &self.state.locks {
-            lock.lock_shared();
+        for (target, lock) in self.state.locks.iter().enumerate() {
+            let requested = Instant::now();
+            let polls = lock.lock_shared();
+            self.rank.granted(target as u32, requested, polls);
         }
     }
 
     /// `MPI_Win_unlock_all`: release the epoch begun by
     /// [`Window::lock_all`].
     pub fn unlock_all(&self) -> Result<()> {
-        for lock in &self.state.locks {
+        for (target, lock) in self.state.locks.iter().enumerate() {
             if !lock.unlock_shared() {
                 return Err(Error::NotLocked);
             }
+            self.rank.released(target as u32);
         }
         fence(Ordering::SeqCst);
         Ok(())
@@ -311,6 +401,15 @@ impl Window {
             .get(target as usize)
             .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
         Ok(lock.stats().snapshot())
+    }
+
+    /// This rank's cumulative window activity: lock acquisitions, failed
+    /// poll attempts, time blocked acquiring and time spent inside lock
+    /// epochs, and one-sided operation counts. Counters are per handle
+    /// lineage — clones of this handle share them, other ranks' handles
+    /// do not.
+    pub fn rank_stats(&self) -> RankWinStats {
+        self.rank.snapshot()
     }
 }
 
@@ -396,10 +495,7 @@ mod tests {
     fn unlock_without_lock_is_error() {
         Universe::run(Topology::new(1, 1), |p| {
             let win = Window::allocate(p.world(), 1).unwrap();
-            assert_eq!(
-                win.unlock(LockKind::Exclusive, 0).unwrap_err(),
-                Error::NotLocked
-            );
+            assert_eq!(win.unlock(LockKind::Exclusive, 0).unwrap_err(), Error::NotLocked);
         });
     }
 
@@ -407,10 +503,7 @@ mod tests {
     fn offset_out_of_range() {
         Universe::run(Topology::new(1, 1), |p| {
             let win = Window::allocate(p.world(), 2).unwrap();
-            assert!(matches!(
-                win.get(0, 2),
-                Err(Error::OffsetOutOfRange { offset: 2, len: 2 })
-            ));
+            assert!(matches!(win.get(0, 2), Err(Error::OffsetOutOfRange { offset: 2, len: 2 })));
         });
     }
 
@@ -519,6 +612,78 @@ mod tests {
         Universe::run(Topology::new(1, 1), |p| {
             let win = Window::allocate(p.world(), 1).unwrap();
             assert!(win.unlock_all().is_err());
+        });
+    }
+
+    #[test]
+    fn rank_stats_count_this_ranks_activity() {
+        let snaps = Universe::run(Topology::new(1, 4), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, if w.rank() == 0 { 1 } else { 0 }).unwrap();
+            for _ in 0..10 {
+                win.lock(LockKind::Exclusive, 0).unwrap();
+                let v = win.get(0, 0).unwrap();
+                win.put(0, 0, v + 1).unwrap();
+                win.unlock(LockKind::Exclusive, 0).unwrap();
+            }
+            win.fetch_and_op(0, 0, 1, RmaOp::Sum).unwrap();
+            w.barrier();
+            win.rank_stats()
+        });
+        for s in &snaps {
+            // Counters are per rank, not per window: every rank did
+            // exactly 10 epochs, 10 gets/puts and 1 atomic op.
+            assert_eq!(s.lock_acquisitions, 10);
+            assert_eq!(s.gets, 10);
+            assert_eq!(s.puts, 10);
+            assert_eq!(s.rma_atomic_ops, 1);
+            assert!(s.lock_held_ns > 0, "held time must accumulate");
+        }
+    }
+
+    #[test]
+    fn blocked_acquire_records_failed_polls_and_wait_time() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, 1).unwrap();
+            if w.rank() == 0 {
+                win.lock(LockKind::Exclusive, 0).unwrap();
+                w.send(1, 0, ()).unwrap();
+                // Hold until rank 1 is provably blocked in its acquire
+                // (its first failed poll shows up in the lock stats).
+                while win.lock_stats(0).unwrap().2 == 0 {
+                    std::thread::yield_now();
+                }
+                win.unlock(LockKind::Exclusive, 0).unwrap();
+            } else {
+                let (_, _, ()) = w.recv(Some(0), Some(0)).unwrap();
+                win.lock(LockKind::Exclusive, 0).unwrap();
+                win.unlock(LockKind::Exclusive, 0).unwrap();
+                let s = win.rank_stats();
+                assert!(s.failed_polls >= 1, "blocked acquire must poll");
+                assert!(s.lock_wait_ns > 0, "blocked acquire must wait");
+            }
+            w.barrier();
+        });
+    }
+
+    #[test]
+    fn try_lock_failure_counts_as_failed_poll() {
+        Universe::run(Topology::new(1, 2), |p| {
+            let w = p.world();
+            let win = Window::allocate(w, 1).unwrap();
+            if w.rank() == 0 {
+                win.lock(LockKind::Exclusive, 0).unwrap();
+                w.send(1, 0, ()).unwrap();
+                let (_, _, ()) = w.recv(Some(1), Some(1)).unwrap();
+                win.unlock(LockKind::Exclusive, 0).unwrap();
+            } else {
+                let (_, _, ()) = w.recv(Some(0), Some(0)).unwrap();
+                assert!(!win.try_lock_exclusive(0).unwrap());
+                assert_eq!(win.rank_stats().failed_polls, 1);
+                assert_eq!(win.rank_stats().lock_acquisitions, 0);
+                w.send(0, 1, ()).unwrap();
+            }
         });
     }
 

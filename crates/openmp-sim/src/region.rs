@@ -53,21 +53,14 @@ pub(crate) struct RegionRegistry {
 
 impl RegionRegistry {
     pub fn get(&self, seq: u64) -> Arc<Region> {
-        Arc::clone(
-            self.regions
-                .lock()
-                .entry(seq)
-                .or_insert_with(|| Arc::new(Region::new())),
-        )
+        Arc::clone(self.regions.lock().entry(seq).or_insert_with(|| Arc::new(Region::new())))
     }
 
     /// The shared contribution vector of reduction construct `seq`,
     /// created by the first arriving thread.
     pub fn values<T: Send + 'static>(&self, seq: u64) -> Arc<Mutex<Vec<T>>> {
         let mut map = self.values.lock();
-        let entry = map
-            .entry(seq)
-            .or_insert_with(|| Arc::new(Mutex::new(Vec::<T>::new())));
+        let entry = map.entry(seq).or_insert_with(|| Arc::new(Mutex::new(Vec::<T>::new())));
         Arc::clone(entry)
             .downcast::<Mutex<Vec<T>>>()
             .expect("all threads must reduce with the same type")

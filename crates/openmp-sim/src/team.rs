@@ -55,12 +55,7 @@ impl Team {
             let handles: Vec<_> = (0..self.threads)
                 .map(|tid| {
                     scope.spawn(move || {
-                        let ctx = TeamCtx {
-                            shared,
-                            tid,
-                            threads: self.threads,
-                            seq: Cell::new(0),
-                        };
+                        let ctx = TeamCtx { shared, tid, threads: self.threads, seq: Cell::new(0) };
                         f(&ctx)
                     })
                 })
@@ -209,11 +204,7 @@ impl TeamCtx<'_> {
 
     /// `reduction(op)`: combine every thread's `value` with `op`;
     /// every thread returns the combined result. Implies barriers.
-    pub fn reduce<T: Clone + Send + Sync + 'static>(
-        &self,
-        value: T,
-        op: impl Fn(T, T) -> T,
-    ) -> T {
+    pub fn reduce<T: Clone + Send + Sync + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
         let seq = self.seq.get();
         self.seq.set(seq + 1);
         let slot = self.shared.regions.values::<T>(seq);
@@ -331,9 +322,8 @@ mod tests {
 
     #[test]
     fn reduce_combines_all_contributions() {
-        let out = Team::new(5).parallel(|ctx| {
-            ctx.reduce(u64::from(ctx.thread_num()) + 1, |a, b| a + b)
-        });
+        let out =
+            Team::new(5).parallel(|ctx| ctx.reduce(u64::from(ctx.thread_num()) + 1, |a, b| a + b));
         assert_eq!(out, vec![15; 5]);
     }
 

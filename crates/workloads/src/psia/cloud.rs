@@ -45,11 +45,7 @@ impl PointCloud {
         let mut normals = Vec::with_capacity(n);
         for _ in 0..n {
             // Marsaglia: uniform direction via normalized gaussians.
-            let dir = normalize([
-                gaussian(&mut rng),
-                gaussian(&mut rng),
-                gaussian(&mut rng),
-            ]);
+            let dir = normalize([gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng)]);
             points.push(dir);
             normals.push(dir);
         }
@@ -84,9 +80,7 @@ impl PointCloud {
         assert!(clusters > 0, "need at least one cluster");
         let mut rng = StdRng::seed_from_u64(seed);
         let centres: Vec<[f64; 3]> = (0..clusters)
-            .map(|_| {
-                normalize([gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng)])
-            })
+            .map(|_| normalize([gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng)]))
             .collect();
         // Uneven cluster populations: cluster k gets weight (k+1).
         let total_weight: usize = (1..=clusters).sum();

@@ -65,11 +65,7 @@ pub fn spin_image(cloud: &PointCloud, idx: usize, params: &SpinImageParams) -> S
         if n[0] * nj[0] + n[1] * nj[1] + n[2] * nj[2] < params.support_angle_cos {
             continue;
         }
-        let d = [
-            cloud.points[j][0] - p[0],
-            cloud.points[j][1] - p[1],
-            cloud.points[j][2] - p[2],
-        ];
+        let d = [cloud.points[j][0] - p[0], cloud.points[j][1] - p[1], cloud.points[j][2] - p[2]];
         let beta = n[0] * d[0] + n[1] * d[1] + n[2] * d[2];
         let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
         let alpha2 = dist2 - beta * beta;

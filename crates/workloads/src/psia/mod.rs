@@ -49,10 +49,7 @@ impl Psia {
     /// (density variation -> moderate imbalance). For the figure-sweep
     /// scale, see [`PsiaStream::paper`].
     pub fn single_object() -> Self {
-        Self::new(
-            PointCloud::clustered(4096, 24, 0x951A),
-            SpinImageParams::default(),
-        )
+        Self::new(PointCloud::clustered(4096, 24, 0x951A), SpinImageParams::default())
     }
 
     /// The paper-scale instance for the figure sweeps; see
@@ -63,10 +60,7 @@ impl Psia {
 
     /// A small instance for unit tests.
     pub fn tiny() -> Self {
-        Self::new(
-            PointCloud::clustered(192, 6, 0x951A),
-            SpinImageParams::default(),
-        )
+        Self::new(PointCloud::clustered(192, 6, 0x951A), SpinImageParams::default())
     }
 
     /// The underlying cloud.
@@ -103,9 +97,7 @@ impl Workload for Psia {
 
     fn cost(&self, i: u64) -> u64 {
         let img = self.image(i);
-        self.ns_base
-            + self.ns_scan * self.cloud.len() as u64
-            + self.ns_accum * img.contributing
+        self.ns_base + self.ns_scan * self.cloud.len() as u64 + self.ns_accum * img.contributing
     }
 }
 

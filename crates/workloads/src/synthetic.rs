@@ -104,8 +104,7 @@ impl Workload for Synthetic {
             Shape::Gaussian { mean, sigma } => {
                 let u1 = unit(h).max(f64::MIN_POSITIVE);
                 let u2 = unit(mix(h));
-                let z = (-2.0 * u1.ln()).sqrt()
-                    * (std::f64::consts::TAU * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                 (mean + sigma * z).max(1.0) as u64
             }
             Shape::Exponential { mean } => {

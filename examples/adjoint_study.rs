@@ -31,15 +31,11 @@ fn main() {
         .workers_per_node(3)
         .build()
         .run_live(&AdjointConvolution::new(600, 0xADC0));
-    let small_serial: u64 =
-        (0..600).map(|i| AdjointConvolution::new(600, 0xADC0).execute(i)).sum();
+    let small_serial: u64 = (0..600).map(|i| AdjointConvolution::new(600, 0xADC0).execute(i)).sum();
     assert_eq!(live.checksum, small_serial);
     let _ = serial;
 
-    println!(
-        "{:<10} {:>12} {:>12} {:>10}",
-        "intra", "MPI+MPI", "MPI+OpenMP", "ratio"
-    );
+    println!("{:<10} {:>12} {:>12} {:>10}", "intra", "MPI+MPI", "MPI+OpenMP", "ratio");
     for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
         let run = |approach| {
             HierSchedule::builder()

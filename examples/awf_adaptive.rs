@@ -15,8 +15,7 @@ fn main() {
     // run 3x slower (e.g. thermally throttled cores).
     let workload = Synthetic::constant(400_000, 8_000);
     let table = CostTable::build(&workload);
-    let slowdown: Vec<f64> =
-        (0..16).map(|w| if w % 8 < 2 { 3.0 } else { 1.0 }).collect();
+    let slowdown: Vec<f64> = (0..16).map(|w| if w % 8 < 2 { 3.0 } else { 1.0 }).collect();
 
     // Fine-grained global chunks give the adaptive scheme rounds to
     // learn in.

@@ -24,11 +24,9 @@ fn main() {
     let sim = schedule.simulate(&table);
     let live = schedule.run_live(&workload);
 
-    let fetches = |stats: &hier::RunStats| -> u64 {
-        stats.workers.iter().map(|w| w.global_fetches).sum()
-    };
-    let deposits =
-        |stats: &hier::RunStats| -> u64 { stats.nodes.iter().map(|n| n.deposits).sum() };
+    let fetches =
+        |stats: &hier::RunStats| -> u64 { stats.workers.iter().map(|w| w.global_fetches).sum() };
+    let deposits = |stats: &hier::RunStats| -> u64 { stats.nodes.iter().map(|n| n.deposits).sum() };
 
     println!("TSS+GSS on 3 nodes x 4 workers, N = 30000\n");
     println!("{:<28} {:>14} {:>14}", "", "virtual time", "real threads");

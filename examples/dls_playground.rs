@@ -31,9 +31,7 @@ fn main() {
     println!("  {:<8} {:>7} {:>12} {:>12} {:>12}", "", "steps", "bound", "min chunk", "max chunk");
     for (kind, steps) in overhead_spectrum(&spec) {
         let prof = profile(&spec, &Technique::from_kind(kind));
-        let bound = step_bound(kind, n, p)
-            .map(|b| b.to_string())
-            .unwrap_or_else(|| "-".into());
+        let bound = step_bound(kind, n, p).map(|b| b.to_string()).unwrap_or_else(|| "-".into());
         println!(
             "  {:<8} {:>7} {:>12} {:>12} {:>12}",
             kind.name(),

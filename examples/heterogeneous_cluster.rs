@@ -37,13 +37,7 @@ fn main() {
         let mut iters: Vec<u64> = r.stats.workers.iter().map(|w| w.iterations).collect();
         let slow = iters[0] + iters[1];
         iters.sort_unstable();
-        println!(
-            "{:<14} {:>9.2}s {:>22} {:>14}",
-            intra.name(),
-            r.seconds(),
-            slow / 2,
-            iters[8]
-        );
+        println!("{:<14} {:>9.2}s {:>22} {:>14}", intra.name(), r.seconds(), slow / 2, iters[8]);
     }
 
     println!(

@@ -33,10 +33,7 @@ fn main() {
         stats.cov()
     );
 
-    println!(
-        "{:<14} {:>12} {:>12} {:>8}",
-        "combination", "MPI+MPI", "MPI+OpenMP", "ratio"
-    );
+    println!("{:<14} {:>12} {:>12} {:>8}", "combination", "MPI+MPI", "MPI+OpenMP", "ratio");
     for inter in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2] {
         for intra in [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2] {
             let spec = HierSpec::new(inter, intra);
@@ -54,21 +51,9 @@ fn main() {
             let mm = run(Approach::MpiMpi);
             if spec.supported_by_openmp() {
                 let mo = run(Approach::MpiOpenMp);
-                println!(
-                    "{:<14} {:>11.2}s {:>11.2}s {:>7.2}x",
-                    spec.label(),
-                    mm,
-                    mo,
-                    mo / mm
-                );
+                println!("{:<14} {:>11.2}s {:>11.2}s {:>7.2}x", spec.label(), mm, mo, mo / mm);
             } else {
-                println!(
-                    "{:<14} {:>11.2}s {:>12} {:>8}",
-                    spec.label(),
-                    mm,
-                    "(n/a)",
-                    "-"
-                );
+                println!("{:<14} {:>11.2}s {:>12} {:>8}", spec.label(), mm, "(n/a)", "-");
             }
         }
     }

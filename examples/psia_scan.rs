@@ -40,21 +40,14 @@ fn main() {
 
     println!("\nper-worker spin images generated:");
     for (w, ws) in live.stats.workers.iter().enumerate() {
-        println!(
-            "  worker {w}: {:>5} images in {:>3} sub-chunks",
-            ws.iterations, ws.sub_chunks
-        );
+        println!("  worker {w}: {:>5} images in {:>3} sub-chunks", ws.iterations, ws.sub_chunks);
     }
 
     // Render the spin image of the densest point.
-    let densest = (0..psia.n_iters())
-        .max_by_key(|&i| psia.image(i).contributing)
-        .expect("non-empty scene");
+    let densest =
+        (0..psia.n_iters()).max_by_key(|&i| psia.image(i).contributing).expect("non-empty scene");
     let img = psia.image(densest);
-    println!(
-        "\nspin image of point {densest} ({} contributing points):",
-        img.contributing
-    );
+    println!("\nspin image of point {densest} ({} contributing points):", img.contributing);
     let max = img.bins.iter().cloned().fold(0.0f32, f32::max).max(1e-9);
     let shades = [' ', '.', ':', '+', '*', '#', '@'];
     for row in 0..img.width {

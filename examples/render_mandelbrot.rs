@@ -40,11 +40,8 @@ fn main() -> std::io::Result<()> {
     let scale = 255.0 / f64::from(m.max_iter).ln();
     for i in 0..m.n_iters() {
         let e = m.escape_iterations(i);
-        let shade = if e >= m.max_iter {
-            0u8
-        } else {
-            255 - (f64::from(e.max(1)).ln() * scale) as u8
-        };
+        let shade =
+            if e >= m.max_iter { 0u8 } else { 255 - (f64::from(e.max(1)).ln() * scale) as u8 };
         pgm.push(shade);
     }
     std::fs::write(&out_path, &pgm)?;

@@ -3,22 +3,26 @@
 //! execution, on one shared-memory node.
 //!
 //! ```text
-//! cargo run --release --example trace_timelines [--svg DIR]
+//! cargo run --release --example trace_timelines [--svg DIR] [--export DIR]
 //! ```
 //!
 //! With `--svg DIR`, also writes `figure2.svg` / `figure3.svg` and the
-//! raw segment CSVs into `DIR`.
+//! raw segment CSVs into `DIR`. With `--export DIR`, writes each run's
+//! per-worker activity report (`figureN_activity.json`) and a
+//! chrome://tracing event file (`figureN_chrome.json`) into `DIR`.
 
 use hdls::prelude::*;
 
 fn main() {
-    let svg_dir = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir_after = |flag: &str| {
         args.iter()
-            .position(|a| a == "--svg")
+            .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
             .map(std::path::PathBuf::from)
     };
+    let svg_dir = dir_after("--svg");
+    let export_dir = dir_after("--export");
     // Mostly-cheap iterations with scattered expensive ones: under
     // schedule(static) some thread of every chunk draws the long straw
     // and the rest of the team waits at the implicit barrier.
@@ -59,6 +63,22 @@ fn main() {
             let csv_path = dir.join(format!("figure{fig}.csv"));
             std::fs::write(&csv_path, r.trace.to_csv()).expect("write csv");
             println!("  wrote {} and {}", svg_path.display(), csv_path.display());
+        }
+        if let Some(dir) = &export_dir {
+            std::fs::create_dir_all(dir).expect("create export dir");
+            let label = format!("FAC2+STATIC ({approach})");
+            let report = ActivityReport::build(&label, &r.trace, &r.stats, 8);
+            let json_path = dir.join(format!("figure{fig}_activity.json"));
+            std::fs::write(&json_path, report.to_json()).expect("write activity json");
+            let chrome_path = dir.join(format!("figure{fig}_chrome.json"));
+            std::fs::write(&chrome_path, hdls::export::chrome_trace(&r.trace, 8))
+                .expect("write chrome trace");
+            println!(
+                "  wrote {} and {} (compute c.o.v. {:.3})",
+                json_path.display(),
+                chrome_path.display(),
+                report.compute_cov
+            );
         }
     }
 }

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the criterion 0.5 API its benches use, backed
+//! by a plain wall-clock sampler: each benchmark is warmed up briefly,
+//! then timed over a fixed number of samples, and a
+//! `name  median  min..max` line is printed per benchmark. There are no
+//! HTML reports, outlier statistics, or baseline comparisons.
+//!
+//! When a bench binary is invoked by `cargo test` (criterion's own
+//! convention: a `--test` flag in the arguments), benchmarks execute a
+//! single iteration as a smoke test, keeping `cargo test` fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Per-benchmark timing driver handed to `iter` closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until ~20ms have elapsed to settle caches.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        // Choose a batch size so one sample takes roughly >= 1us.
+        let probe = Instant::now();
+        black_box(routine());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_micros(50).as_nanos() / one.as_nanos()).max(1) as u64;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.results.push(t0.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        self.results.sort();
+        if self.results.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        let median = self.results[self.results.len() / 2];
+        let min = self.results[0];
+        let max = *self.results.last().unwrap();
+        println!("{name:<48} median {median:>12?}   range {min:?}..{max:?}");
+    }
+}
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation — accepted and ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            test_mode: self.criterion.test_mode,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            test_mode: self.criterion.test_mode,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30, test_mode: test_mode() }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { samples: self.sample_size, test_mode: self.test_mode, results: Vec::new() };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,48 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Anything usable as the size argument of [`vec`]: an exact length or
+/// a half-open range of lengths.
+pub trait SizeRange {
+    /// Inclusive lower bound and exclusive upper bound.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.min < self.max_exclusive, "empty vec size range");
+        let span = (self.max_exclusive - self.min) as u64;
+        let len = self.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    VecStrategy { element, min, max_exclusive }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing runner exposing the subset of
+//! the `proptest` 1.x API its test suites use: the [`proptest!`] macro,
+//! range/tuple/`Just`/`any`/collection/sample strategies with
+//! `prop_map`, `prop_oneof!`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case is reported with its exact inputs
+//!   but not minimised. Deterministic seeding (per-test-name) means the
+//!   same failure reproduces on every run.
+//! - **`.proptest-regressions` files are not replayed.** The stored
+//!   seeds are opaque to this shim; failing cases found historically
+//!   must also be pinned as explicit `#[test]` regressions (the dls
+//!   crate does this for its committed seed).
+//! - Generation is driven by a deterministic xoshiro-based RNG from the
+//!   vendored `rand` shim, so test runs are reproducible everywhere.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError};
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module shortcut.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs one property as `cases` generated test cases. Called by the
+/// expansion of [`proptest!`]; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_property<F>(config: test_runner::Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), (test_runner::TestCaseError, String)>,
+{
+    let mut rng = test_runner::TestRng::for_test(name);
+    let mut executed = 0u32;
+    let mut attempts = 0u32;
+    // Allow a bounded number of rejects (prop_assume! failures) on top
+    // of the requested case count, like upstream's max_global_rejects.
+    let max_attempts = config.cases.saturating_mul(16).max(1024);
+    while executed < config.cases && attempts < max_attempts {
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => executed += 1,
+            Err((test_runner::TestCaseError::Reject(_), _)) => {}
+            Err((test_runner::TestCaseError::Fail(msg), inputs)) => {
+                panic!(
+                    "proptest case failed: {name}\n  inputs: {inputs}\n  {msg}\n  \
+                     (deterministic per-test seed; rerun reproduces this case)"
+                );
+            }
+        }
+    }
+}
+
+/// The entry-point macro: a block of `#[test] fn name(arg in strategy, ...) { body }`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property($cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", $arg));
+                    )+
+                    s
+                };
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                __result.map_err(|e| (e, __inputs))
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `(left != right)`\n  both: `{:?}`", l);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks one of several strategies (all yielding the same value type)
+/// uniformly at random per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,23 @@
+//! Sampling strategies: `prop::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy that picks one element of a fixed list uniformly.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+/// `prop::sample::select(options)`: uniform choice from a non-empty list.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty option list");
+    Select { options }
+}

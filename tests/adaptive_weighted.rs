@@ -58,18 +58,11 @@ fn weights_match_speeds_bound_straggler_exposure() {
             .build()
             .simulate(&table)
     };
-    let matched = run(dls::weighted::normalize_weights(&[
-        0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
-    ]));
+    let matched = run(dls::weighted::normalize_weights(&[0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]));
     let uniform = run(Vec::new());
     assert!(matched.seconds() <= uniform.seconds() * 1.001);
     let max_slow_sub = |r: &hier::sim::SimResult| {
-        r.executed
-            .iter()
-            .filter(|(w, _)| *w < 2)
-            .map(|(_, s)| s.len())
-            .max()
-            .unwrap_or(0)
+        r.executed.iter().filter(|(w, _)| *w < 2).map(|(_, s)| s.len()).max().unwrap_or(0)
     };
     let m = max_slow_sub(&matched);
     let u = max_slow_sub(&uniform);
@@ -112,17 +105,14 @@ fn awf_beats_plain_fac2_under_systemic_imbalance() {
     // documented warm-up limitation.
     let w = Synthetic::constant(100_000, 50_000);
     let table = CostTable::build(&w);
-    let inter =
-        Technique::Fsc(dls::nonadaptive::FixedSizeChunking::with_chunk(2_000));
+    let inter = Technique::Fsc(dls::nonadaptive::FixedSizeChunking::with_chunk(2_000));
     let run = |awf: Option<AwfVariant>| {
         let mut b = HierSchedule::builder()
             .inter_technique(inter)
             .intra(Kind::FAC2)
             .nodes(2)
             .workers_per_node(8)
-            .slowdown(
-                (0..16).map(|i| if i % 8 == 0 { 4.0 } else { 1.0 }).collect(),
-            );
+            .slowdown((0..16).map(|i| if i % 8 == 0 { 4.0 } else { 1.0 }).collect());
         if let Some(v) = awf {
             b = b.awf(v);
         }
@@ -158,12 +148,8 @@ fn awf_live_exactly_once() {
 fn wf_live_exactly_once_with_weights() {
     let w = Synthetic::uniform(1_500, 10, 100, 2);
     let serial = serial_checksum(&w);
-    let mut cfg = hier::live::LiveConfig::new(
-        2,
-        3,
-        HierSpec::new(Kind::GSS, Kind::WF),
-        Approach::MpiMpi,
-    );
+    let mut cfg =
+        hier::live::LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::WF), Approach::MpiMpi);
     cfg.weights = dls::weighted::normalize_weights(&[2.0, 1.0, 0.5, 2.0, 1.0, 0.5]);
     let r = hier::live::run_live(&cfg, &w);
     assert_eq!(r.checksum, serial);

@@ -20,10 +20,8 @@ fn schedule(inter: Kind, intra: Kind, approach: Approach) -> HierSchedule {
 }
 
 fn coverage(chunks: &[(u32, hier::queue::SubChunk)], n: u64) {
-    let as_chunks: Vec<dls::Chunk> = chunks
-        .iter()
-        .map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 })
-        .collect();
+    let as_chunks: Vec<dls::Chunk> =
+        chunks.iter().map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 }).collect();
     check_exactly_once(&as_chunks, n).expect("exactly-once coverage");
 }
 

@@ -43,10 +43,7 @@ fn fig4_ss_intra_mpi_mpi_poorest() {
     let t = mandelbrot_small();
     let mm = run(&t, Kind::STATIC, Kind::SS, Approach::MpiMpi, 4);
     let mo = run(&t, Kind::STATIC, Kind::SS, Approach::MpiOpenMp, 4);
-    assert!(
-        mm > 1.5 * mo,
-        "MPI+MPI with SS intra must be clearly poorest: {mm:.3} vs {mo:.3}"
-    );
+    assert!(mm > 1.5 * mo, "MPI+MPI with SS intra must be clearly poorest: {mm:.3} vs {mo:.3}");
     // ...and poorer than every other MPI+MPI combination.
     for intra in [Kind::STATIC, Kind::GSS, Kind::TSS, Kind::FAC2] {
         let other = run(&t, Kind::STATIC, intra, Approach::MpiMpi, 4);
@@ -127,10 +124,7 @@ fn ablation_lock_polling_drives_the_ss_pathology() {
         .build()
         .simulate(&t)
         .seconds();
-    assert!(
-        with_poll > 1.3 * without_poll,
-        "polling on {with_poll:.3} vs off {without_poll:.3}"
-    );
+    assert!(with_poll > 1.3 * without_poll, "polling on {with_poll:.3} vs off {without_poll:.3}");
 }
 
 #[test]
