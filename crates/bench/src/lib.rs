@@ -1,6 +1,8 @@
 //! Shared helpers for the benchmark harness and the `figures` binary.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use hdls::prelude::*;
 

@@ -89,8 +89,12 @@ impl HierSchedule {
     }
 
     /// Run for real on OS threads, executing the workload's kernel.
+    ///
+    /// Panics if the runtime fails to allocate windows or an RMA op
+    /// errors — use [`hier::live::run_live`] directly for a fallible
+    /// variant (or to record an RMA log for `rma-check`).
     pub fn run_live(&self, workload: &(dyn Workload + Sync)) -> LiveResult {
-        run_live(&self.live_config(), workload)
+        run_live(&self.live_config(), workload).expect("live run failed")
     }
 
     /// Run the hierarchical master-worker model for real (dedicated

@@ -114,7 +114,7 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<(u64, u64, Vec<SubChunk>)>) -> Live
     }
     // The message-passing models are comparison baselines; they do not
     // record timelines.
-    LiveResult { stats, checksum, executed, trace: cluster_sim::Trace::disabled() }
+    LiveResult { stats, checksum, executed, trace: cluster_sim::Trace::disabled(), rma: Vec::new() }
 }
 
 /// Run the hierarchical master-worker model for real: rank 0 is the

@@ -45,6 +45,10 @@ pub struct LiveConfig {
     /// Record per-worker timeline segments (wall-clock, relative to the
     /// run's start) into [`LiveResult::trace`].
     pub trace: bool,
+    /// Record every passive-target RMA operation (locks, syncs, puts,
+    /// gets, atomics) into [`LiveResult::rma`] for `rma-check`'s
+    /// epoch-discipline and happens-before analyses.
+    pub record_rma: bool,
 }
 
 impl LiveConfig {
@@ -59,6 +63,7 @@ impl LiveConfig {
             awf: None,
             global_mode: crate::config::GlobalQueueMode::SingleAtomic,
             trace: false,
+            record_rma: false,
         }
     }
 }
@@ -79,10 +84,17 @@ pub struct LiveResult {
     /// vary run to run — use them for activity breakdowns, not for
     /// reproducible makespans.
     pub trace: cluster_sim::Trace,
+    /// The full RMA access log of the run (empty unless
+    /// [`LiveConfig::record_rma`]), ready for `rma_check::check`.
+    pub rma: Vec<mpisim::RmaRecord>,
 }
 
 /// Run a hierarchical loop for real, dispatching on the approach.
-pub fn run_live(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
+///
+/// Window allocation or RMA failures surface as `Err` instead of
+/// panicking inside worker threads; wrappers that want the old
+/// infallible behaviour `.expect()` at their own boundary.
+pub fn run_live(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> mpisim::Result<LiveResult> {
     match cfg.approach {
         Approach::MpiMpi => run_live_mpi_mpi(cfg, workload),
         Approach::MpiOpenMp => run_live_mpi_omp(cfg, workload),

@@ -16,7 +16,7 @@ use super::{LiveConfig, LiveResult};
 use crate::queue::SubChunk;
 use crate::stats::RunStats;
 use cluster_sim::trace::{SegmentKind, Trace};
-use mpisim::{LockKind, RankWinStats, Topology, Universe, Window};
+use mpisim::{LockKind, RankWinStats, RmaLog, RmaRecord, Topology, Universe, Window};
 use std::time::Instant;
 use workloads::Workload;
 
@@ -61,7 +61,12 @@ struct RankOutcome {
 }
 
 /// Run the MPI+MPI approach with real threads.
-pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
+///
+/// Allocation or RMA failures from any rank surface as `Err`.
+pub fn run_live_mpi_mpi(
+    cfg: &LiveConfig,
+    workload: &(dyn Workload + Sync),
+) -> mpisim::Result<LiveResult> {
     let topology = Topology::new(cfg.nodes, cfg.workers_per_node);
     let n = workload.n_iters();
     assert!(n <= i64::MAX as u64, "loop too large for i64 window slots");
@@ -72,21 +77,34 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
     let weights = cfg.weights.clone();
     let global_mode = cfg.global_mode;
     let do_trace = cfg.trace;
+    let rma_log = cfg.record_rma.then(RmaLog::new);
+    let log_for_ranks = rma_log.clone();
     let epoch = Instant::now();
 
-    let outcomes = Universe::run(topology, move |p| {
+    let outcomes = Universe::run(topology, move |p| -> mpisim::Result<RankOutcome> {
         let now = || epoch.elapsed().as_nanos() as u64;
         let world = p.world();
         let me = world.rank();
-        let global_win =
-            Window::allocate(world, if me == 0 { 2 } else { 0 }).expect("global window");
-        let node_comm = world.split_shared().expect("node communicator");
-        let local_win = Window::allocate_shared(
+        let mut global_win = Window::allocate(world, if me == 0 { 2 } else { 0 })?;
+        let node_comm = world.split_shared()?;
+        let mut local_win = Window::allocate_shared(
             &node_comm,
             if node_comm.rank() == 0 { local_slots(wpn) } else { 0 },
-        )
-        .expect("local shared window");
+        )?;
+        if let Some(log) = &log_for_ranks {
+            global_win.record_to(log);
+            local_win.record_to(log);
+        }
         world.barrier();
+        global_win.note_barrier();
+        local_win.note_barrier();
+        if global_mode == crate::config::GlobalQueueMode::SingleAtomic {
+            // The distributed chunk calculation runs on bare
+            // fetch_and_op, so the whole run is one passive-target
+            // access epoch on the global window (the MPI-3 idiom for
+            // lock-free shared counters).
+            global_win.lock_all();
+        }
 
         let mut out = RankOutcome {
             worker: me,
@@ -107,12 +125,12 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
         loop {
             // ---- probe the local queue under the window lock ----
             let probe_start = now();
-            local_win.lock(LockKind::Exclusive, 0).expect("lock local");
+            local_win.lock(LockKind::Exclusive, 0)?;
             local_win.sync();
-            let lo = local_win.get(0, LO).expect("lo") as u64;
-            let hi = local_win.get(0, HI).expect("hi") as u64;
-            let step = local_win.get(0, STEP).expect("step") as u64;
-            let taken = local_win.get(0, TAKEN).expect("taken") as u64;
+            let lo = local_win.get(0, LO)? as u64;
+            let hi = local_win.get(0, HI)? as u64;
+            let step = local_win.get(0, STEP)? as u64;
+            let taken = local_win.get(0, TAKEN)? as u64;
             let len = hi - lo;
 
             if taken < len {
@@ -121,14 +139,12 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                 // configured statically otherwise. AWF replaces the
                 // intra technique with WF over the learned weights.
                 let (technique, weight) = if awf.is_some() {
-                    let hist: Vec<(u64, u64)> = (0..wpn as usize)
-                        .map(|r| {
-                            let iters = local_win.get(0, HIST_BASE + 2 * r).expect("hist") as u64;
-                            let time =
-                                local_win.get(0, HIST_BASE + 2 * r + 1).expect("hist") as u64;
-                            (iters, time)
-                        })
-                        .collect();
+                    let mut hist: Vec<(u64, u64)> = Vec::with_capacity(wpn as usize);
+                    for r in 0..wpn as usize {
+                        let iters = local_win.get(0, HIST_BASE + 2 * r)? as u64;
+                        let time = local_win.get(0, HIST_BASE + 2 * r + 1)? as u64;
+                        hist.push((iters, time));
+                    }
                     let w = crate::adaptive::weights_from_hist(&hist)[local as usize];
                     (dls::Technique::wf(), w)
                 } else {
@@ -136,10 +152,10 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                 };
                 let ctx = dls::technique::WorkerCtx { worker: local, weight };
                 let size = crate::queue::sub_chunk_size_for(&technique, len, wpn, step, taken, ctx);
-                local_win.put(0, STEP, (step + 1) as i64).expect("step");
-                local_win.put(0, TAKEN, (taken + size) as i64).expect("taken");
+                local_win.put(0, STEP, (step + 1) as i64)?;
+                local_win.put(0, TAKEN, (taken + size) as i64)?;
                 local_win.sync();
-                local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                local_win.unlock(LockKind::Exclusive, 0)?;
                 out.trace.record(me, probe_start, now(), SegmentKind::Sched);
                 let sub = SubChunk { start: lo + taken, end: lo + taken + size };
                 let started = std::time::Instant::now();
@@ -151,30 +167,35 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                     // history (AWF-C style: per chunk completion).
                     let elapsed = started.elapsed().as_nanos().min(i64::MAX as u128) as i64;
                     let hist_start = now();
-                    local_win.lock(LockKind::Exclusive, 0).expect("lock hist");
-                    let i_slot = HIST_BASE + 2 * local as usize;
-                    let it = local_win.get(0, i_slot).expect("hist");
-                    let tm = local_win.get(0, i_slot + 1).expect("hist");
-                    local_win.put(0, i_slot, it + sub.len() as i64).expect("hist");
-                    // Ensure a nonzero time so rates stay finite.
-                    local_win.put(0, i_slot + 1, tm + elapsed.max(1)).expect("hist");
+                    local_win.lock(LockKind::Exclusive, 0)?;
+                    // Unified-model visibility: sync before reading
+                    // counters peers put under their own epochs (the
+                    // rma-check MissingSync rule flags the read-modify-
+                    // write below as stale without it).
                     local_win.sync();
-                    local_win.unlock(LockKind::Exclusive, 0).expect("unlock hist");
+                    let i_slot = HIST_BASE + 2 * local as usize;
+                    let it = local_win.get(0, i_slot)?;
+                    let tm = local_win.get(0, i_slot + 1)?;
+                    local_win.put(0, i_slot, it + sub.len() as i64)?;
+                    // Ensure a nonzero time so rates stay finite.
+                    local_win.put(0, i_slot + 1, tm + elapsed.max(1))?;
+                    local_win.sync();
+                    local_win.unlock(LockKind::Exclusive, 0)?;
                     out.trace.record(me, hist_start, now(), SegmentKind::Sched);
                 }
                 continue;
             }
 
-            let global_done = local_win.get(0, GLOBAL_DONE).expect("done") != 0;
-            let refilling = local_win.get(0, REFILLING).expect("refilling") != 0;
+            let global_done = local_win.get(0, GLOBAL_DONE)? != 0;
+            let refilling = local_win.get(0, REFILLING)? != 0;
             if global_done {
-                local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                local_win.unlock(LockKind::Exclusive, 0)?;
                 out.trace.record(me, probe_start, now(), SegmentKind::Sched);
                 break;
             }
             if refilling {
                 // A peer is refilling: back off briefly and re-probe.
-                local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+                local_win.unlock(LockKind::Exclusive, 0)?;
                 std::thread::yield_now();
                 // A queue-empty observation while a peer refills is peer
                 // waiting, not scheduling work of our own.
@@ -182,9 +203,9 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                 continue;
             }
             // This worker becomes the refiller.
-            local_win.put(0, REFILLING, 1).expect("set refilling");
+            local_win.put(0, REFILLING, 1)?;
             local_win.sync();
-            local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+            local_win.unlock(LockKind::Exclusive, 0)?;
 
             // ---- fetch a chunk from the global queue ----
             out.global_accesses += 1;
@@ -192,17 +213,19 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                 crate::config::GlobalQueueMode::SingleAtomic => {
                     // The PDP'19 distributed chunk calculation: one
                     // fetch-and-increment of the step counter, then the
-                    // chunk bounds are a pure local function of it.
-                    let my_step = global_win
-                        .fetch_and_op(0, GSTEP, 1, mpisim::RmaOp::Sum)
-                        .expect("fetch step") as u64;
+                    // chunk bounds are a pure local function of it. The
+                    // run-long lock_all epoch covers it; the flush
+                    // completes the operation at the target before the
+                    // local deposit proceeds.
+                    let my_step = global_win.fetch_and_op(0, GSTEP, 1, mpisim::RmaOp::Sum)? as u64;
+                    global_win.flush(0);
                     dls::single_counter::assignment(&spec.inter, &inter_spec, my_step)
                         .map(|(start, len)| (start, start + len))
                 }
                 crate::config::GlobalQueueMode::LockedCounters => {
-                    global_win.lock(LockKind::Exclusive, 0).expect("lock global");
-                    let gstep = global_win.get(0, GSTEP).expect("gstep") as u64;
-                    let gsched = global_win.get(0, GSCHED).expect("gsched") as u64;
+                    global_win.lock(LockKind::Exclusive, 0)?;
+                    let gstep = global_win.get(0, GSTEP)? as u64;
+                    let gsched = global_win.get(0, GSCHED)? as u64;
                     let fetched = if gsched < n {
                         let state = dls::SchedState { step: gstep, scheduled: gsched };
                         let size = dls::ChunkCalculator::chunk_size(
@@ -212,44 +235,49 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                             dls::technique::WorkerCtx::default(),
                         )
                         .clamp(1, n - gsched);
-                        global_win.put(0, GSTEP, (gstep + 1) as i64).expect("gstep");
-                        global_win.put(0, GSCHED, (gsched + size) as i64).expect("gsched");
+                        global_win.put(0, GSTEP, (gstep + 1) as i64)?;
+                        global_win.put(0, GSCHED, (gsched + size) as i64)?;
                         Some((gsched, gsched + size))
                     } else {
                         None
                     };
-                    global_win.unlock(LockKind::Exclusive, 0).expect("unlock global");
+                    global_win.unlock(LockKind::Exclusive, 0)?;
                     fetched
                 }
             };
 
             // ---- deposit (or mark the node done) ----
-            local_win.lock(LockKind::Exclusive, 0).expect("lock local");
+            local_win.lock(LockKind::Exclusive, 0)?;
             match fetched {
                 Some((clo, chi)) => {
                     out.global_fetches += 1;
                     out.deposits += 1;
-                    local_win.put(0, LO, clo as i64).expect("lo");
-                    local_win.put(0, HI, chi as i64).expect("hi");
-                    local_win.put(0, STEP, 0).expect("step");
-                    local_win.put(0, TAKEN, 0).expect("taken");
+                    local_win.put(0, LO, clo as i64)?;
+                    local_win.put(0, HI, chi as i64)?;
+                    local_win.put(0, STEP, 0)?;
+                    local_win.put(0, TAKEN, 0)?;
                 }
                 None => {
-                    local_win.put(0, GLOBAL_DONE, 1).expect("done");
+                    local_win.put(0, GLOBAL_DONE, 1)?;
                 }
             }
-            local_win.put(0, REFILLING, 0).expect("clear refilling");
+            local_win.put(0, REFILLING, 0)?;
             local_win.sync();
-            local_win.unlock(LockKind::Exclusive, 0).expect("unlock");
+            local_win.unlock(LockKind::Exclusive, 0)?;
             // The whole refill transaction (global fetch + deposit) is
             // scheduling overhead.
             out.trace.record(me, probe_start, now(), SegmentKind::Sched);
         }
 
+        if global_mode == crate::config::GlobalQueueMode::SingleAtomic {
+            global_win.unlock_all()?;
+        }
         out.finish_ns = now();
         world.barrier();
+        global_win.note_barrier();
+        local_win.note_barrier();
         if node_comm.rank() == 0 {
-            out.lock_stats = Some(local_win.lock_stats(0).expect("stats"));
+            out.lock_stats = Some(local_win.lock_stats(0)?);
         }
         let lw = local_win.rank_stats();
         let gw = global_win.rank_stats();
@@ -262,10 +290,12 @@ pub fn run_live_mpi_mpi(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
             puts: lw.puts + gw.puts,
             gets: lw.gets + gw.gets,
         };
-        out
+        Ok(out)
     });
 
-    aggregate(cfg, outcomes)
+    let outcomes = outcomes.into_iter().collect::<mpisim::Result<Vec<_>>>()?;
+    let rma = rma_log.map(|l| l.records()).unwrap_or_default();
+    Ok(aggregate(cfg, outcomes, rma))
 }
 
 fn execute(workload: &dyn Workload, sub: &SubChunk, out: &mut RankOutcome) {
@@ -277,7 +307,7 @@ fn execute(workload: &dyn Workload, sub: &SubChunk, out: &mut RankOutcome) {
     out.executed.push((out.worker, *sub));
 }
 
-fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>) -> LiveResult {
+fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>, rma: Vec<RmaRecord>) -> LiveResult {
     let total_workers = (cfg.nodes * cfg.workers_per_node) as usize;
     let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
     let mut checksum = 0u64;
@@ -310,7 +340,7 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>) -> LiveResult {
         // Pad the tail so every worker's timeline spans the makespan.
         trace.record(o.worker, o.finish_ns, makespan_ns, SegmentKind::Idle);
     }
-    LiveResult { stats, checksum, executed, trace }
+    LiveResult { stats, checksum, executed, trace, rma }
 }
 
 #[cfg(test)]
@@ -326,7 +356,7 @@ mod tests {
         let w = Synthetic::uniform(n, 1, 100, 3);
         let cfg = LiveConfig::new(nodes, wpn, spec, Approach::MpiMpi);
         let serial = serial_checksum(&w);
-        (run_live_mpi_mpi(&cfg, &w), serial)
+        (run_live_mpi_mpi(&cfg, &w).expect("live run"), serial)
     }
 
     fn assert_exact(r: &LiveResult, serial: u64, n: u64) {
@@ -381,7 +411,7 @@ mod tests {
         let w = Synthetic::uniform(600, 1, 100, 3);
         let mut cfg = LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
         cfg.trace = true;
-        let r = run_live_mpi_mpi(&cfg, &w);
+        let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
         assert!(!r.trace.segments().is_empty());
         let totals = r.trace.totals();
         assert!(totals.compute > 0, "compute segments must be recorded");
@@ -411,7 +441,24 @@ mod tests {
     fn every_worker_participates_on_balanced_load() {
         let w = Synthetic::constant(2000, 20_000); // ~20us per iteration
         let cfg = LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
-        let r = run_live_mpi_mpi(&cfg, &w);
+        let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
         assert_eq!(r.stats.total_iterations, 2000);
+    }
+
+    #[test]
+    fn rma_log_disabled_by_default_and_recorded_on_request() {
+        let w = Synthetic::uniform(300, 1, 100, 3);
+        let cfg = LiveConfig::new(2, 2, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
+        let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
+        assert!(r.rma.is_empty());
+
+        let mut cfg = cfg;
+        cfg.record_rma = true;
+        let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
+        // Every rank attaches both windows and the protocol locks,
+        // syncs, gets and puts throughout — the log must see them all.
+        assert!(r.rma.len() > 50, "only {} records", r.rma.len());
+        let wins: std::collections::HashSet<u64> = r.rma.iter().map(|rec| rec.win).collect();
+        assert_eq!(wins.len(), 3, "global + one shared window per node");
     }
 }

@@ -23,7 +23,7 @@ use cluster_sim::trace::{SegmentKind, Trace};
 use dls::openmp::{omp_equivalent, OmpSchedule};
 use dls::technique::WorkerCtx;
 use dls::ChunkCalculator;
-use mpisim::{LockKind, RankWinStats, Topology, Universe, Window};
+use mpisim::{LockKind, RankWinStats, RmaLog, RmaRecord, Topology, Universe, Window};
 use openmp_sim::{Schedule, Team, TeamCtx};
 use parking_lot::Mutex;
 use std::time::Instant;
@@ -69,7 +69,13 @@ fn omp_schedule(intra: &dls::Technique) -> Schedule {
 }
 
 /// Run the MPI+OpenMP approach with real threads.
-pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> LiveResult {
+///
+/// Allocation or RMA failures from any node's master thread surface as
+/// `Err`.
+pub fn run_live_mpi_omp(
+    cfg: &LiveConfig,
+    workload: &(dyn Workload + Sync),
+) -> mpisim::Result<LiveResult> {
     // One MPI process per node; the team provides the node's parallelism.
     let topology = Topology::new(cfg.nodes, 1);
     let n = workload.n_iters();
@@ -79,18 +85,27 @@ pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
     let team_size = cfg.workers_per_node;
     let spec = cfg.spec;
     let do_trace = cfg.trace;
+    let rma_log = cfg.record_rma.then(RmaLog::new);
+    let log_for_ranks = rma_log.clone();
     // Timeline epoch: every thread stamps segments relative to this.
     let epoch = Instant::now();
 
-    let outcomes = Universe::run(topology, move |p| {
+    let outcomes = Universe::run(topology, move |p| -> mpisim::Result<NodeOutcome> {
         let world = p.world();
         let me = world.rank();
-        let global_win =
-            Window::allocate(world, if me == 0 { 2 } else { 0 }).expect("global window");
+        let mut global_win = Window::allocate(world, if me == 0 { 2 } else { 0 })?;
+        if let Some(log) = &log_for_ranks {
+            global_win.record_to(log);
+        }
         world.barrier();
+        global_win.note_barrier();
 
         let chunk_slot: Mutex<Option<(u64, u64)>> = Mutex::new(None);
         let fetches = Mutex::new((0u64, 0u64, 0u64)); // fetches, accesses, deposits
+                                                      // First RMA error the master thread hit (it cannot return a
+                                                      // Result through the worksharing closure); reported after the
+                                                      // team joins.
+        let fetch_err: Mutex<Option<mpisim::Error>> = Mutex::new(None);
 
         let thread_outcomes = Team::new(team_size).parallel(|ctx| {
             team_thread(
@@ -99,6 +114,7 @@ pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
                 &global_win,
                 &chunk_slot,
                 &fetches,
+                &fetch_err,
                 &spec,
                 &inter_spec,
                 schedule,
@@ -108,19 +124,24 @@ pub fn run_live_mpi_omp(cfg: &LiveConfig, workload: &(dyn Workload + Sync)) -> L
             )
         });
 
+        if let Some(e) = fetch_err.into_inner() {
+            return Err(e);
+        }
         let win_stats = global_win.rank_stats();
         let f = fetches.into_inner();
-        NodeOutcome {
+        Ok(NodeOutcome {
             node: me,
             threads: thread_outcomes,
             global_fetches: f.0,
             global_accesses: f.1,
             deposits: f.2,
             win_stats,
-        }
+        })
     });
 
-    aggregate(cfg, outcomes)
+    let outcomes = outcomes.into_iter().collect::<mpisim::Result<Vec<_>>>()?;
+    let rma = rma_log.map(|l| l.records()).unwrap_or_default();
+    Ok(aggregate(cfg, outcomes, rma))
 }
 
 /// One team thread's life: thread 0 fetches chunks over MPI; everyone
@@ -132,6 +153,7 @@ fn team_thread(
     global_win: &Window,
     chunk_slot: &Mutex<Option<(u64, u64)>>,
     fetches: &Mutex<(u64, u64, u64)>,
+    fetch_err: &Mutex<Option<mpisim::Error>>,
     spec: &crate::config::HierSpec,
     inter_spec: &dls::LoopSpec,
     schedule: Schedule,
@@ -151,30 +173,41 @@ fn team_thread(
     let tid = ctx.thread_num();
     loop {
         let fetch_start = now();
-        // Only the main thread calls MPI.
+        // Only the main thread calls MPI. An RMA failure parks its
+        // error in `fetch_err` and posts `None` so the whole team
+        // drains out of the loop.
         ctx.master(|| {
-            global_win.lock(LockKind::Exclusive, 0).expect("lock global");
-            let gstep = global_win.get(0, GSTEP).expect("gstep") as u64;
-            let gsched = global_win.get(0, GSCHED).expect("gsched") as u64;
-            let mut f = fetches.lock();
-            f.1 += 1;
-            let fetched = if gsched < n {
-                let state = dls::SchedState { step: gstep, scheduled: gsched };
-                let size = spec
-                    .inter
-                    .chunk_size(inter_spec, state, WorkerCtx::default())
-                    .clamp(1, n - gsched);
-                global_win.put(0, GSTEP, (gstep + 1) as i64).expect("gstep");
-                global_win.put(0, GSCHED, (gsched + size) as i64).expect("gsched");
-                f.0 += 1;
-                f.2 += 1;
-                Some((gsched, gsched + size))
-            } else {
-                None
+            let fetched = (|| -> mpisim::Result<Option<(u64, u64)>> {
+                global_win.lock(LockKind::Exclusive, 0)?;
+                let gstep = global_win.get(0, GSTEP)? as u64;
+                let gsched = global_win.get(0, GSCHED)? as u64;
+                let mut f = fetches.lock();
+                f.1 += 1;
+                let fetched = if gsched < n {
+                    let state = dls::SchedState { step: gstep, scheduled: gsched };
+                    let size = spec
+                        .inter
+                        .chunk_size(inter_spec, state, WorkerCtx::default())
+                        .clamp(1, n - gsched);
+                    global_win.put(0, GSTEP, (gstep + 1) as i64)?;
+                    global_win.put(0, GSCHED, (gsched + size) as i64)?;
+                    f.0 += 1;
+                    f.2 += 1;
+                    Some((gsched, gsched + size))
+                } else {
+                    None
+                };
+                drop(f);
+                global_win.unlock(LockKind::Exclusive, 0)?;
+                Ok(fetched)
+            })();
+            *chunk_slot.lock() = match fetched {
+                Ok(c) => c,
+                Err(e) => {
+                    fetch_err.lock().get_or_insert(e);
+                    None
+                }
             };
-            drop(f);
-            global_win.unlock(LockKind::Exclusive, 0).expect("unlock global");
-            *chunk_slot.lock() = fetched;
         });
         if tid == 0 {
             // The master's MPI round-trip is scheduling overhead.
@@ -209,7 +242,7 @@ fn team_thread(
     out
 }
 
-fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>) -> LiveResult {
+fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>, rma: Vec<RmaRecord>) -> LiveResult {
     let team = cfg.workers_per_node;
     let total_workers = (cfg.nodes * team) as usize;
     let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
@@ -247,7 +280,7 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>) -> LiveResult {
         stats.nodes[o.node as usize].deposits = o.deposits;
         stats.global_accesses += o.global_accesses;
     }
-    LiveResult { stats, checksum, executed, trace }
+    LiveResult { stats, checksum, executed, trace, rma }
 }
 
 #[cfg(test)]
@@ -263,7 +296,7 @@ mod tests {
         let w = Synthetic::uniform(n, 1, 100, 3);
         let cfg = LiveConfig::new(nodes, wpn, spec, Approach::MpiOpenMp);
         let serial = serial_checksum(&w);
-        (run_live_mpi_omp(&cfg, &w), serial)
+        (run_live_mpi_omp(&cfg, &w).expect("live run"), serial)
     }
 
     fn assert_exact(r: &LiveResult, serial: u64, n: u64) {
@@ -326,7 +359,7 @@ mod tests {
         let mut cfg =
             LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiOpenMp);
         cfg.trace = true;
-        let r = run_live_mpi_omp(&cfg, &w);
+        let r = run_live_mpi_omp(&cfg, &w).expect("live run");
         let totals = r.trace.totals();
         assert!(totals.compute > 0, "compute segments must be recorded");
         assert!(totals.sched > 0, "the master's fetches are sched time");
@@ -361,6 +394,20 @@ mod tests {
     fn unsupported_intra_technique_rejected() {
         let w = Synthetic::constant(10, 1);
         let cfg = LiveConfig::new(1, 2, HierSpec::new(Kind::GSS, Kind::TSS), Approach::MpiOpenMp);
-        run_live_mpi_omp(&cfg, &w);
+        let _ = run_live_mpi_omp(&cfg, &w);
+    }
+
+    #[test]
+    fn rma_log_records_master_protocol() {
+        let w = Synthetic::uniform(400, 1, 100, 3);
+        let mut cfg =
+            LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiOpenMp);
+        cfg.record_rma = true;
+        let r = run_live_mpi_omp(&cfg, &w).expect("live run");
+        assert!(!r.rma.is_empty());
+        // Only masters call MPI: every non-barrier record comes from a
+        // lock/get/put/unlock fetch cycle on the one global window.
+        let wins: std::collections::HashSet<u64> = r.rma.iter().map(|rec| rec.win).collect();
+        assert_eq!(wins.len(), 1);
     }
 }

@@ -234,7 +234,7 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
     }
     stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
 
-    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed }
+    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed, rma: Vec::new() }
 }
 
 #[cfg(test)]

@@ -35,6 +35,135 @@ use crate::stats::RunStats;
 use cluster_sim::{MachineParams, SimTopology, Time, Trace};
 use workloads::CostTable;
 
+/// Schedule perturbation for interleaving exploration: deterministic
+/// timing noise injected into the virtual-time executors so one
+/// configuration can be replayed under many distinct (but reproducible)
+/// lock acquisition and refill orders. [`Perturbation::None`] leaves
+/// the executor bit-for-bit identical to the unperturbed run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Perturbation {
+    /// No perturbation (the default): fully deterministic baseline.
+    #[default]
+    None,
+    /// Seeded pseudo-random probe jitter: every worker's queue probes
+    /// are delayed by `hash(seed, worker, count) % (max_ns + 1)`
+    /// virtual nanoseconds, reshuffling lock arrival orders while
+    /// staying exactly reproducible for a given seed.
+    Seeded {
+        /// Seed selecting one interleaving.
+        seed: u64,
+        /// Upper bound on each injected delay (virtual ns).
+        max_ns: u64,
+    },
+    /// Adversarial lock-handoff reordering: alternate probe rounds
+    /// invert each node's intra-node arrival order, forcing the lock to
+    /// hand off against the natural FCFS pattern (back-to-back refills,
+    /// last-rank-first probes) that a seeded shuffle rarely produces.
+    AdversarialHandoff,
+}
+
+/// Per-worker perturbation state for one run.
+pub(crate) struct Jitter {
+    mode: Perturbation,
+    wpn: u32,
+    counts: Vec<u64>,
+}
+
+impl Jitter {
+    pub(crate) fn new(mode: Perturbation, wpn: u32, workers: u32) -> Self {
+        Self { mode, wpn, counts: vec![0; workers as usize] }
+    }
+
+    /// Delay to add to worker `w`'s next probe event.
+    pub(crate) fn delay(&mut self, w: u32) -> Time {
+        let count = &mut self.counts[w as usize];
+        *count += 1;
+        match self.mode {
+            Perturbation::None => 0,
+            Perturbation::Seeded { seed, max_ns } => {
+                let mut x = seed ^ (u64::from(w) << 32) ^ *count;
+                // splitmix64 finalizer: cheap, well-mixed, stable.
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                x % (max_ns + 1)
+            }
+            Perturbation::AdversarialHandoff => {
+                // Odd rounds: invert the node's rank order (last local
+                // rank arrives first); even rounds: keep it. The stride
+                // is tiny so only ties/near-ties are reordered — the
+                // protocol sees maximally unnatural handoffs without a
+                // materially different load.
+                let local = w % self.wpn;
+                if *count % 2 == 1 {
+                    Time::from(self.wpn - 1 - local)
+                } else {
+                    Time::from(local)
+                }
+            }
+        }
+    }
+}
+
+/// Deferred RMA log synthesis for the virtual-time executors: the sim
+/// backends model whole lock transactions as single events, so each
+/// transaction's operations are emitted as one block keyed by its
+/// virtual completion time, then globally ordered into an
+/// [`mpisim::RmaLog`] once the run ends. FCFS lock grants guarantee
+/// blocks of the same lock never share a key, so the synthesized log
+/// has the same epoch structure a live run would record.
+pub(crate) struct RmaTape {
+    enabled: bool,
+    counter: u64,
+    items: Vec<(Time, u64, u64, u32, mpisim::RmaEvent)>,
+}
+
+impl RmaTape {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Self { enabled, counter: 0, items: Vec::new() }
+    }
+
+    /// Emit one transaction: `events` happened atomically on window
+    /// `win` by `rank` at virtual time `t`.
+    pub(crate) fn tx(&mut self, t: Time, win: u64, rank: u32, events: &[mpisim::RmaEvent]) {
+        if !self.enabled {
+            return;
+        }
+        for ev in events {
+            self.items.push((t, self.counter, win, rank, *ev));
+            self.counter += 1;
+        }
+    }
+
+    /// [`RmaTape::tx`] with the transaction split across two slices
+    /// (shared prologue + branch-specific tail).
+    pub(crate) fn tx_slice_then(
+        &mut self,
+        t: Time,
+        win: u64,
+        rank: u32,
+        head: &[mpisim::RmaEvent],
+        tail: &[mpisim::RmaEvent],
+    ) {
+        self.tx(t, win, rank, head);
+        self.tx(t, win, rank, tail);
+    }
+
+    /// Order every transaction by (virtual time, emission order) and
+    /// stamp the records through a real [`mpisim::RmaLog`].
+    pub(crate) fn finish(mut self) -> Vec<mpisim::RmaRecord> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.items.sort_by_key(|i| (i.0, i.1));
+        let log = mpisim::RmaLog::new();
+        for (_, _, win, rank, ev) in self.items {
+            log.push(win, rank, ev);
+        }
+        log.records()
+    }
+}
+
 /// Configuration of one virtual-time run.
 #[derive(Clone)]
 pub struct SimConfig {
@@ -72,6 +201,14 @@ pub struct SimConfig {
     /// MPI+MPI protocol with the window lock replaced by an OpenMP
     /// dispatch.
     pub omp_nowait: bool,
+    /// Deterministic schedule perturbation for interleaving
+    /// exploration ([`Perturbation::None`] reproduces the unperturbed
+    /// run exactly).
+    pub perturb: Perturbation,
+    /// Synthesize the RMA access log the modelled protocol would
+    /// produce (lock/sync/get/put/atomic per transaction) into
+    /// [`SimResult::rma`] for `rma-check`.
+    pub record_rma: bool,
 }
 
 impl SimConfig {
@@ -95,6 +232,8 @@ impl SimConfig {
             weights: Vec::new(),
             awf: None,
             omp_nowait: false,
+            perturb: Perturbation::default(),
+            record_rma: false,
         }
     }
 
@@ -121,6 +260,9 @@ pub struct SimResult {
     /// Executed sub-chunks per worker (empty unless
     /// `SimConfig::record_chunks`).
     pub executed: Vec<(u32, SubChunk)>,
+    /// Synthesized RMA access log of the modelled protocol (empty
+    /// unless `SimConfig::record_rma`), ready for `rma_check::check`.
+    pub rma: Vec<mpisim::RmaRecord>,
 }
 
 impl SimResult {

@@ -14,13 +14,43 @@
 //! A worker terminates once the global queue is exhausted and its local
 //! queue is empty.
 
-use super::{SimConfig, SimResult};
+use super::{Jitter, RmaTape, SimConfig, SimResult};
 use crate::queue::LocalQueue;
 use crate::stats::RunStats;
 use cluster_sim::trace::SegmentKind;
 use cluster_sim::{ContendedLock, EventQueue, Resource, Time, Trace};
 use dls::{ChunkCalculator, LoopSpec, SchedState};
+use mpisim::{AtomicOpKind, LockKind, RmaEvent};
 use workloads::CostTable;
+
+// Window layout mirrored from the live executor, so the synthesized
+// log and a recorded live log describe the same protocol. Window 0 is
+// the global queue; window `1 + node` is that node's shared queue.
+const GLOBAL_WIN: u64 = 0;
+const LO: usize = 2;
+const HI: usize = 3;
+const STEP: usize = 4;
+const TAKEN: usize = 5;
+const REFILLING: usize = 0;
+const GLOBAL_DONE: usize = 1;
+const GSTEP: usize = 0;
+const GSCHED: usize = 1;
+
+fn node_win(node_idx: usize) -> u64 {
+    1 + node_idx as u64
+}
+
+const EXCL: LockKind = LockKind::Exclusive;
+const LOCK: RmaEvent = RmaEvent::Lock { kind: EXCL, target: 0 };
+const UNLOCK: RmaEvent = RmaEvent::Unlock { kind: EXCL, target: 0 };
+
+fn get(disp: usize) -> RmaEvent {
+    RmaEvent::Get { target: 0, disp, len: 1 }
+}
+
+fn put(disp: usize) -> RmaEvent {
+    RmaEvent::Put { target: 0, disp, len: 1 }
+}
 
 enum Event {
     /// Worker is free: probe the local queue.
@@ -69,15 +99,42 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
     let mut executed = Vec::new();
     let mut events = EventQueue::new();
     let mut finish_time = vec![0 as Time; total_workers as usize];
+    let mut jitter = Jitter::new(cfg.perturb, wpn, total_workers);
+    let mut tape = RmaTape::new(cfg.record_rma);
+    let single_atomic = cfg.global_mode == crate::config::GlobalQueueMode::SingleAtomic;
+
+    if cfg.record_rma {
+        for w in 0..total_workers {
+            let node_idx = (w / wpn) as usize;
+            tape.tx(
+                0,
+                GLOBAL_WIN,
+                w,
+                &[RmaEvent::Attach { shared: false, comm_size: total_workers }],
+            );
+            tape.tx(
+                0,
+                node_win(node_idx),
+                w % wpn,
+                &[RmaEvent::Attach { shared: true, comm_size: wpn }],
+            );
+            if single_atomic {
+                // The live executor's run-long passive epoch for bare
+                // fetch_and_op on the global counter.
+                tape.tx(0, GLOBAL_WIN, w, &[RmaEvent::LockAll]);
+            }
+        }
+    }
 
     for w in 0..total_workers {
-        events.push(0, Event::TryLocal(w));
+        events.push(jitter.delay(w), Event::TryLocal(w));
     }
 
     // Take a sub-chunk (queue known non-empty), record it, and schedule
     // the worker's next probe after the compute burst. `sched_ns` is the
     // scheduling time this worker spent obtaining the sub-chunk (charged
     // to its AWF history under the -D/-E variants).
+    #[allow(clippy::too_many_arguments)]
     let execute_sub = |w: u32,
                        node: &mut NodeState,
                        node_idx: usize,
@@ -86,7 +143,9 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                        stats: &mut RunStats,
                        trace: &mut Trace,
                        executed: &mut Vec<(u32, crate::queue::SubChunk)>,
-                       events: &mut EventQueue<Event>| {
+                       events: &mut EventQueue<Event>,
+                       jitter: &mut Jitter,
+                       tape: &mut RmaTape| {
         let local = w % wpn;
         // AWF is *adaptive weighted factoring*: it replaces the intra
         // technique with WF driven by the learned weights.
@@ -108,7 +167,27 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
         if cfg.record_chunks {
             executed.push((w, sub));
         }
-        events.push(grant_end + cost, Event::TryLocal(w));
+        // The probe-and-take window transaction this grant modelled:
+        // one MPI_Win_lock / sync / read counters / advance counters /
+        // sync / unlock cycle on the node's shared window.
+        tape.tx(
+            grant_end,
+            node_win(node_idx),
+            w % wpn,
+            &[
+                LOCK,
+                RmaEvent::Sync,
+                get(LO),
+                get(HI),
+                get(STEP),
+                get(TAKEN),
+                put(STEP),
+                put(TAKEN),
+                RmaEvent::Sync,
+                UNLOCK,
+            ],
+        );
+        events.push(grant_end + cost + jitter.delay(w), Event::TryLocal(w));
     };
 
     while let Some((t, ev)) = events.pop() {
@@ -134,22 +213,61 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                         &mut trace,
                         &mut executed,
                         &mut events,
+                        &mut jitter,
+                        &mut tape,
                     );
-                } else if node.global_done {
-                    finish_time[w as usize] = grant.end;
-                } else if !node.refilling
-                    && (cfg.refill == super::RefillPolicy::Fastest || w % wpn == 0)
-                {
-                    // This worker takes the refill responsibility: under
-                    // the paper's policy because it is the fastest free
-                    // one; under the ablation because it is the node's
-                    // dedicated local master.
-                    node.refilling = true;
-                    events.push(grant.end + m.net.latency_ns, Event::GlobalArrive(w));
                 } else {
-                    // A peer's refill is in flight: re-probe shortly.
-                    trace.record(w, grant.end, grant.end + m.shm_retry_ns, SegmentKind::Sync);
-                    events.push(grant.end + m.shm_retry_ns, Event::TryLocal(w));
+                    // An empty probe reads the queue counters and both
+                    // flags under the lock; becoming the refiller also
+                    // publishes the refilling flag before releasing.
+                    let probe = [
+                        LOCK,
+                        RmaEvent::Sync,
+                        get(LO),
+                        get(HI),
+                        get(STEP),
+                        get(TAKEN),
+                        get(GLOBAL_DONE),
+                        get(REFILLING),
+                    ];
+                    if node.global_done {
+                        tape.tx_slice_then(
+                            grant.end,
+                            node_win(node_idx),
+                            w % wpn,
+                            &probe,
+                            &[UNLOCK],
+                        );
+                        finish_time[w as usize] = grant.end;
+                    } else if !node.refilling
+                        && (cfg.refill == super::RefillPolicy::Fastest || w % wpn == 0)
+                    {
+                        // This worker takes the refill responsibility: under
+                        // the paper's policy because it is the fastest free
+                        // one; under the ablation because it is the node's
+                        // dedicated local master.
+                        tape.tx_slice_then(
+                            grant.end,
+                            node_win(node_idx),
+                            w % wpn,
+                            &probe,
+                            &[put(REFILLING), RmaEvent::Sync, UNLOCK],
+                        );
+                        node.refilling = true;
+                        events.push(grant.end + m.net.latency_ns, Event::GlobalArrive(w));
+                    } else {
+                        // A peer's refill is in flight: re-probe shortly.
+                        tape.tx_slice_then(
+                            grant.end,
+                            node_win(node_idx),
+                            w % wpn,
+                            &probe,
+                            &[UNLOCK],
+                        );
+                        trace.record(w, grant.end, grant.end + m.shm_retry_ns, SegmentKind::Sync);
+                        events
+                            .push(grant.end + m.shm_retry_ns + jitter.delay(w), Event::TryLocal(w));
+                    }
                 }
             }
             Event::GlobalArrive(w) => {
@@ -166,7 +284,35 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                 };
                 let done = served + m.net.latency_ns + m.chunk_calc_ns + mode_extra;
                 trace.record(w, t, done, SegmentKind::Sched);
-                let payload = if global_state.exhausted(&inter_spec) {
+                let exhausted = global_state.exhausted(&inter_spec);
+                // The RMA transaction at the global queue's host, keyed
+                // by its serialized service completion so exclusive
+                // epochs of distinct fetches never overlap.
+                if single_atomic {
+                    tape.tx(
+                        served,
+                        GLOBAL_WIN,
+                        w,
+                        &[
+                            RmaEvent::Atomic {
+                                target: 0,
+                                disp: GSTEP,
+                                op: AtomicOpKind::FetchAndOp,
+                            },
+                            RmaEvent::Flush { target: 0 },
+                        ],
+                    );
+                } else if exhausted {
+                    tape.tx(served, GLOBAL_WIN, w, &[LOCK, get(GSTEP), get(GSCHED), UNLOCK]);
+                } else {
+                    tape.tx(
+                        served,
+                        GLOBAL_WIN,
+                        w,
+                        &[LOCK, get(GSTEP), get(GSCHED), put(GSTEP), put(GSCHED), UNLOCK],
+                    );
+                }
+                let payload = if exhausted {
                     None
                 } else {
                     let size = cfg.spec.inter.chunk_size(
@@ -192,6 +338,21 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                 node.refilling = false;
                 match payload {
                     Some((lo, hi)) => {
+                        tape.tx(
+                            grant.end,
+                            node_win(node_idx),
+                            w % wpn,
+                            &[
+                                LOCK,
+                                put(LO),
+                                put(HI),
+                                put(STEP),
+                                put(TAKEN),
+                                put(REFILLING),
+                                RmaEvent::Sync,
+                                UNLOCK,
+                            ],
+                        );
                         node.queue.deposit(lo, hi);
                         stats.nodes[node_idx].deposits += 1;
                         execute_sub(
@@ -204,16 +365,24 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                             &mut trace,
                             &mut executed,
                             &mut events,
+                            &mut jitter,
+                            &mut tape,
                         );
                     }
                     None => {
+                        tape.tx(
+                            grant.end,
+                            node_win(node_idx),
+                            w % wpn,
+                            &[LOCK, put(GLOBAL_DONE), put(REFILLING), RmaEvent::Sync, UNLOCK],
+                        );
                         node.global_done = true;
                         // The refiller itself may still find leftovers
                         // deposited by racing peers; re-probe once.
                         if node.queue.is_empty() {
                             finish_time[w as usize] = grant.end;
                         } else {
-                            events.push(grant.end, Event::TryLocal(w));
+                            events.push(grant.end + jitter.delay(w), Event::TryLocal(w));
                         }
                     }
                 }
@@ -231,7 +400,15 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
     }
     let lock_poll_penalty = node_states.iter().map(|n| n.lock.total_penalty()).sum();
 
-    SimResult { makespan, stats, trace, lock_poll_penalty, executed }
+    if cfg.record_rma && single_atomic {
+        // Close each worker's run-long global-window epoch where its
+        // last probe released the node lock.
+        for w in 0..total_workers {
+            tape.tx(finish_time[w as usize], GLOBAL_WIN, w, &[RmaEvent::UnlockAll]);
+        }
+    }
+
+    SimResult { makespan, stats, trace, lock_poll_penalty, executed, rma: tape.finish() }
 }
 
 #[cfg(test)]

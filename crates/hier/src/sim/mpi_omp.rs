@@ -7,13 +7,25 @@
 //! the slowest one before the next chunk can be fetched — the idle time
 //! the paper's Figure 2 illustrates and its MPI+MPI approach removes.
 
-use super::{SimConfig, SimResult};
+use super::{Jitter, RmaTape, SimConfig, SimResult};
 use crate::queue::{LocalQueue, SubChunk};
 use crate::stats::RunStats;
 use cluster_sim::trace::SegmentKind;
 use cluster_sim::{EventQueue, Resource, Time, Trace};
 use dls::{ChunkCalculator, LoopSpec, SchedState};
+use mpisim::{LockKind, RmaEvent};
 use workloads::CostTable;
+
+const GSTEP: usize = 0;
+const GSCHED: usize = 1;
+
+fn get(disp: usize) -> RmaEvent {
+    RmaEvent::Get { target: 0, disp, len: 1 }
+}
+
+fn put(disp: usize) -> RmaEvent {
+    RmaEvent::Put { target: 0, disp, len: 1 }
+}
 
 /// The single event kind: node `n`'s master thread's RMA request reaches
 /// the global queue's host.
@@ -38,9 +50,18 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
     // End of each node's previous worksharing region, for attributing
     // the fetch gap as Sync time on the non-master threads.
     let mut region_ends = vec![0 as Time; nodes as usize];
+    let mut jitter = Jitter::new(cfg.perturb, threads, total_workers);
+    let mut tape = RmaTape::new(cfg.record_rma);
+
+    if cfg.record_rma {
+        // Window ranks are the node masters (one MPI process per node).
+        for node in 0..nodes {
+            tape.tx(0, 0, node, &[RmaEvent::Attach { shared: false, comm_size: nodes }]);
+        }
+    }
 
     for node in 0..nodes {
-        events.push(m.net.latency_ns, FetchArrive(node));
+        events.push(m.net.latency_ns + jitter.delay(node * threads), FetchArrive(node));
     }
 
     while let Some((t, FetchArrive(node))) = events.pop() {
@@ -50,10 +71,14 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
         let master = node * threads;
         trace.record(master, t - m.net.latency_ns, fetched_at, SegmentKind::Sched);
 
+        let lock = RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 };
+        let unlock = RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 };
         if global_state.exhausted(&inter_spec) {
+            tape.tx(served, 0, node, &[lock, get(GSTEP), get(GSCHED), unlock]);
             node_finish[node as usize] = fetched_at;
             continue;
         }
+        tape.tx(served, 0, node, &[lock, get(GSTEP), get(GSCHED), put(GSTEP), put(GSCHED), unlock]);
         let size = cfg.spec.inter.chunk_size(
             &inter_spec,
             global_state,
@@ -83,6 +108,7 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
             &mut stats,
             &mut executed,
             &mut trace,
+            &mut jitter,
         );
         // Implicit barrier: everyone advances to the slowest thread.
         let slowest = finishes.iter().copied().max().expect("non-empty team");
@@ -92,7 +118,7 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
             trace.record(w, f, region_end, SegmentKind::Sync);
         }
         region_ends[node as usize] = region_end;
-        events.push(region_end + m.net.latency_ns, FetchArrive(node));
+        events.push(region_end + m.net.latency_ns + jitter.delay(master), FetchArrive(node));
     }
 
     let makespan = node_finish.iter().copied().max().unwrap_or(0);
@@ -104,7 +130,7 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
     }
     stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
 
-    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed }
+    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed, rma: tape.finish() }
 }
 
 /// Execute one chunk over the team; returns each thread's finish time.
@@ -120,6 +146,7 @@ fn run_team(
     stats: &mut RunStats,
     executed: &mut Vec<(u32, SubChunk)>,
     trace: &mut Trace,
+    jitter: &mut Jitter,
 ) -> Vec<Time> {
     let m = &cfg.machine;
     let intra = &cfg.spec.intra;
@@ -158,7 +185,10 @@ fn run_team(
     let mut queue = LocalQueue::new();
     queue.deposit(lo, hi);
     let mut dispatcher = Resource::new();
-    let mut clocks: Vec<Time> = vec![start; threads as usize];
+    // Perturbation staggers each thread's arrival at the dispatcher,
+    // reshuffling which thread wins each pull.
+    let mut clocks: Vec<Time> =
+        (0..threads).map(|i| start + jitter.delay(node * threads + i)).collect();
     loop {
         // The earliest-free thread grabs the next sub-chunk.
         let (i, _) =

@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod collectives;
 pub mod comm;
@@ -44,6 +46,7 @@ pub mod error;
 pub mod group;
 pub mod message;
 pub mod request;
+pub mod rmalog;
 pub mod sync;
 pub mod topology;
 pub mod universe;
@@ -53,6 +56,7 @@ pub use comm::Comm;
 pub use error::{Error, Result};
 pub use group::Group;
 pub use request::{RecvRequest, SendRequest};
+pub use rmalog::{AtomicOpKind, RmaEvent, RmaLog, RmaRecord};
 pub use sync::{LockStats, QueuedLock};
 pub use topology::Topology;
 pub use universe::{Process, Universe};

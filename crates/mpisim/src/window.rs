@@ -10,12 +10,17 @@
 
 use crate::comm::{Comm, TAG_WIN};
 use crate::error::{Error, Result};
+use crate::rmalog::{AtomicOpKind, RmaEvent, RmaLog};
 use crate::sync::QueuedLock;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Process-wide window id source, so every allocation (across all
+/// universes a test binary runs) gets a distinct id in RMA logs.
+static NEXT_WIN_ID: AtomicU64 = AtomicU64::new(0);
 
 /// `MPI_Win_lock` lock type.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +47,8 @@ pub enum RmaOp {
 }
 
 struct WinState {
+    /// Process-unique id, stamped into RMA log records.
+    id: u64,
     data: Vec<AtomicI64>,
     /// `(offset, len)` of each rank's region within `data`.
     regions: Vec<(usize, usize)>,
@@ -139,6 +146,10 @@ pub struct Window {
     state: Arc<WinState>,
     comm: Comm,
     rank: Arc<RankLocal>,
+    /// Recording mode: when set, every passive-target operation appends
+    /// an [`RmaEvent`] for this rank to the log. Clones of a recording
+    /// handle keep recording to the same log.
+    log: Option<RmaLog>,
 }
 
 impl Window {
@@ -167,6 +178,7 @@ impl Window {
                 offset += len;
             }
             let state = Arc::new(WinState {
+                id: NEXT_WIN_ID.fetch_add(1, Ordering::Relaxed),
                 data: (0..offset).map(|_| AtomicI64::new(0)).collect(),
                 locks: (0..lens.len()).map(|_| QueuedLock::new()).collect(),
                 regions,
@@ -180,12 +192,43 @@ impl Window {
             let (_, _, state): (_, _, Arc<WinState>) = comm.recv(Some(0), Some(TAG_WIN))?;
             state
         };
-        Ok(Window { state, comm: comm.clone(), rank: Arc::new(RankLocal::default()) })
+        Ok(Window { state, comm: comm.clone(), rank: Arc::new(RankLocal::default()), log: None })
     }
 
     /// The communicator the window was created over.
     pub fn comm(&self) -> &Comm {
         &self.comm
+    }
+
+    /// Process-unique id of this window allocation, as stamped into
+    /// [`RmaRecord`](crate::RmaRecord)s.
+    pub fn win_id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// Enter recording mode: append every subsequent passive-target
+    /// operation of *this rank's handle* (and its clones) to `log`.
+    /// Emits one [`RmaEvent::Attach`] declaring the window's shape.
+    /// Every rank that should appear in the log must call this on its
+    /// own handle, normally right after allocation.
+    pub fn record_to(&mut self, log: &RmaLog) {
+        self.log = Some(log.clone());
+        self.rec(RmaEvent::Attach { shared: self.state.shared, comm_size: self.comm.size() });
+    }
+
+    /// Report an application-level barrier over the window's
+    /// communicator to the RMA log (no-op when not recording). The
+    /// checker treats it as a collective synchronization point; call it
+    /// right after `comm().barrier()`.
+    pub fn note_barrier(&self) {
+        self.rec(RmaEvent::Barrier);
+    }
+
+    #[inline]
+    fn rec(&self, event: RmaEvent) {
+        if let Some(log) = &self.log {
+            log.push(self.state.id, self.comm.rank(), event);
+        }
     }
 
     /// True for windows created with [`Window::allocate_shared`].
@@ -228,6 +271,10 @@ impl Window {
             LockKind::Shared => lock.lock_shared(),
         };
         self.rank.granted(target, requested, polls);
+        // Stamped after the grant: a correctly-disciplined exclusive
+        // epoch's [Lock.seq, Unlock.seq] interval cannot overlap another
+        // rank's on the same target.
+        self.rec(RmaEvent::Lock { kind, target });
         Ok(())
     }
 
@@ -244,6 +291,7 @@ impl Window {
         let requested = Instant::now();
         if lock.try_lock_exclusive() {
             self.rank.granted(target, requested, 0);
+            self.rec(RmaEvent::Lock { kind: LockKind::Exclusive, target });
             Ok(true)
         } else {
             self.rank.failed_polls.fetch_add(1, Ordering::Relaxed);
@@ -258,6 +306,9 @@ impl Window {
             .locks
             .get(target as usize)
             .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
+        // Stamped before the release (even if the release turns out to
+        // be mismatched — the checker wants to see the attempt).
+        self.rec(RmaEvent::Unlock { kind, target });
         let ok = match kind {
             LockKind::Exclusive => lock.unlock_exclusive(),
             LockKind::Shared => lock.unlock_shared(),
@@ -276,6 +327,7 @@ impl Window {
     pub fn fetch_and_op(&self, target: u32, disp: usize, operand: i64, op: RmaOp) -> Result<i64> {
         let slot = self.slot(target, disp)?;
         self.rank.rma_atomic_ops.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Atomic { target, disp, op: AtomicOpKind::FetchAndOp });
         let prev = match op {
             RmaOp::Sum => slot.fetch_add(operand, Ordering::SeqCst),
             RmaOp::Replace => slot.swap(operand, Ordering::SeqCst),
@@ -297,6 +349,7 @@ impl Window {
     ) -> Result<i64> {
         let slot = self.slot(target, disp)?;
         self.rank.rma_atomic_ops.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Atomic { target, disp, op: AtomicOpKind::CompareAndSwap });
         Ok(match slot.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(prev) => prev,
             Err(prev) => prev,
@@ -307,6 +360,7 @@ impl Window {
     pub fn get(&self, target: u32, disp: usize) -> Result<i64> {
         let slot = self.slot(target, disp)?;
         self.rank.gets.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Get { target, disp, len: 1 });
         Ok(slot.load(Ordering::SeqCst))
     }
 
@@ -314,6 +368,7 @@ impl Window {
     pub fn put(&self, target: u32, disp: usize, value: i64) -> Result<()> {
         let slot = self.slot(target, disp)?;
         self.rank.puts.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Put { target, disp, len: 1 });
         slot.store(value, Ordering::SeqCst);
         Ok(())
     }
@@ -322,6 +377,7 @@ impl Window {
     pub fn get_all(&self, target: u32) -> Result<Vec<i64>> {
         let (offset, len) = self.region(target)?;
         self.rank.gets.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Get { target, disp: 0, len });
         Ok(self.state.data[offset..offset + len].iter().map(|a| a.load(Ordering::SeqCst)).collect())
     }
 
@@ -338,6 +394,7 @@ impl Window {
             return Err(Error::OffsetOutOfRange { offset: disp + len, len: region_len });
         }
         self.rank.gets.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Get { target, disp, len });
         Ok(self.state.data[offset + disp..offset + disp + len]
             .iter()
             .map(|a| a.load(Ordering::SeqCst))
@@ -351,6 +408,7 @@ impl Window {
             return Err(Error::OffsetOutOfRange { offset: disp + values.len(), len: region_len });
         }
         self.rank.puts.fetch_add(1, Ordering::Relaxed);
+        self.rec(RmaEvent::Put { target, disp, len: values.len() });
         for (i, &v) in values.iter().enumerate() {
             self.state.data[offset + disp + i].store(v, Ordering::SeqCst);
         }
@@ -365,11 +423,13 @@ impl Window {
             let polls = lock.lock_shared();
             self.rank.granted(target as u32, requested, polls);
         }
+        self.rec(RmaEvent::LockAll);
     }
 
     /// `MPI_Win_unlock_all`: release the epoch begun by
     /// [`Window::lock_all`].
     pub fn unlock_all(&self) -> Result<()> {
+        self.rec(RmaEvent::UnlockAll);
         for (target, lock) in self.state.locks.iter().enumerate() {
             if !lock.unlock_shared() {
                 return Err(Error::NotLocked);
@@ -383,13 +443,15 @@ impl Window {
     /// `MPI_Win_flush`: complete outstanding operations at `target`.
     /// All operations in this runtime complete eagerly, so this is a
     /// memory fence.
-    pub fn flush(&self, _target: u32) {
+    pub fn flush(&self, target: u32) {
         fence(Ordering::SeqCst);
+        self.rec(RmaEvent::Flush { target });
     }
 
     /// `MPI_Win_sync`: memory barrier for the unified window model.
     pub fn sync(&self) {
         fence(Ordering::SeqCst);
+        self.rec(RmaEvent::Sync);
     }
 
     /// Contention statistics of `target`'s lock:
@@ -685,6 +747,59 @@ mod tests {
                 w.send(0, 1, ()).unwrap();
             }
         });
+    }
+
+    #[test]
+    fn recording_mode_logs_every_op_with_rank_provenance() {
+        let log = RmaLog::new();
+        let outer = log.clone();
+        Universe::run(Topology::new(1, 2), move |p| {
+            let w = p.world();
+            let mut win = Window::allocate(w, 2).unwrap();
+            win.record_to(&log);
+            win.lock(LockKind::Exclusive, 0).unwrap();
+            win.put(0, 0, i64::from(w.rank())).unwrap();
+            let _ = win.get(0, 1).unwrap();
+            win.unlock(LockKind::Exclusive, 0).unwrap();
+            win.fetch_and_op(1, 0, 1, RmaOp::Sum).unwrap();
+            w.barrier();
+            win.note_barrier();
+        });
+        let records = outer.records();
+        // Per rank: Attach, Lock, Put, Get, Unlock, Atomic, Barrier.
+        assert_eq!(records.len(), 14);
+        for rank in 0..2 {
+            let mine: Vec<_> = records.iter().filter(|r| r.rank == rank).map(|r| r.event).collect();
+            assert!(matches!(mine[0], RmaEvent::Attach { shared: false, comm_size: 2 }));
+            assert!(mine.contains(&RmaEvent::Put { target: 0, disp: 0, len: 1 }));
+            assert!(mine.contains(&RmaEvent::Atomic {
+                target: 1,
+                disp: 0,
+                op: AtomicOpKind::FetchAndOp
+            }));
+            assert_eq!(mine.last(), Some(&RmaEvent::Barrier));
+        }
+        // Exclusive epochs must not interleave: between one rank's Lock
+        // and Unlock seqs there is no other rank's Lock on target 0.
+        let locks: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.event, RmaEvent::Lock { .. } | RmaEvent::Unlock { .. }))
+            .collect();
+        for pair in locks.chunks(2) {
+            assert_eq!(pair[0].rank, pair[1].rank, "epochs interleaved: {locks:?}");
+        }
+    }
+
+    #[test]
+    fn non_recording_window_logs_nothing() {
+        let log = RmaLog::new();
+        let outer = log.clone();
+        Universe::run(Topology::new(1, 1), move |p| {
+            let win = Window::allocate(p.world(), 1).unwrap();
+            win.put(0, 0, 7).unwrap();
+            let _ = log.len(); // log moved in but never attached
+        });
+        assert!(outer.is_empty());
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Intentionally broken protocol variants — the checker's ground truth.
+//!
+//! Each function performs a *real* recorded `mpisim` run that violates
+//! one specific rule the correct protocols obey, and returns the
+//! resulting access log. The regression suite pins each variant to the
+//! [`ViolationKind`](crate::ViolationKind) it must produce, proving the
+//! checker detects the bug classes it claims to (rather than passing
+//! everything). Keep these in sync with the discipline rules in
+//! [`crate::epoch`] and [`crate::race`].
+
+use mpisim::{LockKind, Result, RmaLog, RmaRecord, Topology, Universe, Window};
+
+/// Run `f` on every rank of a 1-node world of `ranks`, collecting the
+/// shared recording log.
+fn record_run<F>(ranks: u32, f: F) -> Result<Vec<RmaRecord>>
+where
+    F: Fn(&mpisim::Process, &RmaLog) -> Result<()> + Send + Sync,
+{
+    let log = RmaLog::new();
+    let outcomes = Universe::run(Topology::new(1, ranks), |p| f(p, &log));
+    for o in outcomes {
+        o?;
+    }
+    Ok(log.records())
+}
+
+/// The skip-sync bug: a reader on a shared-memory window omits the
+/// `MPI_Win_sync` the unified memory model requires before observing a
+/// remote rank's put. The ranks *are* ordered by a real barrier — but
+/// one the application never reports via `note_barrier`, exactly like
+/// production code that synchronises "by luck" without telling MPI.
+/// Expected: [`ViolationKind::MissingSync`](crate::ViolationKind::MissingSync).
+pub fn skip_sync() -> Result<Vec<RmaRecord>> {
+    record_run(2, |p, log| {
+        let shm = p.world().split_shared()?;
+        let mut win = Window::allocate_shared(&shm, 1)?;
+        win.record_to(log);
+        if p.rank() == 0 {
+            win.lock(LockKind::Exclusive, 0)?;
+            win.put(0, 0, 42)?;
+            win.sync();
+            win.unlock(LockKind::Exclusive, 0)?;
+        }
+        // Orders the ranks for real, but is deliberately not reported
+        // with `note_barrier`: the log shows no sync point.
+        p.world().barrier();
+        if p.rank() == 1 {
+            win.lock(LockKind::Exclusive, 0)?;
+            let _ = win.get(0, 0)?;
+            win.unlock(LockKind::Exclusive, 0)?;
+        }
+        Ok(())
+    })
+}
+
+/// The non-atomic queue-head bug: two ranks "optimise" the
+/// `MPI_Fetch_and_op` on the global-queue head into a plain get+put,
+/// with no lock around the read-modify-write. Both the epoch rule
+/// (access outside any epoch) and the happens-before analysis (a
+/// write-write lost update) must fire.
+/// Expected: [`ViolationKind::AccessOutsideEpoch`](crate::ViolationKind::AccessOutsideEpoch)
+/// and [`ViolationKind::DataRace`](crate::ViolationKind::DataRace).
+pub fn unlocked_rmw() -> Result<Vec<RmaRecord>> {
+    record_run(2, |p, log| {
+        let mut win = Window::allocate(p.world(), 1)?;
+        win.record_to(log);
+        let head = win.get(0, 0)?;
+        win.put(0, 0, head + 1)?;
+        Ok(())
+    })
+}
+
+/// Unlock with no open epoch: the runtime refuses it (`Err`), but the
+/// attempt is still logged and the discipline checker must flag it.
+/// Expected: [`ViolationKind::UnlockWithoutLock`](crate::ViolationKind::UnlockWithoutLock).
+pub fn unlock_without_lock() -> Result<Vec<RmaRecord>> {
+    record_run(1, |p, log| {
+        let mut win = Window::allocate(p.world(), 1)?;
+        win.record_to(log);
+        // The runtime reports the error; the *log* must still show the
+        // undisciplined attempt.
+        let _ = win.unlock(LockKind::Exclusive, 0);
+        Ok(())
+    })
+}
+
+/// A lock acquired and never released before the run ends.
+/// Expected: [`ViolationKind::EpochLeak`](crate::ViolationKind::EpochLeak).
+pub fn epoch_leak() -> Result<Vec<RmaRecord>> {
+    record_run(1, |p, log| {
+        let mut win = Window::allocate(p.world(), 1)?;
+        win.record_to(log);
+        win.lock(LockKind::Exclusive, 0)?;
+        win.put(0, 0, 7)?;
+        Ok(())
+    })
+}

@@ -1,0 +1,420 @@
+//! Epoch / lock-discipline checker: validates MPI-3 passive-target
+//! rules over one window's access log.
+//!
+//! Rules enforced (each maps to a [`ViolationKind`]):
+//!
+//! * every get/put/atomic/flush happens inside an access epoch covering
+//!   its target (`lock(target)` or `lock_all`);
+//! * no nested or mismatched lock/unlock, `unlock_all` pairs with
+//!   `lock_all`, nothing left locked when the log ends;
+//! * exclusive-lock mutual exclusion actually held: the
+//!   `[Lock.seq, Unlock.seq]` intervals (stamped after-grant /
+//!   before-release by `mpisim`) of epochs involving an exclusive lock
+//!   on one target never overlap across ranks;
+//! * on shared-memory windows, a read of a slot another rank has put to
+//!   must be preceded (on the reading rank) by `MPI_Win_sync` or a
+//!   barrier issued after that put — the unified-model visibility rule
+//!   the paper's local-queue protocol depends on. Atomics are exempt
+//!   (MPI guarantees their coherence) but count as writes.
+
+use crate::report::{Violation, ViolationKind};
+use mpisim::{LockKind, RmaEvent, RmaRecord};
+use std::collections::HashMap;
+
+#[derive(Default)]
+struct RankEpochs {
+    /// Open per-target epochs of this origin.
+    held: HashMap<u32, LockKind>,
+    /// An open `lock_all` epoch.
+    lock_all: bool,
+    /// Sequence of this rank's latest `sync` or barrier.
+    last_sync: u64,
+    /// Whether a `sync`/barrier happened at all yet.
+    synced: bool,
+}
+
+/// Run the discipline rules over one window's records (must all carry
+/// the same `win` and be sorted by `seq`), appending violations.
+pub fn check_epochs(records: &[RmaRecord], out: &mut Vec<Violation>) {
+    let mut shared = false;
+    let mut comm_size = 0u32;
+    let mut ranks: HashMap<u32, RankEpochs> = HashMap::new();
+    // target -> (rank -> kind) of epochs currently open, for the
+    // cross-rank exclusive-overlap rule.
+    let mut holders: HashMap<u32, HashMap<u32, LockKind>> = HashMap::new();
+    // slot -> (seq, rank) of the latest write, for the missing-sync rule.
+    let mut last_put: HashMap<(u32, usize), (u64, u32)> = HashMap::new();
+
+    let mut push = |kind: ViolationKind, r: &RmaRecord, detail: String| {
+        out.push(Violation { kind, win: r.win, rank: r.rank, seq: r.seq, detail });
+    };
+
+    for r in records {
+        let me = ranks.entry(r.rank).or_default();
+        match r.event {
+            RmaEvent::Attach { shared: s, comm_size: n } => {
+                shared |= s;
+                comm_size = comm_size.max(n);
+            }
+            RmaEvent::Lock { kind, target } => {
+                comm_size = comm_size.max(target + 1);
+                if me.lock_all {
+                    push(
+                        ViolationKind::NestedLock,
+                        r,
+                        format!("lock({kind:?}, {target}) inside an open lock_all epoch"),
+                    );
+                } else if let Some(prev) = me.held.get(&target) {
+                    push(
+                        ViolationKind::NestedLock,
+                        r,
+                        format!("lock({kind:?}, {target}) while already holding {prev:?}"),
+                    );
+                }
+                me.held.insert(target, kind);
+                let h = holders.entry(target).or_default();
+                for (&other, &okind) in h.iter() {
+                    if other != r.rank
+                        && (kind == LockKind::Exclusive || okind == LockKind::Exclusive)
+                    {
+                        push(
+                            ViolationKind::ExclusiveOverlap,
+                            r,
+                            format!(
+                                "lock({kind:?}, {target}) granted while rank {other} \
+                                 holds {okind:?} on the same target"
+                            ),
+                        );
+                    }
+                }
+                h.insert(r.rank, kind);
+            }
+            RmaEvent::Unlock { kind, target } => {
+                if me.lock_all {
+                    push(
+                        ViolationKind::UnlockWithoutLock,
+                        r,
+                        format!("unlock({kind:?}, {target}) inside a lock_all epoch"),
+                    );
+                } else {
+                    match me.held.remove(&target) {
+                        None => push(
+                            ViolationKind::UnlockWithoutLock,
+                            r,
+                            format!("unlock({kind:?}, {target}) with no open epoch on target"),
+                        ),
+                        Some(h) if h != kind => push(
+                            ViolationKind::MismatchedUnlock,
+                            r,
+                            format!("unlock({kind:?}, {target}) closes a {h:?} epoch"),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+                if let Some(h) = holders.get_mut(&target) {
+                    h.remove(&r.rank);
+                }
+            }
+            RmaEvent::LockAll => {
+                if me.lock_all || !me.held.is_empty() {
+                    push(
+                        ViolationKind::NestedLock,
+                        r,
+                        "lock_all while already holding window locks".to_string(),
+                    );
+                }
+                me.lock_all = true;
+                for target in 0..comm_size {
+                    let h = holders.entry(target).or_default();
+                    for (&other, &okind) in h.iter() {
+                        if other != r.rank && okind == LockKind::Exclusive {
+                            push(
+                                ViolationKind::ExclusiveOverlap,
+                                r,
+                                format!(
+                                    "lock_all granted while rank {other} holds \
+                                     Exclusive on target {target}"
+                                ),
+                            );
+                        }
+                    }
+                    h.insert(r.rank, LockKind::Shared);
+                }
+            }
+            RmaEvent::UnlockAll => {
+                if !me.lock_all {
+                    push(
+                        ViolationKind::UnlockAllWithoutLockAll,
+                        r,
+                        "unlock_all with no open lock_all epoch".to_string(),
+                    );
+                }
+                me.lock_all = false;
+                for h in holders.values_mut() {
+                    // Only the lock_all hold: per-target epochs (which
+                    // would themselves be a NestedLock) stay visible.
+                    if me.held.is_empty() {
+                        h.remove(&r.rank);
+                    }
+                }
+            }
+            RmaEvent::Sync | RmaEvent::Barrier => {
+                me.last_sync = r.seq;
+                me.synced = true;
+            }
+            RmaEvent::Flush { target } => {
+                if !me.lock_all && !me.held.contains_key(&target) {
+                    push(
+                        ViolationKind::AccessOutsideEpoch,
+                        r,
+                        format!("flush({target}) outside any access epoch"),
+                    );
+                }
+            }
+            RmaEvent::Get { target, disp, len } => {
+                if !me.lock_all && !me.held.contains_key(&target) {
+                    push(
+                        ViolationKind::AccessOutsideEpoch,
+                        r,
+                        format!("get(target {target}, disp {disp}, len {len}) outside any epoch"),
+                    );
+                }
+                if shared {
+                    let stale = (disp..disp + len).find_map(|d| {
+                        last_put.get(&(target, d)).and_then(|&(wseq, wrank)| {
+                            let unsynced = !me.synced || me.last_sync < wseq;
+                            (wrank != r.rank && unsynced).then_some((d, wseq, wrank))
+                        })
+                    });
+                    if let Some((d, wseq, wrank)) = stale {
+                        push(
+                            ViolationKind::MissingSync,
+                            r,
+                            format!(
+                                "shared-window get of (target {target}, disp {d}) observes \
+                                 rank {wrank}'s put @ seq {wseq} with no MPI_Win_sync since"
+                            ),
+                        );
+                    }
+                }
+            }
+            RmaEvent::Put { target, disp, len } => {
+                if !me.lock_all && !me.held.contains_key(&target) {
+                    push(
+                        ViolationKind::AccessOutsideEpoch,
+                        r,
+                        format!("put(target {target}, disp {disp}, len {len}) outside any epoch"),
+                    );
+                }
+                for d in disp..disp + len {
+                    last_put.insert((target, d), (r.seq, r.rank));
+                }
+            }
+            RmaEvent::Atomic { target, disp, op } => {
+                if !me.lock_all && !me.held.contains_key(&target) {
+                    push(
+                        ViolationKind::AccessOutsideEpoch,
+                        r,
+                        format!("{op:?}(target {target}, disp {disp}) outside any epoch"),
+                    );
+                }
+                // Atomics are coherent on their own but still publish a
+                // value later plain reads must sync for.
+                last_put.insert((target, disp), (r.seq, r.rank));
+            }
+        }
+    }
+
+    for (&rank, st) in &ranks {
+        if st.lock_all || !st.held.is_empty() {
+            let mut targets: Vec<u32> = st.held.keys().copied().collect();
+            targets.sort_unstable();
+            out.push(Violation {
+                kind: ViolationKind::EpochLeak,
+                win: records.first().map(|r| r.win).unwrap_or(0),
+                rank,
+                seq: records.last().map(|r| r.seq).unwrap_or(0),
+                detail: if st.lock_all {
+                    "lock_all epoch still open at end of log".to_string()
+                } else {
+                    format!("locks on targets {targets:?} still open at end of log")
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{AtomicOpKind, RmaLog};
+
+    fn check(log: &RmaLog) -> Vec<Violation> {
+        let mut out = Vec::new();
+        check_epochs(&log.records(), &mut out);
+        out
+    }
+
+    fn attach(log: &RmaLog, ranks: u32, shared: bool) {
+        for r in 0..ranks {
+            log.push(0, r, RmaEvent::Attach { shared, comm_size: ranks });
+        }
+    }
+
+    #[test]
+    fn disciplined_epoch_is_clean() {
+        let log = RmaLog::new();
+        attach(&log, 2, true);
+        for rank in 0..2 {
+            log.push(0, rank, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+            log.push(0, rank, RmaEvent::Sync);
+            log.push(0, rank, RmaEvent::Get { target: 0, disp: 0, len: 1 });
+            log.push(0, rank, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+            log.push(0, rank, RmaEvent::Sync);
+            log.push(0, rank, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        }
+        assert!(check(&log).is_empty());
+    }
+
+    #[test]
+    fn access_outside_epoch_flagged() {
+        let log = RmaLog::new();
+        attach(&log, 1, false);
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        let v = check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::AccessOutsideEpoch);
+    }
+
+    #[test]
+    fn atomic_outside_epoch_flagged() {
+        let log = RmaLog::new();
+        attach(&log, 1, false);
+        log.push(0, 0, RmaEvent::Atomic { target: 0, disp: 0, op: AtomicOpKind::FetchAndOp });
+        let v = check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::AccessOutsideEpoch);
+    }
+
+    #[test]
+    fn lock_all_covers_every_target() {
+        let log = RmaLog::new();
+        attach(&log, 3, false);
+        log.push(0, 1, RmaEvent::LockAll);
+        log.push(0, 1, RmaEvent::Atomic { target: 0, disp: 0, op: AtomicOpKind::FetchAndOp });
+        log.push(0, 1, RmaEvent::Get { target: 2, disp: 0, len: 1 });
+        log.push(0, 1, RmaEvent::UnlockAll);
+        assert!(check(&log).is_empty());
+    }
+
+    #[test]
+    fn nested_lock_and_leak_flagged() {
+        let log = RmaLog::new();
+        attach(&log, 1, false);
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Shared, target: 0 });
+        let v = check(&log);
+        assert_eq!(v.iter().filter(|v| v.kind == ViolationKind::NestedLock).count(), 1);
+        assert_eq!(v.iter().filter(|v| v.kind == ViolationKind::EpochLeak).count(), 1);
+    }
+
+    #[test]
+    fn unlock_without_lock_and_mismatch_flagged() {
+        let log = RmaLog::new();
+        attach(&log, 1, false);
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Shared, target: 0 });
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        let v = check(&log);
+        assert_eq!(v.iter().filter(|v| v.kind == ViolationKind::UnlockWithoutLock).count(), 1);
+        assert_eq!(v.iter().filter(|v| v.kind == ViolationKind::MismatchedUnlock).count(), 1);
+    }
+
+    #[test]
+    fn unlock_all_requires_lock_all() {
+        let log = RmaLog::new();
+        attach(&log, 1, false);
+        log.push(0, 0, RmaEvent::UnlockAll);
+        let v = check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::UnlockAllWithoutLockAll);
+    }
+
+    #[test]
+    fn exclusive_interval_overlap_flagged() {
+        let log = RmaLog::new();
+        attach(&log, 2, false);
+        // Rank 0's exclusive epoch never closes before rank 1's opens —
+        // a broken runtime (or forged log) failing mutual exclusion.
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        let v = check(&log);
+        assert_eq!(v.iter().filter(|v| v.kind == ViolationKind::ExclusiveOverlap).count(), 1);
+    }
+
+    #[test]
+    fn shared_read_after_remote_put_needs_sync() {
+        let log = RmaLog::new();
+        attach(&log, 2, true);
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 3, len: 1 });
+        log.push(0, 0, RmaEvent::Sync);
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        // Rank 1 locks but reads without syncing first: stale.
+        log.push(0, 1, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Get { target: 0, disp: 3, len: 1 });
+        log.push(0, 1, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        let v = check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::MissingSync);
+        assert_eq!(v[0].rank, 1);
+    }
+
+    #[test]
+    fn shared_read_with_sync_is_clean_and_own_writes_exempt() {
+        let log = RmaLog::new();
+        attach(&log, 2, true);
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 3, len: 1 });
+        // Reading back one's own put needs no sync.
+        log.push(0, 0, RmaEvent::Get { target: 0, disp: 3, len: 1 });
+        log.push(0, 0, RmaEvent::Sync);
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Sync);
+        log.push(0, 1, RmaEvent::Get { target: 0, disp: 3, len: 1 });
+        log.push(0, 1, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        assert!(check(&log).is_empty());
+    }
+
+    #[test]
+    fn barrier_counts_as_sync_point() {
+        let log = RmaLog::new();
+        attach(&log, 2, true);
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        log.push(0, 0, RmaEvent::Sync);
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Barrier);
+        log.push(0, 1, RmaEvent::Barrier);
+        log.push(0, 1, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Get { target: 0, disp: 0, len: 1 });
+        log.push(0, 1, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        assert!(check(&log).is_empty());
+    }
+
+    #[test]
+    fn non_shared_window_has_no_sync_rule() {
+        let log = RmaLog::new();
+        attach(&log, 2, false);
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 1, RmaEvent::Get { target: 0, disp: 0, len: 1 });
+        log.push(0, 1, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        assert!(check(&log).is_empty());
+    }
+}

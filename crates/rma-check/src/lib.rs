@@ -1,0 +1,120 @@
+//! # rma-check — correctness tooling for the MPI+MPI RMA protocols
+//!
+//! The paper's contribution rests on a delicate passive-target RMA
+//! discipline: `MPI_Win_lock`/`MPI_Win_sync` epochs guarding each node's
+//! shared-memory local queue, and lock-free `MPI_Fetch_and_op` on the
+//! global queue. This crate makes violations of that discipline loud —
+//! the moral equivalent of MUST/ThreadSanitizer for the `mpisim`
+//! runtime:
+//!
+//! * [`epoch`] — validates MPI-3 epoch/lock rules over an access log
+//!   recorded by [`mpisim::Window::record_to`];
+//! * [`race`] — vector-clock happens-before detection of conflicting
+//!   unordered accesses to the same window displacement (lost updates
+//!   on the queue counters);
+//! * [`harness`] — interleaving exploration: reruns the deterministic
+//!   executors under seeded schedule perturbations and an adversarial
+//!   lock-handoff scheduler, asserting the checker stays clean and the
+//!   scheduled-iteration ledger is exactly a permutation of `0..n`;
+//! * [`broken`] — intentionally broken protocol variants proving the
+//!   checker catches what it claims to catch.
+//!
+//! ```
+//! use mpisim::{RmaEvent, RmaLog};
+//!
+//! let log = RmaLog::new();
+//! log.push(0, 0, RmaEvent::Attach { shared: false, comm_size: 1 });
+//! log.push(0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 }); // no epoch!
+//! let report = rma_check::check(&log.records());
+//! assert!(report.has(rma_check::ViolationKind::AccessOutsideEpoch));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod broken;
+pub mod epoch;
+pub mod harness;
+pub mod race;
+pub mod report;
+pub mod vc;
+
+pub use report::{Report, Violation, ViolationKind};
+
+use mpisim::RmaRecord;
+
+/// Run both analyses (epoch discipline + happens-before races) over a
+/// full access log. Records are grouped per window — each window's
+/// epochs, locks and slots are independent — and violations come back
+/// ordered by log sequence.
+pub fn check(records: &[RmaRecord]) -> Report {
+    let mut wins: Vec<u64> = records.iter().map(|r| r.win).collect();
+    wins.sort_unstable();
+    wins.dedup();
+
+    let mut violations = Vec::new();
+    for win in wins {
+        let mut group: Vec<RmaRecord> = records.iter().filter(|r| r.win == win).copied().collect();
+        group.sort_by_key(|r| r.seq);
+        epoch::check_epochs(&group, &mut violations);
+        race::check_races(&group, &mut violations);
+    }
+    violations.sort_by_key(|v| v.seq);
+    Report { violations, records_checked: records.len() }
+}
+
+/// Convenience: [`check`] over a live [`mpisim::RmaLog`].
+pub fn check_log(log: &mpisim::RmaLog) -> Report {
+    check(&log.records())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{LockKind, RmaEvent, RmaLog};
+
+    #[test]
+    fn windows_are_checked_independently() {
+        let log = RmaLog::new();
+        // Win 0: rank 0 holds an exclusive lock; win 1: rank 1 holds
+        // one on the same target id. Same target, different windows —
+        // no overlap.
+        log.push(0, 0, RmaEvent::Attach { shared: false, comm_size: 2 });
+        log.push(1, 1, RmaEvent::Attach { shared: false, comm_size: 2 });
+        log.push(0, 0, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(1, 1, RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 });
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        log.push(1, 1, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        log.push(0, 0, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        log.push(1, 1, RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 });
+        let report = check_log(&log);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.records_checked, 8);
+    }
+
+    #[test]
+    fn violations_sorted_by_seq() {
+        let log = RmaLog::new();
+        log.push(0, 0, RmaEvent::Attach { shared: false, comm_size: 2 });
+        log.push(0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        log.push(0, 1, RmaEvent::Put { target: 0, disp: 0, len: 1 });
+        let report = check_log(&log);
+        assert!(!report.is_clean());
+        assert!(report.violations.windows(2).all(|w| w[0].seq <= w[1].seq));
+        assert!(report.has(ViolationKind::AccessOutsideEpoch));
+        assert!(report.has(ViolationKind::DataRace));
+    }
+
+    #[test]
+    fn render_mentions_kind_and_provenance() {
+        let log = RmaLog::new();
+        log.push(0, 3, RmaEvent::Attach { shared: false, comm_size: 4 });
+        log.push(0, 3, RmaEvent::Put { target: 0, disp: 5, len: 1 });
+        let report = check_log(&log);
+        let text = report.render();
+        assert!(text.contains("access-outside-epoch"), "{text}");
+        assert!(text.contains("rank 3"), "{text}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Violation taxonomy and the checker's report type.
+
+use std::fmt;
+
+/// The MPI-3 RMA rule a logged operation broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A get/put/atomic/flush was issued with no passive-target access
+    /// epoch (lock or `lock_all`) covering the target.
+    AccessOutsideEpoch,
+    /// `MPI_Win_lock` on a target already locked by this origin (or any
+    /// lock taken while a `lock_all` epoch is open, or `lock_all` while
+    /// holding locks) — MPI forbids nesting on the same window.
+    NestedLock,
+    /// `MPI_Win_unlock` with no matching open epoch on that target.
+    UnlockWithoutLock,
+    /// `MPI_Win_unlock` whose lock kind does not match the open epoch.
+    MismatchedUnlock,
+    /// `MPI_Win_unlock_all` with no open `lock_all` epoch.
+    UnlockAllWithoutLockAll,
+    /// An epoch (lock or `lock_all`) still open when the log ends.
+    EpochLeak,
+    /// Two origins held overlapping epochs on the same target where at
+    /// least one was exclusive — the runtime's mutual exclusion failed
+    /// or the log's stamping discipline was bypassed.
+    ExclusiveOverlap,
+    /// Shared-memory window read observed a remote put with no
+    /// `MPI_Win_sync` (or barrier) on the reading rank in between — a
+    /// stale read under the unified memory model.
+    MissingSync,
+    /// Happens-before race: two conflicting accesses to the same window
+    /// displacement with no ordering between them (lost update when both
+    /// are writes).
+    DataRace,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::AccessOutsideEpoch => "access-outside-epoch",
+            Self::NestedLock => "nested-lock",
+            Self::UnlockWithoutLock => "unlock-without-lock",
+            Self::MismatchedUnlock => "mismatched-unlock",
+            Self::UnlockAllWithoutLockAll => "unlock_all-without-lock_all",
+            Self::EpochLeak => "epoch-leak",
+            Self::ExclusiveOverlap => "exclusive-lock-overlap",
+            Self::MissingSync => "missing-sync",
+            Self::DataRace => "data-race",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected violation, with provenance into the access log.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which rule was broken.
+    pub kind: ViolationKind,
+    /// Window the offending operation targeted.
+    pub win: u64,
+    /// Origin rank (window-communicator relative) that issued it.
+    pub rank: u32,
+    /// Global sequence number of the offending record (its position in
+    /// the totally-ordered log).
+    pub seq: u64,
+    /// Human-readable specifics: operation, displacement, the other
+    /// party of a race, and so on.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] win {} rank {} @ seq {}: {}",
+            self.kind, self.win, self.rank, self.seq, self.detail
+        )
+    }
+}
+
+/// Outcome of running the checker over one access log.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All violations, ordered by log sequence number.
+    pub violations: Vec<Violation>,
+    /// How many records were analysed.
+    pub records_checked: usize,
+}
+
+impl Report {
+    /// True when no rule was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of one kind.
+    pub fn count_of(&self, kind: ViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+
+    /// True when at least one violation of `kind` was found.
+    pub fn has(&self, kind: ViolationKind) -> bool {
+        self.count_of(kind) > 0
+    }
+
+    /// Multi-line human-readable summary (one line per violation).
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return format!("clean ({} records checked)", self.records_checked);
+        }
+        let mut s = format!(
+            "{} violation(s) in {} records:\n",
+            self.violations.len(),
+            self.records_checked
+        );
+        for v in &self.violations {
+            s.push_str(&format!("  {v}\n"));
+        }
+        s
+    }
+}

@@ -1,0 +1,70 @@
+//! Vector clocks for the happens-before race detector.
+
+/// A classic vector clock over window-communicator ranks. Grows on
+/// demand so partially-attached logs still analyse cleanly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for rank `i` (0 if never grown that far).
+    pub fn get(&self, i: usize) -> u64 {
+        self.c.get(i).copied().unwrap_or(0)
+    }
+
+    /// Advance rank `i`'s own component.
+    pub fn tick(&mut self, i: usize) {
+        if self.c.len() <= i {
+            self.c.resize(i + 1, 0);
+        }
+        self.c[i] += 1;
+    }
+
+    /// Component-wise maximum with `other` (the join of the two causal
+    /// histories).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.c.len() < other.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (s, &o) in self.c.iter_mut().zip(other.c.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut v = VectorClock::new();
+        assert_eq!(v.get(3), 0);
+        v.tick(3);
+        v.tick(3);
+        assert_eq!(v.get(3), 2);
+        assert_eq!(v.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        // join never decreases
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regression pins for the seeded-broken protocol variants: each must
+//! trip exactly the rule it was built to violate, proving the checker
+//! has teeth (a checker that passes everything would pass the clean
+//! sweep too).
+
+use rma_check::{check, ViolationKind};
+
+#[test]
+fn skip_sync_yields_missing_sync() {
+    let records = rma_check::broken::skip_sync().expect("broken run");
+    let report = check(&records);
+    assert_eq!(report.count_of(ViolationKind::MissingSync), 1, "{}", report.render());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+}
+
+#[test]
+fn unlocked_rmw_yields_epoch_and_race_violations() {
+    let records = rma_check::broken::unlocked_rmw().expect("broken run");
+    let report = check(&records);
+    // One get + one put per rank, each outside any epoch.
+    assert_eq!(report.count_of(ViolationKind::AccessOutsideEpoch), 4, "{}", report.render());
+    // With no synchronisation edges at all, whichever rank's RMW lands
+    // second must race the first — the lost-update the paper's
+    // fetch_and_op protocol exists to prevent.
+    assert!(report.has(ViolationKind::DataRace), "{}", report.render());
+}
+
+#[test]
+fn unlock_without_lock_is_flagged_even_though_runtime_refuses() {
+    let records = rma_check::broken::unlock_without_lock().expect("broken run");
+    let report = check(&records);
+    assert_eq!(report.count_of(ViolationKind::UnlockWithoutLock), 1, "{}", report.render());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+}
+
+#[test]
+fn unreleased_lock_yields_epoch_leak() {
+    let records = rma_check::broken::epoch_leak().expect("broken run");
+    let report = check(&records);
+    assert_eq!(report.count_of(ViolationKind::EpochLeak), 1, "{}", report.render());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+}

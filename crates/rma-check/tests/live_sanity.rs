@@ -1,0 +1,51 @@
+//! Quick live-backend cleanliness probe (superseded by sweep.rs).
+
+use hier::config::{Approach, HierSpec};
+use hier::live::{run_live_mpi_mpi, run_live_mpi_omp, LiveConfig};
+use workloads::synthetic::Synthetic;
+
+#[test]
+fn live_mpi_mpi_log_is_clean() {
+    let w = Synthetic::uniform(400, 1, 100, 7);
+    let mut cfg =
+        LiveConfig::new(2, 3, HierSpec::new(dls::Kind::GSS, dls::Kind::SS), Approach::MpiMpi);
+    cfg.record_rma = true;
+    let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
+    let report = rma_check::check(&r.rma);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn live_mpi_mpi_locked_counters_log_is_clean() {
+    let w = Synthetic::uniform(400, 1, 100, 7);
+    let mut cfg =
+        LiveConfig::new(2, 3, HierSpec::new(dls::Kind::TSS, dls::Kind::GSS), Approach::MpiMpi);
+    cfg.global_mode = hier::config::GlobalQueueMode::LockedCounters;
+    cfg.record_rma = true;
+    let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
+    let report = rma_check::check(&r.rma);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn live_mpi_mpi_awf_log_is_clean() {
+    let w = Synthetic::uniform(400, 1, 100, 7);
+    let mut cfg =
+        LiveConfig::new(2, 3, HierSpec::new(dls::Kind::GSS, dls::Kind::SS), Approach::MpiMpi);
+    cfg.awf = Some(dls::adaptive::AwfVariant::C);
+    cfg.record_rma = true;
+    let r = run_live_mpi_mpi(&cfg, &w).expect("live run");
+    let report = rma_check::check(&r.rma);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn live_mpi_omp_log_is_clean() {
+    let w = Synthetic::uniform(400, 1, 100, 7);
+    let mut cfg =
+        LiveConfig::new(2, 3, HierSpec::new(dls::Kind::GSS, dls::Kind::SS), Approach::MpiOpenMp);
+    cfg.record_rma = true;
+    let r = run_live_mpi_omp(&cfg, &w).expect("live run");
+    let report = rma_check::check(&r.rma);
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -151,6 +151,6 @@ fn wf_live_exactly_once_with_weights() {
     let mut cfg =
         hier::live::LiveConfig::new(2, 3, HierSpec::new(Kind::GSS, Kind::WF), Approach::MpiMpi);
     cfg.weights = dls::weighted::normalize_weights(&[2.0, 1.0, 0.5, 2.0, 1.0, 0.5]);
-    let r = hier::live::run_live(&cfg, &w);
+    let r = hier::live::run_live(&cfg, &w).expect("live run");
     assert_eq!(r.checksum, serial);
 }
