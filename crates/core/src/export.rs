@@ -126,7 +126,7 @@ impl ActivityReport {
             .iter()
             .enumerate()
             .map(|(i, n)| NodeActivity {
-                node: i as u32,
+                node: u32::try_from(i).unwrap_or(u32::MAX),
                 deposits: n.deposits,
                 sub_chunks: n.sub_chunks,
                 lock_acquisitions: n.lock_acquisitions,

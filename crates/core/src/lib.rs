@@ -54,6 +54,9 @@
 #![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+// Counters cross the facade as u64/u32; a narrowing `as` cast here could
+// silently corrupt an exported report. Same audit discipline as `dls`.
+#![cfg_attr(not(test), deny(clippy::cast_possible_truncation))]
 
 pub mod export;
 pub mod figures;

@@ -40,7 +40,7 @@ pub fn profile(spec: &LoopSpec, technique: &Technique) -> ScheduleProfile {
     let mut min_chunk = u64::MAX;
     let mut max_chunk = 0u64;
     for c in ChunkSequence::new(spec, technique) {
-        steps += 1;
+        steps = steps.saturating_add(1);
         min_chunk = min_chunk.min(c.len);
         max_chunk = max_chunk.max(c.len);
     }
@@ -64,35 +64,47 @@ pub fn step_bound(kind: Kind, n: u64, p: u32) -> Option<u64> {
     if n == 0 {
         return Some(0);
     }
-    let p = u64::from(p.max(1));
+    let pw = u64::from(p.max(1));
     match kind {
-        Kind::STATIC => Some(p.min(n)),
+        Kind::STATIC => Some(pw.min(n)),
         Kind::SS => Some(n),
         Kind::GSS => {
             // Each step removes at least a 1/p fraction (ceil), so after
             // p*ln(n) steps at most ~1 iteration remains; add p slack
-            // for the all-ones tail.
+            // for the all-ones tail. p*ln(n) < 2^32 * 45 fits u64 and
+            // the f64 -> u64 `as` cast saturates.
             let ln_n = (n as f64).ln().max(1.0);
-            Some((p as f64 * ln_n).ceil() as u64 + 2 * p + 1)
+            #[allow(clippy::cast_possible_truncation)]
+            let log_term = (pw as f64 * ln_n).ceil() as u64;
+            Some(log_term.saturating_add(pw.saturating_mul(2)).saturating_add(1))
         }
         Kind::TSS => {
             // By construction S = ceil(2N / (F + L)) planned steps; the
             // floor interpolation can lose up to one iteration per step,
-            // each served by at most one extra unit-sized step.
-            let f = n.div_ceil(2 * p).max(1);
-            let s = (2 * n).div_ceil(f + 1);
-            Some(2 * s + 2)
+            // each served by at most one extra unit-sized step. 2N can
+            // exceed u64 near n = u64::MAX, so the quotient is taken in
+            // u128 (F + 1 >= 2 brings it back under 2^64).
+            let f = n.div_ceil(pw.saturating_mul(2)).max(1);
+            let s = u64::try_from(
+                u128::from(n).saturating_mul(2).div_ceil(u128::from(f).saturating_add(1)),
+            )
+            .unwrap_or(u64::MAX);
+            Some(s.saturating_mul(2).saturating_add(2))
         }
         Kind::FAC2 | Kind::WF => {
             // Each batch of p chunks halves the remainder: at most
             // ceil(log2(n)) + 1 batches before chunks clamp to 1, plus
             // the tail of ones (at most p per final unit batch).
-            let log2 = 64 - (n.max(1) - 1).leading_zeros() as u64 + 1;
-            Some(p * (log2 + 2) + n.min(p * 2))
+            let log2 = u64::from(64u32.saturating_sub(n.saturating_sub(1).leading_zeros()))
+                .saturating_add(1);
+            Some(
+                pw.saturating_mul(log2.saturating_add(2))
+                    .saturating_add(n.min(pw.saturating_mul(2))),
+            )
         }
         Kind::TFSS => {
             // Never more steps than TSS plus one batch of slack.
-            step_bound(Kind::TSS, n, p as u32).map(|s| s + p)
+            step_bound(Kind::TSS, n, p).map(|s| s.saturating_add(pw))
         }
         Kind::FAC | Kind::FSC | Kind::RND => None,
     }

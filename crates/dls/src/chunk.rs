@@ -18,10 +18,13 @@ pub struct Chunk {
 }
 
 impl Chunk {
-    /// One-past-the-end iteration index.
+    /// One-past-the-end iteration index. Saturates at `u64::MAX`: a
+    /// scheduler never produces `start + len > n_iters`, but a
+    /// hand-built chunk must not wrap into a *smaller* end than its
+    /// start (see [`crate::verify::PartitionError::Overflow`]).
     #[inline]
     pub fn end(&self) -> u64 {
-        self.start + self.len
+        self.start.saturating_add(self.len)
     }
 
     /// Iterator over the iteration indices contained in the chunk.
@@ -132,8 +135,11 @@ impl SchedState {
         }
         let len = size.clamp(1, remaining);
         let chunk = Chunk { start: self.scheduled, len, step: self.step };
-        self.step += 1;
-        self.scheduled += len;
+        // `len <= remaining` keeps `scheduled <= n_iters`; `step` counts
+        // chunks, each of length >= 1, so it stays <= n_iters too. The
+        // saturating forms encode that neither counter can wrap.
+        self.step = self.step.saturating_add(1);
+        self.scheduled = self.scheduled.saturating_add(len);
         Some(chunk)
     }
 }

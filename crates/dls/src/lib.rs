@@ -52,14 +52,25 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod adaptive;
+// The chunk formulas are the arithmetic the whole system trusts: a wrapped
+// multiplication or truncating cast here silently mis-partitions the loop.
+// Deny overflow-prone operators and narrowing casts in the formula modules
+// (production code; tests keep plain arithmetic); every remaining `as` cast
+// is audited and carries an `#[allow]` with the invariant that makes it
+// safe. See `crates/dls/tests/extreme.rs` for the near-`u64::MAX` sweep.
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
 pub mod analysis;
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
 pub mod chunk;
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
 pub mod nonadaptive;
 pub mod openmp;
 pub mod sequence;
 pub mod single_counter;
 pub mod technique;
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
 pub mod verify;
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
 pub mod weighted;
 
 pub use chunk::{Chunk, LoopSpec, SchedState};

@@ -41,17 +41,23 @@ impl Factoring {
         let b = (p / (2.0 * (r as f64).sqrt())) * ratio;
         let x = 1.0 + b * b + b * (b * b + 2.0).sqrt();
         let denom = (x * p).max(1.0);
-        ((r as f64 / denom).ceil() as u64).max(1)
+        // r/denom <= r <= u64::MAX and the f64 -> u64 `as` cast
+        // saturates, so the result stays in range.
+        #[allow(clippy::cast_possible_truncation)]
+        let chunk = (r as f64 / denom).ceil() as u64;
+        chunk.max(1)
     }
 
     /// Replay batches to find the chunk size at scheduling step `step`.
     pub(crate) fn chunk_at_step(spec: &LoopSpec, step: u64) -> u64 {
         let p = spec.p();
-        let batch = step / p;
+        let batch = step.checked_div(p).unwrap_or(0); // p() >= 1
         let mut r = spec.n_iters;
         let mut chunk = Self::batch_chunk(spec, r);
         for _ in 0..batch {
-            r = r.saturating_sub(chunk * p);
+            // chunk <= r but chunk * p can exceed u64 for huge loops on
+            // many workers; the saturating product still zeroes r.
+            r = r.saturating_sub(chunk.saturating_mul(p));
             if r == 0 {
                 return 1;
             }
@@ -76,11 +82,11 @@ impl ChunkCalculator for Factoring {
 /// the start of the batch containing `step`, where each batch consists of
 /// `P` chunks of `chunk_of(remainder)` iterations.
 pub(crate) fn remainder_at_batch(n: u64, p: u64, step: u64, chunk_of: impl Fn(u64) -> u64) -> u64 {
-    let batch = step / p;
+    let batch = step.checked_div(p.max(1)).unwrap_or(0);
     let mut r = n;
     for _ in 0..batch {
         let c = chunk_of(r);
-        r = r.saturating_sub(c * p);
+        r = r.saturating_sub(c.saturating_mul(p));
         if r == 0 {
             break;
         }
@@ -89,8 +95,10 @@ pub(crate) fn remainder_at_batch(n: u64, p: u64, step: u64, chunk_of: impl Fn(u6
 }
 
 /// FAC2-style batch chunk: half the remainder split into `P` chunks.
+/// `2P <= 2^33` (P comes from a `u32`), so the product cannot saturate
+/// in practice; the saturating form makes that explicit.
 pub(crate) fn half_remainder_chunk(r: u64, p: u64) -> u64 {
-    div_ceil(r, 2 * p).max(1)
+    div_ceil(r, p.saturating_mul(2).max(1)).max(1)
 }
 
 #[cfg(test)]

@@ -49,9 +49,14 @@ impl FixedSizeChunking {
         if sigma > 0.0 && h > 0.0 && p > 1.0 {
             let ln_p = p.ln();
             let raw = (2.0_f64.sqrt() * n * h / (sigma * p * ln_p.sqrt())).powf(2.0 / 3.0);
-            (raw.ceil() as u64).clamp(1, spec.n_iters.max(1))
+            // f64 -> u64 `as` saturates; the clamp bounds it by the loop.
+            #[allow(clippy::cast_possible_truncation)]
+            let chunk = raw.ceil() as u64;
+            chunk.clamp(1, spec.n_iters.max(1))
         } else {
-            div_ceil(spec.n_iters, self.fallback_k.max(1) * spec.p()).max(1)
+            // fallback_k is caller-controlled, so k * P may exceed u64;
+            // a saturated divisor just floors the chunk at 1.
+            div_ceil(spec.n_iters, self.fallback_k.max(1).saturating_mul(spec.p())).max(1)
         }
     }
 }

@@ -34,8 +34,10 @@ impl RandomChunking {
     /// The resolved inclusive range for a given loop.
     pub fn resolved_range(&self, spec: &LoopSpec) -> (u64, u64) {
         self.range.unwrap_or_else(|| {
-            let min = div_ceil(spec.n_iters, 100 * spec.p()).max(1);
-            let max = div_ceil(spec.n_iters, 2 * spec.p()).max(min);
+            // 100P <= 100 * 2^32 — the saturating products cannot
+            // actually saturate, they just encode the bound.
+            let min = div_ceil(spec.n_iters, spec.p().saturating_mul(100)).max(1);
+            let max = div_ceil(spec.n_iters, spec.p().saturating_mul(2)).max(min);
             (min, max)
         })
     }
@@ -56,8 +58,13 @@ impl ChunkCalculator for RandomChunking {
     #[inline]
     fn chunk_size(&self, spec: &LoopSpec, state: SchedState, _ctx: WorkerCtx) -> u64 {
         let (min, max) = self.resolved_range(spec);
-        let span = max - min + 1;
-        min + splitmix64(self.seed ^ state.step.wrapping_mul(0xA24B_AED4_963E_E407)) % span
+        // min >= 1 and max >= min (both constructors enforce it), so the
+        // inclusive span fits u64 and is never zero.
+        let span = max.saturating_sub(min).saturating_add(1);
+        let draw = splitmix64(self.seed ^ state.step.wrapping_mul(0xA24B_AED4_963E_E407))
+            .checked_rem(span)
+            .unwrap_or(0);
+        min.saturating_add(draw)
     }
 
     fn name(&self) -> &'static str {

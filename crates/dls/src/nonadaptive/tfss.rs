@@ -19,12 +19,17 @@ impl TrapezoidFactoring {
     pub fn chunk_at_step(spec: &LoopSpec, tss: &Trapezoid, step: u64) -> u64 {
         let p = spec.p();
         let params = tss.params(spec);
-        let batch = step / p;
-        // Mean of TSS sizes for steps [batch*p, batch*p + p):
-        // F - delta*(batch*p + (p-1)/2), clamped to [L, F].
+        let batch = step.checked_div(p).unwrap_or(0); // p() >= 1
+                                                      // Mean of TSS sizes for steps [batch*p, batch*p + p):
+                                                      // F - delta*(batch*p + (p-1)/2), clamped to [L, F]. The clamp is
+                                                      // done in u64 — a round-trip through i64 would wrap for
+                                                      // F > i64::MAX — and the f64 -> u64 `as` cast saturates, so a
+                                                      // negative mean floors to 0 and is raised back to L.
         let mid = batch as f64 * p as f64 + (p as f64 - 1.0) / 2.0;
         let mean = params.first as f64 - params.delta * mid;
-        (mean.floor() as i64).clamp(params.last as i64, params.first as i64) as u64
+        #[allow(clippy::cast_possible_truncation)]
+        let size = mean.floor().max(0.0) as u64;
+        size.clamp(params.last, params.first)
     }
 }
 

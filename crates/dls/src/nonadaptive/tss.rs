@@ -28,10 +28,19 @@ impl Trapezoid {
     /// Resolved `(F, L, S, delta)` for a given loop.
     pub fn params(&self, spec: &LoopSpec) -> TssParams {
         let n = spec.n_iters;
-        let f = self.first.unwrap_or_else(|| div_ceil(n, 2 * spec.p())).max(1);
+        // 2P <= 2^33, but 2N and F + L can exceed u64 when N (or an
+        // explicit F) is near u64::MAX; widen the step count to u128.
+        // F + L >= 2 keeps the quotient within u64 again.
+        let f = self.first.unwrap_or_else(|| div_ceil(n, spec.p().saturating_mul(2))).max(1);
         let l = self.last.unwrap_or(1).clamp(1, f);
-        let steps = div_ceil(2 * n, f + l).max(1);
-        let delta = if steps > 1 { (f - l) as f64 / (steps - 1) as f64 } else { 0.0 };
+        let steps_wide =
+            u128::from(n).saturating_mul(2).div_ceil(u128::from(f).saturating_add(u128::from(l)));
+        let steps = u64::try_from(steps_wide).unwrap_or(u64::MAX).max(1);
+        let delta = if steps > 1 {
+            f.saturating_sub(l) as f64 / steps.saturating_sub(1) as f64
+        } else {
+            0.0
+        };
         TssParams { first: f, last: l, steps, delta }
     }
 }
@@ -53,9 +62,12 @@ impl ChunkCalculator for Trapezoid {
     #[inline]
     fn chunk_size(&self, spec: &LoopSpec, state: SchedState, _ctx: WorkerCtx) -> u64 {
         let p = self.params(spec);
-        // Linear interpolation F - s*delta, floored, never below L.
+        // Linear interpolation F - s*delta, floored, never below L. The
+        // f64 -> u64 `as` cast saturates (no wrap); any rounding slop is
+        // pulled back into [L, F] by the clamp.
         let s = state.step.min(p.steps.saturating_sub(1));
-        let size = (p.first as f64 - s as f64 * p.delta).floor() as u64;
+        #[allow(clippy::cast_possible_truncation)]
+        let size = (p.first as f64 - s as f64 * p.delta).floor().max(0.0) as u64;
         size.clamp(p.last, p.first)
     }
 

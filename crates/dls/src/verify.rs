@@ -27,6 +27,12 @@ pub enum PartitionError {
         /// Expected loop size.
         n: u64,
     },
+    /// Chunk `index` has `start + len > u64::MAX` — its range cannot be
+    /// represented, so it cannot be part of any partition of `[0, n)`.
+    Overflow {
+        /// Index of the offending chunk in the sequence.
+        index: usize,
+    },
 }
 
 /// Check that `chunks`, in order, exactly partition `[0, n)`:
@@ -40,7 +46,12 @@ pub fn check_partition(chunks: &[Chunk], n: u64) -> Result<(), PartitionError> {
         if c.start != next {
             return Err(PartitionError::Gap { index, expected: next, actual: c.start });
         }
-        next = c.end();
+        // `Chunk::end()` saturates; reject the wrap explicitly instead of
+        // letting a saturated end masquerade as a short chunk.
+        next = match c.start.checked_add(c.len) {
+            Some(end) => end,
+            None => return Err(PartitionError::Overflow { index }),
+        };
     }
     if next != n {
         return Err(PartitionError::WrongTotal { total: next, n });

@@ -20,7 +20,11 @@ impl ChunkCalculator for WeightedFactoring {
     fn chunk_size(&self, spec: &LoopSpec, state: SchedState, ctx: WorkerCtx) -> u64 {
         let base = crate::nonadaptive::Factoring2::chunk_at_step(spec, state.step);
         let w = if ctx.weight.is_finite() && ctx.weight > 0.0 { ctx.weight } else { 1.0 };
-        ((base as f64 * w).ceil() as u64).max(1)
+        // f64 -> u64 `as` saturates; an oversized weighted chunk is
+        // clamped to the remaining iterations by `SchedState::take`.
+        #[allow(clippy::cast_possible_truncation)]
+        let scaled = (base as f64 * w).ceil() as u64;
+        scaled.max(1)
     }
 
     fn name(&self) -> &'static str {

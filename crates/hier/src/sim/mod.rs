@@ -7,6 +7,7 @@
 //! are exactly reproducible and independent of host load — which is how
 //! the paper's 16-node figures are regenerated on a single-core machine.
 
+pub mod layout;
 mod master_worker;
 mod mpi_mpi;
 mod mpi_omp;

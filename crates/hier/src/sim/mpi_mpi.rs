@@ -23,22 +23,12 @@ use dls::{ChunkCalculator, LoopSpec, SchedState};
 use mpisim::{AtomicOpKind, LockKind, RmaEvent};
 use workloads::CostTable;
 
-// Window layout mirrored from the live executor, so the synthesized
-// log and a recorded live log describe the same protocol. Window 0 is
-// the global queue; window `1 + node` is that node's shared queue.
-const GLOBAL_WIN: u64 = 0;
-const LO: usize = 2;
-const HI: usize = 3;
-const STEP: usize = 4;
-const TAKEN: usize = 5;
-const REFILLING: usize = 0;
-const GLOBAL_DONE: usize = 1;
-const GSTEP: usize = 0;
-const GSCHED: usize = 1;
-
-fn node_win(node_idx: usize) -> u64 {
-    1 + node_idx as u64
-}
+// Window layout mirrored from the live executor (see `super::layout`),
+// so the synthesized log and a recorded live log describe the same
+// protocol.
+use super::layout::{
+    node_win, GLOBAL_DONE, GLOBAL_WIN, GSCHED, GSTEP, HI, LO, REFILLING, STEP, TAKEN,
+};
 
 const EXCL: LockKind = LockKind::Exclusive;
 const LOCK: RmaEvent = RmaEvent::Lock { kind: EXCL, target: 0 };

@@ -1,0 +1,71 @@
+//! Exhaustively explore the two-level queue protocol over every
+//! paper technique pair, print the state-space statistics, then
+//! demonstrate the three seeded-broken variants producing replayable
+//! counterexamples.
+//!
+//! ```text
+//! cargo run --release -p model-check --example explore
+//! ```
+
+use dls::Kind;
+use model_check::explore::{explore, Options};
+use model_check::model::{Config, Variant};
+use model_check::replay::replay;
+
+fn main() {
+    let (nodes, rpn, n) = (2u8, 2u8, 12u8);
+    println!("== exhaustive sweep: {nodes} nodes x {rpn} ranks, n = {n} ==\n");
+    println!(
+        "{:<14} {:>9} {:>11} {:>10} {:>9} {:>9}",
+        "inter/intra", "states", "transitions", "por-states", "reduction", "max-wait"
+    );
+    for inter in Kind::PAPER {
+        for intra in Kind::PAPER {
+            let cfg = Config::new(nodes, rpn, n, inter, intra);
+            let bound = cfg.wait_bound();
+            let full = explore(&cfg, &Options { wait_bound: Some(bound), ..Options::default() });
+            let por = explore(
+                &cfg,
+                &Options { por: true, wait_bound: Some(bound), ..Options::default() },
+            );
+            assert!(full.violation.is_none(), "{inter}/{intra}: {:?}", full.violation);
+            assert!(por.violation.is_none(), "{inter}/{intra}: {:?}", por.violation);
+            println!(
+                "{:<14} {:>9} {:>11} {:>10} {:>8.1}% {:>5}/{:<3}",
+                format!("{inter}/{intra}"),
+                full.states,
+                full.transitions,
+                por.states,
+                100.0 * por.reduction_ratio(),
+                full.max_wait_depth,
+                bound,
+            );
+        }
+    }
+    println!(
+        "\nEvery pair: safety (exactly-once, refill discipline), deadlock- and\n\
+         livelock-freedom verified over the full graph; FCFS lock bypass never\n\
+         exceeded the ranks_per_node - 1 bound."
+    );
+
+    println!("\n== seeded-broken variants ==");
+    let demos = [
+        (Variant::RefillWithoutLock, Config::new(1, 3, 8, Kind::SS, Kind::SS)),
+        (Variant::NonAtomicFaa, Config::new(2, 1, 12, Kind::SS, Kind::SS)),
+        (Variant::LostUnlock, Config::new(1, 2, 4, Kind::STATIC, Kind::SS)),
+    ];
+    for (variant, base) in demos {
+        let cfg = base.with_variant(variant);
+        let out = explore(&cfg, &Options::default());
+        let cex = out.violation.expect("seeded bug must be found");
+        println!("\n-- {variant:?}: {:?} after exploring {} states --", cex.violation, out.states);
+        println!("shortest counterexample ({} steps):", cex.trace.len());
+        let r = replay(&cfg, &cex.trace);
+        print!("{}", r.render(&cfg));
+        let report = r.check();
+        println!("rma-check verdict on the replayed access log:");
+        for v in &report.violations {
+            println!("  {} (win {}, rank {}): {}", v.kind, v.win, v.rank, v.detail);
+        }
+    }
+}

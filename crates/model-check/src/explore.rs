@@ -1,0 +1,445 @@
+//! Exhaustive explicit-state exploration of a [`Config`]'s transition
+//! system: BFS with state hashing, optional ample-set partial-order
+//! reduction, and a strongly-connected-component pass for fair
+//! non-progress cycles (livelock).
+//!
+//! ## What is verified
+//!
+//! * **Safety** — every transition's local checks (double execution,
+//!   deposit overlap, refill discipline) plus the terminal coverage
+//!   check: all processes `Done` implies every iteration executed.
+//! * **Deadlock** — a state with no enabled transition and a process
+//!   not yet `Done`.
+//! * **Livelock** — a cycle with no scheduling progress that some
+//!   weakly-fair scheduler can follow forever. Because `executed`,
+//!   `deposited` and the global pair only grow, every edge inside an
+//!   SCC is automatically non-progress; the cycle is a real livelock
+//!   only if every process enabled at *all* of the SCC's states also
+//!   steps inside it (otherwise fairness forces an escape — e.g. the
+//!   legitimate re-probe loop of workers waiting out a peer's refill
+//!   is escaped by the always-enabled refiller).
+//! * **Bounded bypass** — the FCFS lock admits at most
+//!   `ranks_per_node - 1` grants between a rank's enqueue and its own
+//!   grant; the explorer tracks the maximum observed depth and can
+//!   enforce the bound.
+//!
+//! BFS means the first violation found has a shortest-possible trace —
+//! counterexamples are minimal by construction.
+//!
+//! ## Partial-order reduction
+//!
+//! With `por` on (correct variant only), a state may be expanded with
+//! only the enabled transitions of a single node, when (a) no process
+//! of that node is touching the global queue (`Fetch` / `FaaWrite` —
+//! global FAAs of different nodes race for chunks and must be
+//! interleaved), and (b) at least one of those transitions leads to an
+//! unvisited state (the cycle proviso, preventing action ignoring).
+//! Under (a), every transition of the candidate node is independent of
+//! every other node's transitions: the lock, flags and queue are
+//! node-private, and the bitmap slots they touch come from disjoint
+//! global chunks. The reduction is disabled for broken variants, whose
+//! counterexamples live exactly in the cross-node conflicts POR would
+//! prune.
+
+use crate::model::{Config, Pc, State, Variant, Violation};
+use std::collections::{HashMap, VecDeque};
+
+/// Exploration options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Enable ample-set partial-order reduction (correct variant only).
+    pub por: bool,
+    /// Run the SCC fair-cycle (livelock) pass after exploration.
+    pub check_liveness: bool,
+    /// Fail with [`Violation::WaitBoundExceeded`] if a lock enqueue
+    /// observes more grants ahead than this.
+    pub wait_bound: Option<u8>,
+    /// Stop (and report `capped`) after this many states.
+    pub max_states: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { por: false, check_liveness: true, wait_bound: None, max_states: 10_000_000 }
+    }
+}
+
+/// A violation plus the shortest transition sequence (process ids from
+/// the initial state) reaching it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// What went wrong.
+    pub violation: Violation,
+    /// Process ids to step, in order, from [`Config::initial`]. The
+    /// final step is the violating one (absent for terminal-state
+    /// violations like deadlock, where the trace reaches the state
+    /// itself).
+    pub trace: Vec<u8>,
+}
+
+/// Exploration result and statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: u64,
+    /// Terminal (all-`Done`) states reached.
+    pub terminals: usize,
+    /// Maximum lock-wait depth observed at any enqueue.
+    pub max_wait_depth: u8,
+    /// Sum over expanded states of the full enabled-set size.
+    pub enabled_total: u64,
+    /// Sum over expanded states of the ample-set size actually fired.
+    pub fired_total: u64,
+    /// Nontrivial SCCs examined by the livelock pass.
+    pub sccs_checked: usize,
+    /// First violation found (with its minimal trace), if any.
+    pub violation: Option<Counterexample>,
+    /// Exploration stopped at `max_states` (results incomplete).
+    pub capped: bool,
+}
+
+impl Outcome {
+    /// `fired_total / enabled_total`: 1.0 means no reduction.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.enabled_total == 0 {
+            1.0
+        } else {
+            self.fired_total as f64 / self.enabled_total as f64
+        }
+    }
+}
+
+struct Search {
+    arena: Vec<State>,
+    index: HashMap<State, u32>,
+    /// `(parent state, pid stepped)`; the root's parent is `u32::MAX`.
+    parent: Vec<(u32, u8)>,
+    /// Outgoing edges, kept only for the liveness pass.
+    adj: Option<Vec<Vec<(u8, u32)>>>,
+}
+
+impl Search {
+    fn trace_to(&self, mut idx: u32, last: Option<u8>) -> Vec<u8> {
+        let mut t = Vec::new();
+        while idx != u32::MAX {
+            let (p, pid) = self.parent[idx as usize];
+            if p != u32::MAX {
+                t.push(pid);
+            }
+            idx = p;
+        }
+        t.reverse();
+        t.extend(last);
+        t
+    }
+}
+
+/// Exhaustively explore `cfg` under `opts`.
+pub fn explore(cfg: &Config, opts: &Options) -> Outcome {
+    let mut out = Outcome::default();
+    let mut search = Search {
+        arena: vec![cfg.initial()],
+        index: HashMap::new(),
+        parent: vec![(u32::MAX, 0)],
+        adj: opts.check_liveness.then(|| vec![Vec::new()]),
+    };
+    search.index.insert(search.arena[0], 0);
+    let mut frontier: VecDeque<u32> = VecDeque::from([0]);
+    let por_active = opts.por && cfg.variant == Variant::Correct;
+
+    'bfs: while let Some(idx) = frontier.pop_front() {
+        let s = search.arena[idx as usize];
+        let enabled = cfg.enabled_pids(&s);
+        if enabled.is_empty() {
+            let stuck: Vec<u8> =
+                (0..cfg.n_procs()).filter(|&p| !matches!(s.procs[p as usize], Pc::Done)).collect();
+            if stuck.is_empty() {
+                out.terminals += 1;
+                if let Err(v) = cfg.check_terminal(&s) {
+                    out.violation =
+                        Some(Counterexample { violation: v, trace: search.trace_to(idx, None) });
+                    break 'bfs;
+                }
+            } else {
+                out.violation = Some(Counterexample {
+                    violation: Violation::Deadlock { stuck },
+                    trace: search.trace_to(idx, None),
+                });
+                break 'bfs;
+            }
+            continue;
+        }
+        out.enabled_total += enabled.len() as u64;
+
+        // Compute successors; with POR, try each node's local-only
+        // enabled set first and fall back to the full set when no
+        // candidate passes the unvisited-successor proviso.
+        type StepResult = Result<(State, crate::model::Action), Violation>;
+        let mut chosen: Option<Vec<(u8, StepResult)>> = None;
+        if por_active {
+            for node in 0..cfg.nodes {
+                let cand: Vec<u8> =
+                    enabled.iter().copied().filter(|&p| cfg.node_of(p) == node).collect();
+                if cand.is_empty()
+                    || cand
+                        .iter()
+                        .any(|&p| matches!(s.procs[p as usize], Pc::Fetch | Pc::FaaWrite { .. }))
+                {
+                    continue;
+                }
+                let results: Vec<(u8, StepResult)> =
+                    cand.iter().map(|&p| (p, cfg.step(&s, p, None))).collect();
+                let fresh = results.iter().any(|(_, r)| match r {
+                    Ok((ns, _)) => !search.index.contains_key(ns),
+                    Err(_) => true,
+                });
+                if fresh {
+                    chosen = Some(results);
+                    break;
+                }
+            }
+        }
+        let results: Vec<(u8, StepResult)> = match chosen {
+            Some(r) => r,
+            None => enabled.iter().map(|&p| (p, cfg.step(&s, p, None))).collect(),
+        };
+        out.fired_total += results.len() as u64;
+
+        for (pid, res) in results {
+            match res {
+                Err(v) => {
+                    out.violation = Some(Counterexample {
+                        violation: v,
+                        trace: search.trace_to(idx, Some(pid)),
+                    });
+                    break 'bfs;
+                }
+                Ok((ns, action)) => {
+                    if let crate::model::Action::Enqueue { depth } = action {
+                        out.max_wait_depth = out.max_wait_depth.max(depth);
+                        if let Some(bound) = opts.wait_bound {
+                            if depth > bound {
+                                out.violation = Some(Counterexample {
+                                    violation: Violation::WaitBoundExceeded { pid, depth, bound },
+                                    trace: search.trace_to(idx, Some(pid)),
+                                });
+                                break 'bfs;
+                            }
+                        }
+                    }
+                    out.transitions += 1;
+                    let nidx = match search.index.get(&ns) {
+                        Some(&i) => i,
+                        None => {
+                            if search.arena.len() >= opts.max_states {
+                                out.capped = true;
+                                break 'bfs;
+                            }
+                            let i = search.arena.len() as u32;
+                            search.arena.push(ns);
+                            search.index.insert(ns, i);
+                            search.parent.push((idx, pid));
+                            if let Some(adj) = &mut search.adj {
+                                adj.push(Vec::new());
+                            }
+                            frontier.push_back(i);
+                            i
+                        }
+                    };
+                    if let Some(adj) = &mut search.adj {
+                        adj[idx as usize].push((pid, nidx));
+                    }
+                }
+            }
+        }
+    }
+
+    out.states = search.arena.len();
+    if out.violation.is_none() && !out.capped && opts.check_liveness {
+        if let Some(adj) = &search.adj {
+            check_livelock(cfg, &search, adj, &mut out);
+        }
+    }
+    out
+}
+
+/// Fair non-progress cycle detection: Tarjan SCCs over the explored
+/// graph, then the weak-fairness filter described in the module docs.
+fn check_livelock(cfg: &Config, search: &Search, adj: &[Vec<(u8, u32)>], out: &mut Outcome) {
+    let scc_id = tarjan(adj);
+    let n = adj.len();
+    // Per SCC: stepper pid mask, always-enabled pid mask, a member.
+    let mut steppers: HashMap<u32, u8> = HashMap::new();
+    let mut always: HashMap<u32, u8> = HashMap::new();
+    let mut member: HashMap<u32, u32> = HashMap::new();
+    for u in 0..n {
+        let id = scc_id[u];
+        for &(pid, v) in &adj[u] {
+            if scc_id[v as usize] == id {
+                *steppers.entry(id).or_insert(0) |= 1 << pid;
+            }
+        }
+    }
+    for (u, &id) in scc_id.iter().enumerate().take(n) {
+        if !steppers.contains_key(&id) {
+            continue; // trivial SCC, no internal edge
+        }
+        let mut mask = 0u8;
+        for pid in 0..cfg.n_procs() {
+            if cfg.enabled(&search.arena[u], pid) {
+                mask |= 1 << pid;
+            }
+        }
+        always.entry(id).and_modify(|m| *m &= mask).or_insert(mask);
+        member.entry(id).or_insert(u as u32);
+    }
+    out.sccs_checked = steppers.len();
+    for (&id, &step_mask) in &steppers {
+        let always_mask = always.get(&id).copied().unwrap_or(0);
+        if always_mask & !step_mask == 0 {
+            let spinners: Vec<u8> =
+                (0..cfg.n_procs()).filter(|&p| step_mask & (1 << p) != 0).collect();
+            out.violation = Some(Counterexample {
+                violation: Violation::Livelock { spinners },
+                trace: search.trace_to(member[&id], None),
+            });
+            return;
+        }
+    }
+}
+
+/// Iterative Tarjan: returns each vertex's SCC id (the SCC root's
+/// index).
+fn tarjan(adj: &[Vec<(u8, u32)>]) -> Vec<u32> {
+    let n = adj.len();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_id = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    // Call frames: (vertex, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            let vi = v as usize;
+            if *ci == 0 {
+                index[vi] = next_index;
+                low[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            if let Some(&(_, w)) = adj[vi].get(*ci) {
+                *ci += 1;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if low[vi] == index[vi] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc_id[w as usize] = v;
+                        if w == v {
+                            break;
+                        }
+                    }
+                }
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+            }
+        }
+    }
+    scc_id
+}
+
+/// Run the fixed "lowest enabled pid first" schedule to completion —
+/// one legal serial interleaving, useful as a fidelity probe and for
+/// producing a full clean trace to replay.
+pub fn run_serial(cfg: &Config) -> Result<(Vec<u8>, State), Counterexample> {
+    let mut s = cfg.initial();
+    let mut trace = Vec::new();
+    loop {
+        let en = cfg.enabled_pids(&s);
+        let Some(&pid) = en.first() else { break };
+        match cfg.step(&s, pid, None) {
+            Ok((ns, _)) => {
+                s = ns;
+                trace.push(pid);
+                assert!(trace.len() < 100_000, "serial schedule diverged");
+            }
+            Err(v) => {
+                trace.push(pid);
+                return Err(Counterexample { violation: v, trace });
+            }
+        }
+    }
+    Ok((trace, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls::Kind;
+
+    #[test]
+    fn tiny_correct_config_is_clean() {
+        let cfg = Config::new(1, 2, 4, Kind::STATIC, Kind::SS);
+        let out =
+            explore(&cfg, &Options { wait_bound: Some(cfg.wait_bound()), ..Options::default() });
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.terminals > 0);
+        assert!(!out.capped);
+        assert!(out.states > 1);
+    }
+
+    #[test]
+    fn trace_replays_to_the_violation() {
+        let cfg = Config::new(1, 2, 4, Kind::STATIC, Kind::SS).with_variant(Variant::LostUnlock);
+        let out = explore(&cfg, &Options::default());
+        let cex = out.violation.expect("lost unlock must deadlock");
+        assert!(matches!(cex.violation, Violation::Deadlock { .. }));
+        // Replaying the trace from the initial state must be legal and
+        // end in a state with no enabled transitions.
+        let mut s = cfg.initial();
+        for &pid in &cex.trace {
+            let (ns, _) = cfg.step(&s, pid, None).expect("trace step legal");
+            s = ns;
+        }
+        assert!(cfg.enabled_pids(&s).is_empty());
+    }
+
+    #[test]
+    fn por_agrees_with_full_exploration() {
+        let cfg = Config::new(2, 2, 6, Kind::GSS, Kind::SS);
+        let full = explore(&cfg, &Options::default());
+        let reduced = explore(&cfg, &Options { por: true, ..Options::default() });
+        assert!(full.violation.is_none());
+        assert!(reduced.violation.is_none());
+        assert!(reduced.fired_total <= full.fired_total);
+        assert!(reduced.reduction_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn serial_run_terminates_cleanly() {
+        let cfg = Config::new(2, 2, 12, Kind::FAC2, Kind::GSS);
+        let (trace, s) = run_serial(&cfg).expect("clean");
+        assert!(!trace.is_empty());
+        assert_eq!(s.executed, cfg.full_mask());
+    }
+}

@@ -1,0 +1,46 @@
+//! # model-check — small-scope model checking of the two-level queue
+//!
+//! The paper's MPI+MPI approach hinges on a concurrent protocol: a
+//! global work queue advanced by `MPI_Fetch_and_op`, per-node local
+//! queues guarded by `MPI_Win_lock`, a `refilling` flag electing the
+//! fastest rank as refiller, and a `global_done` flag for
+//! termination. The executors in `hier` run *one* schedule per
+//! configuration; this crate checks **all of them** at small scope:
+//!
+//! * [`model`] — the protocol as a compact transition system whose
+//!   chunk arithmetic is the real `dls` code, with seeded-broken
+//!   [`model::Variant`]s (unlocked refill, non-atomic FAA, lost
+//!   unlock);
+//! * [`explore`] — BFS over every reachable interleaving with state
+//!   hashing, optional ample-set partial-order reduction, deadlock
+//!   detection, weakly-fair livelock (non-progress SCC) detection and
+//!   the FCFS bounded-bypass bound;
+//! * [`replay`] — minimal counterexample traces re-emitted as the
+//!   executor's RMA access log (same [`hier::sim::layout`] windows
+//!   and displacements) and fed through `rma-check`.
+//!
+//! ```
+//! use dls::Kind;
+//! use model_check::{explore, model};
+//!
+//! let cfg = model::Config::new(1, 2, 6, Kind::GSS, Kind::SS);
+//! let out = explore::explore(
+//!     &cfg,
+//!     &explore::Options { wait_bound: Some(cfg.wait_bound()), ..Default::default() },
+//! );
+//! assert!(out.violation.is_none());
+//! assert!(out.terminals > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod explore;
+pub mod model;
+pub mod replay;
+
+pub use explore::{explore, Counterexample, Options, Outcome};
+pub use model::{Config, Variant, Violation};
+pub use replay::{replay, Replay};

@@ -1,0 +1,997 @@
+//! The abstract transition system of the two-level queue protocol.
+//!
+//! Every MPI process is modelled as a small program counter ([`Pc`])
+//! over a compact, hashable [`State`]: the global queue's scheduling
+//! pair, one [`NodeSt`] per node (an FCFS lock, the `refilling` /
+//! `global_done` flags and a FIFO of deposited ranges mirroring
+//! [`hier::queue::LocalQueue`]), and two coverage bitmaps (`executed`,
+//! `deposited`) that turn exactly-once into a local check.
+//!
+//! Chunk sizes are *not* re-modelled: transitions call the real
+//! [`dls`] chunk calculators (`Technique::chunk_size`, `SchedState::
+//! take`), so the model checks the protocol around the very arithmetic
+//! the executors run.
+//!
+//! ## Atomicity granularity
+//!
+//! Lock-protected critical sections execute as one atomic transition
+//! (mutual exclusion makes every interleaving inside the section
+//! equivalent to it running alone), but lock *acquisition* is a
+//! separate transition — while a process is between acquire and its
+//! critical section, peers can arrive and enqueue, which is exactly
+//! the contention the FCFS bounded-bypass bound is about. The global
+//! `MPI_Fetch_and_op` is a single atomic transition in the correct
+//! model and split into a stale read + blind write under
+//! [`Variant::NonAtomicFaa`].
+//!
+//! Each process has at most one enabled transition per state, so a
+//! transition is identified by the process id that takes it.
+
+use dls::technique::WorkerCtx;
+use dls::{ChunkCalculator, Kind, LoopSpec, SchedState, Technique};
+use hier::sim::layout::{
+    node_win, GLOBAL_DONE, GLOBAL_WIN, GSCHED, GSTEP, HI, LO, REFILLING, STEP, TAKEN,
+};
+use mpisim::{AtomicOpKind, LockKind, RmaEvent};
+
+/// Most nodes a config may use (the paper-scale sweep needs 2).
+pub const MAX_NODES: usize = 2;
+/// Most ranks per node a config may use.
+pub const MAX_RANKS_PER_NODE: usize = 3;
+/// Most processes overall.
+pub const MAX_PROCS: usize = MAX_NODES * MAX_RANKS_PER_NODE;
+/// Most deposited-but-unfinished ranges a node queue can hold. In the
+/// correct protocol it is 1 (refills start only on an empty queue);
+/// broken variants can stack one in-flight deposit per rank.
+pub const MAX_RANGES: usize = 4;
+/// Most loop iterations (the coverage bitmaps are `u32`).
+pub const MAX_N: u8 = 24;
+
+/// `NodeSt::holder` value meaning "lock not held".
+pub const FREE: u8 = 0xFF;
+/// `Pc::Deposit` payload meaning "global queue observed exhausted".
+pub const NONE_PAYLOAD: u8 = 0xFF;
+
+/// Which protocol to explore: the faithful one or a seeded bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The protocol as implemented by `hier::sim::simulate_mpi_mpi`.
+    Correct,
+    /// The refill decision (queue empty? refill in flight?) is made
+    /// *without* holding the local lock, so two ranks can both elect
+    /// themselves refiller — the bug the `refilling` flag plus lock
+    /// exists to prevent.
+    RefillWithoutLock,
+    /// The global `MPI_Fetch_and_op` is "optimised" into a plain get
+    /// followed by a put: two concurrent fetchers read the same
+    /// scheduling pair and both claim the same chunk (lost update).
+    NonAtomicFaa,
+    /// A rank that takes a sub-chunk forgets `MPI_Win_unlock`: the
+    /// local lock is never released again.
+    LostUnlock,
+}
+
+/// One deposited chunk with its intra-node scheduling progress — the
+/// model's [`hier::queue::QueuedRange`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// First iteration of the deposit.
+    pub lo: u8,
+    /// One past the last iteration.
+    pub hi: u8,
+    /// Intra-node scheduling step within the deposit.
+    pub step: u8,
+    /// Iterations already handed out as sub-chunks.
+    pub taken: u8,
+}
+
+impl Range {
+    fn len(&self) -> u8 {
+        self.hi - self.lo
+    }
+
+    fn remaining(&self) -> u8 {
+        self.len() - self.taken
+    }
+
+    fn is_empty(&self) -> bool {
+        self.taken >= self.len()
+    }
+}
+
+/// Per-node shared state: the FCFS window lock and the local queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeSt {
+    /// Process currently holding the window lock, or [`FREE`].
+    pub holder: u8,
+    /// FIFO of processes waiting for the lock (slots past `n_waiters`
+    /// are kept zeroed so equal states hash equally).
+    pub waiters: [u8; MAX_PROCS],
+    /// Number of live entries in `waiters`.
+    pub n_waiters: u8,
+    /// A rank of this node is fetching from the global queue.
+    pub refilling: bool,
+    /// The global queue was observed exhausted.
+    pub global_done: bool,
+    /// FIFO of deposited ranges (exhausted fronts are popped eagerly,
+    /// so outside critical sections the front is never empty).
+    pub ranges: [Range; MAX_RANGES],
+    /// Number of live entries in `ranges`.
+    pub n_ranges: u8,
+}
+
+impl NodeSt {
+    fn fresh() -> Self {
+        NodeSt {
+            holder: FREE,
+            waiters: [0; MAX_PROCS],
+            n_waiters: 0,
+            refilling: false,
+            global_done: false,
+            ranges: [Range::default(); MAX_RANGES],
+            n_ranges: 0,
+        }
+    }
+
+    /// Pop exhausted ranges off the front (only the front can be
+    /// exhausted: ranges are consumed FIFO).
+    fn canon(&mut self) {
+        while self.n_ranges > 0 && self.ranges[0].is_empty() {
+            for i in 1..self.n_ranges as usize {
+                self.ranges[i - 1] = self.ranges[i];
+            }
+            self.n_ranges -= 1;
+            self.ranges[self.n_ranges as usize] = Range::default();
+        }
+    }
+
+    fn push_range(&mut self, lo: u8, hi: u8) {
+        assert!((self.n_ranges as usize) < MAX_RANGES, "range FIFO overflow (model bound)");
+        self.ranges[self.n_ranges as usize] = Range { lo, hi, step: 0, taken: 0 };
+        self.n_ranges += 1;
+    }
+
+    fn push_waiter(&mut self, pid: u8) -> u8 {
+        let depth = 1 + self.n_waiters;
+        self.waiters[self.n_waiters as usize] = pid;
+        self.n_waiters += 1;
+        depth
+    }
+}
+
+/// A process's program counter. Payloads are iteration indices
+/// (`u8`, since `n_iters <= MAX_N`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Pc {
+    /// Free: wants the local lock to probe the queue.
+    #[default]
+    Probe,
+    /// Enqueued on the local lock for a probe.
+    WaitProbe,
+    /// Holds the local lock; probe critical section pending.
+    CritProbe,
+    /// Elected refiller: about to hit the global queue.
+    Fetch,
+    /// [`Variant::NonAtomicFaa`] only: holds a stale copy of the
+    /// global scheduling pair, about to blind-write the advance.
+    FaaWrite {
+        /// Stale `step` read by the first half of the broken FAA.
+        step: u8,
+        /// Stale `scheduled` read by the first half.
+        sched: u8,
+    },
+    /// Has a fetched chunk `[lo, hi)` (or [`NONE_PAYLOAD`] for
+    /// "global exhausted"); wants the local lock to deposit.
+    Deposit {
+        /// Chunk start, or [`NONE_PAYLOAD`].
+        lo: u8,
+        /// Chunk end, or [`NONE_PAYLOAD`].
+        hi: u8,
+    },
+    /// Enqueued on the local lock for a deposit.
+    WaitDeposit {
+        /// Chunk start, or [`NONE_PAYLOAD`].
+        lo: u8,
+        /// Chunk end, or [`NONE_PAYLOAD`].
+        hi: u8,
+    },
+    /// Holds the local lock; deposit critical section pending.
+    CritDeposit {
+        /// Chunk start, or [`NONE_PAYLOAD`].
+        lo: u8,
+        /// Chunk end, or [`NONE_PAYLOAD`].
+        hi: u8,
+    },
+    /// [`Variant::RefillWithoutLock`] only: observed the queue empty
+    /// with no refill in flight — without the lock — and will commit
+    /// to refilling next.
+    ObservedEmpty,
+    /// Terminated.
+    Done,
+}
+
+/// A global protocol state. `Copy`, ~100 bytes, hashable — the
+/// explorer stores millions of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct State {
+    /// The global queue's `(step, scheduled)` pair.
+    pub g_step: u8,
+    /// Total iterations scheduled at the inter level.
+    pub g_sched: u8,
+    /// Bitmap of iterations handed out as sub-chunks (exactly-once).
+    pub executed: u32,
+    /// Bitmap of iterations deposited into some local queue.
+    pub deposited: u32,
+    /// Program counters, one per process (unused slots stay `Done`).
+    pub procs: [Pc; MAX_PROCS],
+    /// Per-node shared state (unused slots stay fresh).
+    pub nodes: [NodeSt; MAX_NODES],
+}
+
+/// A safety or liveness violation. Safety violations are returned by
+/// [`Config::step`]; deadlock / livelock / coverage are found by the
+/// explorer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An iteration was handed out as a sub-chunk twice.
+    DoubleExecution {
+        /// The doubly-executed iteration index.
+        iter: u8,
+        /// Process taking it the second time.
+        pid: u8,
+    },
+    /// A chunk was deposited whose iterations were already deposited —
+    /// the observable symptom of a lost global-counter update.
+    DepositOverlap {
+        /// Start of the overlapping deposit.
+        lo: u8,
+        /// End of the overlapping deposit.
+        hi: u8,
+        /// Depositing process.
+        pid: u8,
+    },
+    /// A process committed to refilling while a peer's refill was
+    /// already in flight.
+    ConcurrentRefill {
+        /// Node it happened on.
+        node: u8,
+        /// The second refiller.
+        pid: u8,
+    },
+    /// A process committed to refilling while the queue held work —
+    /// the "refill only when observed empty" rule.
+    RefillWhileNonEmpty {
+        /// Node it happened on.
+        node: u8,
+        /// The offending process.
+        pid: u8,
+    },
+    /// All processes terminated but some iterations were never
+    /// executed (the bitmap shows which).
+    LostIterations {
+        /// Bitmap of iterations never handed out.
+        missing: u32,
+    },
+    /// No process can move but work (or a non-terminated process)
+    /// remains.
+    Deadlock {
+        /// Processes not yet `Done`.
+        stuck: Vec<u8>,
+    },
+    /// A weakly-fair cycle with no scheduling progress: the processes
+    /// on the cycle can spin forever while every process that stays
+    /// enabled is one of them.
+    Livelock {
+        /// Processes stepping inside the cycle.
+        spinners: Vec<u8>,
+    },
+    /// A process waited behind more lock grants than the FCFS
+    /// bounded-bypass bound allows.
+    WaitBoundExceeded {
+        /// The enqueued process.
+        pid: u8,
+        /// Observed grants-ahead depth.
+        depth: u8,
+        /// The configured bound.
+        bound: u8,
+    },
+}
+
+/// What a transition did — returned by [`Config::step`] so traces can
+/// be rendered and wait depths tracked without re-deriving state
+/// diffs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Acquired the free local lock (probe or deposit).
+    Acquire,
+    /// Enqueued on the held local lock; `depth` grants are ahead.
+    Enqueue {
+        /// Holder plus earlier waiters at enqueue time.
+        depth: u8,
+    },
+    /// Took sub-chunk `[lo, hi)` from the local queue.
+    TakeSub {
+        /// Sub-chunk start.
+        lo: u8,
+        /// Sub-chunk end.
+        hi: u8,
+    },
+    /// Probed an empty queue and became the refiller.
+    BecomeRefiller,
+    /// Probed an empty queue while a peer's refill is in flight.
+    PeerRefilling,
+    /// Probed an empty queue with the global queue exhausted:
+    /// terminated.
+    ProbeDone,
+    /// Atomically fetched chunk `[lo, hi)` from the global queue.
+    FetchChunk {
+        /// Chunk start.
+        lo: u8,
+        /// Chunk end.
+        hi: u8,
+    },
+    /// Atomically observed the global queue exhausted.
+    FetchExhausted,
+    /// [`Variant::NonAtomicFaa`]: read the global pair (first half).
+    FaaRead,
+    /// [`Variant::NonAtomicFaa`]: blind-wrote the advance computed
+    /// from the stale pair, claiming `[lo, hi)`.
+    FaaWriteChunk {
+        /// Claimed chunk start.
+        lo: u8,
+        /// Claimed chunk end.
+        hi: u8,
+    },
+    /// [`Variant::NonAtomicFaa`]: stale pair was already exhausted.
+    FaaWriteExhausted,
+    /// Deposited `[lo, hi)` and immediately took `[sub_lo, sub_hi)`.
+    DepositChunk {
+        /// Deposit start.
+        lo: u8,
+        /// Deposit end.
+        hi: u8,
+        /// Immediately-taken sub-chunk start.
+        sub_lo: u8,
+        /// Immediately-taken sub-chunk end.
+        sub_hi: u8,
+    },
+    /// Deposited "global exhausted"; `done` if the queue was empty so
+    /// the refiller terminated too.
+    DepositExhausted {
+        /// Whether the refiller terminated.
+        done: bool,
+    },
+    /// [`Variant::RefillWithoutLock`]: unlocked read saw an empty
+    /// queue and no refill in flight.
+    ObserveEmpty,
+    /// [`Variant::RefillWithoutLock`]: unlocked read saw a peer's
+    /// refill in flight (self-loop).
+    ObservePeer,
+    /// [`Variant::RefillWithoutLock`]: unlocked read saw
+    /// `global_done`: terminated.
+    ObserveDone,
+    /// [`Variant::RefillWithoutLock`]: committed the refill decision
+    /// made without the lock.
+    CommitRefill,
+}
+
+/// Events synthesized by a transition, in the executor's tape
+/// vocabulary: `(window, rank-in-window's-communicator, event)`.
+pub type EventSink = Vec<(u64, u32, RmaEvent)>;
+
+/// A bounded protocol configuration to explore.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of nodes (1..=[`MAX_NODES`]).
+    pub nodes: u8,
+    /// MPI ranks per node (1..=[`MAX_RANKS_PER_NODE`]).
+    pub ranks_per_node: u8,
+    /// Loop iterations (1..=[`MAX_N`]).
+    pub n_iters: u8,
+    /// Inter-node (global queue) technique.
+    pub inter: Kind,
+    /// Intra-node (local queue) technique.
+    pub intra: Kind,
+    /// Protocol variant.
+    pub variant: Variant,
+    inter_t: Technique,
+    intra_t: Technique,
+}
+
+const EXCL: LockKind = LockKind::Exclusive;
+const LOCK: RmaEvent = RmaEvent::Lock { kind: EXCL, target: 0 };
+const UNLOCK: RmaEvent = RmaEvent::Unlock { kind: EXCL, target: 0 };
+
+fn get(disp: usize) -> RmaEvent {
+    RmaEvent::Get { target: 0, disp, len: 1 }
+}
+
+fn put(disp: usize) -> RmaEvent {
+    RmaEvent::Put { target: 0, disp, len: 1 }
+}
+
+fn u8c(x: u64) -> u8 {
+    u8::try_from(x).expect("model value exceeds u8 (config bounds enforce n <= 24)")
+}
+
+impl Config {
+    /// A correct-variant configuration; panics if the bounds are
+    /// exceeded.
+    pub fn new(nodes: u8, ranks_per_node: u8, n_iters: u8, inter: Kind, intra: Kind) -> Self {
+        assert!((1..=MAX_NODES as u8).contains(&nodes), "nodes out of model bounds");
+        assert!(
+            (1..=MAX_RANKS_PER_NODE as u8).contains(&ranks_per_node),
+            "ranks_per_node out of model bounds"
+        );
+        assert!((1..=MAX_N).contains(&n_iters), "n_iters out of model bounds");
+        Config {
+            nodes,
+            ranks_per_node,
+            n_iters,
+            inter,
+            intra,
+            variant: Variant::Correct,
+            inter_t: Technique::from_kind(inter),
+            intra_t: Technique::from_kind(intra),
+        }
+    }
+
+    /// Same configuration with a different [`Variant`].
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Total process count.
+    pub fn n_procs(&self) -> u8 {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Node index of a process.
+    pub fn node_of(&self, pid: u8) -> u8 {
+        pid / self.ranks_per_node
+    }
+
+    /// Rank of a process within its node's communicator.
+    pub fn local_of(&self, pid: u8) -> u8 {
+        pid % self.ranks_per_node
+    }
+
+    /// Bitmap with every iteration set.
+    pub fn full_mask(&self) -> u32 {
+        if self.n_iters == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n_iters) - 1
+        }
+    }
+
+    /// The FCFS bounded-bypass bound: at most `ranks_per_node - 1`
+    /// grants can be ahead of an enqueuing rank (the holder plus
+    /// every other rank of the node already waiting).
+    pub fn wait_bound(&self) -> u8 {
+        self.ranks_per_node - 1
+    }
+
+    /// The initial state: every process free, every queue empty.
+    pub fn initial(&self) -> State {
+        let mut procs = [Pc::Done; MAX_PROCS];
+        for p in procs.iter_mut().take(self.n_procs() as usize) {
+            *p = Pc::Probe;
+        }
+        State {
+            g_step: 0,
+            g_sched: 0,
+            executed: 0,
+            deposited: 0,
+            procs,
+            nodes: [NodeSt::fresh(); MAX_NODES],
+        }
+    }
+
+    fn inter_spec(&self) -> LoopSpec {
+        LoopSpec::new(u64::from(self.n_iters), u32::from(self.nodes))
+    }
+
+    /// Whether `pid` has an enabled transition in `s`. Waiting and
+    /// terminated processes are passive; everything else can always
+    /// move (lock arrivals enqueue rather than block).
+    pub fn enabled(&self, s: &State, pid: u8) -> bool {
+        !matches!(s.procs[pid as usize], Pc::Done | Pc::WaitProbe | Pc::WaitDeposit { .. })
+    }
+
+    /// Enabled process ids, ascending.
+    pub fn enabled_pids(&self, s: &State) -> Vec<u8> {
+        (0..self.n_procs()).filter(|&p| self.enabled(s, p)).collect()
+    }
+
+    /// Release the node lock: grant to the FIFO head, or free it.
+    fn release(node: &mut NodeSt, procs: &mut [Pc; MAX_PROCS]) {
+        if node.n_waiters == 0 {
+            node.holder = FREE;
+            return;
+        }
+        let h = node.waiters[0];
+        for i in 1..node.n_waiters as usize {
+            node.waiters[i - 1] = node.waiters[i];
+        }
+        node.n_waiters -= 1;
+        node.waiters[node.n_waiters as usize] = 0;
+        node.holder = h;
+        procs[h as usize] = match procs[h as usize] {
+            Pc::WaitProbe => Pc::CritProbe,
+            Pc::WaitDeposit { lo, hi } => Pc::CritDeposit { lo, hi },
+            other => unreachable!("lock granted to non-waiting pc {other:?}"),
+        };
+    }
+
+    /// Mark `[lo, hi)` executed, detecting double execution.
+    fn mark_executed(executed: &mut u32, lo: u8, hi: u8, pid: u8) -> Result<(), Violation> {
+        for i in lo..hi {
+            let bit = 1u32 << i;
+            if *executed & bit != 0 {
+                return Err(Violation::DoubleExecution { iter: i, pid });
+            }
+            *executed |= bit;
+        }
+        Ok(())
+    }
+
+    /// Take a sub-chunk from the front range (caller guarantees the
+    /// queue is canonical and non-empty), emitting the executor's
+    /// probe-and-take window transaction. `unlock` is false only for
+    /// the [`Variant::LostUnlock`] bug.
+    fn take_front(
+        &self,
+        node: &mut NodeSt,
+        executed: &mut u32,
+        pid: u8,
+        sink: &mut Option<&mut EventSink>,
+        unlock: bool,
+    ) -> Result<(u8, u8), Violation> {
+        let r = &mut node.ranges[0];
+        let spec = LoopSpec::new(u64::from(r.len()), u32::from(self.ranks_per_node));
+        let st = SchedState { step: u64::from(r.step), scheduled: u64::from(r.taken) };
+        let ctx = WorkerCtx::worker(u32::from(self.local_of(pid)));
+        let size = u8c(self.intra_t.chunk_size(&spec, st, ctx).clamp(1, u64::from(r.remaining())));
+        let lo = r.lo + r.taken;
+        let hi = lo + size;
+        r.taken += size;
+        r.step += 1;
+        node.canon();
+        if let Some(sink) = sink.as_deref_mut() {
+            let win = node_win(usize::from(self.node_of(pid)));
+            let rank = u32::from(self.local_of(pid));
+            let mut tx = vec![
+                LOCK,
+                RmaEvent::Sync,
+                get(LO),
+                get(HI),
+                get(STEP),
+                get(TAKEN),
+                put(STEP),
+                put(TAKEN),
+                RmaEvent::Sync,
+            ];
+            if unlock {
+                tx.push(UNLOCK);
+            }
+            sink.extend(tx.into_iter().map(|e| (win, rank, e)));
+        }
+        Self::mark_executed(executed, lo, hi, pid)?;
+        Ok((lo, hi))
+    }
+
+    /// Emit an empty-probe read block (`probe` gets) plus a closing
+    /// slice, mirroring the executor's `tx_slice_then` calls.
+    fn emit_probe(&self, pid: u8, sink: &mut Option<&mut EventSink>, closing: &[RmaEvent]) {
+        if let Some(sink) = sink.as_deref_mut() {
+            let win = node_win(usize::from(self.node_of(pid)));
+            let rank = u32::from(self.local_of(pid));
+            for e in [
+                LOCK,
+                RmaEvent::Sync,
+                get(LO),
+                get(HI),
+                get(STEP),
+                get(TAKEN),
+                get(GLOBAL_DONE),
+                get(REFILLING),
+            ] {
+                sink.push((win, rank, e));
+            }
+            for &e in closing {
+                sink.push((win, rank, e));
+            }
+        }
+    }
+
+    /// Apply `pid`'s (unique) enabled transition to `s`. Events the
+    /// real executor would issue are appended to `sink` when given.
+    ///
+    /// Panics if `pid` is not enabled.
+    pub fn step(
+        &self,
+        s: &State,
+        pid: u8,
+        mut sink: Option<&mut EventSink>,
+    ) -> Result<(State, Action), Violation> {
+        let mut t = *s;
+        let ni = usize::from(self.node_of(pid));
+        let pc = t.procs[pid as usize];
+        let action = match pc {
+            Pc::Done | Pc::WaitProbe | Pc::WaitDeposit { .. } => {
+                panic!("step on disabled process {pid} ({pc:?})")
+            }
+
+            Pc::Probe => {
+                let node = &mut t.nodes[ni];
+                if self.variant == Variant::RefillWithoutLock && node.n_ranges == 0 {
+                    // The bug: the empty-queue/refill decision reads
+                    // the flags without taking the window lock.
+                    if let Some(sink) = sink.as_deref_mut() {
+                        let win = node_win(ni);
+                        let rank = u32::from(self.local_of(pid));
+                        for e in [
+                            get(LO),
+                            get(HI),
+                            get(STEP),
+                            get(TAKEN),
+                            get(GLOBAL_DONE),
+                            get(REFILLING),
+                        ] {
+                            sink.push((win, rank, e));
+                        }
+                    }
+                    if node.global_done {
+                        t.procs[pid as usize] = Pc::Done;
+                        Action::ObserveDone
+                    } else if node.refilling {
+                        Action::ObservePeer
+                    } else {
+                        t.procs[pid as usize] = Pc::ObservedEmpty;
+                        Action::ObserveEmpty
+                    }
+                } else if node.holder == FREE {
+                    debug_assert_eq!(node.n_waiters, 0, "free lock with waiters");
+                    node.holder = pid;
+                    t.procs[pid as usize] = Pc::CritProbe;
+                    Action::Acquire
+                } else {
+                    let depth = node.push_waiter(pid);
+                    t.procs[pid as usize] = Pc::WaitProbe;
+                    Action::Enqueue { depth }
+                }
+            }
+
+            Pc::CritProbe => {
+                let node = &mut t.nodes[ni];
+                debug_assert_eq!(node.holder, pid);
+                node.canon();
+                if node.n_ranges > 0 {
+                    let unlock = self.variant != Variant::LostUnlock;
+                    let (lo, hi) =
+                        self.take_front(node, &mut t.executed, pid, &mut sink, unlock)?;
+                    if unlock {
+                        Self::release(node, &mut t.procs);
+                    }
+                    t.procs[pid as usize] = Pc::Probe;
+                    Action::TakeSub { lo, hi }
+                } else if node.global_done {
+                    self.emit_probe(pid, &mut sink, &[UNLOCK]);
+                    Self::release(node, &mut t.procs);
+                    t.procs[pid as usize] = Pc::Done;
+                    Action::ProbeDone
+                } else if !node.refilling {
+                    node.refilling = true;
+                    self.emit_probe(pid, &mut sink, &[put(REFILLING), RmaEvent::Sync, UNLOCK]);
+                    Self::release(node, &mut t.procs);
+                    t.procs[pid as usize] = Pc::Fetch;
+                    Action::BecomeRefiller
+                } else {
+                    self.emit_probe(pid, &mut sink, &[UNLOCK]);
+                    Self::release(node, &mut t.procs);
+                    t.procs[pid as usize] = Pc::Probe;
+                    Action::PeerRefilling
+                }
+            }
+
+            Pc::ObservedEmpty => {
+                let node = &mut t.nodes[ni];
+                if node.refilling {
+                    return Err(Violation::ConcurrentRefill { node: self.node_of(pid), pid });
+                }
+                if node.n_ranges > 0 {
+                    return Err(Violation::RefillWhileNonEmpty { node: self.node_of(pid), pid });
+                }
+                node.refilling = true;
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.push((node_win(ni), u32::from(self.local_of(pid)), put(REFILLING)));
+                }
+                t.procs[pid as usize] = Pc::Fetch;
+                Action::CommitRefill
+            }
+
+            Pc::Fetch => {
+                if self.variant == Variant::NonAtomicFaa {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.push((GLOBAL_WIN, u32::from(pid), get(GSTEP)));
+                        sink.push((GLOBAL_WIN, u32::from(pid), get(GSCHED)));
+                    }
+                    t.procs[pid as usize] = Pc::FaaWrite { step: t.g_step, sched: t.g_sched };
+                    Action::FaaRead
+                } else {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.push((
+                            GLOBAL_WIN,
+                            u32::from(pid),
+                            RmaEvent::Atomic {
+                                target: 0,
+                                disp: GSTEP,
+                                op: AtomicOpKind::FetchAndOp,
+                            },
+                        ));
+                        sink.push((GLOBAL_WIN, u32::from(pid), RmaEvent::Flush { target: 0 }));
+                    }
+                    let spec = self.inter_spec();
+                    let mut st =
+                        SchedState { step: u64::from(t.g_step), scheduled: u64::from(t.g_sched) };
+                    if st.exhausted(&spec) {
+                        t.procs[pid as usize] = Pc::Deposit { lo: NONE_PAYLOAD, hi: NONE_PAYLOAD };
+                        Action::FetchExhausted
+                    } else {
+                        let size = self.inter_t.chunk_size(&spec, st, WorkerCtx::default());
+                        let chunk = st.take(&spec, size).expect("not exhausted");
+                        t.g_step = u8c(st.step);
+                        t.g_sched = u8c(st.scheduled);
+                        let (lo, hi) = (u8c(chunk.start), u8c(chunk.end()));
+                        t.procs[pid as usize] = Pc::Deposit { lo, hi };
+                        Action::FetchChunk { lo, hi }
+                    }
+                }
+            }
+
+            Pc::FaaWrite { step, sched } => {
+                let spec = self.inter_spec();
+                let mut st = SchedState { step: u64::from(step), scheduled: u64::from(sched) };
+                if st.exhausted(&spec) {
+                    t.procs[pid as usize] = Pc::Deposit { lo: NONE_PAYLOAD, hi: NONE_PAYLOAD };
+                    Action::FaaWriteExhausted
+                } else {
+                    let size = self.inter_t.chunk_size(&spec, st, WorkerCtx::default());
+                    let chunk = st.take(&spec, size).expect("not exhausted");
+                    // The blind write: overwrites any advance a
+                    // concurrent fetcher made since the stale read.
+                    t.g_step = u8c(st.step);
+                    t.g_sched = u8c(st.scheduled);
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.push((GLOBAL_WIN, u32::from(pid), put(GSTEP)));
+                        sink.push((GLOBAL_WIN, u32::from(pid), put(GSCHED)));
+                    }
+                    let (lo, hi) = (u8c(chunk.start), u8c(chunk.end()));
+                    t.procs[pid as usize] = Pc::Deposit { lo, hi };
+                    Action::FaaWriteChunk { lo, hi }
+                }
+            }
+
+            Pc::Deposit { lo, hi } => {
+                let node = &mut t.nodes[ni];
+                if node.holder == FREE {
+                    debug_assert_eq!(node.n_waiters, 0, "free lock with waiters");
+                    node.holder = pid;
+                    t.procs[pid as usize] = Pc::CritDeposit { lo, hi };
+                    Action::Acquire
+                } else {
+                    let depth = node.push_waiter(pid);
+                    t.procs[pid as usize] = Pc::WaitDeposit { lo, hi };
+                    Action::Enqueue { depth }
+                }
+            }
+
+            Pc::CritDeposit { lo, hi } => {
+                let node = &mut t.nodes[ni];
+                debug_assert_eq!(node.holder, pid);
+                node.refilling = false;
+                if lo == NONE_PAYLOAD {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        let win = node_win(ni);
+                        let rank = u32::from(self.local_of(pid));
+                        for e in [LOCK, put(GLOBAL_DONE), put(REFILLING), RmaEvent::Sync, UNLOCK] {
+                            sink.push((win, rank, e));
+                        }
+                    }
+                    node.global_done = true;
+                    node.canon();
+                    let done = node.n_ranges == 0;
+                    Self::release(node, &mut t.procs);
+                    t.procs[pid as usize] = if done { Pc::Done } else { Pc::Probe };
+                    Action::DepositExhausted { done }
+                } else {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        let win = node_win(ni);
+                        let rank = u32::from(self.local_of(pid));
+                        for e in [
+                            LOCK,
+                            put(LO),
+                            put(HI),
+                            put(STEP),
+                            put(TAKEN),
+                            put(REFILLING),
+                            RmaEvent::Sync,
+                            UNLOCK,
+                        ] {
+                            sink.push((win, rank, e));
+                        }
+                    }
+                    for i in lo..hi {
+                        let bit = 1u32 << i;
+                        if t.deposited & bit != 0 {
+                            return Err(Violation::DepositOverlap { lo, hi, pid });
+                        }
+                        t.deposited |= bit;
+                    }
+                    node.push_range(lo, hi);
+                    // The refiller immediately takes its own first
+                    // sub-chunk under the same lock grant (the
+                    // executor's deposit path calls `execute_sub`).
+                    let (sub_lo, sub_hi) =
+                        self.take_front(node, &mut t.executed, pid, &mut sink, true)?;
+                    Self::release(node, &mut t.procs);
+                    t.procs[pid as usize] = Pc::Probe;
+                    Action::DepositChunk { lo, hi, sub_lo, sub_hi }
+                }
+            }
+        };
+        Ok((t, action))
+    }
+
+    /// Terminal-state coverage check: if every process is `Done`,
+    /// every iteration must have been executed.
+    pub fn check_terminal(&self, s: &State) -> Result<(), Violation> {
+        let all_done = (0..self.n_procs()).all(|p| matches!(s.procs[p as usize], Pc::Done));
+        if all_done {
+            let missing = self.full_mask() & !s.executed;
+            if missing != 0 {
+                return Err(Violation::LostIterations { missing });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(inter: Kind, intra: Kind) -> Config {
+        Config::new(2, 2, 12, inter, intra)
+    }
+
+    #[test]
+    fn initial_state_everyone_probing() {
+        let c = cfg(Kind::GSS, Kind::SS);
+        let s = c.initial();
+        assert_eq!(c.enabled_pids(&s), vec![0, 1, 2, 3]);
+        assert_eq!(s.executed, 0);
+        assert_eq!(c.full_mask(), 0xFFF);
+    }
+
+    #[test]
+    fn serial_run_covers_exactly_once() {
+        // Always stepping the lowest enabled pid is one legal
+        // schedule; it must terminate with full coverage.
+        for inter in Kind::PAPER {
+            for intra in Kind::PAPER {
+                let c = cfg(inter, intra);
+                let mut s = c.initial();
+                let mut steps = 0;
+                loop {
+                    let en = c.enabled_pids(&s);
+                    let Some(&pid) = en.first() else { break };
+                    let (next, _) = c
+                        .step(&s, pid, None)
+                        .unwrap_or_else(|v| panic!("{inter}/{intra}: unexpected violation {v:?}"));
+                    // The peer-refilling probe is the only self-loop,
+                    // and the serial schedule never creates one (the
+                    // refiller always runs first).
+                    s = next;
+                    steps += 1;
+                    assert!(steps < 10_000, "{inter}/{intra}: serial run diverged");
+                }
+                assert_eq!(s.executed, c.full_mask(), "{inter}/{intra}");
+                c.check_terminal(&s).expect("coverage");
+                assert_eq!(s.deposited, c.full_mask(), "{inter}/{intra}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_take_matches_local_queue() {
+        // The critical-section take must reproduce
+        // `LocalQueue::take_sub_chunk_for` exactly: same dls calls,
+        // same clamping, same FIFO handling.
+        for intra in Kind::PAPER {
+            let c = Config::new(1, 3, 17, Kind::STATIC, intra);
+            let mut s = c.initial();
+            s.nodes[0].push_range(0, 17);
+            s.deposited = (1 << 17) - 1;
+            let mut q = hier::queue::LocalQueue::new();
+            q.deposit(0, 17);
+
+            // Drive pid 0 only: Probe -> CritProbe -> TakeSub.
+            let mut model_subs = Vec::new();
+            loop {
+                let (s1, a) = c.step(&s, 0, None).expect("no violation");
+                s = s1;
+                match a {
+                    Action::Acquire => {}
+                    Action::TakeSub { lo, hi } => model_subs.push((u64::from(lo), u64::from(hi))),
+                    Action::BecomeRefiller => break, // queue drained
+                    other => panic!("unexpected action {other:?}"),
+                }
+            }
+            let mut queue_subs = Vec::new();
+            while let Some(sub) =
+                q.take_sub_chunk_for(&Technique::from_kind(intra), 3, WorkerCtx::worker(0))
+            {
+                queue_subs.push((sub.start, sub.end));
+            }
+            assert_eq!(model_subs, queue_subs, "{intra}");
+        }
+    }
+
+    #[test]
+    fn fetch_chunks_match_dls_sequence() {
+        // The model's global fetches must walk the same chunk
+        // sequence as driving dls directly.
+        let c = Config::new(2, 1, 20, Kind::TSS, Kind::SS);
+        let mut s = c.initial();
+        let mut fetched = Vec::new();
+        'outer: loop {
+            for pid in 0..c.n_procs() {
+                if c.enabled(&s, pid) {
+                    let (s1, a) = c.step(&s, pid, None).expect("no violation");
+                    s = s1;
+                    if let Action::FetchChunk { lo, hi } = a {
+                        fetched.push((u64::from(lo), u64::from(hi)));
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        let spec = LoopSpec::new(20, 2);
+        let t = Technique::tss();
+        let mut st = SchedState::START;
+        let mut expect = Vec::new();
+        while !st.exhausted(&spec) {
+            let size = t.chunk_size(&spec, st, WorkerCtx::default());
+            let ch = st.take(&spec, size).expect("not exhausted");
+            expect.push((ch.start, ch.end()));
+        }
+        assert_eq!(fetched, expect);
+    }
+
+    #[test]
+    fn waiters_fifo_and_bounded() {
+        let c = Config::new(1, 3, 8, Kind::STATIC, Kind::SS);
+        let mut s = c.initial();
+        // pid 0 acquires; pids 1, 2 enqueue in order.
+        let (s1, a) = c.step(&s, 0, None).expect("ok");
+        assert_eq!(a, Action::Acquire);
+        s = s1;
+        let (s1, a) = c.step(&s, 1, None).expect("ok");
+        assert_eq!(a, Action::Enqueue { depth: 1 });
+        s = s1;
+        let (s1, a) = c.step(&s, 2, None).expect("ok");
+        assert_eq!(a, Action::Enqueue { depth: 2 });
+        s = s1;
+        assert!(u32::from(s.nodes[0].n_waiters) == 2);
+        // pid 0 finishes its critical section: the lock must hand to
+        // pid 1 (FIFO), not pid 2.
+        let (s1, _) = c.step(&s, 0, None).expect("ok");
+        assert_eq!(s1.nodes[0].holder, 1);
+        assert_eq!(s1.procs[1], Pc::CritProbe);
+        assert_eq!(s1.procs[2], Pc::WaitProbe);
+    }
+}

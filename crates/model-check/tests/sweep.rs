@@ -1,0 +1,96 @@
+//! The bounded verification sweep the protocol's correctness claims
+//! rest on: every paper technique pair, every interleaving, at small
+//! scope.
+
+use dls::Kind;
+use model_check::explore::{explore, run_serial, Options};
+use model_check::model::Config;
+
+/// All 25 {STATIC, SS, GSS, TSS, FAC2}^2 pairs at 2 nodes x 2 ranks,
+/// n = 12: full exploration (no reduction, so the liveness verdict is
+/// over the complete graph) plus the FCFS bypass bound.
+#[test]
+fn all_paper_pairs_clean_at_2x2x12() {
+    for inter in Kind::PAPER {
+        for intra in Kind::PAPER {
+            let cfg = Config::new(2, 2, 12, inter, intra);
+            let out = explore(
+                &cfg,
+                &Options { wait_bound: Some(cfg.wait_bound()), ..Options::default() },
+            );
+            assert!(out.violation.is_none(), "{inter}/{intra}: {:?}", out.violation);
+            assert!(!out.capped, "{inter}/{intra}: state cap hit");
+            assert!(out.terminals > 0, "{inter}/{intra}: no terminal state");
+            assert!(
+                out.max_wait_depth <= cfg.wait_bound(),
+                "{inter}/{intra}: bypass bound exceeded"
+            );
+        }
+    }
+}
+
+/// Partial-order reduction must agree with the full exploration on
+/// every pair (and actually reduce).
+#[test]
+fn por_verdicts_match_full_at_2x2x12() {
+    let mut reduced_any = false;
+    for inter in Kind::PAPER {
+        for intra in Kind::PAPER {
+            let cfg = Config::new(2, 2, 12, inter, intra);
+            let out = explore(
+                &cfg,
+                &Options { por: true, wait_bound: Some(cfg.wait_bound()), ..Options::default() },
+            );
+            assert!(out.violation.is_none(), "{inter}/{intra}: {:?}", out.violation);
+            assert!(out.reduction_ratio() <= 1.0);
+            reduced_any |= out.fired_total < out.enabled_total;
+        }
+    }
+    assert!(reduced_any, "POR never pruned anything");
+}
+
+/// The contended scope: SS/SS (maximal lock traffic — every sub-chunk
+/// is one iteration) at 2 nodes x 3 ranks, n = 16, with POR. Verifies
+/// the bypass bound at depth 2 and around 1M states of interleavings.
+#[test]
+fn ss_ss_clean_at_2x3x16() {
+    let cfg = Config::new(2, 3, 16, Kind::SS, Kind::SS);
+    let out = explore(
+        &cfg,
+        &Options { por: true, wait_bound: Some(cfg.wait_bound()), ..Options::default() },
+    );
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(!out.capped);
+    assert!(out.states > 100_000, "expected a large space, got {}", out.states);
+    assert_eq!(out.max_wait_depth, cfg.wait_bound(), "depth-2 waits must be reachable");
+}
+
+/// Odd shapes: single node, single rank per node, n not divisible by
+/// anything relevant.
+#[test]
+fn degenerate_topologies_clean() {
+    for (nodes, rpn, n) in [(1u8, 1u8, 7u8), (1, 3, 11), (2, 1, 13)] {
+        for inter in [Kind::GSS, Kind::TSS] {
+            let cfg = Config::new(nodes, rpn, n, inter, Kind::FAC2);
+            let out = explore(
+                &cfg,
+                &Options { wait_bound: Some(cfg.wait_bound()), ..Options::default() },
+            );
+            assert!(out.violation.is_none(), "{nodes}x{rpn}x{n} {inter}: {:?}", out.violation);
+        }
+    }
+}
+
+/// Every pair's serial schedule terminates with exact coverage — the
+/// quick smoke the full sweep subsumes, kept for fast failure.
+#[test]
+fn serial_schedules_cover_exactly_once() {
+    for inter in Kind::PAPER {
+        for intra in Kind::PAPER {
+            let cfg = Config::new(2, 3, 17, inter, intra);
+            let (_, s) =
+                run_serial(&cfg).unwrap_or_else(|c| panic!("{inter}/{intra}: {:?}", c.violation));
+            assert_eq!(s.executed, cfg.full_mask(), "{inter}/{intra}");
+        }
+    }
+}

@@ -1,6 +1,17 @@
-//! A queued reader/writer lock with *manual* acquire/release (MPI's
+//! A FIFO ticket reader/writer lock with *manual* acquire/release (MPI's
 //! `MPI_Win_lock` / `MPI_Win_unlock` are separate calls, so a guard-based
 //! lock cannot model them) and contention accounting.
+//!
+//! Acquisition order is strict arrival order: every acquirer — shared or
+//! exclusive — draws a ticket, and a ticket is admitted only after every
+//! earlier ticket has been admitted. A reader queued behind a writer
+//! waits for that writer even while other readers hold the lock, so a
+//! writer can be bypassed by at most the readers that arrived before it.
+//! This is the FCFS discipline whose bounded-bypass property the
+//! `model-check` crate verifies over the hierarchical queue protocol
+//! (`wait_bound = ranks_per_node - 1`); the previous condvar
+//! `notify_all` implementation allowed unbounded barging, which the
+//! model would have had to treat as a potential livelock.
 //!
 //! The contention counters matter: the paper attributes the poor
 //! performance of `X+SS` under MPI+MPI to `MPI_Win_lock`'s *lock-polling*
@@ -16,8 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 struct Inner {
     exclusive: bool,
     shared: u32,
-    /// Threads currently blocked in an acquire.
-    waiting: u32,
+    /// Next ticket to hand to an arriving acquirer.
+    next_ticket: u64,
+    /// The ticket currently at the head of the queue. `next_ticket -
+    /// now_serving` is the number of acquirers still queued.
+    now_serving: u64,
 }
 
 /// Cumulative lock statistics, updated atomically.
@@ -43,8 +57,8 @@ impl LockStats {
     }
 }
 
-/// Manual-release reader/writer lock with FIFO-ish wakeup and contention
-/// statistics.
+/// Manual-release reader/writer lock with strict FIFO admission and
+/// contention statistics.
 #[derive(Default)]
 pub struct QueuedLock {
     inner: Mutex<Inner>,
@@ -58,20 +72,22 @@ impl QueuedLock {
         Self::default()
     }
 
-    /// Acquire exclusively, blocking until no holder remains. Returns
-    /// the number of failed poll attempts (wake-ups while the lock was
-    /// still unavailable) — the caller's share of the lock-attempt
-    /// traffic recorded in [`LockStats::polls`].
+    /// Acquire exclusively, blocking until this caller reaches the head
+    /// of the ticket queue *and* no holder remains. Returns the number
+    /// of failed poll attempts (wake-ups while the lock was still
+    /// unavailable) — the caller's share of the lock-attempt traffic
+    /// recorded in [`LockStats::polls`].
     pub fn lock_exclusive(&self) -> u64 {
         let mut inner = self.inner.lock();
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
         let mut polls = 0u64;
-        while inner.exclusive || inner.shared > 0 {
+        while inner.now_serving != ticket || inner.exclusive || inner.shared > 0 {
             polls += 1;
-            inner.waiting += 1;
             self.stats.polls.fetch_add(1, Ordering::Relaxed);
             self.cv.wait(&mut inner);
-            inner.waiting -= 1;
         }
+        inner.now_serving += 1;
         inner.exclusive = true;
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         if polls > 0 {
@@ -80,24 +96,30 @@ impl QueuedLock {
         polls
     }
 
-    /// Acquire shared, blocking while an exclusive holder exists.
-    /// Returns the caller's failed poll attempts, as
+    /// Acquire shared, blocking until this caller reaches the head of
+    /// the ticket queue and no exclusive holder exists. Consecutive
+    /// shared tickets admit each other in turn, so a batch of readers
+    /// still overlaps — but a reader queued behind a writer waits for
+    /// it. Returns the caller's failed poll attempts, as
     /// [`QueuedLock::lock_exclusive`] does.
     pub fn lock_shared(&self) -> u64 {
         let mut inner = self.inner.lock();
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
         let mut polls = 0u64;
-        while inner.exclusive {
+        while inner.now_serving != ticket || inner.exclusive {
             polls += 1;
-            inner.waiting += 1;
             self.stats.polls.fetch_add(1, Ordering::Relaxed);
             self.cv.wait(&mut inner);
-            inner.waiting -= 1;
         }
+        inner.now_serving += 1;
         inner.shared += 1;
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         if polls > 0 {
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
         }
+        // The ticket behind us may be another reader that can now enter.
+        self.cv.notify_all();
         polls
     }
 
@@ -126,21 +148,26 @@ impl QueuedLock {
         true
     }
 
-    /// Try to acquire exclusively without blocking.
+    /// Try to acquire exclusively without blocking. Fails if the lock is
+    /// held *or* any acquirer is queued ahead — a trylock may not barge
+    /// past the ticket line.
     pub fn try_lock_exclusive(&self) -> bool {
         let mut inner = self.inner.lock();
-        if inner.exclusive || inner.shared > 0 {
+        if inner.next_ticket != inner.now_serving || inner.exclusive || inner.shared > 0 {
             self.stats.polls.fetch_add(1, Ordering::Relaxed);
             return false;
         }
+        inner.next_ticket += 1;
+        inner.now_serving += 1;
         inner.exclusive = true;
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         true
     }
 
-    /// Threads currently blocked waiting for this lock.
+    /// Acquirers currently queued (ticket drawn, not yet admitted).
     pub fn waiters(&self) -> u32 {
-        self.inner.lock().waiting
+        let inner = self.inner.lock();
+        u32::try_from(inner.next_ticket - inner.now_serving).unwrap_or(u32::MAX)
     }
 
     /// Contention statistics.
@@ -202,6 +229,90 @@ mod tests {
         assert_eq!(acq, 2);
         assert!(contended >= 1);
         assert!(polls >= 1);
+    }
+
+    #[test]
+    fn fifo_grant_order() {
+        // Writers queued one at a time must acquire in arrival order.
+        let lock = Arc::new(QueuedLock::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        lock.lock_exclusive();
+        let mut handles = Vec::new();
+        for id in 0..4u32 {
+            let l = Arc::clone(&lock);
+            let o = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                l.lock_exclusive();
+                o.lock().push(id);
+                l.unlock_exclusive();
+            }));
+            // Wait until this waiter has drawn its ticket before
+            // spawning the next, pinning the arrival order.
+            while lock.waiters() < id + 1 {
+                thread::yield_now();
+            }
+        }
+        lock.unlock_exclusive();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn trylock_cannot_barge_past_queue() {
+        let lock = Arc::new(QueuedLock::new());
+        lock.lock_exclusive();
+        let l2 = Arc::clone(&lock);
+        let t = thread::spawn(move || {
+            l2.lock_exclusive();
+            l2.unlock_exclusive();
+        });
+        while lock.waiters() == 0 {
+            thread::yield_now();
+        }
+        // The queued writer is ahead of us even the instant we release:
+        // the trylock must not jump the line.
+        lock.unlock_exclusive();
+        assert!(!lock.try_lock_exclusive());
+        t.join().unwrap();
+        // Queue drained: now it succeeds.
+        lock.lock_exclusive();
+        assert!(lock.unlock_exclusive());
+    }
+
+    #[test]
+    fn reader_queued_behind_writer_waits() {
+        // r1 holds shared; w queued; r2 arrives after w. FIFO means r2
+        // must not overlap with r1 — it enters only after w finishes.
+        let lock = Arc::new(QueuedLock::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        lock.lock_shared();
+
+        let (lw, ow) = (Arc::clone(&lock), Arc::clone(&order));
+        let w = thread::spawn(move || {
+            lw.lock_exclusive();
+            ow.lock().push("w");
+            lw.unlock_exclusive();
+        });
+        while lock.waiters() == 0 {
+            thread::yield_now();
+        }
+
+        let (lr, or) = (Arc::clone(&lock), Arc::clone(&order));
+        let r2 = thread::spawn(move || {
+            lr.lock_shared();
+            or.lock().push("r2");
+            lr.unlock_shared();
+        });
+        while lock.waiters() < 2 {
+            thread::yield_now();
+        }
+
+        lock.unlock_shared();
+        w.join().unwrap();
+        r2.join().unwrap();
+        assert_eq!(*order.lock(), vec!["w", "r2"]);
     }
 
     #[test]

@@ -70,6 +70,17 @@ pub fn check_log(log: &mpisim::RmaLog) -> Report {
     check(&log.records())
 }
 
+/// Convenience: [`check`] over a raw `(win, rank, event)` stream, such
+/// as a synthesized replay of a model counterexample. Events are
+/// sequenced in slice order.
+pub fn check_events(events: &[(u64, u32, mpisim::RmaEvent)]) -> Report {
+    let log = mpisim::RmaLog::new();
+    for &(win, rank, ev) in events {
+        log.push(win, rank, ev);
+    }
+    check_log(&log)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +114,19 @@ mod tests {
         let report = check_log(&log);
         assert!(!report.is_clean());
         assert!(report.violations.windows(2).all(|w| w[0].seq <= w[1].seq));
+        assert!(report.has(ViolationKind::AccessOutsideEpoch));
+        assert!(report.has(ViolationKind::DataRace));
+    }
+
+    #[test]
+    fn check_events_matches_check_log() {
+        let events = vec![
+            (0u64, 0u32, RmaEvent::Attach { shared: false, comm_size: 2 }),
+            (0, 0, RmaEvent::Put { target: 0, disp: 0, len: 1 }),
+            (0, 1, RmaEvent::Put { target: 0, disp: 0, len: 1 }),
+        ];
+        let report = check_events(&events);
+        assert_eq!(report.records_checked, 3);
         assert!(report.has(ViolationKind::AccessOutsideEpoch));
         assert!(report.has(ViolationKind::DataRace));
     }
