@@ -1,0 +1,58 @@
+//! Resilience bench smoke: makespans of the same hierarchical
+//! schedule fault-free, with one rank crash, and with one 4x
+//! straggler, written as `BENCH_4.json` — the number the recovery
+//! protocol is judged by (how much does surviving a fault cost?).
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos_bench [-- OUT.json]
+//! ```
+
+use hdls::prelude::*;
+
+const N: u64 = 8_000;
+
+fn run(faults: FaultPlan, table: &CostTable) -> (f64, usize, u64) {
+    let r = HierSchedule::builder()
+        .inter(Kind::GSS)
+        .intra(Kind::SS)
+        .approach(Approach::MpiMpi)
+        .nodes(2)
+        .workers_per_node(4)
+        .faults(faults)
+        .build()
+        .simulate(table);
+    assert_eq!(r.stats.total_iterations, N, "iterations lost");
+    let reclaims: u64 = r.stats.workers.iter().map(|w| w.reclaims).sum();
+    (r.seconds(), r.recovery.len(), reclaims)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_4.json".into());
+    let workload = Synthetic::exponential(N, 50_000.0, 42);
+    let table = CostTable::build(&workload);
+
+    let (clean_s, _, _) = run(FaultPlan::none(), &table);
+    let (crash_s, crash_events, crash_reclaims) = run(FaultPlan::crash(5, 20_000_000), &table);
+    let (strag_s, _, _) = run(FaultPlan::straggler(3, 4.0), &table);
+
+    let json = format!(
+        "{{\n  \"bench\": \"resilience-smoke\",\n  \"shape\": \"2x4\",\n  \
+         \"spec\": \"GSS+SS\",\n  \"iterations\": {N},\n  \
+         \"fault_free_s\": {clean_s},\n  \"one_crash_s\": {crash_s},\n  \
+         \"one_straggler_4x_s\": {strag_s},\n  \
+         \"crash_overhead\": {:.6},\n  \"straggler_overhead\": {:.6},\n  \
+         \"crash_recovery_events\": {crash_events},\n  \
+         \"crash_reclaims\": {crash_reclaims}\n}}\n",
+        crash_s / clean_s - 1.0,
+        strag_s / clean_s - 1.0,
+    );
+    std::fs::write(&out, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+
+    // Smoke thresholds: recovering from one crash on 8 workers must
+    // not cost more than losing 1/8 of the machine outright, and the
+    // crash must actually have exercised the recovery path.
+    assert!(crash_events > 0, "the crash plan produced no recovery events");
+    assert!(crash_s < clean_s * 1.5, "1-crash overhead out of bounds: {clean_s}s -> {crash_s}s");
+}

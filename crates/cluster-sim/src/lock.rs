@@ -41,6 +41,7 @@ pub struct ContendedLock {
     contended: u64,
     polls: u64,
     total_penalty: Time,
+    revocations: u64,
 }
 
 impl ContendedLock {
@@ -54,6 +55,7 @@ impl ContendedLock {
             contended: 0,
             polls: 0,
             total_penalty: 0,
+            revocations: 0,
         }
     }
 
@@ -110,6 +112,29 @@ impl ContendedLock {
     /// When the lock next becomes free.
     pub fn free_at(&self) -> Time {
         self.free_at
+    }
+
+    /// A holder died inside its critical section: the lock stays held
+    /// (nobody releases it) until a survivor's bounded-grant timeout
+    /// fires and revokes it at `until`. Extends the current grant to
+    /// `until` — acquisitions arriving in between queue behind the
+    /// corpse exactly as real `MPI_Win_lock` pollers would — and counts
+    /// one revocation.
+    pub fn seize_until(&mut self, until: Time) {
+        if until > self.free_at {
+            if let Some(back) = self.recent.back_mut() {
+                back.1 = until;
+            } else {
+                self.recent.push_back((until, until));
+            }
+            self.free_at = until;
+        }
+        self.revocations += 1;
+    }
+
+    /// Grants revoked from dead holders by [`ContendedLock::seize_until`].
+    pub fn revocations(&self) -> u64 {
+        self.revocations
     }
 }
 
@@ -171,6 +196,33 @@ mod tests {
         // polling time.
         assert_eq!(no_poll_16 / no_poll_8, 2);
         assert!(poll_16 > 2 * poll_8);
+    }
+
+    #[test]
+    fn seized_lock_queues_arrivals_until_revocation() {
+        let mut l = ContendedLock::new(0);
+        // Holder acquires at 0 and dies in its critical section; the
+        // survivor's bounded-grant timeout revokes the lock at 500.
+        let g = l.acquire(0, 50);
+        assert_eq!(g.end, 50);
+        l.seize_until(500);
+        assert_eq!(l.free_at(), 500);
+        assert_eq!(l.revocations(), 1);
+        // An arrival during the dead hold waits out the seizure.
+        let g2 = l.acquire(100, 50);
+        assert_eq!(g2.start, 500);
+        assert_eq!(g2.queued_ahead, 1);
+        // After repair the lock behaves normally again.
+        let g3 = l.acquire(1000, 50);
+        assert_eq!(g3, LockGrant { start: 1000, end: 1050, queued_ahead: 0 });
+    }
+
+    #[test]
+    fn seize_on_idle_lock_blocks_until_deadline() {
+        let mut l = ContendedLock::new(0);
+        l.seize_until(300);
+        let g = l.acquire(10, 5);
+        assert_eq!(g.start, 300);
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //! * [`chrome_trace`] — the same timeline as a chrome://tracing /
 //!   Perfetto-compatible JSON event array (`ph: "X"` complete events,
 //!   one track per worker, grouped by node).
+//!
+//! Faulted runs additionally carry a recovery timeline
+//! ([`resilience::RecoveryEvent`]): attach it to a report with
+//! [`ActivityReport::with_recovery`] and overlay it on a timeline with
+//! [`chrome_trace_with_recovery`] (`ph: "i"` instant markers).
 
 use cluster_sim::trace::{ActivityTotals, SegmentKind, Trace};
 use hier::stats::RunStats;
+use resilience::RecoveryEvent;
 
 /// One worker's row of an [`ActivityReport`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,6 +43,9 @@ pub struct WorkerActivity {
     pub lock_time_ns: u64,
     /// RMA atomic operations issued.
     pub rma_ops: u64,
+    /// Recovery actions performed on behalf of dead peers (lease
+    /// reclaims and lock repairs).
+    pub reclaims: u64,
 }
 
 /// One node's lock-activity row of an [`ActivityReport`].
@@ -54,6 +63,8 @@ pub struct NodeActivity {
     pub lock_contended: u64,
     /// Failed lock-poll attempts at the local-queue lock.
     pub lock_polls: u64,
+    /// Window-lock grants revoked from dead holders.
+    pub lock_revocations: u64,
 }
 
 /// Everything the paper's Figures 2/3 break down per worker, in one
@@ -77,6 +88,10 @@ pub struct ActivityReport {
     /// workers with zero failed polls, bucket `i >= 1` counts workers
     /// with `2^(i-1) <= polls < 2^i`.
     pub lock_poll_histogram: Vec<u64>,
+    /// Recovery timeline of the run (crashes, lease expiries,
+    /// reclaims, failovers, lock repairs), time-ordered. Empty for
+    /// fault-free runs. Attach with [`ActivityReport::with_recovery`].
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// Place `value` in its log2 bucket (0 for zero, `i` for
@@ -118,6 +133,7 @@ impl ActivityReport {
                     lock_polls: counters.lock_polls,
                     lock_time_ns: counters.lock_time_ns,
                     rma_ops: counters.rma_ops,
+                    reclaims: counters.reclaims,
                 }
             })
             .collect();
@@ -132,6 +148,7 @@ impl ActivityReport {
                 lock_acquisitions: n.lock_acquisitions,
                 lock_contended: n.lock_contended,
                 lock_polls: n.lock_polls,
+                lock_revocations: n.lock_revocations,
             })
             .collect();
         let compute: Vec<f64> = worker_rows.iter().map(|w| w.totals.compute as f64).collect();
@@ -155,7 +172,16 @@ impl ActivityReport {
             lock_poll_histogram: log2_histogram(worker_rows.iter().map(|w| w.lock_polls)),
             workers: worker_rows,
             nodes: node_rows,
+            recovery: Vec::new(),
         }
+    }
+
+    /// Attach a run's recovery timeline (e.g. `SimResult::recovery` or
+    /// `LiveResult::recovery`) so the report and its JSON carry the
+    /// fault story alongside the activity totals.
+    pub fn with_recovery(mut self, events: &[RecoveryEvent]) -> Self {
+        self.recovery = events.to_vec();
+        self
     }
 
     /// Serialise as a self-contained JSON document.
@@ -171,7 +197,7 @@ impl ActivityReport {
                 "    {{\"worker\": {}, \"compute_ns\": {}, \"sched_ns\": {}, \
                  \"sync_ns\": {}, \"idle_ns\": {}, \"iterations\": {}, \
                  \"sub_chunks\": {}, \"global_fetches\": {}, \"lock_polls\": {}, \
-                 \"lock_time_ns\": {}, \"rma_ops\": {}}}{}\n",
+                 \"lock_time_ns\": {}, \"rma_ops\": {}, \"reclaims\": {}}}{}\n",
                 w.worker,
                 w.totals.compute,
                 w.totals.sched,
@@ -183,6 +209,7 @@ impl ActivityReport {
                 w.lock_polls,
                 w.lock_time_ns,
                 w.rma_ops,
+                w.reclaims,
                 comma(i, self.workers.len())
             ));
         }
@@ -191,13 +218,14 @@ impl ActivityReport {
             out.push_str(&format!(
                 "    {{\"node\": {}, \"deposits\": {}, \"sub_chunks\": {}, \
                  \"lock_acquisitions\": {}, \"lock_contended\": {}, \
-                 \"lock_polls\": {}}}{}\n",
+                 \"lock_polls\": {}, \"lock_revocations\": {}}}{}\n",
                 n.node,
                 n.deposits,
                 n.sub_chunks,
                 n.lock_acquisitions,
                 n.lock_contended,
                 n.lock_polls,
+                n.lock_revocations,
                 comma(i, self.nodes.len())
             ));
         }
@@ -205,7 +233,18 @@ impl ActivityReport {
         for (i, b) in self.lock_poll_histogram.iter().enumerate() {
             out.push_str(&format!("{}{}", b, comma(i, self.lock_poll_histogram.len())));
         }
-        out.push_str("]\n}\n");
+        out.push_str("],\n  \"recovery\": [\n");
+        for (i, e) in self.recovery.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"at_ns\": {}, \"rank\": {}, \"kind\": \"{}\", \"detail\": \"{}\"}}{}\n",
+                e.at_ns(),
+                e.rank(),
+                e.label(),
+                escape(&e.to_string()),
+                comma(i, self.recovery.len())
+            ));
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 }
@@ -235,6 +274,50 @@ pub fn chrome_trace(trace: &Trace, workers_per_node: u32) -> String {
             s.worker / wpn,
             s.worker,
             comma(i, segments.len())
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Like [`chrome_trace`], with a run's recovery timeline overlaid as
+/// Perfetto *instant* events (`"ph": "i"`, thread scope): a marker on
+/// the victim's track for crashes and lease expiries, on the acting
+/// survivor's track for reclaims, failovers and lock repairs — so the
+/// timeline shows who reclaimed what, when, amid the activity
+/// segments.
+pub fn chrome_trace_with_recovery(
+    trace: &Trace,
+    workers_per_node: u32,
+    recovery: &[RecoveryEvent],
+) -> String {
+    let wpn = workers_per_node.max(1);
+    let mut out = chrome_trace(trace, workers_per_node);
+    if recovery.is_empty() {
+        return out;
+    }
+    // Splice the instant events into the existing JSON array.
+    let tail = out.rfind("]\n").unwrap_or(out.len());
+    out.truncate(tail);
+    if trace.segments().is_empty() {
+        // No trailing comma to add after an empty segment list.
+    } else {
+        // The last segment line has no trailing comma; add one.
+        let last_line = out.trim_end().len();
+        out.truncate(last_line);
+        out.push_str(",\n");
+    }
+    for (i, e) in recovery.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"cat\": \"recovery\", \"ph\": \"i\", \"s\": \"t\", \
+             \"ts\": {}, \"pid\": {}, \"tid\": {}, \
+             \"args\": {{\"detail\": \"{}\"}}}}{}\n",
+            e.label(),
+            fmt_f64(e.at_ns() as f64 / 1e3),
+            e.rank() / wpn,
+            e.rank(),
+            escape(&e.to_string()),
+            comma(i, recovery.len())
         ));
     }
     out.push_str("]\n");
@@ -332,6 +415,46 @@ mod tests {
     fn log2_histogram_buckets() {
         assert_eq!(log2_histogram([0, 1, 2, 3, 4, 7, 8]), vec![1, 1, 2, 2, 1]);
         assert!(log2_histogram([]).is_empty());
+    }
+
+    #[test]
+    fn recovery_rows_serialise() {
+        let (tr, mut stats) = sample();
+        stats.workers[0].reclaims = 1;
+        stats.nodes[0].lock_revocations = 1;
+        let events = [
+            RecoveryEvent::Crash { rank: 1, at_ns: 40, holding_lock: true },
+            RecoveryEvent::LockRepair { node: 0, dead_holder: 1, by: 0, at_ns: 90 },
+        ];
+        let r = ActivityReport::build("chaos", &tr, &stats, 2).with_recovery(&events);
+        assert_eq!(r.workers[0].reclaims, 1);
+        assert_eq!(r.nodes[0].lock_revocations, 1);
+        let json = r.to_json();
+        assert!(json.contains("\"kind\": \"crash-holding-lock\""));
+        assert!(json.contains("\"kind\": \"lock-repair\""));
+        assert!(json.contains("\"reclaims\": 1"));
+        assert!(json.contains("\"lock_revocations\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_overlays_recovery_instants() {
+        let (tr, _) = sample();
+        let events = [
+            RecoveryEvent::Crash { rank: 1, at_ns: 50, holding_lock: false },
+            RecoveryEvent::Reclaim { by: 0, owner: 1, lo: 4, hi: 8, at_ns: 110 },
+        ];
+        let out = chrome_trace_with_recovery(&tr, 1, &events);
+        assert_eq!(out.matches("\"ph\": \"X\"").count(), tr.segments().len());
+        assert_eq!(out.matches("\"ph\": \"i\"").count(), 2);
+        assert!(out.contains("\"name\": \"reclaim\""));
+        // The reclaim marker sits on the reclaimer's track.
+        assert!(out.contains("\"ph\": \"i\", \"s\": \"t\", \"ts\": 0.11, \"pid\": 0, \"tid\": 0"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+        // Without events the output is exactly the plain trace.
+        assert_eq!(chrome_trace_with_recovery(&tr, 1, &[]), chrome_trace(&tr, 1));
     }
 
     #[test]

@@ -67,13 +67,14 @@ pub use cluster_sim;
 pub use dls;
 pub use hier;
 pub use mpisim;
+pub use resilience;
 pub use workloads;
 
 pub use schedule::{HierSchedule, HierScheduleBuilder};
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::export::{chrome_trace, ActivityReport};
+    pub use crate::export::{chrome_trace, chrome_trace_with_recovery, ActivityReport};
     pub use crate::figures::{self, FigurePoint};
     pub use crate::report::ScalingStudy;
     pub use crate::schedule::{HierSchedule, HierScheduleBuilder};
@@ -82,6 +83,7 @@ pub mod prelude {
     pub use hier::live::LiveResult;
     pub use hier::sim::SimResult;
     pub use hier::{Approach, HierSpec};
+    pub use resilience::{FaultKind, FaultPlan, RecoveryEvent};
     pub use workloads::synthetic::Synthetic;
     pub use workloads::{CostTable, Mandelbrot, Psia, Workload};
 }

@@ -24,6 +24,7 @@ pub struct HierSchedule {
     weights: Vec<f64>,
     awf: Option<dls::adaptive::AwfVariant>,
     global_mode: hier::GlobalQueueMode,
+    faults: resilience::FaultPlan,
 }
 
 impl HierSchedule {
@@ -85,6 +86,7 @@ impl HierSchedule {
         cfg.weights = self.weights.clone();
         cfg.awf = self.awf;
         cfg.global_mode = self.global_mode;
+        cfg.faults = self.faults.clone();
         cfg
     }
 
@@ -116,6 +118,7 @@ impl HierSchedule {
         cfg.awf = self.awf;
         cfg.global_mode = self.global_mode;
         cfg.trace = self.trace;
+        cfg.faults = self.faults.clone();
         cfg
     }
 }
@@ -137,6 +140,7 @@ pub struct HierScheduleBuilder {
     weights: Vec<f64>,
     awf: Option<dls::adaptive::AwfVariant>,
     global_mode: hier::GlobalQueueMode,
+    faults: resilience::FaultPlan,
 }
 
 impl Default for HierScheduleBuilder {
@@ -156,6 +160,7 @@ impl Default for HierScheduleBuilder {
             weights: Vec::new(),
             awf: None,
             global_mode: hier::GlobalQueueMode::SingleAtomic,
+            faults: resilience::FaultPlan::none(),
         }
     }
 }
@@ -267,6 +272,16 @@ impl HierScheduleBuilder {
         self
     }
 
+    /// Inject faults (rank crashes, stragglers, message faults) from a
+    /// deterministic [`resilience::FaultPlan`]. Applies to `simulate`
+    /// (all execution models) and, for crashes, to MPI+MPI `run_live`;
+    /// recovery events land in the result's `recovery` timeline. The
+    /// default inert plan changes nothing.
+    pub fn faults(mut self, plan: resilience::FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> HierSchedule {
         HierSchedule {
@@ -283,6 +298,7 @@ impl HierScheduleBuilder {
             weights: self.weights,
             awf: self.awf,
             global_mode: self.global_mode,
+            faults: self.faults,
         }
     }
 }

@@ -114,7 +114,14 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<(u64, u64, Vec<SubChunk>)>) -> Live
     }
     // The message-passing models are comparison baselines; they do not
     // record timelines.
-    LiveResult { stats, checksum, executed, trace: cluster_sim::Trace::disabled(), rma: Vec::new() }
+    LiveResult {
+        stats,
+        checksum,
+        executed,
+        trace: cluster_sim::Trace::disabled(),
+        rma: Vec::new(),
+        recovery: Vec::new(),
+    }
 }
 
 /// Run the hierarchical master-worker model for real: rank 0 is the

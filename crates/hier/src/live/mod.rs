@@ -49,6 +49,14 @@ pub struct LiveConfig {
     /// gets, atomics) into [`LiveResult::rma`] for `rma-check`'s
     /// epoch-discipline and happens-before analyses.
     pub record_rma: bool,
+    /// Injected failures (MPI+MPI only: the baseline's fork-join team
+    /// has no per-thread recovery story — a crashed team member would
+    /// hang the region barrier, which is exactly the resilience argument
+    /// for the shared-window approach). Crash triggers count sub-chunks
+    /// (`after_sub_chunks` / `after_global_fetches`); stragglers slow
+    /// the kernel by busy-waiting. The empty plan is bit-identical to a
+    /// fault-free run.
+    pub faults: resilience::FaultPlan,
 }
 
 impl LiveConfig {
@@ -64,6 +72,7 @@ impl LiveConfig {
             global_mode: crate::config::GlobalQueueMode::SingleAtomic,
             trace: false,
             record_rma: false,
+            faults: resilience::FaultPlan::none(),
         }
     }
 }
@@ -87,6 +96,9 @@ pub struct LiveResult {
     /// The full RMA access log of the run (empty unless
     /// [`LiveConfig::record_rma`]), ready for `rma_check::check`.
     pub rma: Vec<mpisim::RmaRecord>,
+    /// Detection and repair actions taken during the run (empty unless
+    /// [`LiveConfig::faults`] injected something), time-ordered.
+    pub recovery: Vec<resilience::RecoveryEvent>,
 }
 
 /// Run a hierarchical loop for real, dispatching on the approach.

@@ -31,8 +31,34 @@ const TAKEN: usize = 5;
 /// cumulative iterations and cumulative time in ns.
 const HIST_BASE: usize = 6;
 
-fn local_slots(wpn: u32) -> usize {
+/// Start of the lease area: per local rank, four slots —
+/// `[lo, hi, epoch, heartbeat]`. An odd epoch means the range
+/// `[lo, hi)` is granted but not completed; the owner bumps it even on
+/// completion (settled at its next queue poll), a reclaimer bumps it
+/// even when re-depositing a dead owner's range. The heartbeat ticks on
+/// every queue poll — piggybacked liveness, no extra messages.
+fn lease_base(wpn: u32) -> usize {
     HIST_BASE + 2 * wpn as usize
+}
+
+const LEASE_LO: usize = 0;
+const LEASE_HI: usize = 1;
+const LEASE_EPOCH: usize = 2;
+const HEARTBEAT: usize = 3;
+
+fn lease_slot(wpn: u32, local: u32, field: usize) -> usize {
+    lease_base(wpn) + 4 * local as usize + field
+}
+
+/// Which local rank currently holds the refill role (valid while
+/// `REFILLING == 1`); lets survivors detect a refiller that died
+/// between claiming the role and depositing.
+fn refiller_slot(wpn: u32) -> usize {
+    lease_base(wpn) + 4 * wpn as usize
+}
+
+fn local_slots(wpn: u32) -> usize {
+    refiller_slot(wpn) + 1
 }
 
 // Global window slot indices (on world rank 0).
@@ -58,6 +84,47 @@ struct RankOutcome {
     trace: Trace,
     /// When this rank left the main loop, in ns since the run epoch.
     finish_ns: u64,
+    /// Recovery actions this rank performed (lease reclaims + lock
+    /// repairs).
+    reclaims: u64,
+    /// Crash / detection / repair events this rank observed.
+    recovery: Vec<resilience::RecoveryEvent>,
+}
+
+/// Acquire the node-window lock. Fault-free runs use the blocking FIFO
+/// path untouched; under an active fault plan the acquisition is a
+/// bounded-poll loop so a lock abandoned by a dead holder is detected
+/// (after `detect_polls` failed attempts) and revoked via
+/// [`Window::repair_lock`]. Returns the dead holder's local rank when
+/// *this* call performed a repair.
+fn lock_queue(
+    win: &Window,
+    node_comm: &mpisim::Comm,
+    plan_active: bool,
+    detect_polls: u32,
+) -> mpisim::Result<Option<u32>> {
+    if !plan_active {
+        win.lock(LockKind::Exclusive, 0)?;
+        return Ok(None);
+    }
+    let mut repaired = None;
+    let mut polls = 0u32;
+    loop {
+        if win.try_lock_exclusive(0)? {
+            return Ok(repaired);
+        }
+        polls += 1;
+        if polls >= detect_polls {
+            polls = 0;
+            if let Some(h) = win.exclusive_holder(0)? {
+                if node_comm.is_failed(h) && win.repair_lock(0)? {
+                    repaired = Some(h);
+                }
+            }
+            std::thread::yield_now();
+        }
+        std::hint::spin_loop();
+    }
 }
 
 /// Run the MPI+MPI approach with real threads.
@@ -79,6 +146,7 @@ pub fn run_live_mpi_mpi(
     let do_trace = cfg.trace;
     let rma_log = cfg.record_rma.then(RmaLog::new);
     let log_for_ranks = rma_log.clone();
+    let faults = cfg.faults.clone();
     let epoch = Instant::now();
 
     let outcomes = Universe::run(topology, move |p| -> mpisim::Result<RankOutcome> {
@@ -120,13 +188,61 @@ pub fn run_live_mpi_mpi(
             win_stats: RankWinStats::default(),
             trace: if do_trace { Trace::recording() } else { Trace::disabled() },
             finish_ns: 0,
+            reclaims: 0,
+            recovery: Vec::new(),
         };
+
+        let plan_active = faults.is_active();
+        let detect_polls = faults.recovery.detect_polls;
+        let my_local = node_comm.rank();
+        let my_node = p.node_id();
+        let world_of = |local: u32| my_node * wpn + local;
+        let straggle = faults.straggle_factor(me, u64::MAX);
+        // Mirror of my own LEASE_EPOCH slot — single-writer while alive.
+        let mut my_epoch: i64 = 0;
+        let mut fetches_done: u32 = 0;
 
         loop {
             // ---- probe the local queue under the window lock ----
             let probe_start = now();
-            local_win.lock(LockKind::Exclusive, 0)?;
+            if let Some(h) = lock_queue(&local_win, &node_comm, plan_active, detect_polls)? {
+                out.reclaims += 1;
+                out.recovery.push(resilience::RecoveryEvent::LockRepair {
+                    node: my_node,
+                    dead_holder: world_of(h),
+                    by: me,
+                    at_ns: now(),
+                });
+            }
             local_win.sync();
+            if plan_active {
+                // Settle my previous grant (the sub-chunk it covered is
+                // done — this poll is the completion acknowledgement)
+                // and tick the piggybacked heartbeat.
+                if my_epoch % 2 == 1 {
+                    my_epoch += 1;
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_EPOCH), my_epoch)?;
+                }
+                let hb_slot = lease_slot(wpn, my_local, HEARTBEAT);
+                let hb = local_win.get(0, hb_slot)?;
+                local_win.put(0, hb_slot, hb + 1)?;
+                if faults
+                    .crash_holding_lock_after(me)
+                    .is_some_and(|k| out.sub_chunks >= u64::from(k))
+                {
+                    // Die inside the critical section: mark the failure
+                    // and leave without unlocking — survivors must
+                    // detect the abandoned grant and repair the lock.
+                    node_comm.mark_failed();
+                    local_win.sync();
+                    out.recovery.push(resilience::RecoveryEvent::Crash {
+                        rank: me,
+                        at_ns: now(),
+                        holding_lock: true,
+                    });
+                    break;
+                }
+            }
             let lo = local_win.get(0, LO)? as u64;
             let hi = local_win.get(0, HI)? as u64;
             let step = local_win.get(0, STEP)? as u64;
@@ -154,20 +270,55 @@ pub fn run_live_mpi_mpi(
                 let size = crate::queue::sub_chunk_size_for(&technique, len, wpn, step, taken, ctx);
                 local_win.put(0, STEP, (step + 1) as i64)?;
                 local_win.put(0, TAKEN, (taken + size) as i64)?;
+                let sub = SubChunk { start: lo + taken, end: lo + taken + size };
+                if plan_active {
+                    // Record the grant as a lease *in the same critical
+                    // section as the take*: if this rank dies before the
+                    // next poll settles it, the odd epoch plus the dead
+                    // flag tell survivors exactly which range was lost.
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_LO), sub.start as i64)?;
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_HI), sub.end as i64)?;
+                    my_epoch += 1; // odd: active
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_EPOCH), my_epoch)?;
+                    if faults
+                        .crash_after_sub_chunks(me)
+                        .is_some_and(|k| out.sub_chunks + 1 >= u64::from(k))
+                    {
+                        // Die after taking, before executing: the queue
+                        // counters already account the range to this
+                        // rank, so only the lease can get it back.
+                        node_comm.mark_failed();
+                        local_win.sync();
+                        local_win.unlock(LockKind::Exclusive, 0)?;
+                        out.recovery.push(resilience::RecoveryEvent::Crash {
+                            rank: me,
+                            at_ns: now(),
+                            holding_lock: false,
+                        });
+                        break;
+                    }
+                }
                 local_win.sync();
                 local_win.unlock(LockKind::Exclusive, 0)?;
                 out.trace.record(me, probe_start, now(), SegmentKind::Sched);
-                let sub = SubChunk { start: lo + taken, end: lo + taken + size };
                 let started = std::time::Instant::now();
                 let compute_start = now();
                 execute(workload, &sub, &mut out);
+                if straggle > 1.0 {
+                    // Injected straggler: stretch the kernel time to
+                    // `straggle`× by busy-waiting out the difference.
+                    let target = started.elapsed().mul_f64(straggle);
+                    while started.elapsed() < target {
+                        std::hint::spin_loop();
+                    }
+                }
                 out.trace.record(me, compute_start, now(), SegmentKind::Compute);
                 if awf.is_some() {
                     // Charge the measured kernel time to the shared
                     // history (AWF-C style: per chunk completion).
                     let elapsed = started.elapsed().as_nanos().min(i64::MAX as u128) as i64;
                     let hist_start = now();
-                    local_win.lock(LockKind::Exclusive, 0)?;
+                    lock_queue(&local_win, &node_comm, plan_active, detect_polls)?;
                     // Unified-model visibility: sync before reading
                     // counters peers put under their own epochs (the
                     // rma-check MissingSync rule flags the read-modify-
@@ -188,6 +339,69 @@ pub fn run_live_mpi_mpi(
 
             let global_done = local_win.get(0, GLOBAL_DONE)? != 0;
             let refilling = local_win.get(0, REFILLING)? != 0;
+            if plan_active {
+                // Queue drained: scan peer leases for a range stranded
+                // by a dead owner before exiting, backing off, or
+                // refilling. The queue holds one range, so reclaim one
+                // lease per poll; the next poll picks up any others.
+                let mut reclaimed = false;
+                for r in (0..wpn).filter(|&r| r != my_local && node_comm.is_failed(r)) {
+                    let e = local_win.get(0, lease_slot(wpn, r, LEASE_EPOCH))?;
+                    if e % 2 == 1 {
+                        let rlo = local_win.get(0, lease_slot(wpn, r, LEASE_LO))?;
+                        let rhi = local_win.get(0, lease_slot(wpn, r, LEASE_HI))?;
+                        local_win.put(0, LO, rlo)?;
+                        local_win.put(0, HI, rhi)?;
+                        local_win.put(0, STEP, 0)?;
+                        local_win.put(0, TAKEN, 0)?;
+                        local_win.put(0, lease_slot(wpn, r, LEASE_EPOCH), e + 1)?;
+                        local_win.note_reclaim();
+                        out.reclaims += 1;
+                        out.deposits += 1;
+                        let at = now();
+                        out.recovery.push(resilience::RecoveryEvent::LeaseExpired {
+                            owner: world_of(r),
+                            lo: rlo as u64,
+                            hi: rhi as u64,
+                            at_ns: at,
+                        });
+                        out.recovery.push(resilience::RecoveryEvent::Reclaim {
+                            by: me,
+                            owner: world_of(r),
+                            lo: rlo as u64,
+                            hi: rhi as u64,
+                            at_ns: at,
+                        });
+                        reclaimed = true;
+                        break;
+                    }
+                }
+                if reclaimed {
+                    local_win.sync();
+                    local_win.unlock(LockKind::Exclusive, 0)?;
+                    out.trace.record(me, probe_start, now(), SegmentKind::Sched);
+                    continue;
+                }
+                if refilling {
+                    // Refill in flight: if the rank that claimed the
+                    // role died before depositing, fail the role over
+                    // (its fetched chunk, if any, sits in its lease and
+                    // was reclaimed by the scan above).
+                    let rr = local_win.get(0, refiller_slot(wpn))? as u32;
+                    if node_comm.is_failed(rr) {
+                        local_win.put(0, REFILLING, 0)?;
+                        local_win.sync();
+                        local_win.unlock(LockKind::Exclusive, 0)?;
+                        out.recovery.push(resilience::RecoveryEvent::RefillFailover {
+                            node: my_node,
+                            from: world_of(rr),
+                            at_ns: now(),
+                        });
+                        out.trace.record(me, probe_start, now(), SegmentKind::Sched);
+                        continue;
+                    }
+                }
+            }
             if global_done {
                 local_win.unlock(LockKind::Exclusive, 0)?;
                 out.trace.record(me, probe_start, now(), SegmentKind::Sched);
@@ -204,6 +418,9 @@ pub fn run_live_mpi_mpi(
             }
             // This worker becomes the refiller.
             local_win.put(0, REFILLING, 1)?;
+            if plan_active {
+                local_win.put(0, refiller_slot(wpn), i64::from(my_local))?;
+            }
             local_win.sync();
             local_win.unlock(LockKind::Exclusive, 0)?;
 
@@ -218,7 +435,7 @@ pub fn run_live_mpi_mpi(
                     // completes the operation at the target before the
                     // local deposit proceeds.
                     let my_step = global_win.fetch_and_op(0, GSTEP, 1, mpisim::RmaOp::Sum)? as u64;
-                    global_win.flush(0);
+                    global_win.flush(0)?;
                     dls::single_counter::assignment(&spec.inter, &inter_spec, my_step)
                         .map(|(start, len)| (start, start + len))
                 }
@@ -246,8 +463,41 @@ pub fn run_live_mpi_mpi(
                 }
             };
 
+            if plan_active && fetched.is_some() {
+                fetches_done += 1;
+                if faults.crash_as_refiller_after(me).is_some_and(|g| fetches_done >= g) {
+                    // Die as the refiller: the global step is already
+                    // consumed, so the fetched chunk exists only in this
+                    // rank's lease. Publish it and stop — REFILLING
+                    // stays set until a survivor fails the role over.
+                    let (clo, chi) = fetched.unwrap_or((0, 0));
+                    lock_queue(&local_win, &node_comm, plan_active, detect_polls)?;
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_LO), clo as i64)?;
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_HI), chi as i64)?;
+                    my_epoch += 1; // odd: active
+                    local_win.put(0, lease_slot(wpn, my_local, LEASE_EPOCH), my_epoch)?;
+                    node_comm.mark_failed();
+                    local_win.sync();
+                    local_win.unlock(LockKind::Exclusive, 0)?;
+                    out.recovery.push(resilience::RecoveryEvent::Crash {
+                        rank: me,
+                        at_ns: now(),
+                        holding_lock: false,
+                    });
+                    break;
+                }
+            }
+
             // ---- deposit (or mark the node done) ----
-            local_win.lock(LockKind::Exclusive, 0)?;
+            if let Some(h) = lock_queue(&local_win, &node_comm, plan_active, detect_polls)? {
+                out.reclaims += 1;
+                out.recovery.push(resilience::RecoveryEvent::LockRepair {
+                    node: my_node,
+                    dead_holder: world_of(h),
+                    by: me,
+                    at_ns: now(),
+                });
+            }
             match fetched {
                 Some((clo, chi)) => {
                     out.global_fetches += 1;
@@ -289,6 +539,7 @@ pub fn run_live_mpi_mpi(
             rma_atomic_ops: lw.rma_atomic_ops + gw.rma_atomic_ops,
             puts: lw.puts + gw.puts,
             gets: lw.gets + gw.gets,
+            reclaims: lw.reclaims + gw.reclaims,
         };
         Ok(out)
     });
@@ -313,6 +564,7 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>, rma: Vec<RmaRecord>) 
     let mut checksum = 0u64;
     let mut executed = Vec::new();
     let mut trace = if cfg.trace { Trace::recording() } else { Trace::disabled() };
+    let mut recovery = Vec::new();
     let makespan_ns = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(0);
     for o in outcomes {
         let w = o.worker as usize;
@@ -322,6 +574,8 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>, rma: Vec<RmaRecord>) 
         stats.workers[w].lock_polls = o.win_stats.failed_polls;
         stats.workers[w].lock_time_ns = o.win_stats.lock_wait_ns + o.win_stats.lock_held_ns;
         stats.workers[w].rma_ops = o.win_stats.rma_atomic_ops;
+        stats.workers[w].reclaims = o.reclaims;
+        recovery.extend(o.recovery.iter().copied());
         let node = &mut stats.nodes[o.node as usize];
         node.deposits += o.deposits;
         node.sub_chunks += o.sub_chunks;
@@ -340,7 +594,8 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>, rma: Vec<RmaRecord>) 
         // Pad the tail so every worker's timeline spans the makespan.
         trace.record(o.worker, o.finish_ns, makespan_ns, SegmentKind::Idle);
     }
-    LiveResult { stats, checksum, executed, trace, rma }
+    recovery.sort_by_key(resilience::RecoveryEvent::at_ns);
+    LiveResult { stats, checksum, executed, trace, rma, recovery }
 }
 
 #[cfg(test)]

@@ -280,7 +280,7 @@ fn aggregate(cfg: &LiveConfig, outcomes: Vec<NodeOutcome>, rma: Vec<RmaRecord>) 
         stats.nodes[o.node as usize].deposits = o.deposits;
         stats.global_accesses += o.global_accesses;
     }
-    LiveResult { stats, checksum, executed, trace, rma }
+    LiveResult { stats, checksum, executed, trace, rma, recovery: Vec::new() }
 }
 
 #[cfg(test)]

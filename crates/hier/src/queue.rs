@@ -148,6 +148,17 @@ impl LocalQueue {
         self.sub_chunks += 1;
         Some(SubChunk { start, end: start + size })
     }
+
+    /// Remove and return every not-yet-handed-out iteration range —
+    /// the un-taken tail of each deposited chunk. Used by the recovery
+    /// layer when a node loses its last live worker: the stranded
+    /// ranges migrate to a surviving node's queue for re-execution.
+    pub fn drain_remaining(&mut self) -> Vec<(u64, u64)> {
+        let out =
+            self.ranges.iter().filter(|r| !r.is_empty()).map(|r| (r.lo + r.taken, r.hi)).collect();
+        self.ranges.clear();
+        out
+    }
 }
 
 /// Sub-chunk size for a deposited chunk of `range_len` iterations over
@@ -280,6 +291,17 @@ mod tests {
         // A live range is unaffected.
         assert_eq!(sub_chunk_size(&t, 100, 4, 0, 99), 1);
         assert!(sub_chunk_size(&Technique::gss(), 100, 4, 0, 0) > 0);
+    }
+
+    #[test]
+    fn drain_remaining_returns_untaken_tails() {
+        let mut q = LocalQueue::new();
+        q.deposit(0, 10);
+        q.deposit(50, 60);
+        q.take_sub_chunk(&Technique::static_(), 2).unwrap(); // takes [0, 5)
+        assert_eq!(q.drain_remaining(), vec![(5, 10), (50, 60)]);
+        assert!(q.is_empty());
+        assert_eq!(q.drain_remaining(), Vec::new());
     }
 
     #[test]

@@ -37,6 +37,9 @@ enum Event {
     ChunkArrive(u32, Option<(u64, u64)>),
     /// A reply with a sub-chunk (or exhaustion) reaches worker `w`.
     Reply(u32, Option<(u64, u64)>),
+    /// A dead worker's chunk lease timed out (fault injection only).
+    /// The masters are modelled as reliable; only workers crash.
+    Reclaim { lease: resilience::LeaseId },
 }
 
 struct MasterState {
@@ -89,6 +92,25 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
     let mut finish_time = vec![0 as Time; total_workers as usize];
     let mut request_sent = vec![0 as Time; total_workers as usize];
 
+    // Fault-injection state: only workers crash (the masters are
+    // modelled reliable — the paper's related-work schemes assume a
+    // living master). A chunk replied to a worker that dies before
+    // completing it is leased and re-issued by the master once the
+    // lease times out.
+    let plan_active = cfg.faults.is_active();
+    let rp = cfg.faults.recovery;
+    let mut dead = vec![false; total_workers as usize];
+    let mut done = vec![false; total_workers as usize];
+    let mut reclaim_pool: Vec<(u64, u64)> = Vec::new();
+    let mut leases = resilience::LeaseTable::new();
+    let mut recovery: Vec<resilience::RecoveryEvent> = Vec::new();
+    let crash_time = |w: u32| -> Option<Time> {
+        match (cfg.faults.crash_at(w), cfg.faults.crash_holding_lock_at(w)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    };
+
     for w in 0..total_workers {
         request_sent[w as usize] = 0;
         let lat = if flat { m.net.latency_ns } else { m.intra_msg_latency_ns };
@@ -96,12 +118,61 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
     }
 
     while let Some((t, ev)) = events.pop() {
+        // Fault layer: drop events of dead workers (leasing any chunk
+        // still in flight to the corpse) and kill workers whose crash
+        // time has passed.
+        if plan_active {
+            let actor = match ev {
+                Event::RequestArrive(w) | Event::Reply(w, _) => Some(w),
+                _ => None,
+            };
+            if let Some(w) = actor {
+                let lease_in_flight = |leases: &mut resilience::LeaseTable,
+                                       events: &mut EventQueue<Event>,
+                                       at: Time| {
+                    if let Event::Reply(_, Some((lo, hi))) = ev {
+                        // The master detects the undeliverable reply
+                        // and leases the chunk for re-issue.
+                        let id = leases.grant(w, lo, hi, at);
+                        events.push(at + rp.lease_timeout_ns, Event::Reclaim { lease: id });
+                    }
+                };
+                if dead[w as usize] {
+                    lease_in_flight(&mut leases, &mut events, t);
+                    continue;
+                }
+                if let Some(ct) = crash_time(w).filter(|&ct| ct <= t) {
+                    dead[w as usize] = true;
+                    finish_time[w as usize] = ct;
+                    recovery.push(resilience::RecoveryEvent::Crash {
+                        rank: w,
+                        at_ns: ct,
+                        holding_lock: false,
+                    });
+                    lease_in_flight(&mut leases, &mut events, ct);
+                    // Last live worker of a node: the local master's
+                    // remaining queue has nobody to serve — lease it
+                    // out for migration (hierarchical only).
+                    let node = (w / wpn) as usize;
+                    if !flat && (0..wpn as usize).all(|l| dead[node * wpn as usize + l]) {
+                        for (lo, hi) in locals[node].queue.drain_remaining() {
+                            let id = leases.grant(w, lo, hi, ct);
+                            events.push(ct + rp.lease_timeout_ns, Event::Reclaim { lease: id });
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
         match ev {
             Event::RequestArrive(w) if flat => {
-                // Served directly by the global master.
+                // Served directly by the global master. Reclaimed
+                // chunks are re-issued before fresh ones.
                 let (_, served) = global_master.request(t, m.master_service_ns);
                 stats.global_accesses += 1;
-                let payload = if global_state.exhausted(&global_spec) {
+                let payload = if let Some(range) = reclaim_pool.pop() {
+                    Some(range)
+                } else if global_state.exhausted(&global_spec) {
                     None
                 } else {
                     let size = cfg.spec.inter.chunk_size(
@@ -208,20 +279,105 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
                 trace.record(w, request_sent[w as usize], t, SegmentKind::Sched);
                 match payload {
                     Some((lo, hi)) => {
-                        let cost = cfg.scaled_cost(w, table.range_cost(lo, hi));
+                        let cost = cfg.cost_at(w, t, table.range_cost(lo, hi));
+                        if plan_active {
+                            if let Some(ct) = crash_time(w).filter(|&ct| ct < t + cost) {
+                                // Took the chunk, died before finishing
+                                // it: lease it so the master re-issues
+                                // the whole range after the timeout.
+                                dead[w as usize] = true;
+                                finish_time[w as usize] = ct;
+                                trace.record(w, t, ct, SegmentKind::Compute);
+                                recovery.push(resilience::RecoveryEvent::Crash {
+                                    rank: w,
+                                    at_ns: ct,
+                                    holding_lock: false,
+                                });
+                                let id = leases.grant(w, lo, hi, t);
+                                events.push(ct + rp.lease_timeout_ns, Event::Reclaim { lease: id });
+                                let node = (w / wpn) as usize;
+                                if !flat && (0..wpn as usize).all(|l| dead[node * wpn as usize + l])
+                                {
+                                    for (qlo, qhi) in locals[node].queue.drain_remaining() {
+                                        let id = leases.grant(w, qlo, qhi, ct);
+                                        events.push(
+                                            ct + rp.lease_timeout_ns,
+                                            Event::Reclaim { lease: id },
+                                        );
+                                    }
+                                }
+                                continue;
+                            }
+                        }
                         trace.record(w, t, t + cost, SegmentKind::Compute);
                         stats.workers[w as usize].iterations += hi - lo;
                         stats.workers[w as usize].sub_chunks += 1;
                         if cfg.record_chunks {
                             executed.push((w, crate::queue::SubChunk { start: lo, end: hi }));
                         }
-                        let done = t + cost;
-                        request_sent[w as usize] = done;
+                        let fin = t + cost;
+                        request_sent[w as usize] = fin;
                         let lat = if flat { m.net.latency_ns } else { m.intra_msg_latency_ns };
-                        events.push(done + lat, Event::RequestArrive(w));
+                        events.push(
+                            fin + lat + cfg.faults.message_delay(w, fin),
+                            Event::RequestArrive(w),
+                        );
                     }
                     None => {
                         finish_time[w as usize] = t;
+                        done[w as usize] = true;
+                    }
+                }
+            }
+            Event::Reclaim { lease } => {
+                let Some(&resilience::Lease { owner, state, .. }) = leases.get(lease) else {
+                    continue;
+                };
+                if state != resilience::LeaseState::Active {
+                    continue;
+                }
+                // Elect the surviving worker the re-issued chunk goes
+                // to: prefer the dead owner's node (hierarchical),
+                // prefer ranks without a pending crash of their own.
+                let pick = |ni: usize| {
+                    (0..wpn)
+                        .map(|l| ni as u32 * wpn + l)
+                        .find(|&u| !dead[u as usize] && !cfg.faults.crashes(u))
+                };
+                let by = if flat {
+                    (0..total_workers)
+                        .find(|&u| !dead[u as usize] && !cfg.faults.crashes(u))
+                        .or_else(|| (0..total_workers).find(|&u| !dead[u as usize]))
+                } else {
+                    pick((owner / wpn) as usize)
+                        .or_else(|| (0..nodes as usize).find_map(pick))
+                        .or_else(|| (0..total_workers).find(|&u| !dead[u as usize]))
+                };
+                let Some(by) = by else {
+                    continue; // nobody left alive to reclaim
+                };
+                let (lo, hi) = leases.reclaim(lease, by).expect("lease checked active");
+                recovery.push(resilience::RecoveryEvent::LeaseExpired { owner, lo, hi, at_ns: t });
+                recovery.push(resilience::RecoveryEvent::Reclaim { by, owner, lo, hi, at_ns: t });
+                stats.workers[by as usize].reclaims += 1;
+                if flat {
+                    reclaim_pool.push((lo, hi));
+                    if done[by as usize] {
+                        done[by as usize] = false;
+                        request_sent[by as usize] = t;
+                        events.push(t + m.net.latency_ns, Event::RequestArrive(by));
+                    }
+                } else {
+                    let target = (by / wpn) as usize;
+                    locals[target].queue.deposit(lo, hi);
+                    stats.nodes[target].deposits += 1;
+                    for l in 0..wpn {
+                        let u = target as u32 * wpn + l;
+                        if !dead[u as usize] && done[u as usize] {
+                            done[u as usize] = false;
+                            request_sent[u as usize] = t;
+                            events.push(t + m.intra_msg_latency_ns, Event::RequestArrive(u));
+                        }
                     }
                 }
             }
@@ -234,7 +390,7 @@ fn simulate_master_worker_inner(cfg: &SimConfig, table: &CostTable, flat: bool) 
     }
     stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
 
-    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed, rma: Vec::new() }
+    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed, rma: Vec::new(), recovery }
 }
 
 #[cfg(test)]

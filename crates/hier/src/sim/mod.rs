@@ -210,6 +210,11 @@ pub struct SimConfig {
     /// produce (lock/sync/get/put/atomic per transaction) into
     /// [`SimResult::rma`] for `rma-check`.
     pub record_rma: bool,
+    /// Injected failures (rank crashes, stragglers, message faults) and
+    /// the recovery-protocol timeouts. [`resilience::FaultPlan::none`]
+    /// (the default) leaves every executor bit-for-bit identical to the
+    /// fault-free run.
+    pub faults: resilience::FaultPlan,
 }
 
 impl SimConfig {
@@ -235,6 +240,7 @@ impl SimConfig {
             omp_nowait: false,
             perturb: Perturbation::default(),
             record_rma: false,
+            faults: resilience::FaultPlan::none(),
         }
     }
 
@@ -242,6 +248,18 @@ impl SimConfig {
         match self.slowdown.get(worker as usize) {
             Some(&f) if f != 1.0 => (raw as f64 * f).round().max(1.0) as Time,
             _ => raw,
+        }
+    }
+
+    /// [`SimConfig::scaled_cost`] further scaled by any straggler fault
+    /// active on `worker` at virtual time `now`.
+    pub(crate) fn cost_at(&self, worker: u32, now: Time, raw: u64) -> Time {
+        let base = self.scaled_cost(worker, raw);
+        let f = self.faults.straggle_factor(worker, now);
+        if f == 1.0 {
+            base
+        } else {
+            (base as f64 * f).round().max(1.0) as Time
         }
     }
 }
@@ -264,6 +282,10 @@ pub struct SimResult {
     /// Synthesized RMA access log of the modelled protocol (empty
     /// unless `SimConfig::record_rma`), ready for `rma_check::check`.
     pub rma: Vec<mpisim::RmaRecord>,
+    /// Detection and repair actions taken during the run (empty unless
+    /// `SimConfig::faults` is active): crashes, lease expiries,
+    /// reclaims, refill failovers, lock repairs — time-ordered.
+    pub recovery: Vec<resilience::RecoveryEvent>,
 }
 
 impl SimResult {

@@ -50,6 +50,21 @@ enum Event {
     /// Worker's RMA response arrived: deposit `Some((lo, hi))`, or mark
     /// the node globally done on `None`.
     Deposit(u32, Option<(u64, u64)>),
+    /// A recovery-protocol timeout fired (fault injection only).
+    Recover(RecoverAction),
+}
+
+/// What a survivor does when a recovery timeout expires.
+enum RecoverAction {
+    /// A dead worker's leased chunk timed out: re-deposit its range
+    /// into a surviving node's queue for re-execution.
+    ReclaimChunk { lease: resilience::LeaseId },
+    /// The node's refill stalled (the refiller died mid-fetch): clear
+    /// the flag so a surviving worker takes over the responsibility.
+    ClearRefill { node: usize, from: u32 },
+    /// The bounded-grant timeout on the node window's FIFO ticket lock
+    /// expired with a dead holder inside: revoke its grant.
+    Repair { node: usize, dead_holder: u32 },
 }
 
 struct NodeState {
@@ -93,6 +108,16 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
     let mut tape = RmaTape::new(cfg.record_rma);
     let single_atomic = cfg.global_mode == crate::config::GlobalQueueMode::SingleAtomic;
 
+    // Fault-injection state. With an inert plan every branch below is
+    // dead and the run is bit-for-bit the fault-free one.
+    let plan_active = cfg.faults.is_active();
+    let rp = cfg.faults.recovery;
+    let mut dead = vec![false; total_workers as usize];
+    let mut done = vec![false; total_workers as usize];
+    let mut drop_used = vec![false; total_workers as usize];
+    let mut leases = resilience::LeaseTable::new();
+    let mut recovery: Vec<resilience::RecoveryEvent> = Vec::new();
+
     if cfg.record_rma {
         for w in 0..total_workers {
             let node_idx = (w / wpn) as usize;
@@ -135,7 +160,11 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                        executed: &mut Vec<(u32, crate::queue::SubChunk)>,
                        events: &mut EventQueue<Event>,
                        jitter: &mut Jitter,
-                       tape: &mut RmaTape| {
+                       tape: &mut RmaTape,
+                       dead: &mut [bool],
+                       finish_time: &mut [Time],
+                       leases: &mut resilience::LeaseTable,
+                       recovery: &mut Vec<resilience::RecoveryEvent>| {
         let local = w % wpn;
         // AWF is *adaptive weighted factoring*: it replaces the intra
         // technique with WF driven by the learned weights.
@@ -146,7 +175,43 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
         let ctx = dls::technique::WorkerCtx { worker: local, weight };
         let sub =
             node.queue.take_sub_chunk_for(&technique, wpn, ctx).expect("caller checked non-empty");
-        let cost = cfg.scaled_cost(w, table.range_cost(sub.start, sub.end));
+        let cost = cfg.cost_at(w, grant_end, table.range_cost(sub.start, sub.end));
+        if let Some(ct) = cfg.faults.crash_at(w).filter(|&ct| ct < grant_end + cost) {
+            // Took the sub-chunk under the lock, then died before
+            // finishing it: the queue counters advanced, so without a
+            // lease these iterations would be silently lost. Grant the
+            // lease at the take and let its timeout trigger the reclaim.
+            let died = ct.max(grant_end);
+            dead[w as usize] = true;
+            finish_time[w as usize] = died;
+            if died > grant_end {
+                trace.record(w, grant_end, died, SegmentKind::Compute);
+            }
+            recovery.push(resilience::RecoveryEvent::Crash {
+                rank: w,
+                at_ns: died,
+                holding_lock: false,
+            });
+            let rp = cfg.faults.recovery;
+            let id = leases.grant(w, sub.start, sub.end, grant_end);
+            events.push(
+                died + rp.lease_timeout_ns,
+                Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+            );
+            // Last live worker of the node: its queued-but-untaken
+            // ranges would be stranded in the dead node's window, so
+            // lease them out for migration too.
+            if (0..wpn as usize).all(|l| dead[node_idx * wpn as usize + l]) {
+                for (lo, hi) in node.queue.drain_remaining() {
+                    let id = leases.grant(w, lo, hi, died);
+                    events.push(
+                        died + rp.lease_timeout_ns,
+                        Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+                    );
+                }
+            }
+            return;
+        }
         if let Some(h) = &mut node.awf {
             h.record(local, sub.len(), cost, sched_ns);
         }
@@ -181,10 +246,117 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
     };
 
     while let Some((t, ev)) = events.pop() {
+        // Fault layer: drop events of dead workers, and kill a worker
+        // whose scheduled crash time has passed — with recovery wired
+        // to the protocol role it died in.
+        if plan_active {
+            let actor = match ev {
+                Event::TryLocal(w) | Event::GlobalArrive(w) | Event::Deposit(w, _) => Some(w),
+                Event::Recover(_) => None,
+            };
+            if let Some(w) = actor {
+                if dead[w as usize] {
+                    continue;
+                }
+                if let Some(ct) = cfg.faults.crash_at(w).filter(|&ct| ct <= t) {
+                    let node_idx = (w / wpn) as usize;
+                    dead[w as usize] = true;
+                    finish_time[w as usize] = ct;
+                    recovery.push(resilience::RecoveryEvent::Crash {
+                        rank: w,
+                        at_ns: ct,
+                        holding_lock: false,
+                    });
+                    match ev {
+                        // Idle between probes: nothing held, nothing lost.
+                        Event::TryLocal(_) => {}
+                        // Died as the refiller before the fetch reached
+                        // the global queue: the request is lost and the
+                        // refilling flag stays set until survivors time
+                        // the stalled refill out.
+                        Event::GlobalArrive(_) => {
+                            events.push(
+                                ct + rp.lease_timeout_ns,
+                                Event::Recover(RecoverAction::ClearRefill {
+                                    node: node_idx,
+                                    from: w,
+                                }),
+                            );
+                        }
+                        // Died with a fetched chunk in hand: the global
+                        // counters already advanced but the deposit
+                        // never happened — the lost-chunk hazard the
+                        // lease closes.
+                        Event::Deposit(_, payload) => {
+                            if let Some((lo, hi)) = payload {
+                                let id = leases.grant(w, lo, hi, ct);
+                                events.push(
+                                    ct + rp.lease_timeout_ns,
+                                    Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+                                );
+                            }
+                            events.push(
+                                ct + rp.lease_timeout_ns,
+                                Event::Recover(RecoverAction::ClearRefill {
+                                    node: node_idx,
+                                    from: w,
+                                }),
+                            );
+                        }
+                        Event::Recover(_) => unreachable!("recover events have no actor"),
+                    }
+                    // Node lost its last live worker: migrate the
+                    // stranded local queue via leases.
+                    if (0..wpn as usize).all(|l| dead[node_idx * wpn as usize + l]) {
+                        for (lo, hi) in node_states[node_idx].queue.drain_remaining() {
+                            let id = leases.grant(w, lo, hi, ct);
+                            events.push(
+                                ct + rp.lease_timeout_ns,
+                                Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+                            );
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
         match ev {
             Event::TryLocal(w) => {
                 let node_idx = (w / wpn) as usize;
                 let node = &mut node_states[node_idx];
+                if plan_active && cfg.faults.crash_holding_lock_at(w).is_some_and(|ct| ct <= t) {
+                    // Dies inside the critical section on its first
+                    // lock acquisition past the fault time: the FIFO
+                    // ticket lock stays seized by the corpse until a
+                    // waiter's bounded-grant timeout expires and the
+                    // grant is revoked.
+                    let grant = node.lock.acquire(t, m.shm_lock_hold_ns);
+                    stats.nodes[node_idx].lock_acquisitions += 1;
+                    let repair_at = grant.start + rp.lock_grant_timeout_ns;
+                    node.lock.seize_until(repair_at);
+                    dead[w as usize] = true;
+                    finish_time[w as usize] = grant.start;
+                    trace.record(w, t, grant.start, SegmentKind::Sched);
+                    recovery.push(resilience::RecoveryEvent::Crash {
+                        rank: w,
+                        at_ns: grant.start,
+                        holding_lock: true,
+                    });
+                    events.push(
+                        repair_at,
+                        Event::Recover(RecoverAction::Repair { node: node_idx, dead_holder: w }),
+                    );
+                    if (0..wpn as usize).all(|l| dead[node_idx * wpn as usize + l]) {
+                        for (lo, hi) in node.queue.drain_remaining() {
+                            let id = leases.grant(w, lo, hi, grant.start);
+                            events.push(
+                                grant.start + rp.lease_timeout_ns,
+                                Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+                            );
+                        }
+                    }
+                    continue;
+                }
                 // One MPI_Win_lock / update / MPI_Win_sync / unlock cycle.
                 let grant = node.lock.acquire(t, m.shm_lock_hold_ns);
                 stats.nodes[node_idx].lock_acquisitions += 1;
@@ -205,6 +377,10 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                         &mut events,
                         &mut jitter,
                         &mut tape,
+                        &mut dead,
+                        &mut finish_time,
+                        &mut leases,
+                        &mut recovery,
                     );
                 } else {
                     // An empty probe reads the queue counters and both
@@ -229,6 +405,7 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                             &[UNLOCK],
                         );
                         finish_time[w as usize] = grant.end;
+                        done[w as usize] = true;
                     } else if !node.refilling
                         && (cfg.refill == super::RefillPolicy::Fastest || w % wpn == 0)
                     {
@@ -244,7 +421,23 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                             &[put(REFILLING), RmaEvent::Sync, UNLOCK],
                         );
                         node.refilling = true;
-                        events.push(grant.end + m.net.latency_ns, Event::GlobalArrive(w));
+                        let mut depart =
+                            grant.end + m.net.latency_ns + cfg.faults.message_delay(w, grant.end);
+                        if plan_active {
+                            if let Some(dt) = cfg.faults.message_drop_at(w) {
+                                if !drop_used[w as usize] && grant.end >= dt {
+                                    // The fetch request vanishes on the
+                                    // wire; the refiller re-issues it
+                                    // after the lease timeout. A double
+                                    // fetch would be safe anyway — the
+                                    // global counter just hands out the
+                                    // next chunk.
+                                    drop_used[w as usize] = true;
+                                    depart += rp.lease_timeout_ns;
+                                }
+                            }
+                        }
+                        events.push(depart, Event::GlobalArrive(w));
                     } else {
                         // A peer's refill is in flight: re-probe shortly.
                         tape.tx_slice_then(
@@ -272,8 +465,12 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                     crate::config::GlobalQueueMode::SingleAtomic => 0,
                     crate::config::GlobalQueueMode::LockedCounters => 2 * m.net.rma_round_trip(),
                 };
-                let done = served + m.net.latency_ns + m.chunk_calc_ns + mode_extra;
-                trace.record(w, t, done, SegmentKind::Sched);
+                let resp = served
+                    + m.net.latency_ns
+                    + m.chunk_calc_ns
+                    + mode_extra
+                    + cfg.faults.message_delay(w, served);
+                trace.record(w, t, resp, SegmentKind::Sched);
                 let exhausted = global_state.exhausted(&inter_spec);
                 // The RMA transaction at the global queue's host, keyed
                 // by its serialized service completion so exclusive
@@ -314,7 +511,48 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                     stats.workers[w as usize].global_fetches += 1;
                     Some((chunk.start, chunk.end()))
                 };
-                events.push(done, Event::Deposit(w, payload));
+                if plan_active {
+                    if let Some(k) = cfg.faults.crash_as_refiller_after(w) {
+                        if stats.workers[w as usize].global_fetches >= u64::from(k) {
+                            // Dies right after the fetch-and-op lands:
+                            // the global counters advanced but the
+                            // chunk never reaches the node queue.
+                            let node_idx = (w / wpn) as usize;
+                            dead[w as usize] = true;
+                            finish_time[w as usize] = served;
+                            recovery.push(resilience::RecoveryEvent::Crash {
+                                rank: w,
+                                at_ns: served,
+                                holding_lock: false,
+                            });
+                            if let Some((lo, hi)) = payload {
+                                let id = leases.grant(w, lo, hi, served);
+                                events.push(
+                                    served + rp.lease_timeout_ns,
+                                    Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+                                );
+                            }
+                            events.push(
+                                served + rp.lease_timeout_ns,
+                                Event::Recover(RecoverAction::ClearRefill {
+                                    node: node_idx,
+                                    from: w,
+                                }),
+                            );
+                            if (0..wpn as usize).all(|l| dead[node_idx * wpn as usize + l]) {
+                                for (lo, hi) in node_states[node_idx].queue.drain_remaining() {
+                                    let id = leases.grant(w, lo, hi, served);
+                                    events.push(
+                                        served + rp.lease_timeout_ns,
+                                        Event::Recover(RecoverAction::ReclaimChunk { lease: id }),
+                                    );
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                }
+                events.push(resp, Event::Deposit(w, payload));
             }
             Event::Deposit(w, payload) => {
                 let node_idx = (w / wpn) as usize;
@@ -357,6 +595,10 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                             &mut events,
                             &mut jitter,
                             &mut tape,
+                            &mut dead,
+                            &mut finish_time,
+                            &mut leases,
+                            &mut recovery,
                         );
                     }
                     None => {
@@ -371,12 +613,94 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
                         // deposited by racing peers; re-probe once.
                         if node.queue.is_empty() {
                             finish_time[w as usize] = grant.end;
+                            done[w as usize] = true;
                         } else {
                             events.push(grant.end + jitter.delay(w), Event::TryLocal(w));
                         }
                     }
                 }
             }
+            Event::Recover(action) => match action {
+                RecoverAction::ReclaimChunk { lease } => {
+                    let Some(&resilience::Lease { owner, state, .. }) = leases.get(lease) else {
+                        continue;
+                    };
+                    if state != resilience::LeaseState::Active {
+                        continue;
+                    }
+                    // Elect the reclaiming survivor: prefer the dead
+                    // owner's own node (its shared window keeps the
+                    // queue reachable), prefer ranks without a pending
+                    // crash of their own, fall back to any live rank.
+                    let pick = |ni: usize| {
+                        (0..wpn)
+                            .map(|l| ni as u32 * wpn + l)
+                            .find(|&u| !dead[u as usize] && !cfg.faults.crashes(u))
+                    };
+                    let by = pick((owner / wpn) as usize)
+                        .or_else(|| (0..nodes as usize).find_map(pick))
+                        .or_else(|| (0..total_workers).find(|&u| !dead[u as usize]));
+                    let Some(by) = by else {
+                        continue; // nobody left alive to reclaim
+                    };
+                    let (lo, hi) = leases.reclaim(lease, by).expect("lease checked active");
+                    let target = (by / wpn) as usize;
+                    recovery.push(resilience::RecoveryEvent::LeaseExpired {
+                        owner,
+                        lo,
+                        hi,
+                        at_ns: t,
+                    });
+                    recovery.push(resilience::RecoveryEvent::Reclaim {
+                        by,
+                        owner,
+                        lo,
+                        hi,
+                        at_ns: t,
+                    });
+                    stats.workers[by as usize].reclaims += 1;
+                    node_states[target].queue.deposit(lo, hi);
+                    stats.nodes[target].deposits += 1;
+                    // Wake the target node's already-finished workers so
+                    // the re-deposited range gets executed.
+                    for l in 0..wpn {
+                        let u = target as u32 * wpn + l;
+                        if !dead[u as usize] && done[u as usize] {
+                            done[u as usize] = false;
+                            events.push(t + jitter.delay(u), Event::TryLocal(u));
+                        }
+                    }
+                }
+                RecoverAction::ClearRefill { node: ni, from } => {
+                    let node = &mut node_states[ni];
+                    if node.refilling {
+                        node.refilling = false;
+                        recovery.push(resilience::RecoveryEvent::RefillFailover {
+                            node: ni as u32,
+                            from,
+                            at_ns: t,
+                        });
+                    }
+                }
+                RecoverAction::Repair { node: ni, dead_holder } => {
+                    // The analytic lock already released the seized
+                    // grant at this timestamp; attribute the revocation
+                    // to the node's first surviving waiter.
+                    let by = (0..wpn)
+                        .map(|l| ni as u32 * wpn + l)
+                        .find(|&u| !dead[u as usize])
+                        .or_else(|| (0..total_workers).find(|&u| !dead[u as usize]));
+                    if let Some(by) = by {
+                        recovery.push(resilience::RecoveryEvent::LockRepair {
+                            node: ni as u32,
+                            dead_holder,
+                            by,
+                            at_ns: t,
+                        });
+                        stats.workers[by as usize].reclaims += 1;
+                    }
+                }
+            },
         }
     }
 
@@ -387,6 +711,7 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
     stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
     for (i, node) in node_states.iter().enumerate() {
         stats.nodes[i].lock_polls = node.lock.polls();
+        stats.nodes[i].lock_revocations = node.lock.revocations();
     }
     let lock_poll_penalty = node_states.iter().map(|n| n.lock.total_penalty()).sum();
 
@@ -398,7 +723,7 @@ pub fn simulate_mpi_mpi(cfg: &SimConfig, table: &CostTable) -> SimResult {
         }
     }
 
-    SimResult { makespan, stats, trace, lock_poll_penalty, executed, rma: tape.finish() }
+    SimResult { makespan, stats, trace, lock_poll_penalty, executed, rma: tape.finish(), recovery }
 }
 
 #[cfg(test)]

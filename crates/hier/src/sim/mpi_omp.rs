@@ -27,9 +27,13 @@ fn put(disp: usize) -> RmaEvent {
     RmaEvent::Put { target: 0, disp, len: 1 }
 }
 
-/// The single event kind: node `n`'s master thread's RMA request reaches
-/// the global queue's host.
-struct FetchArrive(u32);
+enum Event {
+    /// Node `n`'s master thread's RMA request reaches the global
+    /// queue's host.
+    FetchArrive(u32),
+    /// A dead node's chunk lease timed out (fault injection only).
+    Reclaim { lease: resilience::LeaseId },
+}
 
 /// Run the MPI+OpenMP approach in virtual time.
 pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
@@ -53,6 +57,30 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
     let mut jitter = Jitter::new(cfg.perturb, threads, total_workers);
     let mut tape = RmaTape::new(cfg.record_rma);
 
+    // Fault-injection state. Under MPI+OpenMP a crash of *any* thread
+    // kills its whole node — the OpenMP team dies with the MPI process.
+    // Crashes take effect at protocol-step boundaries (fetch, deposit,
+    // end of region), the same discretization the model checker uses.
+    let plan_active = cfg.faults.is_active();
+    let rp = cfg.faults.recovery;
+    let mut dead_node = vec![false; nodes as usize];
+    let mut reclaim_queue: Vec<(u64, u64)> = Vec::new();
+    let mut leases = resilience::LeaseTable::new();
+    let mut recovery: Vec<resilience::RecoveryEvent> = Vec::new();
+    // Earliest crash fault on any of the node's threads.
+    let node_crash = |node: u32| -> Option<(Time, u32)> {
+        (0..threads)
+            .filter_map(|i| {
+                let w = node * threads + i;
+                let c = match (cfg.faults.crash_at(w), cfg.faults.crash_holding_lock_at(w)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }?;
+                Some((c, w))
+            })
+            .min()
+    };
+
     if cfg.record_rma {
         // Window ranks are the node masters (one MPI process per node).
         for node in 0..nodes {
@@ -61,32 +89,113 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
     }
 
     for node in 0..nodes {
-        events.push(m.net.latency_ns + jitter.delay(node * threads), FetchArrive(node));
+        events.push(m.net.latency_ns + jitter.delay(node * threads), Event::FetchArrive(node));
     }
 
-    while let Some((t, FetchArrive(node))) = events.pop() {
+    while let Some((t, ev)) = events.pop() {
+        let node = match ev {
+            Event::FetchArrive(n) => n,
+            Event::Reclaim { lease } => {
+                let Some(&resilience::Lease { owner, state, .. }) = leases.get(lease) else {
+                    continue;
+                };
+                if state != resilience::LeaseState::Active {
+                    continue;
+                }
+                // Hand the expired lease's range to the first surviving
+                // node's master and wake it.
+                let Some(target) = (0..nodes).find(|&n| !dead_node[n as usize]) else {
+                    continue; // nobody left alive to reclaim
+                };
+                let by = target * threads;
+                let (lo, hi) = leases.reclaim(lease, by).expect("lease checked active");
+                recovery.push(resilience::RecoveryEvent::LeaseExpired { owner, lo, hi, at_ns: t });
+                recovery.push(resilience::RecoveryEvent::Reclaim { by, owner, lo, hi, at_ns: t });
+                stats.workers[by as usize].reclaims += 1;
+                reclaim_queue.push((lo, hi));
+                events.push(t + m.net.latency_ns, Event::FetchArrive(target));
+                continue;
+            }
+        };
+        if plan_active {
+            if dead_node[node as usize] {
+                continue;
+            }
+            if let Some((c, rank)) = node_crash(node).filter(|&(c, _)| c <= t) {
+                // Died at (or before) this fetch boundary: regions
+                // completed earlier are counted, nothing is in hand.
+                let at = c.max(region_ends[node as usize]);
+                dead_node[node as usize] = true;
+                node_finish[node as usize] = at;
+                recovery.push(resilience::RecoveryEvent::Crash {
+                    rank,
+                    at_ns: at,
+                    holding_lock: false,
+                });
+                continue;
+            }
+        }
         let (_, served) = global_q.request(t, m.rma_service_ns);
         stats.global_accesses += 1;
-        let fetched_at = served + m.net.latency_ns + m.chunk_calc_ns;
         let master = node * threads;
+        let fetched_at =
+            served + m.net.latency_ns + m.chunk_calc_ns + cfg.faults.message_delay(master, served);
         trace.record(master, t - m.net.latency_ns, fetched_at, SegmentKind::Sched);
 
         let lock = RmaEvent::Lock { kind: LockKind::Exclusive, target: 0 };
         let unlock = RmaEvent::Unlock { kind: LockKind::Exclusive, target: 0 };
-        if global_state.exhausted(&inter_spec) {
+        // Reclaimed ranges take priority over fresh global chunks.
+        let reclaimed = if plan_active { reclaim_queue.pop() } else { None };
+        if reclaimed.is_none() && global_state.exhausted(&inter_spec) {
             tape.tx(served, 0, node, &[lock, get(GSTEP), get(GSCHED), unlock]);
             node_finish[node as usize] = fetched_at;
             continue;
         }
-        tape.tx(served, 0, node, &[lock, get(GSTEP), get(GSCHED), put(GSTEP), put(GSCHED), unlock]);
-        let size = cfg.spec.inter.chunk_size(
-            &inter_spec,
-            global_state,
-            dls::technique::WorkerCtx::default(),
-        );
-        let chunk = global_state.take(&inter_spec, size).expect("not exhausted");
-        stats.workers[master as usize].global_fetches += 1;
+        let (c_lo, c_hi) = match reclaimed {
+            Some(range) => range,
+            None => {
+                tape.tx(
+                    served,
+                    0,
+                    node,
+                    &[lock, get(GSTEP), get(GSCHED), put(GSTEP), put(GSCHED), unlock],
+                );
+                let size = cfg.spec.inter.chunk_size(
+                    &inter_spec,
+                    global_state,
+                    dls::technique::WorkerCtx::default(),
+                );
+                let chunk = global_state.take(&inter_spec, size).expect("not exhausted");
+                stats.workers[master as usize].global_fetches += 1;
+                (chunk.start, chunk.end())
+            }
+        };
         stats.nodes[node as usize].deposits += 1;
+
+        if plan_active {
+            // Died with the fetched chunk in hand (before the team
+            // starts the region), or on the fetch that a CrashAsRefiller
+            // fault targets: the chunk is lost until its lease expires.
+            let in_hand = node_crash(node).filter(|&(c, _)| c <= fetched_at).or_else(|| {
+                cfg.faults.crash_as_refiller_after(master).and_then(|k| {
+                    (stats.workers[master as usize].global_fetches >= u64::from(k))
+                        .then_some((served, master))
+                })
+            });
+            if let Some((c, rank)) = in_hand {
+                let at = c.max(region_ends[node as usize]);
+                dead_node[node as usize] = true;
+                node_finish[node as usize] = at;
+                recovery.push(resilience::RecoveryEvent::Crash {
+                    rank,
+                    at_ns: at,
+                    holding_lock: false,
+                });
+                let id = leases.grant(rank, c_lo, c_hi, served);
+                events.push(at + rp.lease_timeout_ns, Event::Reclaim { lease: id });
+                continue;
+            }
+        }
 
         // While the master is in MPI, the rest of the team sits at the
         // region boundary.
@@ -95,15 +204,15 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
             trace.record(w, region_ends[node as usize], fetched_at, SegmentKind::Sync);
         }
 
-        // ---- OpenMP worksharing region over [chunk.start, chunk.end) ----
+        // ---- OpenMP worksharing region over [c_lo, c_hi) ----
         let region_start = fetched_at;
         let finishes = run_team(
             cfg,
             table,
             node,
             threads,
-            chunk.start,
-            chunk.end(),
+            c_lo,
+            c_hi,
             region_start,
             &mut stats,
             &mut executed,
@@ -118,7 +227,7 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
             trace.record(w, f, region_end, SegmentKind::Sync);
         }
         region_ends[node as usize] = region_end;
-        events.push(region_end + m.net.latency_ns + jitter.delay(master), FetchArrive(node));
+        events.push(region_end + m.net.latency_ns + jitter.delay(master), Event::FetchArrive(node));
     }
 
     let makespan = node_finish.iter().copied().max().unwrap_or(0);
@@ -130,7 +239,15 @@ pub fn simulate_mpi_omp(cfg: &SimConfig, table: &CostTable) -> SimResult {
     }
     stats.total_iterations = stats.workers.iter().map(|w| w.iterations).sum();
 
-    SimResult { makespan, stats, trace, lock_poll_penalty: 0, executed, rma: tape.finish() }
+    SimResult {
+        makespan,
+        stats,
+        trace,
+        lock_poll_penalty: 0,
+        executed,
+        rma: tape.finish(),
+        recovery,
+    }
 }
 
 /// Execute one chunk over the team; returns each thread's finish time.
@@ -163,7 +280,7 @@ fn run_team(
             let e = (s + block).min(hi);
             let mut finish = start;
             if s < e {
-                let cost = cfg.scaled_cost(w, table.range_cost(s, e));
+                let cost = cfg.cost_at(w, start, table.range_cost(s, e));
                 trace.record(w, start, start + cost, SegmentKind::Compute);
                 stats.workers[w as usize].iterations += e - s;
                 stats.workers[w as usize].sub_chunks += 1;
@@ -199,7 +316,7 @@ fn run_team(
             break;
         };
         trace.record(w, clocks[i], dispatched, SegmentKind::Sched);
-        let cost = cfg.scaled_cost(w, table.range_cost(sub.start, sub.end));
+        let cost = cfg.cost_at(w, dispatched, table.range_cost(sub.start, sub.end));
         trace.record(w, dispatched, dispatched + cost, SegmentKind::Compute);
         stats.workers[w as usize].iterations += sub.len();
         stats.workers[w as usize].sub_chunks += 1;

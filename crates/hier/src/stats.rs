@@ -19,6 +19,9 @@ pub struct WorkerStats {
     /// RMA atomic operations (`MPI_Fetch_and_op`, `MPI_Compare_and_swap`,
     /// `MPI_Accumulate`) this worker issued (live backends only).
     pub rma_ops: u64,
+    /// Recovery actions this worker performed on behalf of dead peers:
+    /// expired leases reclaimed plus window locks repaired.
+    pub reclaims: u64,
 }
 
 /// Per-node counters.
@@ -35,6 +38,9 @@ pub struct NodeStats {
     /// Failed lock-poll attempts at the local-queue lock — the
     /// lock-attempt message count behind the paper's `X+SS` pathology.
     pub lock_polls: u64,
+    /// Lock grants revoked from dead holders by the recovery protocol
+    /// (fault injection only).
+    pub lock_revocations: u64,
 }
 
 /// Aggregate statistics of one hierarchical run.

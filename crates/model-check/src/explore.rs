@@ -147,14 +147,20 @@ pub fn explore(cfg: &Config, opts: &Options) -> Outcome {
     };
     search.index.insert(search.arena[0], 0);
     let mut frontier: VecDeque<u32> = VecDeque::from([0]);
-    let por_active = opts.por && cfg.variant == Variant::Correct;
+    // Crash transitions are global (any process, any node), so the
+    // node-local independence argument behind the ample sets does not
+    // hold under a crash budget.
+    let por_active = opts.por && cfg.variant == Variant::Correct && cfg.crash_budget == 0;
 
     'bfs: while let Some(idx) = frontier.pop_front() {
         let s = search.arena[idx as usize];
         let enabled = cfg.enabled_pids(&s);
         if enabled.is_empty() {
-            let stuck: Vec<u8> =
-                (0..cfg.n_procs()).filter(|&p| !matches!(s.procs[p as usize], Pc::Done)).collect();
+            // A corpse is terminated, not stuck — deadlock is about
+            // live processes that can never move again.
+            let stuck: Vec<u8> = (0..cfg.n_procs())
+                .filter(|&p| !matches!(s.procs[p as usize], Pc::Done | Pc::Crashed { .. }))
+                .collect();
             if stuck.is_empty() {
                 out.terminals += 1;
                 if let Err(v) = cfg.check_terminal(&s) {
@@ -271,14 +277,17 @@ fn check_livelock(cfg: &Config, search: &Search, adj: &[Vec<(u8, u32)>], out: &m
     let scc_id = tarjan(adj);
     let n = adj.len();
     // Per SCC: stepper pid mask, always-enabled pid mask, a member.
-    let mut steppers: HashMap<u32, u8> = HashMap::new();
-    let mut always: HashMap<u32, u8> = HashMap::new();
+    // u16: crash pseudo-pids reach 2 * MAX_PROCS - 1 = 11 (a crash
+    // edge can never sit on a cycle — `crashes_used` only grows — but
+    // the mask must hold the label without overflowing the shift).
+    let mut steppers: HashMap<u32, u16> = HashMap::new();
+    let mut always: HashMap<u32, u16> = HashMap::new();
     let mut member: HashMap<u32, u32> = HashMap::new();
     for u in 0..n {
         let id = scc_id[u];
         for &(pid, v) in &adj[u] {
             if scc_id[v as usize] == id {
-                *steppers.entry(id).or_insert(0) |= 1 << pid;
+                *steppers.entry(id).or_insert(0) |= 1u16 << pid;
             }
         }
     }
@@ -286,10 +295,12 @@ fn check_livelock(cfg: &Config, search: &Search, adj: &[Vec<(u8, u32)>], out: &m
         if !steppers.contains_key(&id) {
             continue; // trivial SCC, no internal edge
         }
-        let mut mask = 0u8;
+        // Real pids only: crashes are adversarial, so fairness must
+        // never assume one eventually fires to escape a cycle.
+        let mut mask = 0u16;
         for pid in 0..cfg.n_procs() {
             if cfg.enabled(&search.arena[u], pid) {
-                mask |= 1 << pid;
+                mask |= 1u16 << pid;
             }
         }
         always.entry(id).and_modify(|m| *m &= mask).or_insert(mask);
@@ -300,7 +311,7 @@ fn check_livelock(cfg: &Config, search: &Search, adj: &[Vec<(u8, u32)>], out: &m
         let always_mask = always.get(&id).copied().unwrap_or(0);
         if always_mask & !step_mask == 0 {
             let spinners: Vec<u8> =
-                (0..cfg.n_procs()).filter(|&p| step_mask & (1 << p) != 0).collect();
+                (0..cfg.n_procs()).filter(|&p| step_mask & (1u16 << p) != 0).collect();
             out.violation = Some(Counterexample {
                 violation: Violation::Livelock { spinners },
                 trace: search.trace_to(member[&id], None),

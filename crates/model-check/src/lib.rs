@@ -10,7 +10,11 @@
 //! * [`model`] — the protocol as a compact transition system whose
 //!   chunk arithmetic is the real `dls` code, with seeded-broken
 //!   [`model::Variant`]s (unlocked refill, non-atomic FAA, lost
-//!   unlock);
+//!   unlock) and a bounded crash adversary
+//!   ([`model::Config::with_crashes`]) against graded
+//!   [`model::Recovery`] levels — proving the lease protocol
+//!   necessary (lease-free recovery loses iterations) and sufficient
+//!   (exactly-once and deadlock-free under crashes) at small scope;
 //! * [`explore`] — BFS over every reachable interleaving with state
 //!   hashing, optional ample-set partial-order reduction, deadlock
 //!   detection, weakly-fair livelock (non-progress SCC) detection and
@@ -42,5 +46,5 @@ pub mod model;
 pub mod replay;
 
 pub use explore::{explore, Counterexample, Options, Outcome};
-pub use model::{Config, Variant, Violation};
+pub use model::{Config, Recovery, Variant, Violation};
 pub use replay::{replay, Replay};

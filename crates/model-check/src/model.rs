@@ -26,6 +26,17 @@
 //!
 //! Each process has at most one enabled transition per state, so a
 //! transition is identified by the process id that takes it.
+//!
+//! ## Bounded crashes
+//!
+//! [`Config::with_crashes`] gives an adversary a budget of crash
+//! transitions, exposed as *pseudo process ids* `n_procs + q` (so the
+//! explorer and trace machinery need no special cases): stepping one
+//! kills process `q` at its current protocol point. What a crash may
+//! wedge — and which [`Recovery`] level un-wedges it — is the
+//! subsystem the `resilience` crate implements; the model pins its
+//! necessity (the lease-free protocol provably loses iterations) and
+//! its sufficiency at small scope.
 
 use dls::technique::WorkerCtx;
 use dls::{ChunkCalculator, Kind, LoopSpec, SchedState, Technique};
@@ -51,6 +62,34 @@ pub const MAX_N: u8 = 24;
 pub const FREE: u8 = 0xFF;
 /// `Pc::Deposit` payload meaning "global queue observed exhausted".
 pub const NONE_PAYLOAD: u8 = 0xFF;
+
+/// How much of the crash-recovery protocol the model includes — the
+/// knob separating the unpatched protocol's failure modes from the
+/// patched protocol's exactly-once guarantee.
+///
+/// Crashes themselves are enabled by [`Config::with_crashes`]: each
+/// crashable process gets a *pseudo process id* `n_procs + q` whose
+/// single transition kills process `q` at its current protocol point
+/// (crashes are adversarial — the explorer's fairness filter never
+/// assumes one must happen). Whole-node death is outside the model's
+/// recovery scope: the node queue lives in the node's shared segment,
+/// which dies with its last rank (the simulator's node-drain
+/// migration covers that case).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// No recovery: a crash wedges whatever the victim held. A dead
+    /// lock holder deadlocks its node; a dead refiller livelocks it.
+    None,
+    /// Lock repair and refill failover, but fetched chunks are not
+    /// leased: a refiller dying between its global `MPI_Fetch_and_op`
+    /// and its deposit silently loses the chunk — the pinned
+    /// [`Violation::LostIterations`] counterexample.
+    LeaseFree,
+    /// The full patch: the fetched chunk is published as a lease
+    /// atomically with the FAA that claimed it, and probing peers
+    /// reclaim a dead owner's lease back into the local queue.
+    Leases,
+}
 
 /// Which protocol to explore: the faithful one or a seeded bug.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,6 +245,18 @@ pub enum Pc {
     /// with no refill in flight — without the lock — and will commit
     /// to refilling next.
     ObservedEmpty,
+    /// Crashed. Under [`Recovery::Leases`] a refiller that died
+    /// between its global FAA and its deposit leaves the claimed
+    /// chunk `[lo, hi)` behind as a readable lease; otherwise the
+    /// payload is [`NONE_PAYLOAD`] (nothing recoverable — under
+    /// [`Recovery::LeaseFree`] the chunk evaporates with the victim,
+    /// which is exactly the FAA-publish recoverability boundary).
+    Crashed {
+        /// Leased chunk start, or [`NONE_PAYLOAD`].
+        lo: u8,
+        /// Leased chunk end, or [`NONE_PAYLOAD`].
+        hi: u8,
+    },
     /// Terminated.
     Done,
 }
@@ -226,6 +277,8 @@ pub struct State {
     pub procs: [Pc; MAX_PROCS],
     /// Per-node shared state (unused slots stay fresh).
     pub nodes: [NodeSt; MAX_NODES],
+    /// Crashes injected so far (bounded by [`Config::crash_budget`]).
+    pub crashes_used: u8,
 }
 
 /// A safety or liveness violation. Safety violations are returned by
@@ -373,6 +426,36 @@ pub enum Action {
     /// [`Variant::RefillWithoutLock`]: committed the refill decision
     /// made without the lock.
     CommitRefill,
+    /// A crash pseudo-transition killed `victim` at its current
+    /// protocol point.
+    Crash {
+        /// The process that died.
+        victim: u8,
+        /// Whether it died holding its node's window lock.
+        holding_lock: bool,
+    },
+    /// Seized the window lock abandoned by a dead holder (the model's
+    /// bounded-grant timeout plus `repair_lock`).
+    RepairLock {
+        /// The dead holder the lock was revoked from.
+        dead: u8,
+    },
+    /// Cleared the `refilling` flag abandoned by a dead refiller so a
+    /// live rank can re-elect itself.
+    RefillFailover {
+        /// The dead refiller.
+        dead: u8,
+    },
+    /// Re-deposited a dead owner's leased chunk into the local queue
+    /// ([`Recovery::Leases`] only).
+    Reclaim {
+        /// The dead lease owner.
+        owner: u8,
+        /// Reclaimed chunk start.
+        lo: u8,
+        /// Reclaimed chunk end.
+        hi: u8,
+    },
 }
 
 /// Events synthesized by a transition, in the executor's tape
@@ -394,6 +477,10 @@ pub struct Config {
     pub intra: Kind,
     /// Protocol variant.
     pub variant: Variant,
+    /// Most crashes the adversary may inject (0 = fault-free).
+    pub crash_budget: u8,
+    /// How much of the recovery protocol is modelled.
+    pub recovery: Recovery,
     inter_t: Technique,
     intra_t: Technique,
 }
@@ -431,6 +518,8 @@ impl Config {
             inter,
             intra,
             variant: Variant::Correct,
+            crash_budget: 0,
+            recovery: Recovery::None,
             inter_t: Technique::from_kind(inter),
             intra_t: Technique::from_kind(intra),
         }
@@ -438,7 +527,27 @@ impl Config {
 
     /// Same configuration with a different [`Variant`].
     pub fn with_variant(mut self, variant: Variant) -> Self {
+        assert!(
+            self.crash_budget == 0 || variant == Variant::Correct,
+            "crash modelling only composes with the correct variant"
+        );
         self.variant = variant;
+        self
+    }
+
+    /// Allow the adversary up to `budget` crashes (correct variant
+    /// only — the seeded bugs' counterexamples don't need an
+    /// adversary on top).
+    pub fn with_crashes(mut self, budget: u8) -> Self {
+        assert!(self.variant == Variant::Correct, "crash modelling requires the correct variant");
+        assert!(budget >= 1, "a zero crash budget is the default");
+        self.crash_budget = budget;
+        self
+    }
+
+    /// Select how much of the recovery protocol to model.
+    pub fn with_recovery(mut self, recovery: Recovery) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -486,6 +595,7 @@ impl Config {
             deposited: 0,
             procs,
             nodes: [NodeSt::fresh(); MAX_NODES],
+            crashes_used: 0,
         }
     }
 
@@ -493,16 +603,85 @@ impl Config {
         LoopSpec::new(u64::from(self.n_iters), u32::from(self.nodes))
     }
 
-    /// Whether `pid` has an enabled transition in `s`. Waiting and
-    /// terminated processes are passive; everything else can always
-    /// move (lock arrivals enqueue rather than block).
-    pub fn enabled(&self, s: &State, pid: u8) -> bool {
-        !matches!(s.procs[pid as usize], Pc::Done | Pc::WaitProbe | Pc::WaitDeposit { .. })
+    /// Protocol points a crash may land on. Waiters are excluded (an
+    /// enqueued rank holds nothing a peer can't already see), as are
+    /// variant-only states — crashes are discretized to the protocol
+    /// points the live executor's triggers fire at.
+    fn crashable(pc: Pc) -> bool {
+        matches!(pc, Pc::Probe | Pc::CritProbe | Pc::Fetch | Pc::Deposit { .. })
     }
 
-    /// Enabled process ids, ascending.
+    /// Whether `pid` has an enabled transition in `s`. Crashed and
+    /// terminated processes never move; waiters are passive unless
+    /// they are the FIFO front behind a dead holder (the repair
+    /// transition); everything else can always move (lock arrivals
+    /// enqueue rather than block). Pseudo-ids `n_procs + q` are the
+    /// adversary's crash transitions against process `q`.
+    pub fn enabled(&self, s: &State, pid: u8) -> bool {
+        let np = self.n_procs();
+        if pid >= np {
+            let q = pid - np;
+            return q < np
+                && s.crashes_used < self.crash_budget
+                && Self::crashable(s.procs[q as usize]);
+        }
+        match s.procs[pid as usize] {
+            Pc::Done | Pc::Crashed { .. } => false,
+            Pc::WaitProbe | Pc::WaitDeposit { .. } => {
+                if self.recovery == Recovery::None {
+                    return false;
+                }
+                let node = &s.nodes[usize::from(self.node_of(pid))];
+                node.n_waiters > 0
+                    && node.waiters[0] == pid
+                    && node.holder != FREE
+                    && matches!(s.procs[node.holder as usize], Pc::Crashed { .. })
+            }
+            _ => true,
+        }
+    }
+
+    /// Enabled process ids, ascending (crash pseudo-ids last).
     pub fn enabled_pids(&self, s: &State) -> Vec<u8> {
-        (0..self.n_procs()).filter(|&p| self.enabled(s, p)).collect()
+        let hi = if self.crash_budget > 0 { 2 * self.n_procs() } else { self.n_procs() };
+        (0..hi).filter(|&p| self.enabled(s, p)).collect()
+    }
+
+    /// The node-local lease left by a dead rank of node `ni`, if any
+    /// ([`Recovery::Leases`] only): `(owner, lo, hi)`.
+    fn leased_corpse(&self, procs: &[Pc; MAX_PROCS], ni: usize) -> Option<(u8, u8, u8)> {
+        if self.recovery != Recovery::Leases {
+            return None;
+        }
+        (0..self.n_procs()).filter(|&p| usize::from(self.node_of(p)) == ni).find_map(
+            |p| match procs[p as usize] {
+                Pc::Crashed { lo, hi } if lo != NONE_PAYLOAD => Some((p, lo, hi)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Whether node `ni`'s in-flight refill belongs to a corpse: the
+    /// `refilling` flag is up but no live rank of the node is anywhere
+    /// in the fetch → deposit chain. Returns the corpse to blame.
+    fn dead_refiller(&self, procs: &[Pc; MAX_PROCS], ni: usize, refilling: bool) -> Option<u8> {
+        if self.recovery == Recovery::None || !refilling {
+            return None;
+        }
+        let mut corpse = None;
+        for p in (0..self.n_procs()).filter(|&p| usize::from(self.node_of(p)) == ni) {
+            match procs[p as usize] {
+                Pc::Fetch
+                | Pc::FaaWrite { .. }
+                | Pc::Deposit { .. }
+                | Pc::WaitDeposit { .. }
+                | Pc::CritDeposit { .. }
+                | Pc::ObservedEmpty => return None,
+                Pc::Crashed { .. } => corpse = Some(p),
+                _ => {}
+            }
+        }
+        corpse
     }
 
     /// Release the node lock: grant to the FIFO head, or free it.
@@ -617,11 +796,67 @@ impl Config {
         mut sink: Option<&mut EventSink>,
     ) -> Result<(State, Action), Violation> {
         let mut t = *s;
+        let np = self.n_procs();
+        if pid >= np {
+            // Crash pseudo-transition: kill `victim` where it stands.
+            // A crash is silent — no RMA events; locks, flags and the
+            // claimed-but-undeposited chunk stay exactly as the
+            // victim left them.
+            let victim = pid - np;
+            assert!(
+                victim < np
+                    && t.crashes_used < self.crash_budget
+                    && Self::crashable(t.procs[victim as usize]),
+                "crash step on non-crashable target {victim}"
+            );
+            let holding_lock = t.nodes[usize::from(self.node_of(victim))].holder == victim;
+            let (lo, hi) = match t.procs[victim as usize] {
+                // The lease was published atomically with the FAA, so
+                // it survives the crash — only under the patch.
+                Pc::Deposit { lo, hi }
+                    if self.recovery == Recovery::Leases && lo != NONE_PAYLOAD =>
+                {
+                    (lo, hi)
+                }
+                _ => (NONE_PAYLOAD, NONE_PAYLOAD),
+            };
+            t.crashes_used += 1;
+            t.procs[victim as usize] = Pc::Crashed { lo, hi };
+            return Ok((t, Action::Crash { victim, holding_lock }));
+        }
         let ni = usize::from(self.node_of(pid));
         let pc = t.procs[pid as usize];
         let action = match pc {
-            Pc::Done | Pc::WaitProbe | Pc::WaitDeposit { .. } => {
+            Pc::Done | Pc::Crashed { .. } => {
                 panic!("step on disabled process {pid} ({pc:?})")
+            }
+
+            Pc::WaitProbe | Pc::WaitDeposit { .. } => {
+                // Front-waiter lock repair: the bounded-grant timeout
+                // fired and the holder is provably dead, so the FIFO
+                // head revokes the grant and takes the lock itself.
+                let node = &mut t.nodes[ni];
+                let dead = node.holder;
+                assert!(
+                    self.recovery != Recovery::None
+                        && node.n_waiters > 0
+                        && node.waiters[0] == pid
+                        && dead != FREE
+                        && matches!(t.procs[dead as usize], Pc::Crashed { .. }),
+                    "step on passive waiter {pid} ({pc:?})"
+                );
+                for i in 1..node.n_waiters as usize {
+                    node.waiters[i - 1] = node.waiters[i];
+                }
+                node.n_waiters -= 1;
+                node.waiters[node.n_waiters as usize] = 0;
+                node.holder = pid;
+                t.procs[pid as usize] = match pc {
+                    Pc::WaitProbe => Pc::CritProbe,
+                    Pc::WaitDeposit { lo, hi } => Pc::CritDeposit { lo, hi },
+                    other => unreachable!("non-waiting pc {other:?}"),
+                };
+                Action::RepairLock { dead }
             }
 
             Pc::Probe => {
@@ -657,6 +892,16 @@ impl Config {
                     node.holder = pid;
                     t.procs[pid as usize] = Pc::CritProbe;
                     Action::Acquire
+                } else if self.recovery != Recovery::None
+                    && node.n_waiters == 0
+                    && matches!(t.procs[node.holder as usize], Pc::Crashed { .. })
+                {
+                    // No queue to repair from: the arriving prober
+                    // detects the dead holder and seizes directly.
+                    let dead = node.holder;
+                    node.holder = pid;
+                    t.procs[pid as usize] = Pc::CritProbe;
+                    Action::RepairLock { dead }
                 } else {
                     let depth = node.push_waiter(pid);
                     t.procs[pid as usize] = Pc::WaitProbe;
@@ -677,6 +922,29 @@ impl Config {
                     }
                     t.procs[pid as usize] = Pc::Probe;
                     Action::TakeSub { lo, hi }
+                } else if let Some((owner, lo, hi)) = self.leased_corpse(&t.procs, ni) {
+                    // Reclaim, folded into the probe critical section
+                    // exactly like the live executor's empty-branch
+                    // lease scan: re-deposit the dead owner's chunk
+                    // and settle its lease. The prober keeps the lock
+                    // and takes a sub-chunk on its next step.
+                    for i in lo..hi {
+                        let bit = 1u32 << i;
+                        if t.deposited & bit != 0 {
+                            return Err(Violation::DepositOverlap { lo, hi, pid });
+                        }
+                        t.deposited |= bit;
+                    }
+                    node.push_range(lo, hi);
+                    node.refilling = false;
+                    t.procs[owner as usize] = Pc::Crashed { lo: NONE_PAYLOAD, hi: NONE_PAYLOAD };
+                    Action::Reclaim { owner, lo, hi }
+                } else if let Some(dead) = self.dead_refiller(&t.procs, ni, node.refilling) {
+                    // Refill failover: the in-flight refill belongs to
+                    // a corpse, so clear the flag and let the decision
+                    // below re-elect on the next step.
+                    node.refilling = false;
+                    Action::RefillFailover { dead }
                 } else if node.global_done {
                     self.emit_probe(pid, &mut sink, &[UNLOCK]);
                     Self::release(node, &mut t.procs);
@@ -781,6 +1049,14 @@ impl Config {
                     node.holder = pid;
                     t.procs[pid as usize] = Pc::CritDeposit { lo, hi };
                     Action::Acquire
+                } else if self.recovery != Recovery::None
+                    && node.n_waiters == 0
+                    && matches!(t.procs[node.holder as usize], Pc::Crashed { .. })
+                {
+                    let dead = node.holder;
+                    node.holder = pid;
+                    t.procs[pid as usize] = Pc::CritDeposit { lo, hi };
+                    Action::RepairLock { dead }
                 } else {
                     let depth = node.push_waiter(pid);
                     t.procs[pid as usize] = Pc::WaitDeposit { lo, hi };
@@ -845,10 +1121,13 @@ impl Config {
         Ok((t, action))
     }
 
-    /// Terminal-state coverage check: if every process is `Done`,
-    /// every iteration must have been executed.
+    /// Terminal-state coverage check: if every process is `Done` (or
+    /// crashed — a corpse is terminated, not stuck), every iteration
+    /// must have been executed. This is where a lease-free crash
+    /// surfaces as [`Violation::LostIterations`].
     pub fn check_terminal(&self, s: &State) -> Result<(), Violation> {
-        let all_done = (0..self.n_procs()).all(|p| matches!(s.procs[p as usize], Pc::Done));
+        let all_done = (0..self.n_procs())
+            .all(|p| matches!(s.procs[p as usize], Pc::Done | Pc::Crashed { .. }));
         if all_done {
             let missing = self.full_mask() & !s.executed;
             if missing != 0 {

@@ -59,8 +59,14 @@ impl Replay {
     pub fn render(&self, cfg: &Config) -> String {
         let mut out = String::new();
         for (i, step) in self.steps.iter().enumerate() {
-            let node = cfg.node_of(step.pid);
-            out.push_str(&format!("{i:3}. p{}@n{node}: {}\n", step.pid, describe(step.action)));
+            // Crash steps carry a pseudo process id; attribute them
+            // to the victim so the rendered trace reads naturally.
+            let pid = match step.action {
+                Action::Crash { victim, .. } => victim,
+                _ => step.pid,
+            };
+            let node = cfg.node_of(pid);
+            out.push_str(&format!("{i:3}. p{pid}@n{node}: {}\n", describe(step.action)));
         }
         if let Some(v) = &self.violation {
             out.push_str(&format!("     => violation: {v:?}\n"));
@@ -95,6 +101,15 @@ fn describe(a: Action) -> String {
         Action::ObservePeer => "BROKEN unlocked probe: peer refill in flight".into(),
         Action::ObserveDone => "BROKEN unlocked probe: global done -> terminate".into(),
         Action::CommitRefill => "BROKEN unlocked refill commit".into(),
+        Action::Crash { holding_lock: true, .. } => "CRASH while holding the window lock".into(),
+        Action::Crash { holding_lock: false, .. } => "CRASH".into(),
+        Action::RepairLock { dead } => format!("repair window lock abandoned by dead p{dead}"),
+        Action::RefillFailover { dead } => {
+            format!("clear refill flag abandoned by dead p{dead}")
+        }
+        Action::Reclaim { owner, lo, hi } => {
+            format!("reclaim dead p{owner}'s lease [{lo}, {hi})")
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::error::{Error, Result};
 use crate::message::{Envelope, Mailbox, INTERNAL_TAG_BASE};
 use crate::topology::Topology;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 pub(crate) const TAG_SPLIT: i32 = INTERNAL_TAG_BASE;
@@ -25,10 +26,18 @@ pub(crate) struct CommState {
     /// `Some(node)` when every member lives on that single node — the
     /// precondition for `MPI_Win_allocate_shared`.
     pub node_scope: Option<u32>,
+    /// Universe-wide failure registry, indexed by *world* rank. Shared
+    /// by every communicator split from the same world, so a death is
+    /// visible everywhere at once.
+    pub failed: Arc<Vec<AtomicBool>>,
 }
 
 impl CommState {
-    pub(crate) fn new(world_ranks: Vec<u32>, topology: Topology) -> Arc<Self> {
+    pub(crate) fn new(
+        world_ranks: Vec<u32>,
+        topology: Topology,
+        failed: Arc<Vec<AtomicBool>>,
+    ) -> Arc<Self> {
         let size = world_ranks.len();
         let node_scope = {
             let first = topology.node_of(world_ranks[0]);
@@ -40,6 +49,7 @@ impl CommState {
             barrier: Barrier::new(size),
             topology,
             node_scope,
+            failed,
         })
     }
 }
@@ -85,25 +95,55 @@ impl Comm {
         self.state.node_scope
     }
 
+    /// Declare this rank dead (fault injection). From here on, peers'
+    /// operations that target it — sends, sourced receives with no
+    /// buffered message, window locks/atomics on non-shared windows —
+    /// return [`Error::RankFailed`] instead of hanging. The registry is
+    /// universe-wide: every communicator and window sees the death.
+    pub fn mark_failed(&self) {
+        let world = self.state.world_ranks[self.rank as usize] as usize;
+        self.state.failed[world].store(true, Ordering::SeqCst);
+    }
+
+    /// True when the communicator member `comm_rank` has been declared
+    /// dead via [`Comm::mark_failed`] (on any communicator handle).
+    pub fn is_failed(&self, comm_rank: u32) -> bool {
+        self.state
+            .world_ranks
+            .get(comm_rank as usize)
+            .is_some_and(|&w| self.state.failed[w as usize].load(Ordering::SeqCst))
+    }
+
     /// Blocking typed send (standard mode; buffered, never deadlocks on
-    /// its own).
+    /// its own). Sending to a dead rank returns [`Error::RankFailed`].
     pub fn send<T: Send + 'static>(&self, dest: u32, tag: i32, value: T) -> Result<()> {
         let mb = self
             .state
             .mailboxes
             .get(dest as usize)
             .ok_or(Error::RankOutOfRange { rank: dest, size: self.size() })?;
+        if self.is_failed(dest) {
+            return Err(Error::RankFailed { rank: dest });
+        }
         mb.push(Envelope { src: self.rank, tag, payload: Box::new(value) });
         Ok(())
     }
 
     /// Blocking typed receive; `src`/`tag` of `None` match anything.
-    /// Returns `(source, tag, value)`.
+    /// Returns `(source, tag, value)`. A sourced receive from a dead
+    /// rank with no matching buffered message returns
+    /// [`Error::RankFailed`] instead of blocking forever (messages sent
+    /// before the death remain deliverable).
     pub fn recv<T: Send + 'static>(
         &self,
         src: Option<u32>,
         tag: Option<i32>,
     ) -> Result<(u32, i32, T)> {
+        if let Some(s) = src {
+            if self.is_failed(s) && !self.probe(src, tag) {
+                return Err(Error::RankFailed { rank: s });
+            }
+        }
         self.state.mailboxes[self.rank as usize].recv(src, tag)
     }
 
@@ -133,7 +173,8 @@ impl Comm {
         if self.rank == leader_old_rank {
             let world_ranks: Vec<u32> =
                 group.iter().map(|&(_, r)| self.state.world_ranks[r as usize]).collect();
-            let state = CommState::new(world_ranks, self.state.topology);
+            let state =
+                CommState::new(world_ranks, self.state.topology, Arc::clone(&self.state.failed));
             for &(_, old_rank) in &group[1..] {
                 self.send(old_rank, TAG_SPLIT, Arc::clone(&state))?;
             }

@@ -34,6 +34,13 @@ pub enum Error {
     NotShared,
     /// A window lock was released by a rank that does not hold it.
     NotLocked,
+    /// The operation targeted a rank that has died (ULFM-style
+    /// `MPI_ERR_PROC_FAILED`): the runtime reports the failure instead
+    /// of letting the caller hang on a corpse.
+    RankFailed {
+        /// The dead rank (communicator rank of the failed target/peer).
+        rank: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -53,6 +60,7 @@ impl fmt::Display for Error {
                 write!(f, "allocate_shared requires a single-node communicator")
             }
             Error::NotLocked => write!(f, "window unlock without a matching lock"),
+            Error::RankFailed { rank } => write!(f, "rank {rank} has failed (proc failed)"),
         }
     }
 }

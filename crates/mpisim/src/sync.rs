@@ -44,6 +44,10 @@ pub struct LockStats {
     /// Total wake-ups while the lock was still unavailable — a proxy for
     /// the number of lock-attempt polls an MPI implementation would send.
     pub polls: AtomicU64,
+    /// Exclusive holds revoked from dead holders via
+    /// [`QueuedLock::revoke_exclusive`] (lock repair after a
+    /// crash-while-holding-lock).
+    pub revocations: AtomicU64,
 }
 
 impl LockStats {
@@ -135,6 +139,22 @@ impl QueuedLock {
         true
     }
 
+    /// Forcibly release an exclusive hold on behalf of a *dead* holder
+    /// (lock repair). The ticket queue is untouched: the next queued
+    /// acquirer is admitted normally, preserving FIFO order for the
+    /// survivors. Returns `false` if no exclusive hold exists. Counts
+    /// into [`LockStats::revocations`].
+    pub fn revoke_exclusive(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.exclusive {
+            return false;
+        }
+        inner.exclusive = false;
+        self.stats.revocations.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        true
+    }
+
     /// Release one shared hold. Returns `false` if no shared hold exists.
     pub fn unlock_shared(&self) -> bool {
         let mut inner = self.inner.lock();
@@ -208,6 +228,20 @@ mod tests {
         let lock = QueuedLock::new();
         assert!(!lock.unlock_exclusive());
         assert!(!lock.unlock_shared());
+    }
+
+    #[test]
+    fn revoke_frees_dead_hold_and_counts() {
+        let lock = Arc::new(QueuedLock::new());
+        // No hold: nothing to revoke.
+        assert!(!lock.revoke_exclusive());
+        lock.lock_exclusive();
+        // A peer revokes the (dead) holder's lock; the queue drains
+        // normally afterwards.
+        assert!(lock.revoke_exclusive());
+        assert!(lock.try_lock_exclusive());
+        assert!(lock.unlock_exclusive());
+        assert_eq!(lock.stats().revocations.load(Ordering::Relaxed), 1);
     }
 
     #[test]

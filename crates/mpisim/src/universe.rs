@@ -52,7 +52,10 @@ impl Universe {
         F: Fn(&Process) -> T + Send + Sync,
     {
         let size = topology.world_size();
-        let world_state = CommState::new((0..size).collect(), topology);
+        let failed = std::sync::Arc::new(
+            (0..size).map(|_| std::sync::atomic::AtomicBool::new(false)).collect::<Vec<_>>(),
+        );
+        let world_state = CommState::new((0..size).collect(), topology, failed);
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)

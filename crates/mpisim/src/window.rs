@@ -54,6 +54,10 @@ struct WinState {
     regions: Vec<(usize, usize)>,
     /// One passive-target lock per rank region.
     locks: Vec<QueuedLock>,
+    /// Comm rank of each region lock's current *exclusive* holder, or
+    /// -1. Recovery code uses this to decide whether a stuck lock is
+    /// held by a dead rank before revoking it.
+    holders: Vec<AtomicI64>,
     shared: bool,
 }
 
@@ -80,6 +84,10 @@ pub struct RankWinStats {
     pub puts: u64,
     /// `MPI_Get` operations issued (a multi-element get counts once).
     pub gets: u64,
+    /// Recovery actions this rank performed: expired leases it
+    /// reclaimed plus dead-holder locks it repaired
+    /// ([`Window::note_reclaim`] / [`Window::repair_lock`]).
+    pub reclaims: u64,
 }
 
 /// This rank's cumulative counters plus the open-epoch bookkeeping the
@@ -94,6 +102,7 @@ struct RankLocal {
     rma_atomic_ops: AtomicU64,
     puts: AtomicU64,
     gets: AtomicU64,
+    reclaims: AtomicU64,
     /// Grant instant of each epoch this rank currently holds, by target.
     held_since: Mutex<HashMap<u32, Instant>>,
 }
@@ -123,6 +132,7 @@ impl RankLocal {
             rma_atomic_ops: self.rma_atomic_ops.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
+            reclaims: self.reclaims.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +191,7 @@ impl Window {
                 id: NEXT_WIN_ID.fetch_add(1, Ordering::Relaxed),
                 data: (0..offset).map(|_| AtomicI64::new(0)).collect(),
                 locks: (0..lens.len()).map(|_| QueuedLock::new()).collect(),
+                holders: (0..lens.len()).map(|_| AtomicI64::new(-1)).collect(),
                 regions,
                 shared,
             });
@@ -257,9 +268,24 @@ impl Window {
         Ok(&self.state.data[offset + disp])
     }
 
+    /// ULFM-style failure guard: on a non-shared window, an operation
+    /// targeting a dead rank's region reports [`Error::RankFailed`]
+    /// instead of proceeding (real one-sided traffic to a failed
+    /// process would error or hang). Shared windows stay fully
+    /// accessible — the OS keeps the segment mapped while any node peer
+    /// lives, which is exactly what makes node-local lease recovery
+    /// possible.
+    fn check_alive(&self, target: u32) -> Result<()> {
+        if !self.state.shared && self.comm.is_failed(target) {
+            return Err(Error::RankFailed { rank: target });
+        }
+        Ok(())
+    }
+
     /// `MPI_Win_lock(kind, target)`: begin a passive-target access epoch
     /// on `target`'s region. Blocks until granted.
     pub fn lock(&self, kind: LockKind, target: u32) -> Result<()> {
+        self.check_alive(target)?;
         let lock = self
             .state
             .locks
@@ -270,6 +296,10 @@ impl Window {
             LockKind::Exclusive => lock.lock_exclusive(),
             LockKind::Shared => lock.lock_shared(),
         };
+        if kind == LockKind::Exclusive {
+            self.state.holders[target as usize]
+                .store(i64::from(self.comm.rank()), Ordering::SeqCst);
+        }
         self.rank.granted(target, requested, polls);
         // Stamped after the grant: a correctly-disciplined exclusive
         // epoch's [Lock.seq, Unlock.seq] interval cannot overlap another
@@ -283,6 +313,7 @@ impl Window {
     /// lock was acquired — the caller must then
     /// `unlock(LockKind::Exclusive, target)`.
     pub fn try_lock_exclusive(&self, target: u32) -> Result<bool> {
+        self.check_alive(target)?;
         let lock = self
             .state
             .locks
@@ -290,6 +321,8 @@ impl Window {
             .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
         let requested = Instant::now();
         if lock.try_lock_exclusive() {
+            self.state.holders[target as usize]
+                .store(i64::from(self.comm.rank()), Ordering::SeqCst);
             self.rank.granted(target, requested, 0);
             self.rec(RmaEvent::Lock { kind: LockKind::Exclusive, target });
             Ok(true)
@@ -309,6 +342,11 @@ impl Window {
         // Stamped before the release (even if the release turns out to
         // be mismatched — the checker wants to see the attempt).
         self.rec(RmaEvent::Unlock { kind, target });
+        if kind == LockKind::Exclusive {
+            // Cleared before the release so an observer never sees a
+            // stale holder on an already-free lock.
+            self.state.holders[target as usize].store(-1, Ordering::SeqCst);
+        }
         let ok = match kind {
             LockKind::Exclusive => lock.unlock_exclusive(),
             LockKind::Shared => lock.unlock_shared(),
@@ -325,6 +363,7 @@ impl Window {
     /// `MPI_Fetch_and_op`: atomically apply `op` with `operand` to the
     /// element at (`target`, `disp`) and return the previous value.
     pub fn fetch_and_op(&self, target: u32, disp: usize, operand: i64, op: RmaOp) -> Result<i64> {
+        self.check_alive(target)?;
         let slot = self.slot(target, disp)?;
         self.rank.rma_atomic_ops.fetch_add(1, Ordering::Relaxed);
         self.rec(RmaEvent::Atomic { target, disp, op: AtomicOpKind::FetchAndOp });
@@ -347,6 +386,7 @@ impl Window {
         expected: i64,
         new: i64,
     ) -> Result<i64> {
+        self.check_alive(target)?;
         let slot = self.slot(target, disp)?;
         self.rank.rma_atomic_ops.fetch_add(1, Ordering::Relaxed);
         self.rec(RmaEvent::Atomic { target, disp, op: AtomicOpKind::CompareAndSwap });
@@ -358,6 +398,7 @@ impl Window {
 
     /// `MPI_Get` of one element.
     pub fn get(&self, target: u32, disp: usize) -> Result<i64> {
+        self.check_alive(target)?;
         let slot = self.slot(target, disp)?;
         self.rank.gets.fetch_add(1, Ordering::Relaxed);
         self.rec(RmaEvent::Get { target, disp, len: 1 });
@@ -366,6 +407,7 @@ impl Window {
 
     /// `MPI_Put` of one element.
     pub fn put(&self, target: u32, disp: usize, value: i64) -> Result<()> {
+        self.check_alive(target)?;
         let slot = self.slot(target, disp)?;
         self.rank.puts.fetch_add(1, Ordering::Relaxed);
         self.rec(RmaEvent::Put { target, disp, len: 1 });
@@ -375,6 +417,7 @@ impl Window {
 
     /// `MPI_Get` of a whole region.
     pub fn get_all(&self, target: u32) -> Result<Vec<i64>> {
+        self.check_alive(target)?;
         let (offset, len) = self.region(target)?;
         self.rank.gets.fetch_add(1, Ordering::Relaxed);
         self.rec(RmaEvent::Get { target, disp: 0, len });
@@ -389,6 +432,7 @@ impl Window {
 
     /// `MPI_Get` of `len` consecutive elements starting at `disp`.
     pub fn get_range(&self, target: u32, disp: usize, len: usize) -> Result<Vec<i64>> {
+        self.check_alive(target)?;
         let (offset, region_len) = self.region(target)?;
         if disp + len > region_len {
             return Err(Error::OffsetOutOfRange { offset: disp + len, len: region_len });
@@ -403,6 +447,7 @@ impl Window {
 
     /// `MPI_Put` of consecutive elements starting at `disp`.
     pub fn put_range(&self, target: u32, disp: usize, values: &[i64]) -> Result<()> {
+        self.check_alive(target)?;
         let (offset, region_len) = self.region(target)?;
         if disp + values.len() > region_len {
             return Err(Error::OffsetOutOfRange { offset: disp + values.len(), len: region_len });
@@ -442,10 +487,14 @@ impl Window {
 
     /// `MPI_Win_flush`: complete outstanding operations at `target`.
     /// All operations in this runtime complete eagerly, so this is a
-    /// memory fence.
-    pub fn flush(&self, target: u32) {
+    /// memory fence — but flushing towards a dead rank on a non-shared
+    /// window reports [`Error::RankFailed`], as completing operations
+    /// at a failed process is impossible.
+    pub fn flush(&self, target: u32) -> Result<()> {
+        self.check_alive(target)?;
         fence(Ordering::SeqCst);
         self.rec(RmaEvent::Flush { target });
+        Ok(())
     }
 
     /// `MPI_Win_sync`: memory barrier for the unified window model.
@@ -467,11 +516,60 @@ impl Window {
 
     /// This rank's cumulative window activity: lock acquisitions, failed
     /// poll attempts, time blocked acquiring and time spent inside lock
-    /// epochs, and one-sided operation counts. Counters are per handle
-    /// lineage — clones of this handle share them, other ranks' handles
-    /// do not.
+    /// epochs, one-sided operation counts, and recovery actions.
+    /// Counters are per handle lineage — clones of this handle share
+    /// them, other ranks' handles do not.
     pub fn rank_stats(&self) -> RankWinStats {
         self.rank.snapshot()
+    }
+
+    /// Comm rank currently holding `target`'s lock exclusively, if any.
+    pub fn exclusive_holder(&self, target: u32) -> Result<Option<u32>> {
+        self.region(target)?;
+        let h = self.state.holders[target as usize].load(Ordering::SeqCst);
+        Ok(u32::try_from(h).ok())
+    }
+
+    /// Count one lease reclamation performed by this rank into
+    /// [`Window::rank_stats`].
+    pub fn note_reclaim(&self) {
+        self.rank.reclaims.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lock repair: revoke an exclusive hold left on `target`'s lock by
+    /// a *dead* rank. Refuses to touch a live holder's epoch. Returns
+    /// `true` when this call performed the revocation; concurrent
+    /// repair attempts race on the holder slot and exactly one wins.
+    /// The FIFO ticket queue is preserved, so surviving waiters are
+    /// admitted in arrival order afterwards.
+    pub fn repair_lock(&self, target: u32) -> Result<bool> {
+        let lock = self
+            .state
+            .locks
+            .get(target as usize)
+            .ok_or(Error::RankOutOfRange { rank: target, size: self.comm.size() })?;
+        let holder = self.state.holders[target as usize].load(Ordering::SeqCst);
+        let Ok(holder_rank) = u32::try_from(holder) else {
+            return Ok(false); // not exclusively held
+        };
+        if !self.comm.is_failed(holder_rank) {
+            return Ok(false); // holder alive: not ours to revoke
+        }
+        // CAS elects a single repairer; the loser backs off.
+        if self.state.holders[target as usize]
+            .compare_exchange(holder, -1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Ok(false);
+        }
+        let revoked = lock.revoke_exclusive();
+        if revoked {
+            self.rank.reclaims.fetch_add(1, Ordering::Relaxed);
+            // The repairer closes the corpse's epoch in the log so the
+            // revocation is attributed on the timeline.
+            self.rec(RmaEvent::Unlock { kind: LockKind::Exclusive, target });
+        }
+        Ok(revoked)
     }
 }
 

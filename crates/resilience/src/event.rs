@@ -1,0 +1,173 @@
+//! Recovery events for traces, reports and exports.
+//!
+//! Executors append these to their results as they detect and repair
+//! failures; the `hdls` export layer turns them into Perfetto instant
+//! events so a timeline shows *who reclaimed what, when*.
+
+use cluster_sim::Time;
+
+/// One detection or repair action during a faulted run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A rank died.
+    Crash {
+        /// The dead rank.
+        rank: u32,
+        /// Virtual (sim) or wall-clock-since-start (live) time.
+        at_ns: Time,
+        /// True when it died inside the node-window critical section,
+        /// still holding the exclusive lock.
+        holding_lock: bool,
+    },
+    /// A lease outlived its owner: the grant timed out without being
+    /// completed.
+    LeaseExpired {
+        /// The dead owner.
+        owner: u32,
+        /// Leased range.
+        lo: u64,
+        /// One past the end of the leased range.
+        hi: u64,
+        /// Expiry time.
+        at_ns: Time,
+    },
+    /// A survivor re-deposited an expired lease's range for
+    /// re-execution.
+    Reclaim {
+        /// Rank performing the reclamation.
+        by: u32,
+        /// Dead rank the range was leased to.
+        owner: u32,
+        /// Reclaimed range.
+        lo: u64,
+        /// One past the end of the reclaimed range.
+        hi: u64,
+        /// Reclaim time.
+        at_ns: Time,
+    },
+    /// The fastest-rank-refill role failed over from a dead rank to
+    /// the surviving ranks of the node.
+    RefillFailover {
+        /// Node whose refill stalled.
+        node: u32,
+        /// The dead refiller.
+        from: u32,
+        /// Failover time.
+        at_ns: Time,
+    },
+    /// The FIFO ticket lock of a node window was revoked from a dead
+    /// holder and repaired.
+    LockRepair {
+        /// Node whose window lock was repaired.
+        node: u32,
+        /// The dead holder.
+        dead_holder: u32,
+        /// Rank that performed the repair.
+        by: u32,
+        /// Repair time.
+        at_ns: Time,
+    },
+}
+
+impl RecoveryEvent {
+    /// Timestamp of the event.
+    pub fn at_ns(&self) -> Time {
+        match *self {
+            RecoveryEvent::Crash { at_ns, .. }
+            | RecoveryEvent::LeaseExpired { at_ns, .. }
+            | RecoveryEvent::Reclaim { at_ns, .. }
+            | RecoveryEvent::RefillFailover { at_ns, .. }
+            | RecoveryEvent::LockRepair { at_ns, .. } => at_ns,
+        }
+    }
+
+    /// The rank a timeline should attribute the event to: the dead rank
+    /// for crashes/expiries, the acting survivor for repairs.
+    pub fn rank(&self) -> u32 {
+        match *self {
+            RecoveryEvent::Crash { rank, .. } => rank,
+            RecoveryEvent::LeaseExpired { owner, .. } => owner,
+            RecoveryEvent::Reclaim { by, .. } => by,
+            RecoveryEvent::RefillFailover { from, .. } => from,
+            RecoveryEvent::LockRepair { by, .. } => by,
+        }
+    }
+
+    /// Short machine-friendly tag (used as the Perfetto event name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryEvent::Crash { holding_lock: true, .. } => "crash-holding-lock",
+            RecoveryEvent::Crash { .. } => "crash",
+            RecoveryEvent::LeaseExpired { .. } => "lease-expired",
+            RecoveryEvent::Reclaim { .. } => "reclaim",
+            RecoveryEvent::RefillFailover { .. } => "refill-failover",
+            RecoveryEvent::LockRepair { .. } => "lock-repair",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RecoveryEvent::Crash { rank, at_ns, holding_lock } => {
+                write!(
+                    f,
+                    "t={at_ns} rank {rank} crashed{}",
+                    if holding_lock { " holding lock" } else { "" }
+                )
+            }
+            RecoveryEvent::LeaseExpired { owner, lo, hi, at_ns } => {
+                write!(f, "t={at_ns} lease {lo}..{hi} of dead rank {owner} expired")
+            }
+            RecoveryEvent::Reclaim { by, owner, lo, hi, at_ns } => {
+                write!(f, "t={at_ns} rank {by} reclaimed {lo}..{hi} from dead rank {owner}")
+            }
+            RecoveryEvent::RefillFailover { node, from, at_ns } => {
+                write!(f, "t={at_ns} node {node} refill role failed over from dead rank {from}")
+            }
+            RecoveryEvent::LockRepair { node, dead_holder, by, at_ns } => {
+                write!(
+                    f,
+                    "t={at_ns} rank {by} revoked node {node} lock from dead rank {dead_holder}"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let events = [
+            RecoveryEvent::Crash { rank: 1, at_ns: 10, holding_lock: false },
+            RecoveryEvent::Crash { rank: 1, at_ns: 11, holding_lock: true },
+            RecoveryEvent::LeaseExpired { owner: 1, lo: 0, hi: 4, at_ns: 20 },
+            RecoveryEvent::Reclaim { by: 2, owner: 1, lo: 0, hi: 4, at_ns: 30 },
+            RecoveryEvent::RefillFailover { node: 0, from: 1, at_ns: 40 },
+            RecoveryEvent::LockRepair { node: 0, dead_holder: 1, by: 2, at_ns: 50 },
+        ];
+        let labels: Vec<&str> = events.iter().map(|e| e.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "crash",
+                "crash-holding-lock",
+                "lease-expired",
+                "reclaim",
+                "refill-failover",
+                "lock-repair"
+            ]
+        );
+        assert_eq!(
+            events.iter().map(RecoveryEvent::at_ns).collect::<Vec<_>>(),
+            [10, 11, 20, 30, 40, 50]
+        );
+        assert_eq!(events.iter().map(RecoveryEvent::rank).collect::<Vec<_>>(), [1, 1, 1, 2, 1, 2]);
+        for e in &events {
+            assert!(e.to_string().contains("t="));
+        }
+    }
+}

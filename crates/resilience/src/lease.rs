@@ -1,0 +1,208 @@
+//! Chunk leases: revocable work grants.
+//!
+//! The paper's protocol treats a chunk grant as irrevocable — once the
+//! global counters advance (or a sub-chunk is taken from the node
+//! queue), the iterations belong to the grantee forever. Under
+//! failures that is exactly wrong: a grant must be a *lease* that the
+//! owner either completes or loses to a survivor. The [`LeaseTable`]
+//! is the bookkeeping half of that idea; the windows carry the same
+//! `(owner, range, epoch)` triple for the real-thread executors.
+//!
+//! The critical invariant is **single settlement**: a lease transitions
+//! out of [`LeaseState::Active`] exactly once. Completing or reclaiming
+//! a lease twice — the double-reclaim that would re-execute iterations —
+//! is a [`LeaseError`], not a silent no-op, so executors cannot paper
+//! over a race in the recovery path.
+
+use cluster_sim::Time;
+
+/// Identifier of a lease within one [`LeaseTable`] (dense, 0-based).
+pub type LeaseId = u64;
+
+/// Lifecycle state of a lease.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Granted, not yet settled.
+    Active,
+    /// The owner finished the range.
+    Completed,
+    /// A survivor reclaimed the range after the owner died.
+    Reclaimed {
+        /// Rank that performed the reclamation.
+        by: u32,
+    },
+}
+
+/// One granted range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Identifier within the table.
+    pub id: LeaseId,
+    /// Rank the range was granted to.
+    pub owner: u32,
+    /// First iteration of the range.
+    pub lo: u64,
+    /// One past the last iteration.
+    pub hi: u64,
+    /// Virtual time of the grant.
+    pub granted_ns: Time,
+    /// Settlement state.
+    pub state: LeaseState,
+}
+
+/// Misuse of the lease lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseError {
+    /// The id was never granted.
+    Unknown(LeaseId),
+    /// Settling a lease that was already completed by its owner.
+    AlreadyCompleted(LeaseId),
+    /// Settling a lease that was already reclaimed — the double-reclaim
+    /// that would duplicate work.
+    AlreadyReclaimed {
+        /// The offending lease.
+        lease: LeaseId,
+        /// Who reclaimed it first.
+        by: u32,
+    },
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseError::Unknown(id) => write!(f, "lease {id} was never granted"),
+            LeaseError::AlreadyCompleted(id) => write!(f, "lease {id} already completed"),
+            LeaseError::AlreadyReclaimed { lease, by } => {
+                write!(f, "lease {lease} already reclaimed by rank {by}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// Table of all leases granted during one run.
+#[derive(Clone, Debug, Default)]
+pub struct LeaseTable {
+    leases: Vec<Lease>,
+}
+
+impl LeaseTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a grant of `[lo, hi)` to `owner` at `now`.
+    pub fn grant(&mut self, owner: u32, lo: u64, hi: u64, now: Time) -> LeaseId {
+        debug_assert!(lo < hi, "empty lease [{lo}, {hi})");
+        let id = self.leases.len() as LeaseId;
+        self.leases.push(Lease { id, owner, lo, hi, granted_ns: now, state: LeaseState::Active });
+        id
+    }
+
+    /// The owner finished the range.
+    pub fn complete(&mut self, id: LeaseId) -> Result<(), LeaseError> {
+        let lease = self.leases.get_mut(id as usize).ok_or(LeaseError::Unknown(id))?;
+        match lease.state {
+            LeaseState::Active => {
+                lease.state = LeaseState::Completed;
+                Ok(())
+            }
+            LeaseState::Completed => Err(LeaseError::AlreadyCompleted(id)),
+            LeaseState::Reclaimed { by } => Err(LeaseError::AlreadyReclaimed { lease: id, by }),
+        }
+    }
+
+    /// A survivor reclaims the range after the owner's death. Returns
+    /// the range to re-execute. Reclaiming a settled lease is an error:
+    /// recovery code must hold whatever mutual exclusion makes the
+    /// first reclaim win before calling this.
+    pub fn reclaim(&mut self, id: LeaseId, by: u32) -> Result<(u64, u64), LeaseError> {
+        let lease = self.leases.get_mut(id as usize).ok_or(LeaseError::Unknown(id))?;
+        match lease.state {
+            LeaseState::Active => {
+                lease.state = LeaseState::Reclaimed { by };
+                Ok((lease.lo, lease.hi))
+            }
+            LeaseState::Completed => Err(LeaseError::AlreadyCompleted(id)),
+            LeaseState::Reclaimed { by } => Err(LeaseError::AlreadyReclaimed { lease: id, by }),
+        }
+    }
+
+    /// Look up a lease.
+    pub fn get(&self, id: LeaseId) -> Option<&Lease> {
+        self.leases.get(id as usize)
+    }
+
+    /// All leases still active (granted to `owner` if given).
+    pub fn active(&self, owner: Option<u32>) -> impl Iterator<Item = &Lease> {
+        self.leases
+            .iter()
+            .filter(move |l| l.state == LeaseState::Active && owner.is_none_or(|o| l.owner == o))
+    }
+
+    /// `(granted, completed, reclaimed)` totals.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        let mut completed = 0;
+        let mut reclaimed = 0;
+        for l in &self.leases {
+            match l.state {
+                LeaseState::Completed => completed += 1,
+                LeaseState::Reclaimed { .. } => reclaimed += 1,
+                LeaseState::Active => {}
+            }
+        }
+        (self.leases.len() as u64, completed, reclaimed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_complete_lifecycle() {
+        let mut t = LeaseTable::new();
+        let id = t.grant(3, 10, 20, 100);
+        assert_eq!(t.get(id).unwrap().state, LeaseState::Active);
+        assert_eq!(t.active(Some(3)).count(), 1);
+        t.complete(id).unwrap();
+        assert_eq!(t.get(id).unwrap().state, LeaseState::Completed);
+        assert_eq!(t.active(None).count(), 0);
+        assert_eq!(t.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn reclaim_returns_range_once() {
+        let mut t = LeaseTable::new();
+        let id = t.grant(0, 5, 9, 0);
+        assert_eq!(t.reclaim(id, 2), Ok((5, 9)));
+        // Double reclaim is the bug this table exists to catch.
+        assert_eq!(t.reclaim(id, 4), Err(LeaseError::AlreadyReclaimed { lease: id, by: 2 }));
+        // And the dead owner cannot complete it post-mortem either.
+        assert_eq!(t.complete(id), Err(LeaseError::AlreadyReclaimed { lease: id, by: 2 }));
+    }
+
+    #[test]
+    fn completed_lease_cannot_be_reclaimed() {
+        let mut t = LeaseTable::new();
+        let id = t.grant(1, 0, 4, 0);
+        t.complete(id).unwrap();
+        assert_eq!(t.reclaim(id, 0), Err(LeaseError::AlreadyCompleted(id)));
+        assert_eq!(t.complete(id), Err(LeaseError::AlreadyCompleted(id)));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut t = LeaseTable::new();
+        assert_eq!(t.complete(7), Err(LeaseError::Unknown(7)));
+        assert_eq!(t.reclaim(7, 0), Err(LeaseError::Unknown(7)));
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(LeaseError::AlreadyReclaimed { lease: 3, by: 1 }.to_string().contains("rank 1"));
+        assert!(LeaseError::Unknown(9).to_string().contains('9'));
+    }
+}

@@ -32,12 +32,14 @@
 pub mod adjoint;
 pub mod mandelbrot;
 pub mod psia;
+pub mod spin;
 pub mod stats;
 pub mod synthetic;
 
 pub use adjoint::AdjointConvolution;
 pub use mandelbrot::{Mandelbrot, Traversal};
 pub use psia::{Psia, PsiaStream};
+pub use spin::Spin;
 pub use stats::WorkloadStats;
 
 /// A parallel loop whose iterations are independent, with a real

@@ -1,0 +1,64 @@
+//! A wall-clock-burning wrapper: makes any workload's *virtual* cost
+//! real by busy-waiting it out.
+//!
+//! The thread-backed executors need iterations that actually take time
+//! for scheduling (and fault injection) to be observable — with
+//! free-running kernels one fast thread drains the whole loop before
+//! its peers are even scheduled. `Spin` keeps the wrapped workload's
+//! checksum and cost profile, so serial references and simulator runs
+//! agree with the burned run.
+
+use crate::Workload;
+
+/// Wraps a workload so `execute(i)` busy-waits `cost(i)` nanoseconds of
+/// wall-clock time before returning the inner checksum.
+pub struct Spin<W>(pub W);
+
+impl<W: Workload> Workload for Spin<W> {
+    fn n_iters(&self) -> u64 {
+        self.0.n_iters()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn execute(&self, i: u64) -> u64 {
+        let ns = u128::from(self.0.cost(i));
+        let start = std::time::Instant::now();
+        while start.elapsed().as_nanos() < ns {
+            std::hint::spin_loop();
+        }
+        self.0.execute(i)
+    }
+
+    fn cost(&self, i: u64) -> u64 {
+        self.0.cost(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::Synthetic;
+
+    #[test]
+    fn checksum_and_costs_are_transparent() {
+        let inner = Synthetic::uniform(50, 10, 100, 3);
+        let spun = Spin(Synthetic::uniform(50, 10, 100, 3));
+        for i in 0..50 {
+            assert_eq!(spun.cost(i), inner.cost(i));
+            assert_eq!(spun.execute(i), inner.execute(i));
+        }
+        assert_eq!(spun.n_iters(), 50);
+        assert_eq!(spun.name(), "uniform");
+    }
+
+    #[test]
+    fn execute_burns_at_least_the_cost() {
+        let w = Spin(Synthetic::constant(1, 200_000)); // 200 us
+        let t0 = std::time::Instant::now();
+        w.execute(0);
+        assert!(t0.elapsed().as_nanos() >= 200_000);
+    }
+}
