@@ -1,0 +1,173 @@
+//! `net_bench` — load generator for the `dls-service` chunk server,
+//! written as `BENCH_5.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin net_bench [-- OUT.json [N]]
+//! ```
+//!
+//! Self-hosts a server on a loopback port and drives four scenarios of
+//! an SS job (chunk size 1 — the protocol-stress worst case, one lease
+//! per iteration): {1, 8} concurrent clients × fetch batch {1, 8}.
+//! Each scenario schedules the same number of chunks; clients skip the
+//! kernel entirely, so the measurement isolates *scheduling* cost —
+//! fetch round trips, lease settlement, queue contention. Reported per
+//! scenario: wall time, chunks/second, and p50/p95/p99 fetch latency.
+//!
+//! The batching claim the service is judged by: with 8 concurrent
+//! clients, batch 8 must reach at least 4x the chunk throughput of
+//! batch 1 (ideal is ~8x — one fetch RTT and one eighth of a report
+//! RTT per chunk instead of one of each).
+//!
+//! The server's own counters ride along through the standard
+//! [`service_report`] pipeline, embedded in the JSON artefact.
+
+use dls_service::{Client, FetchReply, Server, ServiceConfig};
+use hdls::prelude::*;
+use std::time::Instant;
+
+struct Scenario {
+    clients: u32,
+    batch: u32,
+}
+
+struct Outcome {
+    label: String,
+    clients: u32,
+    batch: u32,
+    chunks: u64,
+    elapsed_s: f64,
+    chunks_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64 / 1e3
+}
+
+/// Drive one SS job of `n` chunks to completion and measure it.
+fn run_scenario(server: &Server, s: &Scenario, n: u64) -> Outcome {
+    let addr = server.addr();
+    let job =
+        Client::connect(addr).expect("connect").create_job(n, Kind::SS, &[]).expect("create job");
+
+    let start = Instant::now();
+    let per_client: Vec<(u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s.clients)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect client");
+                    let mut chunks = 0u64;
+                    let mut latencies = Vec::new();
+                    loop {
+                        let t0 = Instant::now();
+                        let reply = client.fetch(job, w, s.batch).expect("fetch");
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        match reply {
+                            FetchReply::Done => return (chunks, latencies),
+                            FetchReply::Pending => std::thread::yield_now(),
+                            FetchReply::Chunks(granted) => {
+                                // No kernel: settle the whole batch and
+                                // go straight back for more.
+                                let leases: Vec<_> = granted.iter().map(|c| c.lease).collect();
+                                client.report_done(job, &leases).expect("report");
+                                chunks += granted.len() as u64;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let chunks: u64 = per_client.iter().map(|(c, _)| c).sum();
+    assert_eq!(chunks, n, "SS grants one chunk per iteration, all settled");
+    let mut latencies: Vec<u64> = per_client.into_iter().flat_map(|(_, l)| l).collect();
+    latencies.sort_unstable();
+    Outcome {
+        label: format!("{}c_b{}", s.clients, s.batch),
+        clients: s.clients,
+        batch: s.batch,
+        chunks,
+        elapsed_s,
+        chunks_per_s: chunks as f64 / elapsed_s,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_5.json".into());
+    let n: u64 = args.next().map(|v| v.parse().expect("N")).unwrap_or(20_000);
+
+    let server = Server::start(ServiceConfig::default(), "127.0.0.1:0").expect("bind server");
+    let scenarios = [
+        Scenario { clients: 1, batch: 1 },
+        Scenario { clients: 8, batch: 1 },
+        Scenario { clients: 1, batch: 8 },
+        Scenario { clients: 8, batch: 8 },
+    ];
+    let outcomes: Vec<Outcome> = scenarios
+        .iter()
+        .map(|s| {
+            let o = run_scenario(&server, s, n);
+            eprintln!(
+                "{:>7}: {:>9.0} chunks/s  p50 {:>7.1}us  p95 {:>7.1}us  p99 {:>7.1}us",
+                o.label, o.chunks_per_s, o.p50_us, o.p95_us, o.p99_us
+            );
+            o
+        })
+        .collect();
+
+    // Server-side view of the whole campaign, via the standard report
+    // pipeline (4 jobs, one per scenario; 1 + 18 connections).
+    let report = service_report("net_bench SS campaign", &server.snapshot());
+    server.shutdown();
+
+    let mut json = String::from("{\n  \"bench\": \"net-service-load\",\n");
+    json.push_str("  \"spec\": \"SS\",\n");
+    json.push_str(&format!("  \"chunks_per_scenario\": {n},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"clients\": {}, \"batch\": {}, \"chunks\": {}, \
+             \"elapsed_s\": {:.6}, \"chunks_per_s\": {:.1}, \"p50_us\": {:.2}, \
+             \"p95_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+            o.label,
+            o.clients,
+            o.batch,
+            o.chunks,
+            o.elapsed_s,
+            o.chunks_per_s,
+            o.p50_us,
+            o.p95_us,
+            o.p99_us,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    let b1 = &outcomes[1]; // 8 clients, batch 1
+    let b8 = &outcomes[3]; // 8 clients, batch 8
+    let speedup = b8.chunks_per_s / b1.chunks_per_s;
+    json.push_str(&format!("  ],\n  \"batching_speedup_8c\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"service_report\": {}}}\n", report.to_json().trim_end()));
+    std::fs::write(&out, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+
+    // The acceptance threshold: batching must actually amortise round
+    // trips under concurrency, not just in the single-client case.
+    assert!(
+        speedup >= 4.0,
+        "batch=8 under 8 clients reached only {speedup:.2}x the chunk throughput of batch=1 \
+         (threshold 4x)"
+    );
+}

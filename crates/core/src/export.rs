@@ -21,6 +21,7 @@
 //! [`chrome_trace_with_recovery`] (`ph: "i"` instant markers).
 
 use cluster_sim::trace::{ActivityTotals, SegmentKind, Trace};
+use dls_service::StatsSnapshot;
 use hier::stats::RunStats;
 use resilience::RecoveryEvent;
 
@@ -249,6 +250,74 @@ impl ActivityReport {
     }
 }
 
+/// Re-shape a `dls-service` [`StatsSnapshot`] into the same
+/// [`ActivityReport`] every other backend exports, so the networked
+/// scheduler's metrics flow through one JSON pipeline.
+///
+/// The mapping follows the service's topology: each *connection* is a
+/// worker row (iterations it acknowledged, chunks it was granted, its
+/// fetch round trips), each *job* is a node row (its granted chunks as
+/// deposits, its scheduling steps as sub-chunk hand-outs, its fetches
+/// as acquisitions, empty polls as contended ones, reclaimed leases as
+/// revocations). `makespan_ns` is the server's uptime, and the
+/// imbalance metrics are computed over per-connection acknowledged
+/// iterations — the service cannot see client compute time, but the
+/// iteration spread is the same Figure-2 story one level up. Trace-
+/// derived fields ([`ActivityTotals`], the poll histogram) stay empty.
+pub fn service_report(label: &str, snap: &StatsSnapshot) -> ActivityReport {
+    let workers: Vec<WorkerActivity> = snap
+        .conns
+        .iter()
+        .map(|c| WorkerActivity {
+            worker: if c.worker == u32::MAX {
+                u32::try_from(c.conn).unwrap_or(u32::MAX)
+            } else {
+                c.worker
+            },
+            totals: ActivityTotals::default(),
+            iterations: c.iterations,
+            sub_chunks: c.chunks,
+            global_fetches: c.fetches,
+            lock_polls: 0,
+            lock_time_ns: 0,
+            rma_ops: c.requests,
+            reclaims: 0,
+        })
+        .collect();
+    let nodes: Vec<NodeActivity> = snap
+        .jobs
+        .iter()
+        .map(|j| NodeActivity {
+            node: u32::try_from(j.job).unwrap_or(u32::MAX),
+            deposits: j.chunks_granted,
+            sub_chunks: j.step,
+            lock_acquisitions: j.fetches,
+            lock_contended: j.empty_polls,
+            lock_polls: j.empty_polls,
+            lock_revocations: j.leases_reclaimed,
+        })
+        .collect();
+    let iters: Vec<f64> = workers.iter().map(|w| w.iterations as f64).collect();
+    let mean = if iters.is_empty() { 0.0 } else { iters.iter().sum::<f64>() / iters.len() as f64 };
+    let (imbalance, cov) = if mean > 0.0 {
+        let max = iters.iter().cloned().fold(0.0f64, f64::max);
+        let var = iters.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / iters.len() as f64;
+        (max / mean - 1.0, var.sqrt() / mean)
+    } else {
+        (0.0, 0.0)
+    };
+    ActivityReport {
+        label: label.to_string(),
+        makespan_ns: snap.uptime_ns,
+        compute_imbalance: imbalance,
+        compute_cov: cov,
+        workers,
+        nodes,
+        lock_poll_histogram: Vec::new(),
+        recovery: Vec::new(),
+    }
+}
+
 /// Serialise a trace as a chrome://tracing (about://tracing, Perfetto)
 /// JSON array of complete (`"ph": "X"`) events: one event per segment,
 /// timestamps and durations in microseconds, `pid` = node (from
@@ -455,6 +524,49 @@ mod tests {
         assert_eq!(out.matches('[').count(), out.matches(']').count());
         // Without events the output is exactly the plain trace.
         assert_eq!(chrome_trace_with_recovery(&tr, 1, &[]), chrome_trace(&tr, 1));
+    }
+
+    #[test]
+    fn service_report_reshapes_snapshot() {
+        let mut snap = StatsSnapshot { uptime_ns: 5_000, ..Default::default() };
+        snap.conns.push(dls_service::ConnSnapshot {
+            conn: 0,
+            worker: 2,
+            fetches: 4,
+            chunks: 6,
+            iterations: 300,
+            requests: 11,
+            ..Default::default()
+        });
+        snap.conns.push(dls_service::ConnSnapshot {
+            conn: 1,
+            worker: u32::MAX, // never identified itself -> falls back to conn id
+            iterations: 100,
+            ..Default::default()
+        });
+        snap.jobs.push(dls_service::JobSnapshot {
+            job: 7,
+            chunks_granted: 6,
+            step: 6,
+            fetches: 4,
+            empty_polls: 2,
+            leases_reclaimed: 1,
+            ..Default::default()
+        });
+        let r = service_report("net GSS", &snap);
+        assert_eq!(r.makespan_ns, 5_000);
+        assert_eq!(r.workers.len(), 2);
+        assert_eq!(r.workers[0].worker, 2);
+        assert_eq!(r.workers[1].worker, 1);
+        assert_eq!(r.workers[0].sub_chunks, 6);
+        assert_eq!(r.nodes[0].node, 7);
+        assert_eq!(r.nodes[0].lock_revocations, 1);
+        // iterations 300/100: mean 200, max 300 -> imbalance 0.5, cov 0.5.
+        assert!((r.compute_imbalance - 0.5).abs() < 1e-12);
+        assert!((r.compute_cov - 0.5).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"label\": \"net GSS\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

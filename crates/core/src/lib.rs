@@ -23,6 +23,11 @@
 //! * [`workloads`] — Mandelbrot and PSIA (spin images) with exact
 //!   per-iteration costs, plus synthetic distributions.
 //! * [`hier`] — the two-level executors on both backends.
+//! * [`dls_service`] — the same global queue as a networked service:
+//!   a TCP chunk server with leases, batching and backpressure, plus
+//!   the blocking client the fifth backend
+//!   ([`HierSchedule::run_live_net`]) and the multi-process workers
+//!   speak.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +70,7 @@ pub mod schedule;
 
 pub use cluster_sim;
 pub use dls;
+pub use dls_service;
 pub use hier;
 pub use mpisim;
 pub use resilience;
@@ -74,7 +80,9 @@ pub use schedule::{HierSchedule, HierScheduleBuilder};
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::export::{chrome_trace, chrome_trace_with_recovery, ActivityReport};
+    pub use crate::export::{
+        chrome_trace, chrome_trace_with_recovery, service_report, ActivityReport,
+    };
     pub use crate::figures::{self, FigurePoint};
     pub use crate::report::ScalingStudy;
     pub use crate::schedule::{HierSchedule, HierScheduleBuilder};

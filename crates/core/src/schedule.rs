@@ -99,6 +99,29 @@ impl HierSchedule {
         run_live(&self.live_config(), workload).expect("live run failed")
     }
 
+    /// Run for real with the **global queue behind TCP**: self-hosts a
+    /// `dls-service` server on an ephemeral loopback port, runs the
+    /// MPI+MPI hierarchy against it (one node-agent connection per
+    /// node, ranks self-scheduling sub-chunks from the shared window),
+    /// then shuts the server down and returns its final stats snapshot
+    /// alongside the usual result — feed it to
+    /// [`crate::export::service_report`] for the JSON pipeline.
+    ///
+    /// To target an external, long-running server (shared by many
+    /// tenants), call [`hier::live::run_live_net`] with its address
+    /// instead.
+    pub fn run_live_net(
+        &self,
+        workload: &(dyn Workload + Sync),
+    ) -> (LiveResult, dls_service::StatsSnapshot) {
+        let server =
+            dls_service::Server::start(dls_service::ServiceConfig::default(), "127.0.0.1:0")
+                .expect("self-hosted dls-service failed to bind");
+        let result = hier::live::run_live_net(&self.live_config(), workload, server.addr())
+            .expect("live net run failed");
+        (result, server.shutdown())
+    }
+
     /// Run the hierarchical master-worker model for real (dedicated
     /// global master at rank 0, working local masters, two-sided
     /// messaging).

@@ -1,0 +1,115 @@
+//! `dls-serverd` — the chunk-scheduling daemon.
+//!
+//! ```text
+//! cargo run -p dls-service --bin dls-serverd -- [--addr 127.0.0.1:0]
+//!     [--max-connections N] [--max-batch N] [--quota N] [--report PATH]
+//! ```
+//!
+//! Prints `LISTEN <addr>` once bound (with the real port when started
+//! on port 0 — parents parse this line), serves until a `Shutdown`
+//! frame or SIGTERM arrives, then drains in-flight requests, prints
+//! `STATS <json>` (the final snapshot, per-job progress counters
+//! included), optionally writes it to `--report PATH`, and exits 0.
+
+use dls_service::{Server, ServiceConfig};
+use std::io::Write;
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGTERM: i32 = 15;
+    const SIGINT: i32 = 2;
+
+    /// Route SIGTERM/SIGINT to a flag the main loop polls; the handler
+    /// only stores an atomic (async-signal-safe).
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    pub fn terminated() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn terminated() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dls-serverd [--addr HOST:PORT] [--max-connections N] \
+         [--max-batch N] [--quota N] [--report PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut report: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--max-connections" => {
+                cfg.max_connections = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--max-batch" => cfg.max_batch = value().parse().unwrap_or_else(|_| usage()),
+            "--quota" => cfg.worker_quota = value().parse().unwrap_or_else(|_| usage()),
+            "--report" => report = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    sig::install();
+    let server = match Server::start(cfg, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dls-serverd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTEN {}", server.addr());
+    std::io::stdout().flush().ok();
+
+    // Serve until a Shutdown frame or a termination signal.
+    loop {
+        if sig::terminated() {
+            break;
+        }
+        if server.wait_for_shutdown_request(Duration::from_millis(100)) {
+            break;
+        }
+    }
+
+    let snapshot = server.shutdown();
+    let json = snapshot.to_json();
+    println!("STATS {json}");
+    std::io::stdout().flush().ok();
+    if let Some(path) = report {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("dls-serverd: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

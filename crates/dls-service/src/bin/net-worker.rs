@@ -1,0 +1,112 @@
+//! `net-worker` — one worker process of the networked scheduler.
+//!
+//! ```text
+//! net-worker <ADDR> --job ID --n N --seed S [--worker W] [--batch B]
+//!     [--crash-after K]
+//! ```
+//!
+//! Connects to a `dls-serverd`, fetches chunks of the shared job in
+//! batches, executes the deterministic synthetic workload
+//! (`Synthetic::uniform(n, 1, 100, seed)` — identical in every
+//! process), settles each chunk's lease, and on completion prints
+//!
+//! ```text
+//! RESULT worker=W checksum=C iters=I chunks=Q crashed=false
+//! ```
+//!
+//! where `checksum` covers exactly the chunks whose `ReportDone` was
+//! acknowledged. `--crash-after K` reuses the `resilience` crash
+//! trigger (`FaultKind::Crash { after_sub_chunks: K }`): the process
+//! executes its K-th chunk and dies *before reporting it* — from the
+//! server's side, a worker that vanished mid-chunk. The abandoned
+//! lease must be reclaimed exactly once for the job to finish.
+
+use dls_service::{drive_job, Client};
+use resilience::{FaultKind, FaultPlan};
+use std::io::Write;
+use workloads::synthetic::Synthetic;
+use workloads::Workload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: net-worker ADDR --job ID --n N --seed S [--worker W] [--batch B] \
+         [--crash-after K]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| usage());
+    let (mut job, mut n, mut seed) = (None, None, None);
+    let mut worker = 0u32;
+    let mut batch = 4u32;
+    let mut crash_after: Option<u32> = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--job" => job = value().parse().ok(),
+            "--n" => n = value().parse().ok(),
+            "--seed" => seed = value().parse().ok(),
+            "--worker" => worker = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = value().parse().unwrap_or_else(|_| usage()),
+            "--crash-after" => crash_after = value().parse().ok(),
+            _ => usage(),
+        }
+    }
+    let (Some(job), Some(n), Some(seed)) = (job, n, seed) else { usage() };
+
+    // The crash trigger comes from the same fault model the in-process
+    // executors use, so chaos scenarios read identically across the
+    // simulated, live-thread and multi-process stacks.
+    let plan = match crash_after {
+        Some(k) => {
+            FaultPlan::none().with(worker, FaultKind::Crash { at_ns: 0, after_sub_chunks: k })
+        }
+        None => FaultPlan::none(),
+    };
+
+    let workload = Synthetic::uniform(n, 1, 100, seed);
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("net-worker: cannot connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut crashed = false;
+    let outcome = drive_job(
+        &mut client,
+        job,
+        worker,
+        batch,
+        &mut |i| workload.execute(i),
+        &mut |executed_chunks| {
+            let die = plan
+                .crash_after_sub_chunks(worker)
+                .is_some_and(|k| executed_chunks >= u64::from(k));
+            crashed |= die;
+            !die
+        },
+    );
+    match outcome {
+        Ok((checksum, iters, chunks)) => {
+            println!(
+                "RESULT worker={worker} checksum={checksum} iters={iters} chunks={chunks} \
+                 crashed={crashed}"
+            );
+            std::io::stdout().flush().ok();
+            // A crash trigger exits abruptly *after* printing the work
+            // it actually reported: the lease of the executed-but-
+            // unreported chunk stays with the server.
+            if crashed {
+                std::process::exit(3);
+            }
+        }
+        Err(e) => {
+            eprintln!("net-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Blocking client for the chunk-scheduling service.
+//!
+//! One [`Client`] owns one TCP connection and speaks strict
+//! request/response: every call writes one frame and blocks for one
+//! reply frame. Leases granted on a connection are reclaimed by the
+//! server if the connection dies, so a process that holds a `Client`
+//! per worker gets crash recovery for free.
+
+use crate::protocol::{
+    frame, ErrorCode, GrantedChunk, JobId, LeaseId, Request, Response, StatsSnapshot,
+};
+use dls::Kind;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing mid-call).
+    Io(io::Error),
+    /// The reply frame did not parse.
+    Protocol(crate::protocol::DecodeError),
+    /// The server answered a typed error.
+    Server {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The server answered with a response of the wrong shape.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, detail } => write!(f, "server error {code}: {detail}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response, wanted {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// What a fetch round trip produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FetchReply {
+    /// Work: execute, then settle each lease with
+    /// [`Client::report_done`].
+    Chunks(Vec<GrantedChunk>),
+    /// No work *right now* (all scheduled, some leases unsettled — a
+    /// reclaim may still produce chunks): back off briefly and retry.
+    Pending,
+    /// The job finished every iteration; stop fetching.
+    Done,
+}
+
+/// One blocking connection to a server.
+pub struct Client {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, read_buf: Vec::new() })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        self.stream.write_all(&frame(&req.encode()))?;
+        // Read exactly one frame.
+        let mut len_buf = [0u8; 4];
+        self.read_exact_buffered(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; len];
+        self.read_exact_buffered(&mut payload)?;
+        Response::decode(&payload).map_err(ClientError::Protocol)
+    }
+
+    fn read_exact_buffered(&mut self, out: &mut [u8]) -> Result<()> {
+        // Strict request/response leaves nothing buffered between
+        // calls, but keep a buffer anyway so short reads are handled.
+        while self.read_buf.len() < out.len() {
+            let mut chunk = [0u8; 4096];
+            let k = self.stream.read(&mut chunk)?;
+            if k == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.read_buf.extend_from_slice(&chunk[..k]);
+        }
+        out.copy_from_slice(&self.read_buf[..out.len()]);
+        self.read_buf.drain(..out.len());
+        Ok(())
+    }
+
+    fn expect_ack(resp: Response) -> Result<()> {
+        match resp {
+            Response::Ack => Ok(()),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("Ack")),
+        }
+    }
+
+    /// Register a job of `n` iterations scheduled by `kind`;
+    /// `weights` may be empty for unit weights.
+    pub fn create_job(&mut self, n: u64, kind: Kind, weights: &[f64]) -> Result<JobId> {
+        match self.call(&Request::CreateJob { n, kind, weights: weights.to_vec() })? {
+            Response::JobCreated { job } => Ok(job),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("JobCreated")),
+        }
+    }
+
+    /// Ask for up to `batch` chunks. `JobFinished` maps to
+    /// [`FetchReply::Done`]; an empty grant maps to
+    /// [`FetchReply::Pending`].
+    pub fn fetch(&mut self, job: JobId, worker: u32, batch: u32) -> Result<FetchReply> {
+        match self.call(&Request::FetchChunk { job, worker, batch })? {
+            Response::Chunks { chunks } if chunks.is_empty() => Ok(FetchReply::Pending),
+            Response::Chunks { chunks } => Ok(FetchReply::Chunks(chunks)),
+            Response::Error { code: ErrorCode::JobFinished, .. } => Ok(FetchReply::Done),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("Chunks")),
+        }
+    }
+
+    /// Settle executed leases (batched acknowledgement).
+    pub fn report_done(&mut self, job: JobId, leases: &[LeaseId]) -> Result<()> {
+        Self::expect_ack(self.call(&Request::ReportDone { job, leases: leases.to_vec() })?)
+    }
+
+    /// Liveness ping.
+    pub fn heartbeat(&mut self, worker: u32) -> Result<()> {
+        Self::expect_ack(self.call(&Request::Heartbeat { worker })?)
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Response::Snapshot(s) => Ok(s),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("Snapshot")),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        Self::expect_ack(self.call(&Request::Shutdown)?)
+    }
+}
+
+/// Run a whole job from this process: fetch batches, execute each
+/// granted iteration through `execute`, report, repeat until the job
+/// is done. Returns `(checksum_of_reported_work, iterations_reported,
+/// chunks_reported)`.
+///
+/// The checksum only covers chunks whose `ReportDone` was
+/// acknowledged, so the sum over all workers of a job — including ones
+/// that crashed mid-chunk — equals the serial checksum exactly when
+/// the server's lease recovery re-issued lost work exactly once.
+///
+/// `on_chunk` is called after each chunk is executed but *before* it
+/// is reported — fault-injection hooks (the `net-worker` binary's
+/// crash trigger) return `false` to abandon the run mid-chunk.
+pub fn drive_job(
+    client: &mut Client,
+    job: JobId,
+    worker: u32,
+    batch: u32,
+    execute: &mut dyn FnMut(u64) -> u64,
+    on_chunk: &mut dyn FnMut(u64) -> bool,
+) -> Result<(u64, u64, u64)> {
+    let mut checksum = 0u64;
+    let mut iterations = 0u64;
+    let mut chunks = 0u64;
+    let mut executed_chunks = 0u64;
+    loop {
+        match client.fetch(job, worker, batch)? {
+            FetchReply::Done => return Ok((checksum, iterations, chunks)),
+            FetchReply::Pending => {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            FetchReply::Chunks(granted) => {
+                for c in &granted {
+                    let mut sum = 0u64;
+                    for i in c.lo..c.hi {
+                        sum = sum.wrapping_add(execute(i));
+                    }
+                    executed_chunks += 1;
+                    if !on_chunk(executed_chunks) {
+                        // Abandon mid-chunk: executed but never
+                        // reported — the server must reclaim it.
+                        return Ok((checksum, iterations, chunks));
+                    }
+                    client.report_done(job, &[c.lease])?;
+                    checksum = checksum.wrapping_add(sum);
+                    iterations += c.hi - c.lo;
+                    chunks += 1;
+                }
+            }
+        }
+    }
+}
+
+/// [`drive_job`] with whole-batch reporting: execute every chunk of
+/// the batch, then settle all leases in one `ReportDone` round trip —
+/// the load-generator shape where batching pays on both legs.
+pub fn drive_job_batched(
+    client: &mut Client,
+    job: JobId,
+    worker: u32,
+    batch: u32,
+    execute: &mut dyn FnMut(u64) -> u64,
+) -> Result<(u64, u64, u64)> {
+    let mut checksum = 0u64;
+    let mut iterations = 0u64;
+    let mut chunks = 0u64;
+    loop {
+        match client.fetch(job, worker, batch)? {
+            FetchReply::Done => return Ok((checksum, iterations, chunks)),
+            FetchReply::Pending => {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            FetchReply::Chunks(granted) => {
+                let mut sum = 0u64;
+                let mut iters = 0u64;
+                for c in &granted {
+                    for i in c.lo..c.hi {
+                        sum = sum.wrapping_add(execute(i));
+                    }
+                    iters += c.hi - c.lo;
+                }
+                let leases: Vec<LeaseId> = granted.iter().map(|c| c.lease).collect();
+                client.report_done(job, &leases)?;
+                checksum = checksum.wrapping_add(sum);
+                iterations += iters;
+                chunks += granted.len() as u64;
+            }
+        }
+    }
+}

@@ -1,0 +1,869 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! +----------------+---------+-----+------------------+
+//! | len: u32 LE    | version | tag | body (len-2 B)   |
+//! +----------------+---------+-----+------------------+
+//! ```
+//!
+//! `len` counts the payload (version byte + tag byte + body) and must
+//! be in `1..=max_frame`; a zero or oversized length is a framing
+//! violation the server answers with [`ErrorCode::FrameTooLarge`]
+//! before closing the connection (the stream cannot be resynchronised).
+//! All integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern.
+//!
+//! Requests and responses share the frame format and the version byte
+//! ([`VERSION`]); they are distinguished by tag ranges (requests
+//! `1..=6`, responses `128..`). A server must answer every
+//! *well-framed* request with exactly one response frame — malformed
+//! bodies get a typed [`Response::Error`], never silence and never a
+//! closed socket without one.
+
+use dls::Kind;
+
+/// Protocol version carried in every frame. Bump on any wire change.
+pub const VERSION: u8 = 1;
+
+/// Default upper bound on one frame's payload. Large enough for a
+/// `Stats` snapshot of hundreds of jobs, small enough that a malicious
+/// length prefix cannot make the server allocate unbounded memory.
+pub const MAX_FRAME: u32 = 256 * 1024;
+
+// Request tags.
+const T_CREATE_JOB: u8 = 1;
+const T_FETCH_CHUNK: u8 = 2;
+const T_REPORT_DONE: u8 = 3;
+const T_HEARTBEAT: u8 = 4;
+const T_STATS: u8 = 5;
+const T_SHUTDOWN: u8 = 6;
+
+// Response tags.
+const T_JOB_CREATED: u8 = 128;
+const T_CHUNKS: u8 = 129;
+const T_ACK: u8 = 130;
+const T_SNAPSHOT: u8 = 131;
+const T_ERROR: u8 = 132;
+
+/// Identifier of a job on one server.
+pub type JobId = u64;
+
+/// Identifier of a lease within one job (dense, 0-based — the same id
+/// space as [`resilience::LeaseId`]).
+pub type LeaseId = u64;
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register a loop of `n` iterations scheduled by `kind` at the
+    /// inter-node level. `weights` are optional per-worker relative
+    /// speeds for weighted techniques (empty = unit weights).
+    CreateJob {
+        /// Total loop iterations.
+        n: u64,
+        /// DLS technique driving the global queue.
+        kind: Kind,
+        /// Per-worker weights (indexed by worker id), empty for unit.
+        weights: Vec<f64>,
+    },
+    /// Ask for up to `batch` chunks of `job` on behalf of `worker`.
+    FetchChunk {
+        /// Target job.
+        job: JobId,
+        /// Requesting worker id (used by weighted techniques and the
+        /// lease ledger).
+        worker: u32,
+        /// Maximum number of chunks to grant in this round trip.
+        batch: u32,
+    },
+    /// Report the listed leases as executed (batched acknowledgement).
+    ReportDone {
+        /// Target job.
+        job: JobId,
+        /// Leases whose ranges were fully executed.
+        leases: Vec<LeaseId>,
+    },
+    /// Liveness ping; keeps idle connections warm.
+    Heartbeat {
+        /// Worker id of the pinger.
+        worker: u32,
+    },
+    /// Ask for a [`StatsSnapshot`].
+    Stats,
+    /// Begin graceful shutdown: the server answers `Ack`, drains
+    /// in-flight requests, and stops.
+    Shutdown,
+}
+
+/// One granted chunk: the range plus the lease that must be settled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrantedChunk {
+    /// Lease to pass back in `ReportDone`.
+    pub lease: LeaseId,
+    /// First iteration of the range.
+    pub lo: u64,
+    /// One past the last iteration.
+    pub hi: u64,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `CreateJob` succeeded.
+    JobCreated {
+        /// The new job's id.
+        job: JobId,
+    },
+    /// `FetchChunk` reply. An empty list means *no work right now but
+    /// the job is not finished* (chunks may reappear via lease
+    /// reclamation) — poll again. A finished job answers
+    /// [`ErrorCode::JobFinished`] instead.
+    Chunks {
+        /// Granted chunks, at most the requested batch.
+        chunks: Vec<GrantedChunk>,
+    },
+    /// Generic success without payload.
+    Ack,
+    /// `Stats` reply.
+    Snapshot(StatsSnapshot),
+    /// Typed failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Machine-readable failure causes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame's version byte is not [`VERSION`].
+    BadVersion = 1,
+    /// Unknown tag or malformed body.
+    BadMessage = 2,
+    /// Frame length prefix of 0 or above the server's `max_frame`.
+    FrameTooLarge = 3,
+    /// `FetchChunk.batch` exceeds the server's `max_batch`.
+    BatchTooLarge = 4,
+    /// The worker already holds its quota of unsettled leases.
+    QuotaExceeded = 5,
+    /// The job id was never created.
+    UnknownJob = 6,
+    /// Every iteration of the job has been executed and acknowledged.
+    JobFinished = 7,
+    /// Connection limit reached; try again later.
+    Busy = 8,
+    /// The server is draining; no new work is granted.
+    ShuttingDown = 9,
+    /// `CreateJob` named a technique the service cannot drive.
+    BadTechnique = 10,
+    /// The server's job-table quota is exhausted.
+    TooManyJobs = 11,
+    /// `ReportDone` named a lease that is unknown or already settled.
+    StaleLease = 12,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadVersion,
+            2 => ErrorCode::BadMessage,
+            3 => ErrorCode::FrameTooLarge,
+            4 => ErrorCode::BatchTooLarge,
+            5 => ErrorCode::QuotaExceeded,
+            6 => ErrorCode::UnknownJob,
+            7 => ErrorCode::JobFinished,
+            8 => ErrorCode::Busy,
+            9 => ErrorCode::ShuttingDown,
+            10 => ErrorCode::BadTechnique,
+            11 => ErrorCode::TooManyJobs,
+            12 => ErrorCode::StaleLease,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Why a payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Version byte differs from [`VERSION`].
+    Version(u8),
+    /// Tag byte names no known message.
+    Tag(u8),
+    /// The body ended before the message was complete, or carried an
+    /// out-of-range field (described by the `&str`).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Version(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::Tag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::Malformed(what) => write!(f, "malformed body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Technique kinds on the wire.
+
+fn kind_to_u8(kind: Kind) -> u8 {
+    match kind {
+        Kind::STATIC => 0,
+        Kind::SS => 1,
+        Kind::GSS => 2,
+        Kind::TSS => 3,
+        Kind::FAC => 4,
+        Kind::FAC2 => 5,
+        Kind::TFSS => 6,
+        Kind::FSC => 7,
+        Kind::RND => 8,
+        Kind::WF => 9,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Option<Kind> {
+    Some(match b {
+        0 => Kind::STATIC,
+        1 => Kind::SS,
+        2 => Kind::GSS,
+        3 => Kind::TSS,
+        4 => Kind::FAC,
+        5 => Kind::FAC2,
+        6 => Kind::TFSS,
+        7 => Kind::FSC,
+        8 => Kind::RND,
+        9 => Kind::WF,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Stats snapshot.
+
+/// Server-wide counters at one instant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceTotals {
+    /// `FetchChunk` requests served (including empty grants).
+    pub fetches: u64,
+    /// Chunks granted across all fetches (batching multiplies this
+    /// relative to `fetches`).
+    pub chunks_granted: u64,
+    /// Leases reclaimed from disconnected clients.
+    pub reclaims: u64,
+    /// Fetches answered with an empty grant (queue empty, job alive).
+    pub empty_polls: u64,
+    /// Jobs ever created.
+    pub jobs_created: u64,
+    /// Jobs not yet finished.
+    pub jobs_active: u64,
+    /// Currently open connections.
+    pub conns_active: u64,
+    /// Connections ever accepted.
+    pub conns_total: u64,
+    /// Bytes read from all clients.
+    pub bytes_in: u64,
+    /// Bytes written to all clients.
+    pub bytes_out: u64,
+}
+
+/// One job's counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub job: JobId,
+    /// Loop size.
+    pub n: u64,
+    /// Scheduling steps taken (the paper's first global counter).
+    pub step: u64,
+    /// Iterations handed out (the second global counter).
+    pub scheduled: u64,
+    /// Iterations executed and acknowledged.
+    pub completed: u64,
+    /// Every iteration acknowledged.
+    pub done: bool,
+    /// `FetchChunk` requests against this job.
+    pub fetches: u64,
+    /// Chunks granted.
+    pub chunks_granted: u64,
+    /// Leases reclaimed from dead clients.
+    pub reclaims: u64,
+    /// Empty-grant fetches.
+    pub empty_polls: u64,
+    /// Ledger: leases ever granted.
+    pub leases_granted: u64,
+    /// Ledger: leases completed by their owner.
+    pub leases_completed: u64,
+    /// Ledger: leases reclaimed after owner death.
+    pub leases_reclaimed: u64,
+}
+
+/// One connection's counters (live and closed connections both appear;
+/// closed ones keep their final values).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConnSnapshot {
+    /// Connection id (accept order).
+    pub conn: u64,
+    /// Last worker id seen on this connection (`u32::MAX` if none).
+    pub worker: u32,
+    /// Bytes read from this client.
+    pub bytes_in: u64,
+    /// Bytes written to this client.
+    pub bytes_out: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// `FetchChunk` requests served.
+    pub fetches: u64,
+    /// Chunks granted to this connection.
+    pub chunks: u64,
+    /// Iterations this connection acknowledged as executed.
+    pub iterations: u64,
+    /// Whether the connection is still open.
+    pub open: bool,
+}
+
+/// Everything the server knows about itself, exported via the `Stats`
+/// request, the drain path of a graceful shutdown, and (re-shaped) the
+/// `hdls::export::service_report` ActivityReport bridge.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Nanoseconds since the server started.
+    pub uptime_ns: u64,
+    /// True once a shutdown (frame or signal) has begun.
+    pub shutting_down: bool,
+    /// Server-wide counters.
+    pub totals: ServiceTotals,
+    /// Per-job rows, ordered by job id.
+    pub jobs: Vec<JobSnapshot>,
+    /// Per-connection rows, ordered by connection id.
+    pub conns: Vec<ConnSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Compact JSON rendering (the artefact `dls-serverd` prints on
+    /// graceful exit).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let t = &self.totals;
+        s.push_str(&format!(
+            "{{\"uptime_ns\":{},\"shutting_down\":{},\"totals\":{{\"fetches\":{},\
+             \"chunks_granted\":{},\"reclaims\":{},\"empty_polls\":{},\"jobs_created\":{},\
+             \"jobs_active\":{},\"conns_active\":{},\"conns_total\":{},\"bytes_in\":{},\
+             \"bytes_out\":{}}},\"jobs\":[",
+            self.uptime_ns,
+            self.shutting_down,
+            t.fetches,
+            t.chunks_granted,
+            t.reclaims,
+            t.empty_polls,
+            t.jobs_created,
+            t.jobs_active,
+            t.conns_active,
+            t.conns_total,
+            t.bytes_in,
+            t.bytes_out,
+        ));
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"job\":{},\"n\":{},\"step\":{},\"scheduled\":{},\"completed\":{},\
+                 \"done\":{},\"fetches\":{},\"chunks_granted\":{},\"reclaims\":{},\
+                 \"empty_polls\":{},\"leases_granted\":{},\"leases_completed\":{},\
+                 \"leases_reclaimed\":{}}}",
+                j.job,
+                j.n,
+                j.step,
+                j.scheduled,
+                j.completed,
+                j.done,
+                j.fetches,
+                j.chunks_granted,
+                j.reclaims,
+                j.empty_polls,
+                j.leases_granted,
+                j.leases_completed,
+                j.leases_reclaimed,
+            ));
+        }
+        s.push_str("],\"conns\":[");
+        for (i, c) in self.conns.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"conn\":{},\"worker\":{},\"bytes_in\":{},\"bytes_out\":{},\"requests\":{},\
+                 \"fetches\":{},\"chunks\":{},\"iterations\":{},\"open\":{}}}",
+                c.conn,
+                c.worker,
+                c.bytes_in,
+                c.bytes_out,
+                c.requests,
+                c.fetches,
+                c.chunks,
+                c.iterations,
+                c.open,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Self {
+        let mut buf = Vec::with_capacity(32);
+        buf.push(VERSION);
+        buf.push(tag);
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Malformed("body shorter than declared"));
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+impl Request {
+    /// Serialise to one frame payload (version + tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::CreateJob { n, kind, weights } => {
+                let mut w = Writer::new(T_CREATE_JOB);
+                w.u64(*n);
+                w.u8(kind_to_u8(*kind));
+                w.u16(weights.len() as u16);
+                for &wt in weights {
+                    w.f64(wt);
+                }
+                w.buf
+            }
+            Request::FetchChunk { job, worker, batch } => {
+                let mut w = Writer::new(T_FETCH_CHUNK);
+                w.u64(*job);
+                w.u32(*worker);
+                w.u32(*batch);
+                w.buf
+            }
+            Request::ReportDone { job, leases } => {
+                let mut w = Writer::new(T_REPORT_DONE);
+                w.u64(*job);
+                w.u16(leases.len() as u16);
+                for &l in leases {
+                    w.u64(l);
+                }
+                w.buf
+            }
+            Request::Heartbeat { worker } => {
+                let mut w = Writer::new(T_HEARTBEAT);
+                w.u32(*worker);
+                w.buf
+            }
+            Request::Stats => Writer::new(T_STATS).buf,
+            Request::Shutdown => Writer::new(T_SHUTDOWN).buf,
+        }
+    }
+
+    /// Parse one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(DecodeError::Version(version));
+        }
+        let tag = r.u8()?;
+        let req = match tag {
+            T_CREATE_JOB => {
+                let n = r.u64()?;
+                let kind =
+                    kind_from_u8(r.u8()?).ok_or(DecodeError::Malformed("unknown technique"))?;
+                let count = r.u16()? as usize;
+                let mut weights = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    weights.push(r.f64()?);
+                }
+                Request::CreateJob { n, kind, weights }
+            }
+            T_FETCH_CHUNK => {
+                Request::FetchChunk { job: r.u64()?, worker: r.u32()?, batch: r.u32()? }
+            }
+            T_REPORT_DONE => {
+                let job = r.u64()?;
+                let count = r.u16()? as usize;
+                let mut leases = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    leases.push(r.u64()?);
+                }
+                Request::ReportDone { job, leases }
+            }
+            T_HEARTBEAT => Request::Heartbeat { worker: r.u32()? },
+            T_STATS => Request::Stats,
+            T_SHUTDOWN => Request::Shutdown,
+            other => return Err(DecodeError::Tag(other)),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialise to one frame payload (version + tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::JobCreated { job } => {
+                let mut w = Writer::new(T_JOB_CREATED);
+                w.u64(*job);
+                w.buf
+            }
+            Response::Chunks { chunks } => {
+                let mut w = Writer::new(T_CHUNKS);
+                w.u16(chunks.len() as u16);
+                for c in chunks {
+                    w.u64(c.lease);
+                    w.u64(c.lo);
+                    w.u64(c.hi);
+                }
+                w.buf
+            }
+            Response::Ack => Writer::new(T_ACK).buf,
+            Response::Snapshot(s) => {
+                let mut w = Writer::new(T_SNAPSHOT);
+                w.u64(s.uptime_ns);
+                w.u8(u8::from(s.shutting_down));
+                let t = &s.totals;
+                for v in [
+                    t.fetches,
+                    t.chunks_granted,
+                    t.reclaims,
+                    t.empty_polls,
+                    t.jobs_created,
+                    t.jobs_active,
+                    t.conns_active,
+                    t.conns_total,
+                    t.bytes_in,
+                    t.bytes_out,
+                ] {
+                    w.u64(v);
+                }
+                w.u16(s.jobs.len() as u16);
+                for j in &s.jobs {
+                    for v in [
+                        j.job,
+                        j.n,
+                        j.step,
+                        j.scheduled,
+                        j.completed,
+                        j.fetches,
+                        j.chunks_granted,
+                        j.reclaims,
+                        j.empty_polls,
+                        j.leases_granted,
+                        j.leases_completed,
+                        j.leases_reclaimed,
+                    ] {
+                        w.u64(v);
+                    }
+                    w.u8(u8::from(j.done));
+                }
+                w.u16(s.conns.len() as u16);
+                for c in &s.conns {
+                    w.u64(c.conn);
+                    w.u32(c.worker);
+                    for v in
+                        [c.bytes_in, c.bytes_out, c.requests, c.fetches, c.chunks, c.iterations]
+                    {
+                        w.u64(v);
+                    }
+                    w.u8(u8::from(c.open));
+                }
+                w.buf
+            }
+            Response::Error { code, detail } => {
+                let mut w = Writer::new(T_ERROR);
+                w.u8(*code as u8);
+                let bytes = detail.as_bytes();
+                let len = bytes.len().min(u16::MAX as usize);
+                w.u16(len as u16);
+                w.bytes(&bytes[..len]);
+                w.buf
+            }
+        }
+    }
+
+    /// Parse one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(DecodeError::Version(version));
+        }
+        let tag = r.u8()?;
+        let resp = match tag {
+            T_JOB_CREATED => Response::JobCreated { job: r.u64()? },
+            T_CHUNKS => {
+                let count = r.u16()? as usize;
+                let mut chunks = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    chunks.push(GrantedChunk { lease: r.u64()?, lo: r.u64()?, hi: r.u64()? });
+                }
+                Response::Chunks { chunks }
+            }
+            T_ACK => Response::Ack,
+            T_SNAPSHOT => {
+                let uptime_ns = r.u64()?;
+                let shutting_down = r.u8()? != 0;
+                let totals = ServiceTotals {
+                    fetches: r.u64()?,
+                    chunks_granted: r.u64()?,
+                    reclaims: r.u64()?,
+                    empty_polls: r.u64()?,
+                    jobs_created: r.u64()?,
+                    jobs_active: r.u64()?,
+                    conns_active: r.u64()?,
+                    conns_total: r.u64()?,
+                    bytes_in: r.u64()?,
+                    bytes_out: r.u64()?,
+                };
+                let n_jobs = r.u16()? as usize;
+                let mut jobs = Vec::with_capacity(n_jobs.min(4096));
+                for _ in 0..n_jobs {
+                    jobs.push(JobSnapshot {
+                        job: r.u64()?,
+                        n: r.u64()?,
+                        step: r.u64()?,
+                        scheduled: r.u64()?,
+                        completed: r.u64()?,
+                        fetches: r.u64()?,
+                        chunks_granted: r.u64()?,
+                        reclaims: r.u64()?,
+                        empty_polls: r.u64()?,
+                        leases_granted: r.u64()?,
+                        leases_completed: r.u64()?,
+                        leases_reclaimed: r.u64()?,
+                        done: r.u8()? != 0,
+                    });
+                }
+                let n_conns = r.u16()? as usize;
+                let mut conns = Vec::with_capacity(n_conns.min(4096));
+                for _ in 0..n_conns {
+                    conns.push(ConnSnapshot {
+                        conn: r.u64()?,
+                        worker: r.u32()?,
+                        bytes_in: r.u64()?,
+                        bytes_out: r.u64()?,
+                        requests: r.u64()?,
+                        fetches: r.u64()?,
+                        chunks: r.u64()?,
+                        iterations: r.u64()?,
+                        open: r.u8()? != 0,
+                    });
+                }
+                Response::Snapshot(StatsSnapshot { uptime_ns, shutting_down, totals, jobs, conns })
+            }
+            T_ERROR => {
+                let code =
+                    ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Malformed("error code"))?;
+                let len = r.u16()? as usize;
+                let detail = String::from_utf8_lossy(r.take(len)?).into_owned();
+                Response::Error { code, detail }
+            }
+            other => return Err(DecodeError::Tag(other)),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+/// Prepend the length prefix to a payload, producing the full frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::CreateJob { n: 1 << 40, kind: Kind::GSS, weights: vec![] });
+        roundtrip_req(Request::CreateJob { n: 7, kind: Kind::WF, weights: vec![0.5, 1.5] });
+        roundtrip_req(Request::FetchChunk { job: 3, worker: 9, batch: 64 });
+        roundtrip_req(Request::ReportDone { job: 3, leases: vec![0, 1, 99] });
+        roundtrip_req(Request::Heartbeat { worker: 2 });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::JobCreated { job: 17 });
+        roundtrip_resp(Response::Chunks {
+            chunks: vec![
+                GrantedChunk { lease: 0, lo: 0, hi: 128 },
+                GrantedChunk { lease: 1, lo: 128, hi: 130 },
+            ],
+        });
+        roundtrip_resp(Response::Chunks { chunks: vec![] });
+        roundtrip_resp(Response::Ack);
+        roundtrip_resp(Response::Error { code: ErrorCode::UnknownJob, detail: "job 9".into() });
+        let snap = StatsSnapshot {
+            uptime_ns: 123,
+            shutting_down: true,
+            totals: ServiceTotals { fetches: 5, chunks_granted: 9, ..Default::default() },
+            jobs: vec![JobSnapshot { job: 1, n: 100, done: true, ..Default::default() }],
+            conns: vec![ConnSnapshot { conn: 0, worker: 3, open: true, ..Default::default() }],
+        };
+        roundtrip_resp(Response::Snapshot(snap));
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for kind in Kind::ALL {
+            roundtrip_req(Request::CreateJob { n: 10, kind, weights: vec![] });
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut p = Request::Stats.encode();
+        p[0] = 9;
+        assert_eq!(Request::decode(&p), Err(DecodeError::Version(9)));
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let p = vec![VERSION, 77];
+        assert_eq!(Request::decode(&p), Err(DecodeError::Tag(77)));
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        let mut p = Request::FetchChunk { job: 1, worker: 2, batch: 3 }.encode();
+        p.truncate(p.len() - 2);
+        assert!(matches!(Request::decode(&p), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut p = Request::Stats.encode();
+        p.push(0);
+        assert_eq!(Request::decode(&p), Err(DecodeError::Malformed("trailing bytes")));
+    }
+
+    #[test]
+    fn frame_prepends_length() {
+        let f = frame(&[1, 2, 3]);
+        assert_eq!(f, vec![3, 0, 0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed_enough() {
+        let s = StatsSnapshot::default().to_json();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"totals\""));
+        assert!(s.contains("\"jobs\":[]"));
+    }
+}

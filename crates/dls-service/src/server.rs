@@ -1,0 +1,755 @@
+//! The chunk-scheduling server: a sharded, multi-tenant job table
+//! behind a TCP accept loop.
+//!
+//! Each job's scheduling state is exactly the paper's global work
+//! queue — the two counters `(step, scheduled)` — driven by the `dls`
+//! chunk calculators. Three service-grade layers wrap it:
+//!
+//! * **Leases** ([`resilience::LeaseTable`]): every granted chunk is a
+//!   revocable lease. A client that disconnects (crash, kill, network
+//!   partition) has its unsettled leases reclaimed *exactly once*; the
+//!   ranges re-enter the job through a reclaim pool served ahead of
+//!   fresh counter advances, so the job still completes every
+//!   iteration exactly once.
+//! * **Batching**: one `FetchChunk` round trip can grant up to
+//!   `max_batch` chunks and one `ReportDone` can settle as many — the
+//!   network analogue of chunk granularity (amortise one RTT over k
+//!   chunks).
+//! * **Backpressure**: hard limits on concurrent connections, frame
+//!   size, batch size, job count, and unsettled leases per worker.
+//!   Every limit answers with a typed error frame instead of silence.
+//!
+//! Shutdown (a `Shutdown` frame or [`Server::shutdown`], which the
+//! `dls-serverd` binary also wires to SIGTERM) drains in-flight
+//! requests: connection threads finish the request they are serving,
+//! answer anything later with [`ErrorCode::ShuttingDown`], and exit;
+//! the final [`StatsSnapshot`] preserves every job's progress counters.
+
+use crate::protocol::{
+    frame, ConnSnapshot, ErrorCode, GrantedChunk, JobSnapshot, Request, Response, ServiceTotals,
+    StatsSnapshot, VERSION,
+};
+use dls::technique::WorkerCtx;
+use dls::{ChunkCalculator, LoopSpec, SchedState, Technique};
+use resilience::{LeaseId, LeaseTable};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Reclaimer id recorded in the lease ledger for server-side
+/// disconnect reclamation (no worker rank performs it).
+const SERVER_RECLAIMER: u32 = u32::MAX;
+
+/// Tunable limits and backpressure knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Concurrent connections; further accepts answer
+    /// [`ErrorCode::Busy`] and close.
+    pub max_connections: u32,
+    /// Largest `FetchChunk.batch` honoured.
+    pub max_batch: u32,
+    /// Largest unsettled-lease count per `(job, worker)` — a worker
+    /// must report before it can hoard more chunks.
+    pub worker_quota: u32,
+    /// Jobs the table will hold.
+    pub max_jobs: u32,
+    /// Largest accepted frame payload.
+    pub max_frame: u32,
+    /// Job-table shards (reduces cross-job lock contention).
+    pub shards: u32,
+    /// Poll tick for connection reads; bounds how long a drain waits
+    /// on an idle connection.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_connections: 128,
+            max_batch: 64,
+            worker_quota: 256,
+            max_jobs: 1024,
+            max_frame: crate::protocol::MAX_FRAME,
+            shards: 8,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One job: the paper's two-counter global queue plus the lease ledger
+/// and reclaim pool.
+struct Job {
+    spec: LoopSpec,
+    technique: Technique,
+    weights: Vec<f64>,
+    /// Scheduling step — the first global counter.
+    step: u64,
+    /// Iterations handed out — the second global counter.
+    scheduled: u64,
+    /// Iterations executed *and acknowledged*.
+    completed: u64,
+    done: bool,
+    /// Ranges reclaimed from dead clients, served before fresh counter
+    /// advances.
+    reclaim_pool: VecDeque<(u64, u64)>,
+    leases: LeaseTable,
+    /// Active lease -> connection that holds it.
+    lease_conn: HashMap<LeaseId, u64>,
+    /// Connection -> its active leases (reverse index for disconnect).
+    conn_leases: HashMap<u64, Vec<LeaseId>>,
+    /// Unsettled leases per worker (quota enforcement).
+    outstanding: HashMap<u32, u32>,
+    // Counters.
+    fetches: u64,
+    chunks_granted: u64,
+    reclaims: u64,
+    empty_polls: u64,
+}
+
+impl Job {
+    fn new(n: u64, kind: dls::Kind, weights: Vec<f64>) -> Job {
+        // `p` only parameterises techniques that divide by worker
+        // count; the service has no fixed worker census, so size the
+        // spec by the weight table when given, else a default of 8 —
+        // the same role `nodes` plays for the inter level in `hier`.
+        let p = if weights.is_empty() { 8 } else { weights.len() as u32 };
+        Job {
+            spec: LoopSpec::new(n, p.max(1)),
+            technique: Technique::from_kind(kind),
+            weights,
+            step: 0,
+            scheduled: 0,
+            completed: 0,
+            done: n == 0,
+            reclaim_pool: VecDeque::new(),
+            leases: LeaseTable::new(),
+            lease_conn: HashMap::new(),
+            conn_leases: HashMap::new(),
+            outstanding: HashMap::new(),
+            fetches: 0,
+            chunks_granted: 0,
+            reclaims: 0,
+            empty_polls: 0,
+        }
+    }
+
+    fn grant(&mut self, worker: u32, lo: u64, hi: u64, conn: u64, now_ns: u64) -> GrantedChunk {
+        let lease = self.leases.grant(worker, lo, hi, now_ns);
+        self.lease_conn.insert(lease, conn);
+        self.conn_leases.entry(conn).or_default().push(lease);
+        *self.outstanding.entry(worker).or_insert(0) += 1;
+        self.chunks_granted += 1;
+        GrantedChunk { lease, lo, hi }
+    }
+
+    /// Serve up to `batch` chunks: reclaimed ranges first, then fresh
+    /// advances of the two counters.
+    fn fetch(&mut self, worker: u32, batch: u32, conn: u64, now_ns: u64) -> Vec<GrantedChunk> {
+        let n = self.spec.n_iters;
+        let weight = self.weights.get(worker as usize).copied().unwrap_or(1.0);
+        let ctx = WorkerCtx { worker, weight };
+        let mut out = Vec::new();
+        for _ in 0..batch {
+            if let Some((lo, hi)) = self.reclaim_pool.pop_front() {
+                out.push(self.grant(worker, lo, hi, conn, now_ns));
+            } else if self.scheduled < n {
+                let state = SchedState { step: self.step, scheduled: self.scheduled };
+                let size =
+                    self.technique.chunk_size(&self.spec, state, ctx).clamp(1, n - self.scheduled);
+                let lo = self.scheduled;
+                self.step += 1;
+                self.scheduled += size;
+                out.push(self.grant(worker, lo, lo + size, conn, now_ns));
+            } else {
+                break;
+            }
+        }
+        self.fetches += 1;
+        if out.is_empty() {
+            self.empty_polls += 1;
+        }
+        out
+    }
+
+    /// Settle one reported lease. Returns the iteration count credited.
+    fn report(&mut self, lease: LeaseId) -> Result<u64, ErrorCode> {
+        let (owner, len) = match self.leases.get(lease) {
+            Some(l) => (l.owner, l.hi - l.lo),
+            None => return Err(ErrorCode::StaleLease),
+        };
+        if self.leases.complete(lease).is_err() {
+            return Err(ErrorCode::StaleLease);
+        }
+        self.completed += len;
+        if let Some(o) = self.outstanding.get_mut(&owner) {
+            *o = o.saturating_sub(1);
+        }
+        if let Some(conn) = self.lease_conn.remove(&lease) {
+            if let Some(list) = self.conn_leases.get_mut(&conn) {
+                list.retain(|&l| l != lease);
+            }
+        }
+        if self.completed == self.spec.n_iters {
+            self.done = true;
+        }
+        Ok(len)
+    }
+
+    /// Reclaim every unsettled lease held by `conn` (it disconnected).
+    /// Returns how many leases were reclaimed.
+    fn reclaim_conn(&mut self, conn: u64) -> u64 {
+        let Some(list) = self.conn_leases.remove(&conn) else { return 0 };
+        let mut reclaimed = 0;
+        for lease in list {
+            // Only unsettled leases remain in the reverse index, so the
+            // ledger transition must succeed; a failure here would mean
+            // a double settlement and is a server bug worth surfacing.
+            match self.leases.reclaim(lease, SERVER_RECLAIMER) {
+                Ok((lo, hi)) => {
+                    self.reclaim_pool.push_back((lo, hi));
+                    if let Some(l) = self.leases.get(lease) {
+                        if let Some(o) = self.outstanding.get_mut(&l.owner) {
+                            *o = o.saturating_sub(1);
+                        }
+                    }
+                    self.lease_conn.remove(&lease);
+                    self.reclaims += 1;
+                    reclaimed += 1;
+                }
+                Err(e) => debug_assert!(false, "disconnect reclaim hit settled lease: {e}"),
+            }
+        }
+        reclaimed
+    }
+
+    fn snapshot(&self, job: u64) -> JobSnapshot {
+        let (granted, completed, reclaimed) = self.leases.counts();
+        JobSnapshot {
+            job,
+            n: self.spec.n_iters,
+            step: self.step,
+            scheduled: self.scheduled,
+            completed: self.completed,
+            done: self.done,
+            fetches: self.fetches,
+            chunks_granted: self.chunks_granted,
+            reclaims: self.reclaims,
+            empty_polls: self.empty_polls,
+            leases_granted: granted,
+            leases_completed: completed,
+            leases_reclaimed: reclaimed,
+        }
+    }
+}
+
+/// Shared server state.
+struct State {
+    cfg: ServiceConfig,
+    epoch: Instant,
+    shards: Vec<Mutex<HashMap<u64, Job>>>,
+    next_job: AtomicU64,
+    jobs_created: AtomicU64,
+    next_conn: AtomicU64,
+    conns_active: AtomicU64,
+    conns_total: AtomicU64,
+    fetches: AtomicU64,
+    chunks_granted: AtomicU64,
+    reclaims: AtomicU64,
+    empty_polls: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    shutdown: AtomicBool,
+    shutdown_cv: (Mutex<bool>, Condvar),
+    conn_stats: Mutex<HashMap<u64, ConnSnapshot>>,
+}
+
+impl State {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn shard_of(&self, job: u64) -> &Mutex<HashMap<u64, Job>> {
+        &self.shards[(job % self.shards.len() as u64) as usize]
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cv) = &self.shutdown_cv;
+        if let Ok(mut flagged) = lock.lock() {
+            *flagged = true;
+            cv.notify_all();
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut jobs = Vec::new();
+        let mut jobs_active = 0;
+        for shard in &self.shards {
+            if let Ok(shard) = shard.lock() {
+                for (&id, job) in shard.iter() {
+                    if !job.done {
+                        jobs_active += 1;
+                    }
+                    jobs.push(job.snapshot(id));
+                }
+            }
+        }
+        jobs.sort_by_key(|j| j.job);
+        let mut conns: Vec<ConnSnapshot> =
+            self.conn_stats.lock().map(|m| m.values().cloned().collect()).unwrap_or_default();
+        conns.sort_by_key(|c| c.conn);
+        StatsSnapshot {
+            uptime_ns: self.now_ns(),
+            shutting_down: self.shutdown.load(Ordering::SeqCst),
+            totals: ServiceTotals {
+                fetches: self.fetches.load(Ordering::Relaxed),
+                chunks_granted: self.chunks_granted.load(Ordering::Relaxed),
+                reclaims: self.reclaims.load(Ordering::Relaxed),
+                empty_polls: self.empty_polls.load(Ordering::Relaxed),
+                jobs_created: self.jobs_created.load(Ordering::Relaxed),
+                jobs_active,
+                conns_active: self.conns_active.load(Ordering::Relaxed),
+                conns_total: self.conns_total.load(Ordering::Relaxed),
+                bytes_in: self.bytes_in.load(Ordering::Relaxed),
+                bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            },
+            jobs,
+            conns,
+        }
+    }
+
+    // ---- request handlers -------------------------------------------------
+
+    fn handle(&self, req: Request, conn: u64, stat: &mut ConnSnapshot) -> Response {
+        match req {
+            Request::CreateJob { n, kind, weights } => self.create_job(n, kind, weights),
+            Request::FetchChunk { job, worker, batch } => {
+                stat.worker = worker;
+                stat.fetches += 1;
+                let resp = self.fetch(job, worker, batch, conn);
+                if let Response::Chunks { chunks } = &resp {
+                    stat.chunks += chunks.len() as u64;
+                }
+                resp
+            }
+            Request::ReportDone { job, leases } => {
+                let resp = self.report(job, &leases);
+                if matches!(resp, Response::Ack) {
+                    // The ledger keeps settled leases' ranges, so the
+                    // per-connection row can be credited after the fact.
+                    stat.iterations += self.credited(job, &leases);
+                }
+                resp
+            }
+            Request::Heartbeat { worker } => {
+                stat.worker = worker;
+                Response::Ack
+            }
+            Request::Stats => Response::Snapshot(self.snapshot()),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::Ack
+            }
+        }
+    }
+
+    fn create_job(&self, n: u64, kind: dls::Kind, weights: Vec<f64>) -> Response {
+        if self.jobs_created.load(Ordering::SeqCst) >= u64::from(self.cfg.max_jobs) {
+            return Response::Error {
+                code: ErrorCode::TooManyJobs,
+                detail: format!("job table limit {} reached", self.cfg.max_jobs),
+            };
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Response::Error {
+                code: ErrorCode::BadTechnique,
+                detail: "weights must be finite and non-negative".into(),
+            };
+        }
+        let job = self.next_job.fetch_add(1, Ordering::SeqCst);
+        self.jobs_created.fetch_add(1, Ordering::SeqCst);
+        if let Ok(mut shard) = self.shard_of(job).lock() {
+            shard.insert(job, Job::new(n, kind, weights));
+        }
+        Response::JobCreated { job }
+    }
+
+    fn fetch(&self, job: u64, worker: u32, batch: u32, conn: u64) -> Response {
+        if batch == 0 || batch > self.cfg.max_batch {
+            return Response::Error {
+                code: ErrorCode::BatchTooLarge,
+                detail: format!("batch {batch} outside 1..={}", self.cfg.max_batch),
+            };
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "server draining; no new grants".into(),
+            };
+        }
+        let now = self.now_ns();
+        let Ok(mut shard) = self.shard_of(job).lock() else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                detail: "shard poisoned".into(),
+            };
+        };
+        let Some(j) = shard.get_mut(&job) else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                detail: format!("job {job} was never created"),
+            };
+        };
+        if j.done {
+            return Response::Error {
+                code: ErrorCode::JobFinished,
+                detail: format!("job {job} completed all {} iterations", j.spec.n_iters),
+            };
+        }
+        let out = j.outstanding.get(&worker).copied().unwrap_or(0);
+        if out >= self.cfg.worker_quota {
+            return Response::Error {
+                code: ErrorCode::QuotaExceeded,
+                detail: format!(
+                    "worker {worker} holds {out} unsettled leases (quota {})",
+                    self.cfg.worker_quota
+                ),
+            };
+        }
+        let batch = batch.min(self.cfg.worker_quota - out);
+        let chunks = j.fetch(worker, batch, conn, now);
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.chunks_granted.fetch_add(chunks.len() as u64, Ordering::Relaxed);
+        if chunks.is_empty() {
+            self.empty_polls.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::Chunks { chunks }
+    }
+
+    fn report(&self, job: u64, leases: &[LeaseId]) -> Response {
+        let Ok(mut shard) = self.shard_of(job).lock() else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                detail: "shard poisoned".into(),
+            };
+        };
+        let Some(j) = shard.get_mut(&job) else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                detail: format!("job {job} was never created"),
+            };
+        };
+        for &lease in leases {
+            if let Err(code) = j.report(lease) {
+                return Response::Error {
+                    code,
+                    detail: format!("lease {lease} is unknown or already settled"),
+                };
+            }
+        }
+        Response::Ack
+    }
+
+    /// Iterations credited to reports from `leases` — used to keep the
+    /// per-connection row in sync without re-walking the ledger.
+    fn credited(&self, job: u64, leases: &[LeaseId]) -> u64 {
+        let Ok(shard) = self.shard_of(job).lock() else { return 0 };
+        let Some(j) = shard.get(&job) else { return 0 };
+        leases.iter().filter_map(|&l| j.leases.get(l)).map(|l| l.hi - l.lo).sum()
+    }
+
+    /// A connection died or closed: reclaim its unsettled leases in
+    /// every job, exactly once each.
+    fn disconnect(&self, conn: u64) {
+        let mut reclaimed = 0;
+        for shard in &self.shards {
+            if let Ok(mut shard) = shard.lock() {
+                for job in shard.values_mut() {
+                    reclaimed += job.reclaim_conn(conn);
+                }
+            }
+        }
+        if reclaimed > 0 {
+            self.reclaims.fetch_add(reclaimed, Ordering::Relaxed);
+        }
+        self.conns_active.fetch_sub(1, Ordering::Relaxed);
+        if let Ok(mut stats) = self.conn_stats.lock() {
+            if let Some(s) = stats.get_mut(&conn) {
+                s.open = false;
+            }
+        }
+    }
+}
+
+/// A running chunk-scheduling server.
+///
+/// Dropping a `Server` without calling [`Server::shutdown`] aborts the
+/// accept thread on process exit (threads are daemonised by the OS);
+/// tests and the daemon binary always shut down explicitly.
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting.
+    pub fn start<A: ToSocketAddrs>(cfg: ServiceConfig, addr: A) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shards = cfg.shards.max(1);
+        let state = Arc::new(State {
+            cfg,
+            epoch: Instant::now(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_job: AtomicU64::new(0),
+            jobs_created: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            chunks_granted: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            empty_polls: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            shutdown_cv: (Mutex::new(false), Condvar::new()),
+            conn_stats: Mutex::new(HashMap::new()),
+        });
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_state = Arc::clone(&state);
+        let accept_handles = Arc::clone(&conn_handles);
+        let accept = std::thread::Builder::new()
+            .name("dls-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, accept_handles))?;
+        Ok(Server { state, addr, accept: Some(accept), conn_handles })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.state.snapshot()
+    }
+
+    /// True once a `Shutdown` frame (or [`Server::shutdown`]) started
+    /// the drain.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until some client sends a `Shutdown` frame (the daemon's
+    /// main loop; SIGTERM handling wraps this with a timeout poll).
+    pub fn wait_for_shutdown_request(&self, timeout: Duration) -> bool {
+        let (lock, cv) = &self.state.shutdown_cv;
+        let Ok(guard) = lock.lock() else { return true };
+        let (guard, _) = match cv.wait_timeout_while(guard, timeout, |flagged| !*flagged) {
+            Ok(r) => r,
+            Err(_) => return true,
+        };
+        *guard
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// join every connection thread, and return the final snapshot
+    /// (per-job progress counters preserved).
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.state.request_shutdown();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = match self.conn_handles.lock() {
+            Ok(mut v) => std::mem::take(&mut *v),
+            Err(_) => Vec::new(),
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.state.snapshot()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<State>,
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if state.conns_active.load(Ordering::Relaxed) >= u64::from(state.cfg.max_connections) {
+            // Backpressure: answer Busy and close without a thread.
+            let resp = Response::Error {
+                code: ErrorCode::Busy,
+                detail: format!("connection limit {} reached", state.cfg.max_connections),
+            };
+            let mut stream = stream;
+            let _ = stream.write_all(&frame(&resp.encode()));
+            let _ = stream.shutdown(SockShutdown::Both);
+            continue;
+        }
+        let conn = state.next_conn.fetch_add(1, Ordering::SeqCst);
+        state.conns_active.fetch_add(1, Ordering::Relaxed);
+        state.conns_total.fetch_add(1, Ordering::Relaxed);
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name(format!("dls-conn-{conn}"))
+            .spawn(move || serve_connection(stream, conn, conn_state));
+        match handle {
+            Ok(h) => {
+                if let Ok(mut v) = handles.lock() {
+                    v.push(h);
+                }
+            }
+            Err(_) => {
+                state.conns_active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Buffered frame reader: accumulates stream bytes and yields complete
+/// frames, so read timeouts (the drain poll tick) never lose partial
+/// data.
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    /// Nothing complete yet (timeout tick) — caller rechecks flags.
+    Pending,
+    /// Peer closed or errored.
+    Closed,
+    /// Length prefix violated the frame bound.
+    BadLength(u32),
+}
+
+impl FrameReader {
+    fn new() -> Self {
+        FrameReader { buf: Vec::new() }
+    }
+
+    fn poll(
+        &mut self,
+        stream: &mut TcpStream,
+        max_frame: u32,
+        bytes_in: &AtomicU64,
+    ) -> ReadOutcome {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+                if len == 0 || len > max_frame {
+                    return ReadOutcome::BadLength(len);
+                }
+                let total = 4 + len as usize;
+                if self.buf.len() >= total {
+                    let payload = self.buf[4..total].to_vec();
+                    self.buf.drain(..total);
+                    return ReadOutcome::Frame(payload);
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(k) => {
+                    bytes_in.fetch_add(k as u64, Ordering::Relaxed);
+                    self.buf.extend_from_slice(&chunk[..k]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return ReadOutcome::Pending;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, conn: u64, state: Arc<State>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.cfg.poll_interval));
+    if let Ok(mut stats) = state.conn_stats.lock() {
+        stats.insert(
+            conn,
+            ConnSnapshot { conn, worker: u32::MAX, open: true, ..Default::default() },
+        );
+    }
+    let mut reader = FrameReader::new();
+    let mut local = ConnSnapshot { conn, worker: u32::MAX, open: true, ..Default::default() };
+
+    let send = |stream: &mut TcpStream, resp: &Response, local: &mut ConnSnapshot| -> bool {
+        let f = frame(&resp.encode());
+        local.bytes_out += f.len() as u64;
+        state.bytes_out.fetch_add(f.len() as u64, Ordering::Relaxed);
+        stream.write_all(&f).is_ok()
+    };
+
+    loop {
+        // A drain in progress: the current request (if any) was already
+        // answered; close rather than waiting for more traffic. Clients
+        // mid-poll observe EOF or a ShuttingDown error.
+        let draining = state.shutdown.load(Ordering::SeqCst);
+        let before = reader.buf.len();
+        match reader.poll(&mut stream, state.cfg.max_frame, &state.bytes_in) {
+            ReadOutcome::Frame(payload) => {
+                local.bytes_in += (4 + payload.len()) as u64;
+                let resp = match Request::decode(&payload) {
+                    Ok(req) => state.handle(req, conn, &mut local),
+                    Err(crate::protocol::DecodeError::Version(v)) => Response::Error {
+                        code: ErrorCode::BadVersion,
+                        detail: format!("version {v}, this server speaks {VERSION}"),
+                    },
+                    Err(e) => {
+                        Response::Error { code: ErrorCode::BadMessage, detail: e.to_string() }
+                    }
+                };
+                local.requests += 1;
+                let ok = send(&mut stream, &resp, &mut local);
+                if let Ok(mut stats) = state.conn_stats.lock() {
+                    stats.insert(conn, local.clone());
+                }
+                // A version we don't speak poisons the rest of the
+                // stream (the client's framing may differ) — close.
+                let fatal = matches!(resp, Response::Error { code: ErrorCode::BadVersion, .. });
+                if !ok || fatal {
+                    break;
+                }
+            }
+            ReadOutcome::Pending => {
+                if draining && reader.buf.len() == before && reader.buf.is_empty() {
+                    break;
+                }
+            }
+            ReadOutcome::Closed => break,
+            ReadOutcome::BadLength(len) => {
+                let resp = Response::Error {
+                    code: ErrorCode::FrameTooLarge,
+                    detail: format!("frame length {len} outside 1..={}", state.cfg.max_frame),
+                };
+                local.requests += 1;
+                send(&mut stream, &resp, &mut local);
+                break; // cannot resynchronise the stream
+            }
+        }
+    }
+    let _ = stream.shutdown(SockShutdown::Both);
+    if let Ok(mut stats) = state.conn_stats.lock() {
+        local.open = false;
+        stats.insert(conn, local);
+    }
+    state.disconnect(conn);
+}

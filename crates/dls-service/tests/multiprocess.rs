@@ -1,0 +1,260 @@
+//! True multi-process smoke tests: a real `dls-serverd` daemon plus
+//! real `net-worker` OS processes talking TCP — the configuration the
+//! in-process unit tests can only approximate.
+//!
+//! * exactly-once: the sum of every worker's acknowledged checksum
+//!   equals a serial run of the same deterministic workload;
+//! * lease recovery: a worker killed mid-chunk (the `resilience` crash
+//!   trigger) loses its leases to reclamation exactly once, and the
+//!   job still finishes with the serial checksum;
+//! * graceful shutdown: both the `Shutdown` frame and SIGTERM drain
+//!   the daemon, which prints its final `STATS` snapshot (per-job
+//!   progress counters preserved) and exits 0.
+
+use dls_service::{Client, StatsSnapshot};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use workloads::synthetic::Synthetic;
+use workloads::Workload;
+
+const SEED: u64 = 7;
+
+/// Spawn the daemon on an ephemeral port; return it plus the bound
+/// address parsed from its `LISTEN` line and its buffered stdout.
+fn spawn_server() -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dls-serverd"))
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dls-serverd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("server stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read LISTEN line");
+    let addr = line
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("expected LISTEN line, got {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr, stdout)
+}
+
+fn spawn_worker(addr: &str, job: u64, n: u64, worker: u32, batch: u32) -> Child {
+    worker_cmd(addr, job, n, worker, batch).spawn().expect("spawn net-worker")
+}
+
+fn worker_cmd(addr: &str, job: u64, n: u64, worker: u32, batch: u32) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_net-worker"));
+    cmd.arg(addr)
+        .args(["--job", &job.to_string()])
+        .args(["--n", &n.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--worker", &worker.to_string()])
+        .args(["--batch", &batch.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    cmd
+}
+
+/// Parse `RESULT worker=W checksum=C iters=I chunks=Q crashed=B`.
+fn parse_result(stdout: &[u8]) -> (u64, u64, u64, bool) {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .unwrap_or_else(|| panic!("no RESULT line in {text:?}"));
+    let field = |key: &str| -> String {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in {line:?}"))
+            .to_string()
+    };
+    (
+        field("checksum").parse().expect("checksum"),
+        field("iters").parse().expect("iters"),
+        field("chunks").parse().expect("chunks"),
+        field("crashed").parse().expect("crashed"),
+    )
+}
+
+fn serial_checksum(n: u64) -> u64 {
+    let w = Synthetic::uniform(n, 1, 100, SEED);
+    (0..n).fold(0u64, |acc, i| acc.wrapping_add(w.execute(i)))
+}
+
+/// Wait for exit with a hang guard — a stuck daemon fails, not hangs.
+fn wait_capped(child: &mut Child, what: &str) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("{what} did not exit in time");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Read the daemon's remaining stdout and decode the `STATS` snapshot
+/// line (JSON keys checked textually — the snapshot also round-trips
+/// through the binary codec in the unit tests).
+fn read_stats_line(stdout: &mut BufReader<std::process::ChildStdout>) -> String {
+    let mut stats = String::new();
+    for line in stdout.lines() {
+        let line = line.expect("server stdout");
+        if let Some(json) = line.strip_prefix("STATS ") {
+            stats = json.to_string();
+        }
+    }
+    assert!(!stats.is_empty(), "server printed no STATS line");
+    stats
+}
+
+#[test]
+fn four_worker_processes_execute_exactly_once() {
+    let n = 40_000;
+    let (mut server, addr, mut server_out) = spawn_server();
+
+    let mut setup = Client::connect(&addr).expect("connect");
+    let job = setup.create_job(n, dls::Kind::GSS, &[]).expect("create job");
+
+    let workers: Vec<Child> = (0..4).map(|w| spawn_worker(&addr, job, n, w, 4)).collect();
+    let mut total = 0u64;
+    let mut iters = 0u64;
+    let mut chunks = 0u64;
+    for (w, child) in workers.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("worker output");
+        assert!(out.status.success(), "worker {w} failed: {:?}", out.status);
+        let (checksum, i, q, crashed) = parse_result(&out.stdout);
+        assert!(!crashed);
+        total = total.wrapping_add(checksum);
+        iters += i;
+        // A process that started after the queue drained legitimately
+        // reports zero chunks; the fleet as a whole must have worked.
+        chunks += q;
+    }
+    assert!(chunks > 0, "no chunk ever granted");
+    assert_eq!(iters, n, "every iteration executed");
+    assert_eq!(total, serial_checksum(n), "exactly-once across processes");
+
+    // Server-side ledger agrees: job done, nothing reclaimed.
+    let snap: StatsSnapshot = setup.stats().expect("stats");
+    let j = &snap.jobs[0];
+    assert!(j.done);
+    assert_eq!(j.completed, n);
+    assert_eq!(j.leases_reclaimed, 0);
+    assert_eq!(j.leases_granted, j.leases_completed);
+
+    setup.shutdown_server().expect("shutdown frame");
+    drop(setup);
+    let status = wait_capped(&mut server, "dls-serverd");
+    assert!(status.success(), "daemon exit status {status:?}");
+    let stats = read_stats_line(&mut server_out);
+    assert!(stats.contains(&format!("\"completed\":{n}")), "progress preserved in STATS");
+}
+
+#[test]
+fn killed_worker_leases_reclaimed_exactly_once() {
+    let n = 20_000;
+    let (mut server, addr, mut server_out) = spawn_server();
+
+    let mut setup = Client::connect(&addr).expect("connect");
+    let job = setup.create_job(n, dls::Kind::SS, &[]).expect("create job");
+
+    // One saboteur (executes its 2nd chunk, dies before reporting it —
+    // the resilience crash trigger) among three healthy workers. Batch
+    // 4 means it also abandons unexecuted granted leases.
+    let mut crash_cmd = worker_cmd(&addr, job, n, 0, 4);
+    crash_cmd.args(["--crash-after", "2"]);
+    let crasher = crash_cmd.spawn().expect("spawn crasher");
+    let healthy: Vec<Child> = (1..4).map(|w| spawn_worker(&addr, job, n, w, 4)).collect();
+
+    let crash_out = crasher.wait_with_output().expect("crasher output");
+    assert_eq!(crash_out.status.code(), Some(3), "crash trigger exits 3");
+    let (crash_sum, crash_iters, crash_chunks, crashed) = parse_result(&crash_out.stdout);
+    assert!(crashed);
+    assert_eq!(crash_chunks, 1, "died executing chunk 2: only chunk 1 acknowledged");
+
+    let mut total = crash_sum;
+    let mut iters = crash_iters;
+    for child in healthy {
+        let out = child.wait_with_output().expect("worker output");
+        assert!(out.status.success());
+        let (checksum, i, _, crashed) = parse_result(&out.stdout);
+        assert!(!crashed);
+        total = total.wrapping_add(checksum);
+        iters += i;
+    }
+
+    // The survivors re-executed exactly the abandoned work: no
+    // iteration lost, none doubled.
+    assert_eq!(iters, n);
+    assert_eq!(total, serial_checksum(n), "exactly-once through a mid-chunk crash");
+
+    // Ledger: every lease settled exactly once, some by reclamation.
+    let snap = setup.stats().expect("stats");
+    let j = &snap.jobs[0];
+    assert!(j.done);
+    assert_eq!(j.completed, n);
+    assert!(j.leases_reclaimed >= 1, "the abandoned lease was reclaimed");
+    assert_eq!(j.leases_granted, j.leases_completed + j.leases_reclaimed);
+    assert_eq!(snap.totals.reclaims, j.leases_reclaimed);
+
+    setup.shutdown_server().expect("shutdown frame");
+    drop(setup);
+    assert!(wait_capped(&mut server, "dls-serverd").success());
+    let stats = read_stats_line(&mut server_out);
+    assert!(stats.contains("\"leases_reclaimed\""));
+}
+
+#[test]
+fn shutdown_frame_drains_and_preserves_progress() {
+    let (mut server, addr, mut server_out) = spawn_server();
+    let mut c = Client::connect(&addr).expect("connect");
+    let n = 1_000;
+    let job = c.create_job(n, dls::Kind::SS, &[]).expect("create job");
+    // Consume part of the job so the snapshot has non-trivial counters.
+    let reply = c.fetch(job, 0, 8).expect("fetch");
+    let granted = match reply {
+        dls_service::FetchReply::Chunks(chunks) => {
+            let leases: Vec<_> = chunks.iter().map(|ch| ch.lease).collect();
+            c.report_done(job, &leases).expect("report");
+            chunks.iter().map(|ch| ch.hi - ch.lo).sum::<u64>()
+        }
+        other => panic!("expected chunks, got {other:?}"),
+    };
+    assert!(granted > 0);
+
+    c.shutdown_server().expect("shutdown frame");
+    drop(c);
+    let status = wait_capped(&mut server, "dls-serverd");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+    let stats = read_stats_line(&mut server_out);
+    assert!(stats.contains("\"shutting_down\":true"));
+    assert!(
+        stats.contains(&format!("\"completed\":{granted}")),
+        "per-job progress counters preserved across the drain: {stats}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let (mut server, addr, mut server_out) = spawn_server();
+    let mut c = Client::connect(&addr).expect("connect");
+    let job = c.create_job(500, dls::Kind::GSS, &[]).expect("create job");
+    let _ = c.fetch(job, 0, 1).expect("fetch");
+    drop(c);
+
+    let kill =
+        Command::new("kill").args(["-TERM", &server.id().to_string()]).status().expect("run kill");
+    assert!(kill.success());
+
+    let status = wait_capped(&mut server, "dls-serverd");
+    assert_eq!(status.code(), Some(0), "SIGTERM drain exits 0");
+    let stats = read_stats_line(&mut server_out);
+    assert!(stats.contains("\"scheduled\""), "STATS snapshot printed on SIGTERM: {stats}");
+}

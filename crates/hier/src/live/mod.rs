@@ -10,10 +10,12 @@
 mod master_worker;
 mod mpi_mpi;
 mod mpi_omp;
+mod net;
 
 pub use master_worker::{run_live_flat_master_worker, run_live_master_worker};
 pub use mpi_mpi::run_live_mpi_mpi;
 pub use mpi_omp::run_live_mpi_omp;
+pub use net::run_live_net;
 
 use crate::config::{Approach, HierSpec};
 use crate::queue::SubChunk;

@@ -65,30 +65,30 @@ fn local_slots(wpn: u32) -> usize {
 const GSTEP: usize = 0;
 const GSCHED: usize = 1;
 
-struct RankOutcome {
-    worker: u32,
-    node: u32,
-    iterations: u64,
-    sub_chunks: u64,
-    global_fetches: u64,
-    deposits: u64,
-    checksum: u64,
-    executed: Vec<(u32, SubChunk)>,
+pub(super) struct RankOutcome {
+    pub(super) worker: u32,
+    pub(super) node: u32,
+    pub(super) iterations: u64,
+    pub(super) sub_chunks: u64,
+    pub(super) global_fetches: u64,
+    pub(super) deposits: u64,
+    pub(super) checksum: u64,
+    pub(super) executed: Vec<(u32, SubChunk)>,
     /// `(acquisitions, contended, polls)` of the node lock, reported by
     /// local rank 0 only (None elsewhere) to avoid double counting.
-    lock_stats: Option<(u64, u64, u64)>,
-    global_accesses: u64,
+    pub(super) lock_stats: Option<(u64, u64, u64)>,
+    pub(super) global_accesses: u64,
     /// This rank's window counters, local + global window summed.
-    win_stats: RankWinStats,
+    pub(super) win_stats: RankWinStats,
     /// Wall-clock timeline of this rank (empty unless tracing).
-    trace: Trace,
+    pub(super) trace: Trace,
     /// When this rank left the main loop, in ns since the run epoch.
-    finish_ns: u64,
+    pub(super) finish_ns: u64,
     /// Recovery actions this rank performed (lease reclaims + lock
     /// repairs).
-    reclaims: u64,
+    pub(super) reclaims: u64,
     /// Crash / detection / repair events this rank observed.
-    recovery: Vec<resilience::RecoveryEvent>,
+    pub(super) recovery: Vec<resilience::RecoveryEvent>,
 }
 
 /// Acquire the node-window lock. Fault-free runs use the blocking FIFO
@@ -549,7 +549,7 @@ pub fn run_live_mpi_mpi(
     Ok(aggregate(cfg, outcomes, rma))
 }
 
-fn execute(workload: &dyn Workload, sub: &SubChunk, out: &mut RankOutcome) {
+pub(super) fn execute(workload: &dyn Workload, sub: &SubChunk, out: &mut RankOutcome) {
     for i in sub.start..sub.end {
         out.checksum = out.checksum.wrapping_add(workload.execute(i));
     }
@@ -558,7 +558,11 @@ fn execute(workload: &dyn Workload, sub: &SubChunk, out: &mut RankOutcome) {
     out.executed.push((out.worker, *sub));
 }
 
-fn aggregate(cfg: &LiveConfig, outcomes: Vec<RankOutcome>, rma: Vec<RmaRecord>) -> LiveResult {
+pub(super) fn aggregate(
+    cfg: &LiveConfig,
+    outcomes: Vec<RankOutcome>,
+    rma: Vec<RmaRecord>,
+) -> LiveResult {
     let total_workers = (cfg.nodes * cfg.workers_per_node) as usize;
     let mut stats = RunStats::new(total_workers, cfg.nodes as usize);
     let mut checksum = 0u64;

@@ -1,0 +1,325 @@
+//! The fifth backend: the paper's two-level hierarchy with a **real
+//! network at the inter-node level**.
+//!
+//! The global work queue is no longer an RMA window on rank 0 — it is
+//! a `dls-service` server reached over TCP. Each node keeps exactly
+//! one *node-agent connection*; the node's ranks keep self-scheduling
+//! sub-chunks out of the `mpisim` shared-memory window exactly as in
+//! [`super::run_live_mpi_mpi`]. When a rank drains the local queue and
+//! wins the refill role, it locks the node's agent and performs one
+//! `FetchChunk` round trip instead of one `MPI_Fetch_and_op` — the
+//! paper's structure, with the top level crossing a socket.
+//!
+//! Fetched chunks carry leases; the agent settles each lease right
+//! after depositing the chunk (the ranks of one process cannot die
+//! independently, so the in-process backend has no use for revocation
+//! — multi-process recovery is exercised by the `net-worker` smoke
+//! tests in `dls-service`).
+
+use super::mpi_mpi::{aggregate, execute, RankOutcome};
+use super::{LiveConfig, LiveResult};
+use crate::queue::SubChunk;
+use cluster_sim::trace::{SegmentKind, Trace};
+use dls_service::{Client, FetchReply};
+use mpisim::{LockKind, RankWinStats, Topology, Universe, Window};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+use workloads::Workload;
+
+// Local window slot indices (the fault-free subset of `mpi_mpi`'s).
+const REFILLING: usize = 0;
+const GLOBAL_DONE: usize = 1;
+const LO: usize = 2;
+const HI: usize = 3;
+const STEP: usize = 4;
+const TAKEN: usize = 5;
+const LOCAL_SLOTS: usize = 6;
+
+/// Run the hierarchy with the global queue behind `addr`.
+///
+/// The server is multi-tenant: this call creates its own job and
+/// leaves unrelated jobs untouched, so many `run_live_net` invocations
+/// (or entirely different tenants) can share one server. Network
+/// failures panic — this backend asserts a reachable server the same
+/// way the RMA backends assert allocatable windows; scheduling-level
+/// errors surface as `Err` like the other live executors.
+///
+/// Fault injection and AWF are not supported here: crashes of in-
+/// process ranks are the RMA backends' story, and the multi-process
+/// lease recovery path is exercised end-to-end by the `dls-service`
+/// smoke tests.
+pub fn run_live_net(
+    cfg: &LiveConfig,
+    workload: &(dyn Workload + Sync),
+    addr: SocketAddr,
+) -> mpisim::Result<LiveResult> {
+    assert!(!cfg.faults.is_active(), "run_live_net does not inject faults");
+    assert!(cfg.awf.is_none(), "run_live_net does not support AWF");
+    let topology = Topology::new(cfg.nodes, cfg.workers_per_node);
+    let n = workload.n_iters();
+    assert!(n <= i64::MAX as u64, "loop too large for i64 window slots");
+    let wpn = cfg.workers_per_node;
+    let spec = cfg.spec;
+    let weights = cfg.weights.clone();
+    let do_trace = cfg.trace;
+    let epoch = Instant::now();
+
+    // One connection per node — the node agent. The job itself is
+    // created over a separate setup connection.
+    let mut setup = Client::connect(addr).expect("connect to dls-service");
+    let job = setup
+        .create_job(n, spec.inter.kind(), &node_weights(&weights, cfg.nodes, wpn))
+        .expect("create job");
+    let agents: Vec<Mutex<Client>> = (0..cfg.nodes)
+        .map(|_| Mutex::new(Client::connect(addr).expect("connect node agent")))
+        .collect();
+
+    let outcomes = Universe::run(topology, move |p| -> mpisim::Result<RankOutcome> {
+        let now = || epoch.elapsed().as_nanos() as u64;
+        let world = p.world();
+        let me = world.rank();
+        let node_comm = world.split_shared()?;
+        let local_win = Window::allocate_shared(
+            &node_comm,
+            if node_comm.rank() == 0 { LOCAL_SLOTS } else { 0 },
+        )?;
+        world.barrier();
+        local_win.note_barrier();
+
+        let mut out = RankOutcome {
+            worker: me,
+            node: p.node_id(),
+            iterations: 0,
+            sub_chunks: 0,
+            global_fetches: 0,
+            deposits: 0,
+            checksum: 0,
+            executed: Vec::new(),
+            lock_stats: None,
+            global_accesses: 0,
+            win_stats: RankWinStats::default(),
+            trace: if do_trace { Trace::recording() } else { Trace::disabled() },
+            finish_ns: 0,
+            reclaims: 0,
+            recovery: Vec::new(),
+        };
+
+        let my_node = p.node_id();
+
+        loop {
+            // ---- probe the local queue under the window lock ----
+            let probe_start = now();
+            local_win.lock(LockKind::Exclusive, 0)?;
+            local_win.sync();
+            let lo = local_win.get(0, LO)? as u64;
+            let hi = local_win.get(0, HI)? as u64;
+            let step = local_win.get(0, STEP)? as u64;
+            let taken = local_win.get(0, TAKEN)? as u64;
+            let len = hi - lo;
+
+            if taken < len {
+                let local = node_comm.rank();
+                let weight = weights.get(me as usize).copied().unwrap_or(1.0);
+                let ctx = dls::technique::WorkerCtx { worker: local, weight };
+                let size =
+                    crate::queue::sub_chunk_size_for(&spec.intra, len, wpn, step, taken, ctx);
+                local_win.put(0, STEP, (step + 1) as i64)?;
+                local_win.put(0, TAKEN, (taken + size) as i64)?;
+                let sub = SubChunk { start: lo + taken, end: lo + taken + size };
+                local_win.sync();
+                local_win.unlock(LockKind::Exclusive, 0)?;
+                out.trace.record(me, probe_start, now(), SegmentKind::Sched);
+                let compute_start = now();
+                execute(workload, &sub, &mut out);
+                out.trace.record(me, compute_start, now(), SegmentKind::Compute);
+                continue;
+            }
+
+            let global_done = local_win.get(0, GLOBAL_DONE)? != 0;
+            let refilling = local_win.get(0, REFILLING)? != 0;
+            if global_done {
+                local_win.unlock(LockKind::Exclusive, 0)?;
+                out.trace.record(me, probe_start, now(), SegmentKind::Sched);
+                break;
+            }
+            if refilling {
+                // A peer is refilling: back off briefly and re-probe.
+                local_win.unlock(LockKind::Exclusive, 0)?;
+                std::thread::yield_now();
+                out.trace.record(me, probe_start, now(), SegmentKind::Sync);
+                continue;
+            }
+            // This worker becomes the refiller.
+            local_win.put(0, REFILLING, 1)?;
+            local_win.sync();
+            local_win.unlock(LockKind::Exclusive, 0)?;
+
+            // ---- fetch a chunk over TCP via the node agent ----
+            out.global_accesses += 1;
+            let fetched = {
+                let mut agent = agents[my_node as usize].lock().expect("node agent poisoned");
+                match agent.fetch(job, my_node, 1).expect("fetch chunk") {
+                    FetchReply::Chunks(chunks) => {
+                        let c = chunks[0];
+                        // Settle the lease as soon as the chunk is
+                        // safely ours: in-process ranks cannot die
+                        // independently of the agent connection.
+                        agent.report_done(job, &[c.lease]).expect("report lease");
+                        Some((c.lo, c.hi))
+                    }
+                    FetchReply::Pending => {
+                        // Another node holds an unsettled lease; the
+                        // queue may still grow via reclamation. Clear
+                        // the refill role and re-poll.
+                        local_win.lock(LockKind::Exclusive, 0)?;
+                        local_win.put(0, REFILLING, 0)?;
+                        local_win.sync();
+                        local_win.unlock(LockKind::Exclusive, 0)?;
+                        std::thread::yield_now();
+                        out.trace.record(me, probe_start, now(), SegmentKind::Sync);
+                        continue;
+                    }
+                    FetchReply::Done => None,
+                }
+            };
+
+            // ---- deposit (or mark the node done) ----
+            local_win.lock(LockKind::Exclusive, 0)?;
+            match fetched {
+                Some((clo, chi)) => {
+                    out.global_fetches += 1;
+                    out.deposits += 1;
+                    local_win.put(0, LO, clo as i64)?;
+                    local_win.put(0, HI, chi as i64)?;
+                    local_win.put(0, STEP, 0)?;
+                    local_win.put(0, TAKEN, 0)?;
+                }
+                None => {
+                    local_win.put(0, GLOBAL_DONE, 1)?;
+                }
+            }
+            local_win.put(0, REFILLING, 0)?;
+            local_win.sync();
+            local_win.unlock(LockKind::Exclusive, 0)?;
+            out.trace.record(me, probe_start, now(), SegmentKind::Sched);
+        }
+
+        out.finish_ns = now();
+        world.barrier();
+        local_win.note_barrier();
+        if node_comm.rank() == 0 {
+            out.lock_stats = Some(local_win.lock_stats(0)?);
+        }
+        out.win_stats = local_win.rank_stats();
+        Ok(out)
+    });
+
+    let outcomes = outcomes.into_iter().collect::<mpisim::Result<Vec<_>>>()?;
+    Ok(aggregate(cfg, outcomes, Vec::new()))
+}
+
+/// Weights for the *inter-node* level: the service schedules chunks
+/// per node, so per-worker weights collapse to their per-node sums
+/// (mean-normalised by the technique itself). Empty stays empty (unit
+/// weights).
+fn node_weights(weights: &[f64], nodes: u32, wpn: u32) -> Vec<f64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    (0..nodes)
+        .map(|node| {
+            (0..wpn)
+                .map(|w| weights.get((node * wpn + w) as usize).copied().unwrap_or(1.0))
+                .sum::<f64>()
+                / f64::from(wpn)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HierSpec};
+    use crate::live::serial_checksum;
+    use dls::verify::check_exactly_once;
+    use dls::Kind;
+    use dls_service::{Server, ServiceConfig};
+    use workloads::synthetic::Synthetic;
+
+    fn run(spec: HierSpec, nodes: u32, wpn: u32, n: u64) -> (LiveResult, u64) {
+        let srv = Server::start(ServiceConfig::default(), "127.0.0.1:0").expect("bind");
+        let w = Synthetic::uniform(n, 1, 100, 3);
+        let cfg = LiveConfig::new(nodes, wpn, spec, Approach::MpiMpi);
+        let serial = serial_checksum(&w);
+        let r = run_live_net(&cfg, &w, srv.addr()).expect("net run");
+        let snap = srv.shutdown();
+        // The job this run created must have completed exactly.
+        let job = &snap.jobs[0];
+        assert!(job.done);
+        assert_eq!(job.completed, n);
+        assert_eq!(job.leases_granted, job.leases_completed);
+        (r, serial)
+    }
+
+    fn assert_exact(r: &LiveResult, serial: u64, n: u64) {
+        assert_eq!(r.checksum, serial, "checksum mismatch vs serial");
+        assert_eq!(r.stats.total_iterations, n);
+        let chunks: Vec<dls::Chunk> = r
+            .executed
+            .iter()
+            .map(|(_, s)| dls::Chunk { start: s.start, len: s.len(), step: 0 })
+            .collect();
+        check_exactly_once(&chunks, n).expect("exactly-once");
+    }
+
+    #[test]
+    fn paper_pairs_execute_exactly_once_over_tcp() {
+        for inter in [Kind::GSS, Kind::FAC2] {
+            for intra in [Kind::STATIC, Kind::SS, Kind::TSS] {
+                let (r, serial) = run(HierSpec::new(inter, intra), 2, 3, 400);
+                assert_exact(&r, serial, 400);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_single_worker() {
+        let (r, serial) = run(HierSpec::new(Kind::GSS, Kind::SS), 1, 1, 120);
+        assert_exact(&r, serial, 120);
+    }
+
+    #[test]
+    fn tiny_loop_fewer_iterations_than_workers() {
+        let (r, serial) = run(HierSpec::new(Kind::GSS, Kind::GSS), 2, 4, 5);
+        assert_exact(&r, serial, 5);
+    }
+
+    #[test]
+    fn one_agent_connection_per_node() {
+        let srv = Server::start(ServiceConfig::default(), "127.0.0.1:0").expect("bind");
+        let w = Synthetic::uniform(300, 1, 100, 3);
+        let cfg = LiveConfig::new(3, 2, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
+        run_live_net(&cfg, &w, srv.addr()).expect("net run");
+        let snap = srv.shutdown();
+        // 1 setup connection + one agent per node, all closed now.
+        assert_eq!(snap.totals.conns_total, 1 + 3);
+        assert_eq!(snap.totals.conns_active, 0);
+        // Only agent connections fetch; every fetch went through them.
+        let fetching: Vec<_> = snap.conns.iter().filter(|c| c.fetches > 0).collect();
+        assert_eq!(fetching.len(), 3, "exactly the three node agents fetch");
+    }
+
+    #[test]
+    fn trace_records_compute_and_sched() {
+        let srv = Server::start(ServiceConfig::default(), "127.0.0.1:0").expect("bind");
+        let w = Synthetic::uniform(400, 1, 100, 3);
+        let mut cfg = LiveConfig::new(2, 2, HierSpec::new(Kind::GSS, Kind::SS), Approach::MpiMpi);
+        cfg.trace = true;
+        let r = run_live_net(&cfg, &w, srv.addr()).expect("net run");
+        srv.shutdown();
+        let totals = r.trace.totals();
+        assert!(totals.compute > 0);
+        assert!(totals.sched > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Scheduling as a service: workers pull chunks from a TCP server.
+//!
+//! Two ways to run it:
+//!
+//! ```text
+//! # Self-contained (spawns its own server on a loopback port):
+//! cargo run -p hdls --example net_workers
+//!
+//! # Against a long-running server, e.g. one started with
+//! #   cargo run -p dls-service --bin dls-serverd -- --addr 127.0.0.1:7070
+//! cargo run -p hdls --example net_workers -- 127.0.0.1:7070
+//! ```
+//!
+//! Either way the example creates a GSS job, drives it with four
+//! concurrent client connections (each fetching batches of chunks and
+//! settling leases), verifies the union of their acknowledged work
+//! reproduces the serial checksum exactly once, and prints the
+//! server-side metrics through the same [`ActivityReport`] JSON
+//! pipeline every in-process backend uses.
+//!
+//! For the same topology driven as *one* hierarchical program (node
+//! agents over TCP, ranks on the shared window), see
+//! [`HierSchedule::run_live_net`].
+
+use hdls::dls_service::{drive_job_batched, Client, Server, ServiceConfig};
+use hdls::prelude::*;
+
+const N: u64 = 50_000;
+const WORKERS: u32 = 4;
+const BATCH: u32 = 8;
+
+fn main() {
+    // Self-host unless an external server address was given.
+    let (server, addr) = match std::env::args().nth(1) {
+        Some(addr) => (None, addr),
+        None => {
+            let s = Server::start(ServiceConfig::default(), "127.0.0.1:0")
+                .expect("bind loopback server");
+            let addr = s.addr().to_string();
+            (Some(s), addr)
+        }
+    };
+    println!("server: {addr}");
+
+    let workload = Synthetic::uniform(N, 1, 100, 42);
+    let serial: u64 = (0..N).map(|i| workload.execute(i)).sum();
+
+    // One connection creates the job; every worker then joins it by id
+    // over its own connection — exactly what separate processes would do.
+    let job =
+        Client::connect(&addr).expect("connect").create_job(N, Kind::GSS, &[]).expect("create job");
+    println!("job {job}: n={N}, GSS, {WORKERS} workers, batch={BATCH}");
+
+    let results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let (addr, workload) = (&addr, &workload);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect worker");
+                    drive_job_batched(&mut client, job, w, BATCH, &mut |i| workload.execute(i))
+                        .expect("drive job")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut checksum = 0u64;
+    for (w, (sum, iters, chunks)) in results.iter().enumerate() {
+        println!("worker {w}: {iters} iterations over {chunks} chunks");
+        checksum = checksum.wrapping_add(*sum);
+    }
+    assert_eq!(checksum, serial, "every iteration executed exactly once");
+    println!("checksum {checksum} == serial: exactly-once over TCP");
+
+    // Server-side view, through the standard report pipeline.
+    let mut stats_conn = Client::connect(&addr).expect("connect");
+    let snap = stats_conn.stats().expect("stats");
+    let report = service_report("net_workers GSS", &snap);
+    println!("{}", report.to_json());
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+}

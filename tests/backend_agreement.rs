@@ -42,6 +42,42 @@ fn both_backends_cover_exactly_once() {
 }
 
 #[test]
+fn net_backend_agrees_with_live_rma_for_all_pairs() {
+    // The fifth backend replaces the RMA global queue with the TCP
+    // service; the schedule it produces must keep every structural
+    // invariant of the in-process MPI+MPI executor for *every*
+    // {STATIC, SS, GSS, TSS, FAC2}^2 combination: exactly-once
+    // coverage, the serial checksum, total iterations, and deposits ==
+    // global fetches (one deposit per chunk crossing the wire).
+    const KINDS: [Kind; 5] = [Kind::STATIC, Kind::SS, Kind::GSS, Kind::TSS, Kind::FAC2];
+    let w = Synthetic::uniform(400, 1, 100, 4);
+    for inter in KINDS {
+        for intra in KINDS {
+            let s = schedule(inter, intra, Approach::MpiMpi);
+            let live = s.run_live(&w);
+            let (net, snap) = s.run_live_net(&w);
+            let pair = format!("{inter:?}+{intra:?}");
+            coverage(&net.executed, w.n_iters());
+            assert_eq!(net.checksum, live.checksum, "{pair} checksum");
+            assert_eq!(
+                net.stats.total_iterations, live.stats.total_iterations,
+                "{pair} iterations"
+            );
+            let fetches: u64 = net.stats.workers.iter().map(|w| w.global_fetches).sum();
+            let deposits: u64 = net.stats.nodes.iter().map(|n| n.deposits).sum();
+            assert_eq!(fetches, deposits, "{pair} deposit discipline");
+            // The server's ledger saw the same run: job complete, every
+            // lease settled by its owner, chunks granted == deposits.
+            let job = &snap.jobs[0];
+            assert!(job.done, "{pair} job finished");
+            assert_eq!(job.completed, w.n_iters(), "{pair} server-side completion");
+            assert_eq!(job.leases_granted, job.leases_completed, "{pair} ledger");
+            assert_eq!(job.chunks_granted, deposits, "{pair} grants == deposits");
+        }
+    }
+}
+
+#[test]
 fn static_static_produces_identical_partitions() {
     // Fully static scheduling is timing-independent: both backends must
     // produce the *same* sub-chunk boundaries.
