@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p dls-service --bin dls-serverd -- [--addr 127.0.0.1:0]
-//!     [--max-connections N] [--max-batch N] [--quota N] [--report PATH]
+//!     [--max-connections N] [--max-batch N] [--quota N]
+//!     [--event-loops N] [--report PATH]
 //! ```
 //!
 //! Prints `LISTEN <addr>` once bound (with the real port when started
@@ -57,7 +58,7 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: dls-serverd [--addr HOST:PORT] [--max-connections N] \
-         [--max-batch N] [--quota N] [--report PATH]"
+         [--max-batch N] [--quota N] [--event-loops N] [--report PATH]"
     );
     std::process::exit(2)
 }
@@ -76,6 +77,7 @@ fn main() {
             }
             "--max-batch" => cfg.max_batch = value().parse().unwrap_or_else(|_| usage()),
             "--quota" => cfg.worker_quota = value().parse().unwrap_or_else(|_| usage()),
+            "--event-loops" => cfg.event_loops = value().parse().unwrap_or_else(|_| usage()),
             "--report" => report = Some(value()),
             _ => usage(),
         }

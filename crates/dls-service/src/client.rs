@@ -12,6 +12,7 @@ use crate::protocol::{
 use dls::Kind;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Everything a call can fail with.
 #[derive(Debug)]
@@ -70,6 +71,8 @@ pub enum FetchReply {
 pub struct Client {
     stream: TcpStream,
     read_buf: Vec<u8>,
+    /// Per-reply wait budget; `None` blocks indefinitely.
+    read_deadline: Option<Duration>,
 }
 
 impl Client {
@@ -77,7 +80,24 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, read_buf: Vec::new() })
+        Ok(Client { stream, read_buf: Vec::new(), read_deadline: None })
+    }
+
+    /// Bound how long each call waits for its reply. A stalled server
+    /// (connection open, nothing arriving) then fails the call with
+    /// [`io::ErrorKind::TimedOut`] — *distinct* from
+    /// [`io::ErrorKind::UnexpectedEof`], which still means the server
+    /// closed the connection. `None` restores indefinite blocking.
+    ///
+    /// The socket is switched to a short poll tick so a reply arriving
+    /// before the deadline is picked up promptly; transient
+    /// `WouldBlock`/`TimedOut` ticks are retried, never surfaced.
+    pub fn set_read_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        let tick =
+            deadline.map(|d| (d / 4).clamp(Duration::from_millis(5), Duration::from_millis(250)));
+        self.stream.set_read_timeout(tick)?;
+        self.read_deadline = deadline;
+        Ok(())
     }
 
     fn call(&mut self, req: &Request) -> Result<Response> {
@@ -94,16 +114,40 @@ impl Client {
     fn read_exact_buffered(&mut self, out: &mut [u8]) -> Result<()> {
         // Strict request/response leaves nothing buffered between
         // calls, but keep a buffer anyway so short reads are handled.
+        let start = Instant::now();
         while self.read_buf.len() < out.len() {
             let mut chunk = [0u8; 4096];
-            let k = self.stream.read(&mut chunk)?;
-            if k == 0 {
-                return Err(ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )));
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Real EOF: the peer closed. Nothing below may be
+                    // conflated with this — a timeout tick is not a
+                    // dead server.
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                Ok(k) => self.read_buf.extend_from_slice(&chunk[..k]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    match self.read_deadline {
+                        Some(d) if start.elapsed() >= d => {
+                            return Err(ClientError::Io(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("no reply within {d:?} (connection still open)"),
+                            )));
+                        }
+                        Some(_) => continue, // tick expired, budget left
+                        // No deadline configured (an externally imposed
+                        // socket timeout): surface the timeout as-is.
+                        None => return Err(ClientError::Io(e)),
+                    }
+                }
+                Err(e) => return Err(ClientError::Io(e)),
             }
-            self.read_buf.extend_from_slice(&chunk[..k]);
         }
         out.copy_from_slice(&self.read_buf[..out.len()]);
         self.read_buf.drain(..out.len());

@@ -1,0 +1,482 @@
+//! The sharded readiness loop — the server's connection engine.
+//!
+//! `Server::start` spawns `ServiceConfig::event_loops` loop shards.
+//! Each shard owns a clone of the accept socket (its share of the
+//! accept load: level-triggered readiness wakes every shard, the
+//! kernel hands each pending connection to exactly one `accept`
+//! winner, the rest see `WouldBlock`), an epoll instance, and a slab
+//! of per-connection state machines ([`crate::machine::ConnMachine`]).
+//! No thread is ever spawned per connection; a shard serves thousands
+//! of sockets from one thread.
+//!
+//! One readiness **cycle** is three passes:
+//!
+//! 1. *Ingest*: accept new connections (admission is a single
+//!    `fetch_update` CAS on the active-connection counter — the old
+//!    check-then-act race cannot overshoot `max_connections`), read
+//!    every ready socket into its ring buffer, and extract decoded
+//!    requests in arrival order.
+//! 2. *Serve*: answer the whole cycle's requests in one pass. Fetches
+//!    keep the job-table shard lock *cached* between consecutive ops,
+//!    so a burst of fetches against one job locks its shard once per
+//!    cycle instead of once per request — and each lock acquisition
+//!    drains the reclaim pool and advances the counters for every
+//!    waiting fetch before the lock is released (wakeup-free
+//!    batching: no condvars, no cross-thread handoff). Global stat
+//!    counters are accumulated locally and flushed with one atomic
+//!    add per counter per cycle.
+//! 3. *Flush*: write each touched connection's queued responses with
+//!    non-blocking writes, arming `EPOLLOUT` only while a partial
+//!    write is outstanding, then retire connections that died or
+//!    were poisoned by a framing violation.
+//!
+//! Rejected connections (`Busy`) get one best-effort non-blocking
+//! write and an immediate close — a client that never reads can no
+//! longer stall the accept path (the old blocking `write_all` could).
+//!
+//! During a drain the shard stops accepting, keeps answering buffered
+//! requests, closes connections once they go quiet, and gives a
+//! half-received frame [`DRAIN_GRACE_CYCLES`] cycles to complete
+//! (the old core could wait on such a connection forever).
+
+use crate::machine::{ConnMachine, FramePeek};
+use crate::poller::{Event, Interest, Poller};
+use crate::protocol::{frame, ConnSnapshot, ErrorCode, Request, Response, VERSION};
+use crate::server::State;
+use std::io::{ErrorKind, Write};
+use std::net::{Shutdown as SockShutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Token reserved for the shard's accept socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Receive-side flow control: stop reading a connection within a cycle
+/// once this many bytes are buffered (TCP backpressure takes over).
+const RX_SOFT_CAP: usize = 1 << 20;
+
+/// Readiness cycles a draining shard grants a connection that holds a
+/// half-received frame before closing it anyway.
+const DRAIN_GRACE_CYCLES: u32 = 5;
+
+/// One decoded unit of work, queued in arrival order so responses on a
+/// connection always match its request order (pipelining-safe).
+enum OpKind {
+    /// `FetchChunk` — served by the batched shard-lock pass.
+    Fetch { job: u64, worker: u32, batch: u32 },
+    /// Any other well-formed request — served through `State::handle`.
+    Other(Request),
+    /// A pre-computed response (decode errors); `close` poisons the
+    /// connection once flushed.
+    Reply { resp: Response, close: bool },
+}
+
+struct ConnEntry {
+    id: u64,
+    stream: TcpStream,
+    machine: ConnMachine,
+    stat: ConnSnapshot,
+    interest: Interest,
+    /// Read side saw EOF or a hard error: retire after this cycle.
+    dead: bool,
+    stat_dirty: bool,
+}
+
+/// Per-cycle additions to the server-wide atomic counters, applied
+/// with one `fetch_add` per counter per cycle.
+#[derive(Default)]
+struct CycleTally {
+    bytes_in: u64,
+    bytes_out: u64,
+    fetches: u64,
+    chunks_granted: u64,
+    empty_polls: u64,
+}
+
+pub(crate) struct LoopShard {
+    state: Arc<State>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<ConnEntry>>,
+    free: Vec<usize>,
+    live: usize,
+    events: Vec<Event>,
+    ops: Vec<(usize, OpKind)>,
+    touched: Vec<usize>,
+}
+
+impl LoopShard {
+    pub(crate) fn new(listener: TcpListener, state: Arc<State>) -> std::io::Result<LoopShard> {
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        Ok(LoopShard {
+            state,
+            poller,
+            listener: Some(listener),
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            events: Vec::new(),
+            ops: Vec::new(),
+            touched: Vec::new(),
+        })
+    }
+
+    /// Run until the drain completes.
+    pub(crate) fn run(&mut self) {
+        let poll_interval = self.state.cfg.poll_interval;
+        loop {
+            let draining = self.state.shutdown.load(Ordering::SeqCst);
+            if draining {
+                if let Some(listener) = self.listener.take() {
+                    self.poller.deregister(listener.as_raw_fd());
+                }
+            }
+            if self.poller.wait(&mut self.events, poll_interval).is_err() {
+                // A failed wait is unrecoverable for this shard only if
+                // it repeats; yield briefly and retry.
+                std::thread::yield_now();
+                continue;
+            }
+
+            let mut tally = CycleTally::default();
+            self.touched.clear();
+
+            // ---- pass 1: ingest -------------------------------------------
+            for i in 0..self.events.len() {
+                let ev = self.events[i];
+                if ev.token == LISTENER_TOKEN {
+                    if !draining {
+                        self.accept_burst();
+                    }
+                    continue;
+                }
+                let slot = ev.token as usize;
+                if self.conns.get(slot).is_none_or(|c| c.is_none()) {
+                    continue; // stale event for a retired connection
+                }
+                // Level-triggered readiness: reading a write-only-ready
+                // connection just costs one `WouldBlock`, so every event
+                // is treated uniformly (read, then flush via `touched`).
+                self.read_conn(slot, &mut tally);
+                self.touched.push(slot);
+            }
+
+            // ---- pass 2: serve --------------------------------------------
+            self.serve_cycle(&mut tally);
+
+            // ---- pass 3: flush & retire -----------------------------------
+            self.touched.sort_unstable();
+            self.touched.dedup();
+            for i in 0..self.touched.len() {
+                let slot = self.touched[i];
+                self.flush_conn(slot);
+            }
+            if draining {
+                self.drain_pass();
+            }
+            self.commit(&tally);
+
+            if draining && self.live == 0 && self.listener.is_none() {
+                break;
+            }
+        }
+    }
+
+    // ---- accept path ----------------------------------------------------
+
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let state = &self.state;
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let max = u64::from(state.cfg.max_connections);
+        // Admission is one CAS: concurrent accepts across shards can
+        // never push the active count past the limit (the old
+        // load-then-increment let them).
+        let admitted = state
+            .conns_active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| (c < max).then_some(c + 1));
+        let prev = match admitted {
+            Ok(prev) => prev,
+            Err(_) => {
+                // Best-effort rejection: one non-blocking write, then
+                // close. A rejected client that never reads cannot
+                // stall admission.
+                let resp = Response::Error {
+                    code: ErrorCode::Busy,
+                    detail: format!("connection limit {} reached", state.cfg.max_connections),
+                };
+                let mut stream = stream;
+                let _ = stream.write(&frame(&resp.encode()));
+                let _ = stream.shutdown(SockShutdown::Both);
+                return;
+            }
+        };
+        state.conns_peak.fetch_max(prev + 1, Ordering::Relaxed);
+        state.conns_total.fetch_add(1, Ordering::Relaxed);
+        let id = state.next_conn.fetch_add(1, Ordering::SeqCst);
+
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        if self.poller.register(stream.as_raw_fd(), slot as u64, Interest::READ).is_err() {
+            self.free.push(slot);
+            state.conns_active.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let stat = ConnSnapshot { conn: id, worker: u32::MAX, open: true, ..Default::default() };
+        if let Ok(mut stats) = state.conn_stats.lock() {
+            stats.insert(id, stat.clone());
+        }
+        self.conns[slot] = Some(ConnEntry {
+            id,
+            stream,
+            machine: ConnMachine::new(),
+            stat,
+            interest: Interest::READ,
+            dead: false,
+            stat_dirty: false,
+        });
+        self.live += 1;
+        self.touched.push(slot);
+    }
+
+    // ---- receive path ----------------------------------------------------
+
+    fn read_conn(&mut self, slot: usize, tally: &mut CycleTally) {
+        let Some(entry) = self.conns[slot].as_mut() else { return };
+        loop {
+            if entry.machine.rx_len() > RX_SOFT_CAP {
+                break;
+            }
+            match entry.machine.rx_mut().read_from(&mut entry.stream) {
+                Ok(0) => {
+                    entry.dead = true;
+                    break;
+                }
+                Ok(k) => {
+                    tally.bytes_in += k as u64;
+                    entry.machine.idle_cycles = 0;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    entry.dead = true;
+                    break;
+                }
+            }
+        }
+        // Extract every complete frame, preserving arrival order.
+        while !entry.machine.close_after_flush {
+            let op = match entry.machine.peek_frame(self.state.cfg.max_frame) {
+                FramePeek::Incomplete => break,
+                FramePeek::BadLength(len) => {
+                    // The stream cannot be resynchronised: answer, then
+                    // close once flushed. Nothing is consumed.
+                    entry.machine.close_after_flush = true;
+                    let resp = Response::Error {
+                        code: ErrorCode::FrameTooLarge,
+                        detail: format!(
+                            "frame length {len} outside 1..={}",
+                            self.state.cfg.max_frame
+                        ),
+                    };
+                    self.ops.push((slot, OpKind::Reply { resp, close: true }));
+                    break;
+                }
+                FramePeek::Payload(payload) => match Request::decode(payload) {
+                    Ok(Request::FetchChunk { job, worker, batch }) => {
+                        OpKind::Fetch { job, worker, batch }
+                    }
+                    Ok(req) => OpKind::Other(req),
+                    Err(crate::protocol::DecodeError::Version(v)) => {
+                        // A foreign version poisons the rest of the
+                        // stream (framing may differ): close after the
+                        // typed answer.
+                        entry.machine.close_after_flush = true;
+                        OpKind::Reply {
+                            resp: Response::Error {
+                                code: ErrorCode::BadVersion,
+                                detail: format!("version {v}, this server speaks {VERSION}"),
+                            },
+                            close: true,
+                        }
+                    }
+                    Err(e) => OpKind::Reply {
+                        resp: Response::Error {
+                            code: ErrorCode::BadMessage,
+                            detail: e.to_string(),
+                        },
+                        close: false,
+                    },
+                },
+            };
+            let wire = entry.machine.consume_frame();
+            entry.stat.bytes_in += wire as u64;
+            self.ops.push((slot, op));
+        }
+    }
+
+    // ---- serve path ------------------------------------------------------
+
+    /// Answer the cycle's requests in arrival order. Consecutive
+    /// fetches against jobs of the same shard reuse one held lock.
+    fn serve_cycle(&mut self, tally: &mut CycleTally) {
+        let state = Arc::clone(&self.state);
+        let mut cache: Option<(usize, std::sync::MutexGuard<'_, _>)> = None;
+        for (slot, op) in std::mem::take(&mut self.ops) {
+            let Some(entry) = self.conns[slot].as_mut() else { continue };
+            let resp = match op {
+                OpKind::Fetch { job, worker, batch } => {
+                    let idx = state.shard_index(job);
+                    if cache.as_ref().map(|(i, _)| *i) != Some(idx) {
+                        // Release the held guard *before* locking the
+                        // next shard — holding two shard locks at once
+                        // would risk lock-order inversion across loop
+                        // shards.
+                        drop(cache.take());
+                        cache = state.shards[idx].lock().ok().map(|g| (idx, g));
+                    }
+                    match cache.as_mut() {
+                        Some((_, jobs)) => {
+                            let (resp, t) = state.fetch_locked(jobs, job, worker, batch, entry.id);
+                            tally.fetches += t.fetches;
+                            tally.chunks_granted += t.granted;
+                            tally.empty_polls += t.empty;
+                            entry.stat.worker = worker;
+                            entry.stat.fetches += 1;
+                            entry.stat.chunks += t.granted;
+                            resp
+                        }
+                        None => Response::Error {
+                            code: ErrorCode::UnknownJob,
+                            detail: "shard poisoned".into(),
+                        },
+                    }
+                }
+                OpKind::Other(req) => {
+                    cache = None; // `handle` takes its own locks
+                    state.handle(req, entry.id, &mut entry.stat)
+                }
+                OpKind::Reply { resp, close } => {
+                    if close {
+                        entry.machine.close_after_flush = true;
+                    }
+                    resp
+                }
+            };
+            entry.stat.requests += 1;
+            let f = frame(&resp.encode());
+            entry.stat.bytes_out += f.len() as u64;
+            tally.bytes_out += f.len() as u64;
+            entry.machine.queue_write(&f);
+            entry.stat_dirty = true;
+            self.touched.push(slot);
+        }
+    }
+
+    // ---- flush & lifecycle ----------------------------------------------
+
+    fn flush_conn(&mut self, slot: usize) {
+        let Some(entry) = self.conns[slot].as_mut() else { return };
+        while !entry.machine.tx_is_empty() && !entry.dead {
+            match entry.stream.write(entry.machine.tx_pending()) {
+                Ok(0) => entry.dead = true,
+                Ok(k) => entry.machine.tx_advance(k),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => entry.dead = true,
+            }
+        }
+        if entry.dead || (entry.machine.close_after_flush && entry.machine.tx_is_empty()) {
+            self.close_conn(slot);
+            return;
+        }
+        let want = if entry.machine.tx_is_empty() { Interest::READ } else { Interest::READ_WRITE };
+        if want != entry.interest {
+            let fd: RawFd = entry.stream.as_raw_fd();
+            if self.poller.reregister(fd, slot as u64, want).is_ok() {
+                if let Some(entry) = self.conns[slot].as_mut() {
+                    entry.interest = want;
+                }
+            }
+        }
+    }
+
+    /// During a drain: close connections that have gone quiet, and
+    /// bound how long a half-received frame may hold its connection.
+    fn drain_pass(&mut self) {
+        for slot in 0..self.conns.len() {
+            let Some(entry) = self.conns[slot].as_mut() else { continue };
+            entry.machine.idle_cycles = entry.machine.idle_cycles.saturating_add(1);
+            let quiet = entry.machine.tx_is_empty() && entry.machine.rx_len() == 0;
+            if quiet || entry.machine.idle_cycles > DRAIN_GRACE_CYCLES {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(mut entry) = self.conns[slot].take() else { return };
+        self.poller.deregister(entry.stream.as_raw_fd());
+        let _ = entry.stream.shutdown(SockShutdown::Both);
+        entry.stat.open = false;
+        if let Ok(mut stats) = self.state.conn_stats.lock() {
+            stats.insert(entry.id, entry.stat);
+        }
+        // Reclaims this connection's unsettled leases exactly once and
+        // releases its admission slot.
+        self.state.disconnect(entry.id);
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// Apply the cycle's counter deltas (one atomic add per counter)
+    /// and publish dirty per-connection stat rows under one lock.
+    fn commit(&mut self, tally: &CycleTally) {
+        let state = &self.state;
+        if tally.bytes_in > 0 {
+            state.bytes_in.fetch_add(tally.bytes_in, Ordering::Relaxed);
+        }
+        if tally.bytes_out > 0 {
+            state.bytes_out.fetch_add(tally.bytes_out, Ordering::Relaxed);
+        }
+        if tally.fetches > 0 {
+            state.fetches.fetch_add(tally.fetches, Ordering::Relaxed);
+        }
+        if tally.chunks_granted > 0 {
+            state.chunks_granted.fetch_add(tally.chunks_granted, Ordering::Relaxed);
+        }
+        if tally.empty_polls > 0 {
+            state.empty_polls.fetch_add(tally.empty_polls, Ordering::Relaxed);
+        }
+        let any_dirty = self.conns.iter().any(|c| c.as_ref().is_some_and(|e| e.stat_dirty));
+        if any_dirty {
+            if let Ok(mut stats) = state.conn_stats.lock() {
+                for entry in self.conns.iter_mut().flatten() {
+                    if entry.stat_dirty {
+                        stats.insert(entry.id, entry.stat.clone());
+                        entry.stat_dirty = false;
+                    }
+                }
+            }
+        }
+    }
+}

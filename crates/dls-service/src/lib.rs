@@ -18,6 +18,10 @@
 //!   ([`resilience::LeaseTable`]) reclaimed exactly once when a client
 //!   disconnects, request batching, and explicit backpressure limits
 //!   (connections, batch size, per-worker lease quotas, frame size).
+//!   Connections are multiplexed over a sharded `epoll` readiness loop
+//!   (no thread per connection); admission to `max_connections` is a
+//!   single compare-and-swap, and each readiness cycle answers all of
+//!   its buffered fetches under one job-table lock acquisition.
 //! * [`client`] — a blocking client plus the [`client::drive_job`] /
 //!   [`client::drive_job_batched`] worker loops.
 //!
@@ -33,13 +37,19 @@
 //! inter-node chunks over TCP while the node's ranks keep
 //! self-scheduling sub-chunks out of the `mpisim` shared window.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one unsafe module (`poller::sys`, the raw
+// epoll bindings) opts back in explicitly; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod client;
+mod event_loop;
+mod machine;
+mod poller;
 pub mod protocol;
+mod ring;
 pub mod server;
 
 pub use client::{drive_job, drive_job_batched, Client, ClientError, FetchReply};

@@ -165,6 +165,9 @@ pub enum ErrorCode {
     TooManyJobs = 11,
     /// `ReportDone` named a lease that is unknown or already settled.
     StaleLease = 12,
+    /// `FetchChunk.worker` is outside a weighted job's worker range
+    /// (the job defines exactly `weights.len()` worker slots).
+    BadWorker = 13,
 }
 
 impl ErrorCode {
@@ -182,6 +185,7 @@ impl ErrorCode {
             10 => ErrorCode::BadTechnique,
             11 => ErrorCode::TooManyJobs,
             12 => ErrorCode::StaleLease,
+            13 => ErrorCode::BadWorker,
             _ => return None,
         })
     }

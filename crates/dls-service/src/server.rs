@@ -1,5 +1,5 @@
 //! The chunk-scheduling server: a sharded, multi-tenant job table
-//! behind a TCP accept loop.
+//! behind a sharded event loop.
 //!
 //! Each job's scheduling state is exactly the paper's global work
 //! queue — the two counters `(step, scheduled)` — driven by the `dls`
@@ -19,22 +19,29 @@
 //!   size, batch size, job count, and unsettled leases per worker.
 //!   Every limit answers with a typed error frame instead of silence.
 //!
+//! Connections are served by [`crate::event_loop`]: a fixed set of
+//! readiness-loop shards multiplexing every socket over `epoll` — no
+//! thread per connection, admission decided by a single compare-and-
+//! swap, and each shard answering a whole readiness cycle's fetches
+//! under one job-table lock acquisition.
+//!
 //! Shutdown (a `Shutdown` frame or [`Server::shutdown`], which the
 //! `dls-serverd` binary also wires to SIGTERM) drains in-flight
-//! requests: connection threads finish the request they are serving,
-//! answer anything later with [`ErrorCode::ShuttingDown`], and exit;
-//! the final [`StatsSnapshot`] preserves every job's progress counters.
+//! requests: loop shards finish answering what is buffered, close
+//! connections as they go quiet, answer late fetches with
+//! [`ErrorCode::ShuttingDown`], and exit; the final [`StatsSnapshot`]
+//! preserves every job's progress counters.
 
+use crate::event_loop::LoopShard;
 use crate::protocol::{
-    frame, ConnSnapshot, ErrorCode, GrantedChunk, JobSnapshot, Request, Response, ServiceTotals,
-    StatsSnapshot, VERSION,
+    ConnSnapshot, ErrorCode, GrantedChunk, JobSnapshot, Request, Response, ServiceTotals,
+    StatsSnapshot,
 };
 use dls::technique::WorkerCtx;
 use dls::{ChunkCalculator, LoopSpec, SchedState, Technique};
 use resilience::{LeaseId, LeaseTable};
 use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -60,8 +67,11 @@ pub struct ServiceConfig {
     pub max_frame: u32,
     /// Job-table shards (reduces cross-job lock contention).
     pub shards: u32,
-    /// Poll tick for connection reads; bounds how long a drain waits
-    /// on an idle connection.
+    /// Event-loop shards: threads multiplexing the connections. Each
+    /// owns a share of the accept socket.
+    pub event_loops: u32,
+    /// Readiness-poll tick; bounds drain latency and how often batched
+    /// counters are committed.
     pub poll_interval: Duration,
 }
 
@@ -74,6 +84,7 @@ impl Default for ServiceConfig {
             max_jobs: 1024,
             max_frame: crate::protocol::MAX_FRAME,
             shards: 8,
+            event_loops: 2,
             poll_interval: Duration::from_millis(20),
         }
     }
@@ -81,7 +92,7 @@ impl Default for ServiceConfig {
 
 /// One job: the paper's two-counter global queue plus the lease ledger
 /// and reclaim pool.
-struct Job {
+pub(crate) struct Job {
     spec: LoopSpec,
     technique: Technique,
     weights: Vec<f64>,
@@ -245,25 +256,38 @@ impl Job {
     }
 }
 
+/// Per-fetch additions to the global counters, returned by
+/// [`State::fetch_locked`] so the event loop can batch them into one
+/// atomic add per counter per readiness cycle.
+#[derive(Default)]
+pub(crate) struct FetchTally {
+    pub(crate) fetches: u64,
+    pub(crate) granted: u64,
+    pub(crate) empty: u64,
+}
+
 /// Shared server state.
-struct State {
-    cfg: ServiceConfig,
+pub(crate) struct State {
+    pub(crate) cfg: ServiceConfig,
     epoch: Instant,
-    shards: Vec<Mutex<HashMap<u64, Job>>>,
+    pub(crate) shards: Vec<Mutex<HashMap<u64, Job>>>,
     next_job: AtomicU64,
     jobs_created: AtomicU64,
-    next_conn: AtomicU64,
-    conns_active: AtomicU64,
-    conns_total: AtomicU64,
-    fetches: AtomicU64,
-    chunks_granted: AtomicU64,
+    pub(crate) next_conn: AtomicU64,
+    pub(crate) conns_active: AtomicU64,
+    pub(crate) conns_total: AtomicU64,
+    /// High-water mark of concurrently admitted connections — observes
+    /// that CAS admission never overshoots `max_connections`.
+    pub(crate) conns_peak: AtomicU64,
+    pub(crate) fetches: AtomicU64,
+    pub(crate) chunks_granted: AtomicU64,
     reclaims: AtomicU64,
-    empty_polls: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    shutdown: AtomicBool,
+    pub(crate) empty_polls: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
     shutdown_cv: (Mutex<bool>, Condvar),
-    conn_stats: Mutex<HashMap<u64, ConnSnapshot>>,
+    pub(crate) conn_stats: Mutex<HashMap<u64, ConnSnapshot>>,
 }
 
 impl State {
@@ -271,8 +295,14 @@ impl State {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// Index of the job-table shard holding `job` — exposed so the
+    /// event loop can batch same-shard fetches under one lock.
+    pub(crate) fn shard_index(&self, job: u64) -> usize {
+        (job % self.shards.len() as u64) as usize
+    }
+
     fn shard_of(&self, job: u64) -> &Mutex<HashMap<u64, Job>> {
-        &self.shards[(job % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(job)]
     }
 
     fn request_shutdown(&self) {
@@ -323,7 +353,7 @@ impl State {
 
     // ---- request handlers -------------------------------------------------
 
-    fn handle(&self, req: Request, conn: u64, stat: &mut ConnSnapshot) -> Response {
+    pub(crate) fn handle(&self, req: Request, conn: u64, stat: &mut ConnSnapshot) -> Response {
         match req {
             Request::CreateJob { n, kind, weights } => self.create_job(n, kind, weights),
             Request::FetchChunk { job, worker, batch } => {
@@ -377,56 +407,97 @@ impl State {
         Response::JobCreated { job }
     }
 
+    /// Standalone fetch (the `State::handle` path): takes the shard
+    /// lock itself and commits its counter deltas immediately.
     fn fetch(&self, job: u64, worker: u32, batch: u32, conn: u64) -> Response {
-        if batch == 0 || batch > self.cfg.max_batch {
-            return Response::Error {
-                code: ErrorCode::BatchTooLarge,
-                detail: format!("batch {batch} outside 1..={}", self.cfg.max_batch),
-            };
-        }
-        if self.shutdown.load(Ordering::SeqCst) {
-            return Response::Error {
-                code: ErrorCode::ShuttingDown,
-                detail: "server draining; no new grants".into(),
-            };
-        }
-        let now = self.now_ns();
         let Ok(mut shard) = self.shard_of(job).lock() else {
             return Response::Error {
                 code: ErrorCode::UnknownJob,
                 detail: "shard poisoned".into(),
             };
         };
-        let Some(j) = shard.get_mut(&job) else {
-            return Response::Error {
+        let (resp, tally) = self.fetch_locked(&mut shard, job, worker, batch, conn);
+        if tally.fetches > 0 {
+            self.fetches.fetch_add(tally.fetches, Ordering::Relaxed);
+            self.chunks_granted.fetch_add(tally.granted, Ordering::Relaxed);
+            self.empty_polls.fetch_add(tally.empty, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    /// Fetch against an already-locked job-table shard. The event loop
+    /// holds one shard guard across a whole readiness cycle's fetches;
+    /// counter deltas are returned, not applied, so a cycle costs one
+    /// atomic add per counter however many fetches it answered.
+    pub(crate) fn fetch_locked(
+        &self,
+        jobs: &mut HashMap<u64, Job>,
+        job: u64,
+        worker: u32,
+        batch: u32,
+        conn: u64,
+    ) -> (Response, FetchTally) {
+        let none = FetchTally::default();
+        if batch == 0 || batch > self.cfg.max_batch {
+            let resp = Response::Error {
+                code: ErrorCode::BatchTooLarge,
+                detail: format!("batch {batch} outside 1..={}", self.cfg.max_batch),
+            };
+            return (resp, none);
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            let resp = Response::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "server draining; no new grants".into(),
+            };
+            return (resp, none);
+        }
+        let Some(j) = jobs.get_mut(&job) else {
+            let resp = Response::Error {
                 code: ErrorCode::UnknownJob,
                 detail: format!("job {job} was never created"),
             };
+            return (resp, none);
         };
         if j.done {
-            return Response::Error {
+            let resp = Response::Error {
                 code: ErrorCode::JobFinished,
                 detail: format!("job {job} completed all {} iterations", j.spec.n_iters),
             };
+            return (resp, none);
+        }
+        // A weighted job defines exactly `weights.len()` worker slots;
+        // an out-of-range id used to be granted chunks at a silent
+        // default weight of 1.0 — reject it with a typed error instead.
+        if !j.weights.is_empty() && (worker as usize) >= j.weights.len() {
+            let resp = Response::Error {
+                code: ErrorCode::BadWorker,
+                detail: format!(
+                    "worker {worker} outside weighted job's 0..{} range",
+                    j.weights.len()
+                ),
+            };
+            return (resp, none);
         }
         let out = j.outstanding.get(&worker).copied().unwrap_or(0);
         if out >= self.cfg.worker_quota {
-            return Response::Error {
+            let resp = Response::Error {
                 code: ErrorCode::QuotaExceeded,
                 detail: format!(
                     "worker {worker} holds {out} unsettled leases (quota {})",
                     self.cfg.worker_quota
                 ),
             };
+            return (resp, none);
         }
         let batch = batch.min(self.cfg.worker_quota - out);
-        let chunks = j.fetch(worker, batch, conn, now);
-        self.fetches.fetch_add(1, Ordering::Relaxed);
-        self.chunks_granted.fetch_add(chunks.len() as u64, Ordering::Relaxed);
-        if chunks.is_empty() {
-            self.empty_polls.fetch_add(1, Ordering::Relaxed);
-        }
-        Response::Chunks { chunks }
+        let chunks = j.fetch(worker, batch, conn, self.now_ns());
+        let tally = FetchTally {
+            fetches: 1,
+            granted: chunks.len() as u64,
+            empty: u64::from(chunks.is_empty()),
+        };
+        (Response::Chunks { chunks }, tally)
     }
 
     fn report(&self, job: u64, leases: &[LeaseId]) -> Response {
@@ -463,7 +534,7 @@ impl State {
 
     /// A connection died or closed: reclaim its unsettled leases in
     /// every job, exactly once each.
-    fn disconnect(&self, conn: u64) {
+    pub(crate) fn disconnect(&self, conn: u64) {
         let mut reclaimed = 0;
         for shard in &self.shards {
             if let Ok(mut shard) = shard.lock() {
@@ -486,23 +557,24 @@ impl State {
 
 /// A running chunk-scheduling server.
 ///
-/// Dropping a `Server` without calling [`Server::shutdown`] aborts the
-/// accept thread on process exit (threads are daemonised by the OS);
-/// tests and the daemon binary always shut down explicitly.
+/// Dropping a `Server` without calling [`Server::shutdown`] leaves the
+/// loop shards running until process exit (threads are daemonised by
+/// the OS); tests and the daemon binary always shut down explicitly.
 pub struct Server {
     state: Arc<State>,
     addr: SocketAddr,
-    accept: Option<std::thread::JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    loops: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start accepting.
+    /// start the loop shards.
     pub fn start<A: ToSocketAddrs>(cfg: ServiceConfig, addr: A) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shards = cfg.shards.max(1);
+        let event_loops = cfg.event_loops.max(1);
         let state = Arc::new(State {
             cfg,
             epoch: Instant::now(),
@@ -512,6 +584,7 @@ impl Server {
             next_conn: AtomicU64::new(0),
             conns_active: AtomicU64::new(0),
             conns_total: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
             fetches: AtomicU64::new(0),
             chunks_granted: AtomicU64::new(0),
             reclaims: AtomicU64::new(0),
@@ -522,13 +595,18 @@ impl Server {
             shutdown_cv: (Mutex::new(false), Condvar::new()),
             conn_stats: Mutex::new(HashMap::new()),
         });
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_state = Arc::clone(&state);
-        let accept_handles = Arc::clone(&conn_handles);
-        let accept = std::thread::Builder::new()
-            .name("dls-accept".into())
-            .spawn(move || accept_loop(listener, accept_state, accept_handles))?;
-        Ok(Server { state, addr, accept: Some(accept), conn_handles })
+        let mut loops = Vec::with_capacity(event_loops as usize);
+        for i in 0..event_loops {
+            // Clones share one file description: every shard polls the
+            // same accept queue and the kernel hands each pending
+            // connection to exactly one winner.
+            let mut shard = LoopShard::new(listener.try_clone()?, Arc::clone(&state))?;
+            let handle = std::thread::Builder::new()
+                .name(format!("dls-loop-{i}"))
+                .spawn(move || shard.run())?;
+            loops.push(handle);
+        }
+        Ok(Server { state, addr, loops })
     }
 
     /// The bound address (with the real port when started on port 0).
@@ -539,6 +617,13 @@ impl Server {
     /// Live counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         self.state.snapshot()
+    }
+
+    /// High-water mark of concurrently admitted connections. Admission
+    /// is a single compare-and-swap, so this can never exceed
+    /// [`ServiceConfig::max_connections`] — tests assert exactly that.
+    pub fn peak_connections(&self) -> u64 {
+        self.state.conns_peak.load(Ordering::SeqCst)
     }
 
     /// True once a `Shutdown` frame (or [`Server::shutdown`]) started
@@ -559,197 +644,16 @@ impl Server {
         *guard
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight requests,
-    /// join every connection thread, and return the final snapshot
-    /// (per-job progress counters preserved).
+    /// Graceful shutdown: stop accepting, answer what is buffered,
+    /// close connections as they go quiet, join every loop shard, and
+    /// return the final snapshot (per-job progress counters preserved).
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.state.request_shutdown();
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        let handles = match self.conn_handles.lock() {
-            Ok(mut v) => std::mem::take(&mut *v),
-            Err(_) => Vec::new(),
-        };
-        for h in handles {
+        // Loop shards notice the flag at their next poll tick; no
+        // wake-up connection is needed (epoll_wait carries a timeout).
+        for h in self.loops.drain(..) {
             let _ = h.join();
         }
         self.state.snapshot()
     }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    state: Arc<State>,
-    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        if state.conns_active.load(Ordering::Relaxed) >= u64::from(state.cfg.max_connections) {
-            // Backpressure: answer Busy and close without a thread.
-            let resp = Response::Error {
-                code: ErrorCode::Busy,
-                detail: format!("connection limit {} reached", state.cfg.max_connections),
-            };
-            let mut stream = stream;
-            let _ = stream.write_all(&frame(&resp.encode()));
-            let _ = stream.shutdown(SockShutdown::Both);
-            continue;
-        }
-        let conn = state.next_conn.fetch_add(1, Ordering::SeqCst);
-        state.conns_active.fetch_add(1, Ordering::Relaxed);
-        state.conns_total.fetch_add(1, Ordering::Relaxed);
-        let conn_state = Arc::clone(&state);
-        let handle = std::thread::Builder::new()
-            .name(format!("dls-conn-{conn}"))
-            .spawn(move || serve_connection(stream, conn, conn_state));
-        match handle {
-            Ok(h) => {
-                if let Ok(mut v) = handles.lock() {
-                    v.push(h);
-                }
-            }
-            Err(_) => {
-                state.conns_active.fetch_sub(1, Ordering::Relaxed);
-            }
-        }
-    }
-}
-
-/// Buffered frame reader: accumulates stream bytes and yields complete
-/// frames, so read timeouts (the drain poll tick) never lose partial
-/// data.
-struct FrameReader {
-    buf: Vec<u8>,
-}
-
-enum ReadOutcome {
-    Frame(Vec<u8>),
-    /// Nothing complete yet (timeout tick) — caller rechecks flags.
-    Pending,
-    /// Peer closed or errored.
-    Closed,
-    /// Length prefix violated the frame bound.
-    BadLength(u32),
-}
-
-impl FrameReader {
-    fn new() -> Self {
-        FrameReader { buf: Vec::new() }
-    }
-
-    fn poll(
-        &mut self,
-        stream: &mut TcpStream,
-        max_frame: u32,
-        bytes_in: &AtomicU64,
-    ) -> ReadOutcome {
-        loop {
-            if self.buf.len() >= 4 {
-                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
-                if len == 0 || len > max_frame {
-                    return ReadOutcome::BadLength(len);
-                }
-                let total = 4 + len as usize;
-                if self.buf.len() >= total {
-                    let payload = self.buf[4..total].to_vec();
-                    self.buf.drain(..total);
-                    return ReadOutcome::Frame(payload);
-                }
-            }
-            let mut chunk = [0u8; 4096];
-            match stream.read(&mut chunk) {
-                Ok(0) => return ReadOutcome::Closed,
-                Ok(k) => {
-                    bytes_in.fetch_add(k as u64, Ordering::Relaxed);
-                    self.buf.extend_from_slice(&chunk[..k]);
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    return ReadOutcome::Pending;
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return ReadOutcome::Closed,
-            }
-        }
-    }
-}
-
-fn serve_connection(mut stream: TcpStream, conn: u64, state: Arc<State>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(state.cfg.poll_interval));
-    if let Ok(mut stats) = state.conn_stats.lock() {
-        stats.insert(
-            conn,
-            ConnSnapshot { conn, worker: u32::MAX, open: true, ..Default::default() },
-        );
-    }
-    let mut reader = FrameReader::new();
-    let mut local = ConnSnapshot { conn, worker: u32::MAX, open: true, ..Default::default() };
-
-    let send = |stream: &mut TcpStream, resp: &Response, local: &mut ConnSnapshot| -> bool {
-        let f = frame(&resp.encode());
-        local.bytes_out += f.len() as u64;
-        state.bytes_out.fetch_add(f.len() as u64, Ordering::Relaxed);
-        stream.write_all(&f).is_ok()
-    };
-
-    loop {
-        // A drain in progress: the current request (if any) was already
-        // answered; close rather than waiting for more traffic. Clients
-        // mid-poll observe EOF or a ShuttingDown error.
-        let draining = state.shutdown.load(Ordering::SeqCst);
-        let before = reader.buf.len();
-        match reader.poll(&mut stream, state.cfg.max_frame, &state.bytes_in) {
-            ReadOutcome::Frame(payload) => {
-                local.bytes_in += (4 + payload.len()) as u64;
-                let resp = match Request::decode(&payload) {
-                    Ok(req) => state.handle(req, conn, &mut local),
-                    Err(crate::protocol::DecodeError::Version(v)) => Response::Error {
-                        code: ErrorCode::BadVersion,
-                        detail: format!("version {v}, this server speaks {VERSION}"),
-                    },
-                    Err(e) => {
-                        Response::Error { code: ErrorCode::BadMessage, detail: e.to_string() }
-                    }
-                };
-                local.requests += 1;
-                let ok = send(&mut stream, &resp, &mut local);
-                if let Ok(mut stats) = state.conn_stats.lock() {
-                    stats.insert(conn, local.clone());
-                }
-                // A version we don't speak poisons the rest of the
-                // stream (the client's framing may differ) — close.
-                let fatal = matches!(resp, Response::Error { code: ErrorCode::BadVersion, .. });
-                if !ok || fatal {
-                    break;
-                }
-            }
-            ReadOutcome::Pending => {
-                if draining && reader.buf.len() == before && reader.buf.is_empty() {
-                    break;
-                }
-            }
-            ReadOutcome::Closed => break,
-            ReadOutcome::BadLength(len) => {
-                let resp = Response::Error {
-                    code: ErrorCode::FrameTooLarge,
-                    detail: format!("frame length {len} outside 1..={}", state.cfg.max_frame),
-                };
-                local.requests += 1;
-                send(&mut stream, &resp, &mut local);
-                break; // cannot resynchronise the stream
-            }
-        }
-    }
-    let _ = stream.shutdown(SockShutdown::Both);
-    if let Ok(mut stats) = state.conn_stats.lock() {
-        local.open = false;
-        stats.insert(conn, local);
-    }
-    state.disconnect(conn);
 }

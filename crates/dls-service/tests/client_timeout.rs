@@ -1,0 +1,90 @@
+//! Client-side read semantics: a stalled server (connection open,
+//! nothing arriving) must surface as `TimedOut`, a closed connection
+//! as `UnexpectedEof`, and a slow-but-alive server must be waited out
+//! across poll ticks — three outcomes the old `read_exact_buffered`
+//! conflated.
+
+use dls_service::protocol::{frame, Response};
+use dls_service::{Client, ClientError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// A listener that accepts and then never answers: the call must fail
+/// with `TimedOut` once the deadline lapses — and must NOT be reported
+/// as the server closing the connection.
+#[test]
+fn stalled_server_is_timeout_not_eof() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        // Hold the socket open, reading nothing, answering nothing.
+        std::thread::sleep(Duration::from_secs(5));
+        drop(stream);
+    });
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.set_read_deadline(Some(Duration::from_millis(200))).expect("deadline");
+    let start = Instant::now();
+    match c.heartbeat(0) {
+        Err(ClientError::Io(e)) => {
+            assert_eq!(e.kind(), ErrorKind::TimedOut, "stall must be TimedOut, got {e}");
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    let waited = start.elapsed();
+    assert!(waited >= Duration::from_millis(200), "deadline honoured, waited {waited:?}");
+    assert!(waited < Duration::from_secs(4), "did not block until the peer gave up");
+    drop(c);
+    hold.join().expect("listener thread");
+}
+
+/// A peer that closes is still `UnexpectedEof` — the deadline logic
+/// must not absorb real EOFs into timeouts.
+#[test]
+fn closed_connection_is_still_eof() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let closer = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Consume the request so the close is a clean FIN, not an RST.
+        let mut req = [0u8; 256];
+        let _ = stream.read(&mut req);
+        drop(stream); // close without replying
+    });
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.set_read_deadline(Some(Duration::from_secs(5))).expect("deadline");
+    match c.heartbeat(0) {
+        Err(ClientError::Io(e)) => {
+            assert_eq!(e.kind(), ErrorKind::UnexpectedEof, "close must stay EOF, got {e}");
+        }
+        other => panic!("expected EOF, got {other:?}"),
+    }
+    closer.join().expect("listener thread");
+}
+
+/// A reply that arrives after several poll ticks but inside the
+/// deadline is delivered: transient `WouldBlock`/`TimedOut` ticks are
+/// retried, not surfaced.
+#[test]
+fn late_reply_within_deadline_is_delivered() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let replier = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Consume the request frame so the client's write can't jam.
+        let mut req = [0u8; 256];
+        let _ = stream.read(&mut req);
+        // Answer well after the client's poll tick, inside its deadline.
+        std::thread::sleep(Duration::from_millis(300));
+        stream.write_all(&frame(&Response::Ack.encode())).expect("reply");
+    });
+
+    let mut c = Client::connect(addr).expect("connect");
+    // Deadline 2s -> poll tick 250ms: the 300ms reply needs >1 tick.
+    c.set_read_deadline(Some(Duration::from_secs(2))).expect("deadline");
+    c.heartbeat(0).expect("late reply must be waited out, not dropped");
+    replier.join().expect("listener thread");
+}

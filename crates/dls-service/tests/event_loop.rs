@@ -1,0 +1,117 @@
+//! Event-loop-specific behaviour: CAS admission under a connection
+//! storm, and non-blocking `Busy` rejection with sockets that never
+//! read.
+
+use dls_service::{Client, ClientError, ErrorCode, Server, ServiceConfig};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait_drained(srv: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while srv.snapshot().totals.conns_active > 0 {
+        assert!(Instant::now() < deadline, "connections leaked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Admission is a single compare-and-swap: a storm of concurrent
+/// connects can never push the admitted count past `max_connections`.
+/// The old accept path checked the counter and incremented it later —
+/// two racing accepts could both pass the check and overshoot the cap.
+#[test]
+fn admission_cap_never_exceeded_under_connection_storm() {
+    const CAP: u32 = 8;
+    const THREADS: usize = 12;
+    const ROUNDS: usize = 25;
+    let cfg = ServiceConfig { max_connections: CAP, event_loops: 3, ..Default::default() };
+    let srv = Server::start(cfg, "127.0.0.1:0").expect("bind");
+    let addr = srv.addr();
+
+    let served = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let (served, busy) = (Arc::clone(&served), Arc::clone(&busy));
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    let Ok(mut c) = Client::connect(addr) else { continue };
+                    c.set_read_deadline(Some(Duration::from_secs(5))).expect("deadline");
+                    match c.heartbeat(0) {
+                        Ok(()) => served.fetch_add(1, Ordering::Relaxed),
+                        Err(ClientError::Server { code: ErrorCode::Busy, .. }) => {
+                            busy.fetch_add(1, Ordering::Relaxed)
+                        }
+                        // A rejected socket may also be closed before
+                        // the Busy frame is read — equally a rejection.
+                        Err(ClientError::Io(_)) => busy.fetch_add(1, Ordering::Relaxed),
+                        Err(e) => panic!("unexpected failure: {e}"),
+                    };
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm thread");
+    }
+
+    assert!(served.load(Ordering::Relaxed) > 0, "some connections must be served");
+    wait_drained(&srv);
+    let peak = srv.peak_connections();
+    assert!(peak > 0, "storm must admit at least one connection");
+    assert!(peak <= u64::from(CAP), "CAS admission overshot the cap: peak {peak} > {CAP}");
+    let snap = srv.shutdown();
+    // Rejected connections are never admitted, so they appear in
+    // neither the active count nor the total.
+    assert_eq!(snap.totals.conns_total, served.load(Ordering::Relaxed));
+}
+
+/// `Busy` rejection is one best-effort non-blocking write and a close:
+/// a pile of rejected sockets whose owners never read can no longer
+/// wedge the accept path (the old path used a blocking `write_all`).
+#[test]
+fn busy_rejection_never_blocks_the_accept_path() {
+    let cfg = ServiceConfig { max_connections: 1, event_loops: 1, ..Default::default() };
+    let srv = Server::start(cfg, "127.0.0.1:0").expect("bind");
+
+    let mut admitted = Client::connect(srv.addr()).expect("connect");
+    admitted.set_read_deadline(Some(Duration::from_secs(5))).expect("deadline");
+    admitted.heartbeat(0).expect("admitted client is served");
+
+    // Pile up connections that are rejected but never read their Busy
+    // frame — connected-but-unread sockets.
+    let hoard: Vec<TcpStream> =
+        (0..32).map(|_| TcpStream::connect(srv.addr()).expect("connect")).collect();
+
+    // The admitted connection must stay responsive while the hoard
+    // exists: the rejection writes cannot stall the loop shard.
+    let start = Instant::now();
+    for _ in 0..10 {
+        admitted.heartbeat(0).expect("server responsive during rejection hoard");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "accept-path rejection stalled the event loop"
+    );
+
+    // Each hoarded socket was answered Busy (or closed before the
+    // frame could be read) — never left hanging open and unanswered.
+    for mut s in hoard {
+        use std::io::Read;
+        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut buf = [0u8; 64];
+        match s.read(&mut buf) {
+            Ok(_) => {} // Busy frame bytes or EOF
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            Err(e) => panic!("rejected socket left hanging: {e}"),
+        }
+    }
+
+    drop(admitted);
+    wait_drained(&srv);
+    assert_eq!(srv.peak_connections(), 1, "the cap-1 server admitted exactly one");
+    let snap = srv.shutdown();
+    assert_eq!(snap.totals.conns_total, 1, "rejected sockets are never admitted");
+    assert_eq!(snap.totals.conns_active, 0);
+}

@@ -208,6 +208,32 @@ fn bad_technique_byte_is_typed() {
 }
 
 #[test]
+fn out_of_range_worker_on_weighted_job_is_typed() {
+    let srv = server();
+    let mut c = Client::connect(srv.addr()).expect("connect");
+    // Two weights define exactly two worker slots: 0 and 1.
+    let job = c.create_job(1_000, dls::Kind::WF, &[1.5, 0.5]).expect("create job");
+    // Worker 2 used to be served anyway at a silent default weight of
+    // 1.0 — it must now be a typed rejection, at the raw level too.
+    let mut s = raw(&srv);
+    let req = Request::FetchChunk { job, worker: 2, batch: 1 };
+    s.write_all(&frame(&req.encode())).expect("write");
+    assert_eq!(error_code(read_response(&mut s)), ErrorCode::BadWorker);
+    match c.fetch(job, u32::MAX, 1) {
+        Err(ClientError::Server { code: ErrorCode::BadWorker, .. }) => {}
+        other => panic!("expected BadWorker, got {other:?}"),
+    }
+    // In-range workers on the same connections stay served, and an
+    // unweighted job accepts any worker id.
+    assert!(matches!(c.fetch(job, 1, 1), Ok(FetchReply::Chunks(_))));
+    let unweighted = c.create_job(100, dls::Kind::SS, &[]).expect("create job");
+    assert!(matches!(c.fetch(unweighted, 7_777, 1), Ok(FetchReply::Chunks(_))));
+    drop((c, s));
+    wait_drained(&srv);
+    srv.shutdown();
+}
+
+#[test]
 fn abusive_connections_leak_no_threads() {
     let srv = server();
     for round in 0..20 {

@@ -24,7 +24,7 @@ use dls_service::{Client, FetchReply};
 use mpisim::{LockKind, RankWinStats, Topology, Universe, Window};
 use std::net::SocketAddr;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workloads::Workload;
 
 // Local window slot indices (the fault-free subset of `mpi_mpi`'s).
@@ -71,8 +71,16 @@ pub fn run_live_net(
     let job = setup
         .create_job(n, spec.inter.kind(), &node_weights(&weights, cfg.nodes, wpn))
         .expect("create job");
+    // A bounded reply wait per agent call: a wedged server surfaces as
+    // a typed TimedOut error instead of hanging every rank on the node.
     let agents: Vec<Mutex<Client>> = (0..cfg.nodes)
-        .map(|_| Mutex::new(Client::connect(addr).expect("connect node agent")))
+        .map(|_| {
+            let mut agent = Client::connect(addr).expect("connect node agent");
+            agent
+                .set_read_deadline(Some(Duration::from_secs(30)))
+                .expect("set agent read deadline");
+            Mutex::new(agent)
+        })
         .collect();
 
     let outcomes = Universe::run(topology, move |p| -> mpisim::Result<RankOutcome> {
