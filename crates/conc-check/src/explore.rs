@@ -1,0 +1,433 @@
+//! The schedule explorer: stateless depth-first search over every
+//! nondeterministic decision a model run can take.
+//!
+//! Each run of a model under [`crate::sched::Execution`] records its
+//! decision vector (which thread stepped at each contended point, which
+//! store each stale-capable load observed). The explorer re-runs the
+//! model with a replayed prefix and one decision flipped, walking the
+//! whole decision tree depth-first. Two prunings keep that tractable:
+//!
+//! * **Sleep sets** (a classic partial-order reduction): once the
+//!   subtree starting with thread `t` has been fully explored from a
+//!   state, sibling branches need not re-run `t` from that state until
+//!   a *dependent* transition (same object, at least one write)
+//!   invalidates the equivalence. Sound for safety properties: every
+//!   Mazurkiewicz trace keeps at least one representative.
+//! * **Preemption bounding** with iterative deepening: explore all
+//!   schedules with at most `k` preemptions before trying `k + 1`.
+//!   Real concurrency bugs overwhelmingly need 1–2 preemptions, and
+//!   the first counterexample found this way is preemption-minimal —
+//!   the shortest story a human has to read.
+//!
+//! The two are not combined: a preemption bound truncates subtrees,
+//! which would make sleep-set inheritance unsound, so setting
+//! `preemption_bound` disables sleep sets automatically.
+
+use crate::sched::{DecisionRec, DepInfo, ExecConfig, Execution, Step, Tid, ViolationKind};
+use std::sync::Arc;
+
+/// Exploration limits and semantics knobs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Hard cap on executed schedules; exceeding it yields a result
+    /// with `complete == false` rather than running forever.
+    pub max_schedules: usize,
+    /// Per-run visible-op cap (a run past it is reported as
+    /// [`ViolationKind::TooManySteps`]).
+    pub max_steps: usize,
+    /// Explore only schedules with at most this many preemptions
+    /// (disables sleep sets). `None` = unbounded.
+    pub preemption_bound: Option<usize>,
+    /// Sleep-set partial-order reduction (ignored when a preemption
+    /// bound is set).
+    pub sleep_sets: bool,
+    /// How many stores back a `Relaxed`/`Acquire` load may observe.
+    pub stale_window: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_schedules: 200_000,
+            max_steps: 2_000,
+            preemption_bound: None,
+            sleep_sets: true,
+            stale_window: 2,
+        }
+    }
+}
+
+/// Statistics from a completed (or capped) exploration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Whether the decision tree was exhausted (false = `max_schedules`
+    /// hit; the pass is then only a bounded smoke result).
+    pub complete: bool,
+    /// Whether any branch was skipped because of the preemption bound.
+    pub bound_hit: bool,
+}
+
+/// A failing schedule, replayable via [`replay`].
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The failing schedule's visible ops, in execution order.
+    pub trace: Vec<Step>,
+    /// Decision vector reproducing the failure deterministically.
+    pub choices: Vec<usize>,
+    /// Preemptions in the failing schedule.
+    pub preemptions: usize,
+    /// Schedules executed before the failure was found.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ViolationKind::Property(msg) => writeln!(f, "property violation: {msg}")?,
+            ViolationKind::Deadlock => writeln!(f, "deadlock: all live threads blocked")?,
+            ViolationKind::TooManySteps => writeln!(f, "run exceeded the step limit")?,
+        }
+        writeln!(
+            f,
+            "schedule ({} preemptions, found after {} schedules):",
+            self.preemptions, self.schedules
+        )?;
+        for (i, s) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of exploring one model.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// No schedule violated the model's assertions.
+    Pass(Stats),
+    /// Some schedule did.
+    Fail(Counterexample),
+}
+
+impl Outcome {
+    /// Whether the exploration passed.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass(_))
+    }
+
+    /// The counterexample, if the exploration failed.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Outcome::Pass(_) => None,
+            Outcome::Fail(cx) => Some(cx),
+        }
+    }
+
+    /// Unwrap a failure (panics with the counterexample rendered when
+    /// the exploration passed — for tests that expect a bug).
+    pub fn expect_fail(&self, what: &str) -> &Counterexample {
+        match self {
+            Outcome::Fail(cx) => cx,
+            Outcome::Pass(st) => {
+                panic!("expected {what} to fail, but {} schedules passed", st.schedules)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS frames
+// ---------------------------------------------------------------------------
+
+enum Frame {
+    Sched {
+        enabled: Vec<(Tid, DepInfo)>,
+        prev: Option<Tid>,
+        at_step: usize,
+        /// Index currently being explored.
+        chosen: usize,
+        /// Alternatives already descended into.
+        explored: Vec<bool>,
+        /// Sleep set (inherited + accumulated), by `enabled` index.
+        sleep: Vec<bool>,
+        /// Preemptions on the path strictly above this decision.
+        preemptions_before: usize,
+    },
+    Value {
+        arity: usize,
+        chosen: usize,
+        explored: Vec<bool>,
+    },
+}
+
+impl Frame {
+    fn chosen(&self) -> usize {
+        match self {
+            Frame::Sched { chosen, .. } | Frame::Value { chosen, .. } => *chosen,
+        }
+    }
+}
+
+fn is_preempt(enabled: &[(Tid, DepInfo)], prev: Option<Tid>, idx: usize) -> bool {
+    match prev {
+        Some(p) => enabled.iter().any(|&(t, _)| t == p) && enabled[idx].0 != p,
+        None => false,
+    }
+}
+
+/// Explore every schedule of `model` under `cfg`.
+pub fn explore<F>(cfg: &Config, model: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_arc(cfg, Arc::new(model))
+}
+
+fn run_once(
+    cfg: &Config,
+    model: &Arc<dyn Fn() + Send + Sync>,
+    replay: Vec<usize>,
+) -> crate::sched::RunResult {
+    let exec = Execution::new(
+        replay,
+        ExecConfig { max_steps: cfg.max_steps, stale_window: cfg.stale_window },
+    );
+    exec.run(Arc::clone(model))
+}
+
+fn explore_arc(cfg: &Config, model: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    let sleep_on = cfg.sleep_sets && cfg.preemption_bound.is_none();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedules = 0usize;
+    let mut bound_hit = false;
+
+    loop {
+        let replay: Vec<usize> = stack.iter().map(Frame::chosen).collect();
+        let result = run_once(cfg, &model, replay);
+        schedules += 1;
+
+        if let Some(v) = result.violation {
+            return Outcome::Fail(Counterexample {
+                kind: v.kind,
+                trace: v.trace,
+                choices: result
+                    .decisions
+                    .iter()
+                    .map(|d| match d {
+                        DecisionRec::Sched { chosen, .. } | DecisionRec::Value { chosen, .. } => {
+                            *chosen
+                        }
+                    })
+                    .collect(),
+                preemptions: result.preemptions,
+                schedules,
+            });
+        }
+        if schedules >= cfg.max_schedules {
+            return Outcome::Pass(Stats { schedules, complete: false, bound_hit });
+        }
+
+        // Extend the stack with the decisions this run took beyond the
+        // replayed prefix, inheriting sleep sets frame to frame.
+        for (pos, dec) in result.decisions.iter().enumerate().skip(stack.len()) {
+            let frame = match dec {
+                DecisionRec::Value { arity, chosen } => {
+                    let mut explored = vec![false; *arity];
+                    explored[*chosen] = true;
+                    Frame::Value { arity: *arity, chosen: *chosen, explored }
+                }
+                DecisionRec::Sched { enabled, chosen, prev, at_step, .. } => {
+                    let mut explored = vec![false; enabled.len()];
+                    explored[*chosen] = true;
+                    let mut sleep = vec![false; enabled.len()];
+                    let mut preemptions_before = 0;
+                    // Nearest Sched ancestor (Value frames sit inside
+                    // transitions and are transparent here).
+                    let parent = stack[..pos].iter().rev().find_map(|f| match f {
+                        Frame::Sched {
+                            enabled,
+                            prev,
+                            at_step,
+                            chosen,
+                            sleep,
+                            preemptions_before,
+                            ..
+                        } => Some((enabled, *prev, *at_step, *chosen, sleep, *preemptions_before)),
+                        Frame::Value { .. } => None,
+                    });
+                    if let Some((p_enabled, p_prev, p_step, p_chosen, p_sleep, p_before)) = parent {
+                        let (p_tid, p_dep) = p_enabled[p_chosen];
+                        preemptions_before =
+                            p_before + usize::from(is_preempt(p_enabled, p_prev, p_chosen));
+                        // Sleep inheritance is only sound across a
+                        // single transition: require that every step
+                        // between the two decisions was executed by the
+                        // parent's chosen thread (otherwise an
+                        // unrecorded intermediate transition might be
+                        // dependent with a sleeping op).
+                        let single_transition =
+                            result.trace[p_step..*at_step].iter().all(|s| s.tid == p_tid);
+                        if sleep_on && single_transition {
+                            for (u_idx, &(u_tid, u_dep)) in enabled.iter().enumerate() {
+                                if u_tid == p_tid {
+                                    continue;
+                                }
+                                let was_asleep = p_enabled
+                                    .iter()
+                                    .position(|&(t, _)| t == u_tid)
+                                    .is_some_and(|i| p_sleep[i] && p_enabled[i].1 == u_dep);
+                                if was_asleep && !u_dep.dependent(&p_dep) {
+                                    sleep[u_idx] = true;
+                                }
+                            }
+                        }
+                    }
+                    Frame::Sched {
+                        enabled: enabled.clone(),
+                        prev: *prev,
+                        at_step: *at_step,
+                        chosen: *chosen,
+                        explored,
+                        sleep,
+                        preemptions_before,
+                    }
+                }
+            };
+            stack.push(frame);
+        }
+
+        // Backtrack: advance the deepest frame with an untried,
+        // unpruned alternative; pop frames that are exhausted.
+        let advanced = loop {
+            let Some(top) = stack.last_mut() else { break false };
+            let next = match top {
+                Frame::Value { arity, chosen, explored } => {
+                    (0..*arity).find(|&c| !explored[c]).map(|c| {
+                        explored[c] = true;
+                        *chosen = c;
+                    })
+                }
+                Frame::Sched {
+                    enabled, prev, chosen, explored, sleep, preemptions_before, ..
+                } => {
+                    // The just-finished subtree's thread goes to sleep
+                    // for the remaining siblings.
+                    sleep[*chosen] = true;
+                    let mut found = None;
+                    for c in 0..enabled.len() {
+                        if explored[c] || (sleep_on && sleep[c]) {
+                            continue;
+                        }
+                        if let Some(bound) = cfg.preemption_bound {
+                            if *preemptions_before + usize::from(is_preempt(enabled, *prev, c))
+                                > bound
+                            {
+                                bound_hit = true;
+                                continue;
+                            }
+                        }
+                        found = Some(c);
+                        break;
+                    }
+                    found.map(|c| {
+                        explored[c] = true;
+                        *chosen = c;
+                    })
+                }
+            };
+            if next.is_some() {
+                break true;
+            }
+            stack.pop();
+        };
+        if !advanced {
+            return Outcome::Pass(Stats { schedules, complete: true, bound_hit });
+        }
+    }
+}
+
+/// Re-run `model` pinned to a recorded decision vector; returns the
+/// violation (if it still occurs) and the trace.
+pub fn replay<F>(cfg: &Config, model: F, choices: &[usize]) -> (Option<ViolationKind>, Vec<Step>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let result = run_once(cfg, &model, choices.to_vec());
+    match result.violation {
+        Some(v) => (Some(v.kind), v.trace),
+        None => (None, result.trace),
+    }
+}
+
+/// Exhaustive check with sleep-set reduction: the default for proving a
+/// model clean.
+pub fn check<F>(model: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(&Config::default(), model)
+}
+
+/// Iterative-deepening search returning a *preemption-minimal*
+/// counterexample: all schedules with `k` preemptions are explored
+/// before any with `k + 1`, so a failure at bound `k` is as simple as
+/// the bug gets. Falls back to a full sleep-set exploration if the
+/// bound ladder exhausts without covering the space.
+pub fn check_minimal<F>(cfg: &Config, model: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut total = 0usize;
+    const MAX_BOUND: usize = 8;
+    for bound in 0..=MAX_BOUND {
+        let mut c = cfg.clone();
+        c.preemption_bound = Some(bound);
+        c.max_schedules = cfg.max_schedules.saturating_sub(total).max(1);
+        match explore_arc(&c, Arc::clone(&model)) {
+            Outcome::Fail(mut cx) => {
+                cx.schedules += total;
+                return Outcome::Fail(cx);
+            }
+            Outcome::Pass(st) => {
+                total += st.schedules;
+                if !st.bound_hit {
+                    // No branch was cut by the bound: the space is
+                    // exhausted.
+                    return Outcome::Pass(Stats {
+                        schedules: total,
+                        complete: st.complete,
+                        bound_hit: false,
+                    });
+                }
+                if !st.complete {
+                    return Outcome::Pass(Stats {
+                        schedules: total,
+                        complete: false,
+                        bound_hit: true,
+                    });
+                }
+            }
+        }
+    }
+    // Ladder exhausted (a model needing > MAX_BOUND preemptions to
+    // cover): fall back to the sleep-set exploration.
+    let mut c = cfg.clone();
+    c.preemption_bound = None;
+    c.max_schedules = cfg.max_schedules.saturating_sub(total).max(1);
+    match explore_arc(&c, model) {
+        Outcome::Fail(mut cx) => {
+            cx.schedules += total;
+            Outcome::Fail(cx)
+        }
+        Outcome::Pass(st) => Outcome::Pass(Stats {
+            schedules: total + st.schedules,
+            complete: st.complete,
+            bound_hit: false,
+        }),
+    }
+}

@@ -1,0 +1,95 @@
+//! Concurrent-history recording for linearizability checking.
+//!
+//! A [`Recorder`] collects invocation/response spans from model
+//! threads. Timestamps come from a recorder-local logical clock bumped
+//! at every invoke and return; because the scheduler runs exactly one
+//! model thread at a time, the resulting order is the real-time order
+//! of that schedule and replays deterministically. Span A *really
+//! precedes* span B iff `A.ret < B.invoke`; otherwise they overlap and
+//! the checker may order them either way.
+//!
+//! The recorder deliberately uses plain `std::sync` internals (not the
+//! instrumented [`crate::sync`] primitives): recording an operation
+//! must not itself be a visible op, or observing a history would change
+//! the schedule space being explored.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One recorded operation: invocation, response, and their timestamps.
+#[derive(Clone, Debug)]
+pub struct Span<O, R> {
+    /// The invoked operation.
+    pub op: O,
+    /// Its observed result (`None` while still pending).
+    pub res: Option<R>,
+    /// Logical time of the invocation.
+    pub invoke: u64,
+    /// Logical time of the response (`u64::MAX` while pending).
+    pub ret: u64,
+}
+
+struct Inner<O, R> {
+    spans: Mutex<Vec<Span<O, R>>>,
+    clock: AtomicU64,
+}
+
+/// Ticket for completing a previously invoked operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpToken(usize);
+
+/// Shared recorder handed to every model thread.
+pub struct Recorder<O, R> {
+    inner: Arc<Inner<O, R>>,
+}
+
+impl<O, R> Clone for Recorder<O, R> {
+    fn clone(&self) -> Self {
+        Recorder { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<O, R> Default for Recorder<O, R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O, R> Recorder<O, R> {
+    /// New empty recorder.
+    pub fn new() -> Recorder<O, R> {
+        Recorder {
+            inner: Arc::new(Inner { spans: Mutex::new(Vec::new()), clock: AtomicU64::new(0) }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Span<O, R>>> {
+        self.inner.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Record an invocation; call *before* the operation's first
+    /// visible op.
+    pub fn invoke(&self, op: O) -> OpToken {
+        let t = self.inner.clock.fetch_add(1, Ordering::SeqCst);
+        let mut spans = self.lock();
+        spans.push(Span { op, res: None, invoke: t, ret: u64::MAX });
+        OpToken(spans.len() - 1)
+    }
+
+    /// Record the response; call *after* the operation's last visible
+    /// op.
+    pub fn complete(&self, token: OpToken, res: R) {
+        let t = self.inner.clock.fetch_add(1, Ordering::SeqCst);
+        let mut spans = self.lock();
+        let span = &mut spans[token.0];
+        debug_assert!(span.res.is_none(), "operation completed twice");
+        span.res = Some(res);
+        span.ret = t;
+    }
+
+    /// Drain the recorded history (for the root thread, after joining
+    /// every worker).
+    pub fn take(&self) -> Vec<Span<O, R>> {
+        std::mem::take(&mut *self.lock())
+    }
+}

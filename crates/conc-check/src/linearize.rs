@@ -1,0 +1,137 @@
+//! Wing–Gong linearizability checking.
+//!
+//! Given a complete concurrent history (every invocation has its
+//! response) and a deterministic sequential specification, search for a
+//! *linearization*: a total order of the operations that (a) respects
+//! real time — if A returned before B was invoked, A comes first — and
+//! (b) replays through the sequential spec producing exactly the
+//! responses each operation observed.
+//!
+//! The search is the classic Wing–Gong recursion: repeatedly pick a
+//! minimal (not real-time-preceded) remaining operation, apply it to
+//! the spec state, and recurse, with memoization on (remaining-set,
+//! spec-state) pairs — the Lowe refinement that turns pathological
+//! histories from exponential to tractable. Model histories here are
+//! small (≤ 32 operations by construction).
+
+use crate::history::Span;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A deterministic sequential specification of the checked object.
+pub trait SeqSpec {
+    /// Operation type (what was invoked).
+    type Op: Clone + std::fmt::Debug;
+    /// Response type (what the caller observed).
+    type Res: Clone + PartialEq + std::fmt::Debug;
+    /// Sequential object state.
+    type State: Clone + Eq + Hash;
+
+    /// Initial state.
+    fn init(&self) -> Self::State;
+    /// Apply `op`, mutating the state and returning the sequential
+    /// response.
+    fn apply(&self, state: &mut Self::State, op: &Self::Op) -> Self::Res;
+}
+
+/// Failure evidence: no linearization exists.
+#[derive(Clone, Debug)]
+pub struct NotLinearizable {
+    /// Rendered history, one operation per line.
+    pub rendered: String,
+}
+
+impl std::fmt::Display for NotLinearizable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "history is not linearizable:\n{}", self.rendered)
+    }
+}
+
+fn render<O: std::fmt::Debug, R: std::fmt::Debug>(history: &[Span<O, R>]) -> String {
+    let mut out = String::new();
+    for (i, s) in history.iter().enumerate() {
+        out.push_str(&format!(
+            "  op {i:2} [{:3},{:3}]  {:?} -> {:?}\n",
+            s.invoke,
+            s.ret,
+            s.op,
+            s.res.as_ref()
+        ));
+    }
+    out
+}
+
+/// Check `history` against `spec`. Returns a witness linearization
+/// (indices into `history` in linearized order) or the failing history.
+///
+/// Panics if any span is incomplete — models must join every worker
+/// before checking.
+pub fn linearizable<S: SeqSpec>(
+    spec: &S,
+    history: &[Span<S::Op, S::Res>],
+) -> Result<Vec<usize>, NotLinearizable> {
+    assert!(history.len() <= 32, "history too large for the bitmask search");
+    assert!(
+        history.iter().all(|s| s.res.is_some()),
+        "incomplete span in history (join all workers before checking)"
+    );
+    let full: u32 = if history.len() == 32 { u32::MAX } else { (1u32 << history.len()) - 1 };
+    let mut memo: HashSet<(u32, S::State)> = HashSet::new();
+    let mut order = Vec::with_capacity(history.len());
+    let state = spec.init();
+    if dfs(spec, history, 0, state, full, &mut memo, &mut order) {
+        Ok(order)
+    } else {
+        Err(NotLinearizable { rendered: render(history) })
+    }
+}
+
+fn dfs<S: SeqSpec>(
+    spec: &S,
+    history: &[Span<S::Op, S::Res>],
+    done: u32,
+    state: S::State,
+    full: u32,
+    memo: &mut HashSet<(u32, S::State)>,
+    order: &mut Vec<usize>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, state.clone())) {
+        return false;
+    }
+    for (i, span) in history.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        // `i` is a candidate linearization point iff no other remaining
+        // operation returned before `i` was invoked.
+        let minimal = history
+            .iter()
+            .enumerate()
+            .all(|(j, other)| j == i || done & (1 << j) != 0 || other.ret >= span.invoke);
+        if !minimal {
+            continue;
+        }
+        let mut next = state.clone();
+        let res = spec.apply(&mut next, &span.op);
+        if Some(&res) != span.res.as_ref() {
+            continue;
+        }
+        order.push(i);
+        if dfs(spec, history, done | (1 << i), next, full, memo, order) {
+            return true;
+        }
+        order.pop();
+    }
+    false
+}
+
+/// Assert linearizability; inside a model run the panic becomes a
+/// `Property` violation carrying the failing schedule's trace.
+pub fn assert_linearizable<S: SeqSpec>(spec: &S, history: &[Span<S::Op, S::Res>]) {
+    if let Err(e) = linearizable(spec, history) {
+        panic!("{e}");
+    }
+}

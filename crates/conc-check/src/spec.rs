@@ -1,0 +1,160 @@
+//! Sequential specification of one `dls-service` job — the reference
+//! object the linearizability checker replays histories against.
+//!
+//! The spec is the paper's two-counter global queue (scheduling `step`
+//! and total `scheduled` iterations) driven by the *real* dls chunk
+//! calculators, plus the reclaim pool and active-lease set that give
+//! the service its exactly-once guarantee. It deliberately mirrors
+//! `dls-service`'s `Job::fetch`/`report`/`reclaim_conn` logic — ranges
+//! are the identity of a grant (lease ids are connection-local
+//! bookkeeping and not part of the sequential contract).
+
+use crate::linearize::SeqSpec;
+use dls::technique::WorkerCtx;
+use dls::{ChunkCalculator, Kind, LoopSpec, SchedState, Technique};
+
+/// An operation against one job.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum JobOp {
+    /// Serve up to `batch` chunks to `worker` on connection `conn`.
+    Fetch {
+        /// Requesting worker id.
+        worker: u32,
+        /// Connection issuing the request.
+        conn: u64,
+        /// Maximum chunks to grant.
+        batch: u32,
+    },
+    /// Settle the grant covering `[lo, hi)`.
+    Report {
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+    /// Connection `conn` vanished; reclaim its unsettled grants.
+    Disconnect {
+        /// The dead connection.
+        conn: u64,
+    },
+}
+
+/// The observed response of a [`JobOp`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum JobRes {
+    /// Ranges granted by a fetch (empty = nothing left right now).
+    Granted(Vec<(u64, u64)>),
+    /// Iterations credited by a report, or `None` for a stale lease.
+    Reported(Option<u64>),
+    /// Number of unsettled grants a disconnect reclaimed.
+    Reclaimed(u64),
+}
+
+/// Sequential job state: the two counters plus reclaim pool and active
+/// grants.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobState {
+    /// Scheduling step (first global counter).
+    pub step: u64,
+    /// Iterations handed out (second global counter).
+    pub scheduled: u64,
+    /// Iterations reported back.
+    pub completed: u64,
+    /// Reclaimed ranges, served FIFO before fresh counter advances.
+    pub pool: Vec<(u64, u64)>,
+    /// Active (unsettled) grants with the connection holding each, in
+    /// grant order.
+    pub active: Vec<((u64, u64), u64)>,
+}
+
+/// The job's fixed parameters (everything `apply` needs beyond the
+/// state).
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Total loop iterations.
+    pub n: u64,
+    /// Scheduling technique.
+    pub kind: Kind,
+    /// Per-worker weight table (empty = unweighted).
+    pub weights: Vec<f64>,
+}
+
+impl JobSpec {
+    /// New spec for `n` iterations under `kind`.
+    pub fn new(n: u64, kind: Kind) -> JobSpec {
+        JobSpec { n, kind, weights: Vec::new() }
+    }
+
+    fn loop_spec(&self) -> LoopSpec {
+        // Mirrors `dls-service`: techniques that divide by worker count
+        // are parameterised by the weight table size, default 8.
+        let p = if self.weights.is_empty() { 8 } else { self.weights.len() as u32 };
+        LoopSpec::new(self.n, p.max(1))
+    }
+}
+
+impl SeqSpec for JobSpec {
+    type Op = JobOp;
+    type Res = JobRes;
+    type State = JobState;
+
+    fn init(&self) -> JobState {
+        JobState { step: 0, scheduled: 0, completed: 0, pool: Vec::new(), active: Vec::new() }
+    }
+
+    fn apply(&self, state: &mut JobState, op: &JobOp) -> JobRes {
+        match *op {
+            JobOp::Fetch { worker, conn, batch } => {
+                let spec = self.loop_spec();
+                let technique = Technique::from_kind(self.kind);
+                let weight = self.weights.get(worker as usize).copied().unwrap_or(1.0);
+                let ctx = WorkerCtx { worker, weight };
+                let n = self.n;
+                let mut out = Vec::new();
+                for _ in 0..batch {
+                    if !state.pool.is_empty() {
+                        let (lo, hi) = state.pool.remove(0);
+                        state.active.push(((lo, hi), conn));
+                        out.push((lo, hi));
+                    } else if state.scheduled < n {
+                        let st = SchedState { step: state.step, scheduled: state.scheduled };
+                        let size =
+                            technique.chunk_size(&spec, st, ctx).clamp(1, n - state.scheduled);
+                        let lo = state.scheduled;
+                        state.step += 1;
+                        state.scheduled += size;
+                        state.active.push(((lo, lo + size), conn));
+                        out.push((lo, lo + size));
+                    } else {
+                        break;
+                    }
+                }
+                JobRes::Granted(out)
+            }
+            JobOp::Report { lo, hi } => {
+                match state.active.iter().position(|&(r, _)| r == (lo, hi)) {
+                    Some(i) => {
+                        state.active.remove(i);
+                        state.completed += hi - lo;
+                        JobRes::Reported(Some(hi - lo))
+                    }
+                    None => JobRes::Reported(None),
+                }
+            }
+            JobOp::Disconnect { conn } => {
+                let mut reclaimed = 0;
+                let mut keep = Vec::with_capacity(state.active.len());
+                for &(range, owner) in &state.active {
+                    if owner == conn {
+                        state.pool.push(range);
+                        reclaimed += 1;
+                    } else {
+                        keep.push((range, owner));
+                    }
+                }
+                state.active = keep;
+                JobRes::Reclaimed(reclaimed)
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Model-thread spawning.
+//!
+//! Inside a model run, [`spawn`] creates a scheduler-managed thread:
+//! it parks until the explorer schedules it, and every visible op it
+//! performs is a decision point. Outside a run (the plain-`std`
+//! fallback used when `dls-service` is compiled with `--cfg
+//! conc_check` but executed normally), it degrades to
+//! `std::thread::spawn`.
+
+use crate::sched::{with_ctx, Execution, Tid};
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Model { exec: Arc<Execution>, tid: Tid, result: Arc<Mutex<Option<T>>> },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned model (or fallback OS) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(exec: Arc<Execution>, tid: Tid, result: Arc<Mutex<Option<T>>>) -> Self {
+        JoinHandle { inner: Inner::Model { exec, tid, result } }
+    }
+
+    /// Wait for the thread to finish and return its result. Inside a
+    /// model this is a visible (blocking) op: the joiner is disabled
+    /// until the joinee's final `finish` op has run.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { exec, tid, result } => {
+                let me = with_ctx(|c| c.map(|(_, t)| *t)).expect("join outside a model run");
+                exec.join_thread(me, tid);
+                let out = result.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+                match out {
+                    Some(v) => Ok(v),
+                    // The joinee panicked (its result was never stored);
+                    // the violation is already recorded by the harness.
+                    None => Err(Box::new("model thread panicked")),
+                }
+            }
+            Inner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// Spawn a thread: scheduler-managed inside a model run, plain
+/// `std::thread::spawn` otherwise.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match with_ctx(|c| c.map(|(e, _)| Arc::clone(e))) {
+        Some(exec) => exec.spawn_model(f),
+        None => JoinHandle { inner: Inner::Os(std::thread::spawn(f)) },
+    }
+}

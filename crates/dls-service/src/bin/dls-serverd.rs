@@ -12,6 +12,10 @@
 //! `STATS <json>` (the final snapshot, per-job progress counters
 //! included), optionally writes it to `--report PATH`, and exits 0.
 
+// The single unsafe block (signal handler installation in `sig`) must
+// carry its own SAFETY justification.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use dls_service::{Server, ServiceConfig};
 use std::io::Write;
 use std::time::Duration;
@@ -35,7 +39,19 @@ mod sig {
 
     /// Route SIGTERM/SIGINT to a flag the main loop polls; the handler
     /// only stores an atomic (async-signal-safe).
+    ///
+    /// The flag is deliberately a plain `std::sync::atomic` rather
+    /// than the `crate::sync` facade: an async-signal handler must
+    /// never take the conc-check scheduler's baton (it could fire on
+    /// any thread at any point and deadlock the model run).
     pub fn install() {
+        // SAFETY: `signal(2)` is called with valid arguments — both
+        // signal numbers are standard, and `on_term` is an
+        // `extern "C" fn(i32)` matching the expected handler ABI that
+        // stays alive for the whole process (a static function item).
+        // The handler body is async-signal-safe: it performs a single
+        // lock-free atomic store and touches no heap, locks, or
+        // signal-unsafe libc calls.
         unsafe {
             signal(SIGTERM, on_term);
             signal(SIGINT, on_term);

@@ -43,11 +43,11 @@ use crate::machine::{ConnMachine, FramePeek};
 use crate::poller::{Event, Interest, Poller};
 use crate::protocol::{frame, ConnSnapshot, ErrorCode, Request, Response, VERSION};
 use crate::server::State;
+use crate::sync::atomic::Ordering;
+use crate::sync::{Arc, MutexGuard};
 use std::io::{ErrorKind, Write};
 use std::net::{Shutdown as SockShutdown, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 /// Token reserved for the shard's accept socket.
 const LISTENER_TOKEN: u64 = u64::MAX;
@@ -225,6 +225,11 @@ impl LoopShard {
                 return;
             }
         };
+        // Relaxed is enough for both: `fetch_max` is an RMW, so it
+        // compares against the *latest* peak in modification order and
+        // can never lose a concurrent maximum (a load/compare/store
+        // version could — both seeded and caught by the conc-check
+        // `LoadStorePeak` model). `conns_total` is a pure stat counter.
         state.conns_peak.fetch_max(prev + 1, Ordering::Relaxed);
         state.conns_total.fetch_add(1, Ordering::Relaxed);
         let id = state.next_conn.fetch_add(1, Ordering::SeqCst);
@@ -340,7 +345,7 @@ impl LoopShard {
     /// fetches against jobs of the same shard reuse one held lock.
     fn serve_cycle(&mut self, tally: &mut CycleTally) {
         let state = Arc::clone(&self.state);
-        let mut cache: Option<(usize, std::sync::MutexGuard<'_, _>)> = None;
+        let mut cache: Option<(usize, MutexGuard<'_, _>)> = None;
         for (slot, op) in std::mem::take(&mut self.ops) {
             let Some(entry) = self.conns[slot].as_mut() else { continue };
             let resp = match op {
@@ -452,6 +457,9 @@ impl LoopShard {
     /// and publish dirty per-connection stat rows under one lock.
     fn commit(&mut self, tally: &CycleTally) {
         let state = &self.state;
+        // Relaxed throughout: stat counters with RMW-only writers —
+        // per-counter totals stay exact under any interleaving, and
+        // nothing orders against them.
         if tally.bytes_in > 0 {
             state.bytes_in.fetch_add(tally.bytes_in, Ordering::Relaxed);
         }

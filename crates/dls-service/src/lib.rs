@@ -40,6 +40,10 @@
 // `deny`, not `forbid`: the one unsafe module (`poller::sys`, the raw
 // epoll bindings) opts back in explicitly; everything else stays safe.
 #![deny(unsafe_code)]
+// Unsafe blocks nested inside `unsafe fn` still need their own `unsafe`
+// marker and SAFETY comment — an `unsafe fn` signature is a proof
+// obligation for the caller, not a blanket licence for the body.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -51,6 +55,7 @@ mod poller;
 pub mod protocol;
 mod ring;
 pub mod server;
+pub(crate) mod sync;
 
 pub use client::{drive_job, drive_job_batched, Client, ClientError, FetchReply};
 pub use protocol::{

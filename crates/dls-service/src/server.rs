@@ -37,13 +37,13 @@ use crate::protocol::{
     ConnSnapshot, ErrorCode, GrantedChunk, JobSnapshot, Request, Response, ServiceTotals,
     StatsSnapshot,
 };
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 use dls::technique::WorkerCtx;
 use dls::{ChunkCalculator, LoopSpec, SchedState, Technique};
 use resilience::{LeaseId, LeaseTable};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Reclaimer id recorded in the lease ledger for server-side
@@ -274,6 +274,16 @@ pub(crate) struct State {
     next_job: AtomicU64,
     jobs_created: AtomicU64,
     pub(crate) next_conn: AtomicU64,
+    // Ordering discipline for the counters below: every writer uses an
+    // RMW (`fetch_add`/`fetch_sub`/`fetch_max`/`fetch_update`), and an
+    // RMW always reads the *latest* value in the atomic's modification
+    // order regardless of its `Ordering` — so `Relaxed` updates never
+    // lose a count (verified exhaustively by the `conc-check`
+    // admission model). `Relaxed` is about visibility to *other*
+    // memory, which none of these counters guard. The two sites with a
+    // hard cross-thread invariant — the `conns_active` admission CAS
+    // and the `jobs_created` cap CAS — use `SeqCst` anyway so the cap
+    // check is also ordered against the `shutdown` flag.
     pub(crate) conns_active: AtomicU64,
     pub(crate) conns_total: AtomicU64,
     /// High-water mark of concurrently admitted connections — observes
@@ -334,6 +344,10 @@ impl State {
         StatsSnapshot {
             uptime_ns: self.now_ns(),
             shutting_down: self.shutdown.load(Ordering::SeqCst),
+            // Relaxed loads: each counter is exact on its own (all
+            // writers are RMWs), but the snapshot as a whole is
+            // advisory — the values are not required to be mutually
+            // consistent at a single instant.
             totals: ServiceTotals {
                 fetches: self.fetches.load(Ordering::Relaxed),
                 chunks_granted: self.chunks_granted.load(Ordering::Relaxed),
@@ -387,20 +401,32 @@ impl State {
     }
 
     fn create_job(&self, n: u64, kind: dls::Kind, weights: Vec<f64>) -> Response {
-        if self.jobs_created.load(Ordering::SeqCst) >= u64::from(self.cfg.max_jobs) {
-            return Response::Error {
-                code: ErrorCode::TooManyJobs,
-                detail: format!("job table limit {} reached", self.cfg.max_jobs),
-            };
-        }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Response::Error {
                 code: ErrorCode::BadTechnique,
                 detail: "weights must be finite and non-negative".into(),
             };
         }
+        // Admission to the job table is a single CAS. The previous
+        // load-then-add pair had a lost-update window: two creates
+        // racing on separate event-loop shards could both pass the
+        // check and overshoot `max_jobs` (the same check-then-act shape
+        // as the old connection-admission bug; pinned by the
+        // `conc-check` admission model and the cap model below).
+        let cap = u64::from(self.cfg.max_jobs);
+        if self
+            .jobs_created
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |created| {
+                (created < cap).then_some(created + 1)
+            })
+            .is_err()
+        {
+            return Response::Error {
+                code: ErrorCode::TooManyJobs,
+                detail: format!("job table limit {} reached", self.cfg.max_jobs),
+            };
+        }
         let job = self.next_job.fetch_add(1, Ordering::SeqCst);
-        self.jobs_created.fetch_add(1, Ordering::SeqCst);
         if let Ok(mut shard) = self.shard_of(job).lock() {
             shard.insert(job, Job::new(n, kind, weights));
         }
@@ -418,6 +444,8 @@ impl State {
         };
         let (resp, tally) = self.fetch_locked(&mut shard, job, worker, batch, conn);
         if tally.fetches > 0 {
+            // Relaxed: pure stat counters, each delta applied by one
+            // RMW (no update can be lost), no other memory guarded.
             self.fetches.fetch_add(tally.fetches, Ordering::Relaxed);
             self.chunks_granted.fetch_add(tally.granted, Ordering::Relaxed);
             self.empty_polls.fetch_add(tally.empty, Ordering::Relaxed);
@@ -546,6 +574,12 @@ impl State {
         if reclaimed > 0 {
             self.reclaims.fetch_add(reclaimed, Ordering::Relaxed);
         }
+        // Relaxed is sound for the cap invariant: the admission CAS
+        // and this decrement are RMWs on the same atomic, and RMWs see
+        // the latest value in modification order whatever their
+        // `Ordering`. A slot freed here may become visible to a racing
+        // admission a moment "late", which can only under-admit, never
+        // overshoot.
         self.conns_active.fetch_sub(1, Ordering::Relaxed);
         if let Ok(mut stats) = self.conn_stats.lock() {
             if let Some(s) = stats.get_mut(&conn) {
@@ -655,5 +689,122 @@ impl Server {
             let _ = h.join();
         }
         self.state.snapshot()
+    }
+}
+
+// Interleaving models that drive the *real* `State` — not a
+// re-implementation — through the conc-check explorer. Compiled only by
+// the dedicated checking build:
+// `RUSTFLAGS="--cfg conc_check" cargo test -p dls-service --features conc-check`.
+#[cfg(all(test, conc_check))]
+mod conc_models {
+    use super::*;
+    use conc_check::{check, Outcome};
+
+    /// A `State` with no sockets and no loop shards: exactly what
+    /// `Server::start` builds, minus the listener.
+    fn tiny_state(cfg: ServiceConfig) -> Arc<State> {
+        let shards = cfg.shards.max(1);
+        Arc::new(State {
+            cfg,
+            epoch: Instant::now(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_job: AtomicU64::new(0),
+            jobs_created: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            chunks_granted: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            empty_polls: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            shutdown_cv: (Mutex::new(false), Condvar::new()),
+            conn_stats: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn assert_pass(name: &str, outcome: &Outcome) {
+        match outcome {
+            Outcome::Pass(stats) => {
+                assert!(stats.complete, "{name}: hit the schedule cap");
+                // If the facade silently resolved to `std::sync` the
+                // explorer would see no visible ops and declare victory
+                // after one schedule — catch that misconfiguration.
+                assert!(
+                    stats.schedules > 1,
+                    "{name}: only {} schedule(s) explored — facade not engaged?",
+                    stats.schedules
+                );
+            }
+            Outcome::Fail(cx) => panic!("{name}: counterexample against the real State:\n{cx}"),
+        }
+    }
+
+    /// Two creates racing for one job slot: the `fetch_update` CAS in
+    /// `create_job` must admit exactly one on *every* schedule. (The
+    /// pre-fix load-then-add pair fails this model.)
+    #[test]
+    fn create_job_cap_is_exact_under_every_schedule() {
+        let outcome = check(move || {
+            let state = tiny_state(ServiceConfig { max_jobs: 1, shards: 1, ..Default::default() });
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let st = Arc::clone(&state);
+                    conc_check::thread::spawn(move || {
+                        matches!(
+                            st.create_job(4, dls::Kind::SS, vec![]),
+                            Response::JobCreated { .. }
+                        )
+                    })
+                })
+                .collect();
+            let created =
+                handles.into_iter().map(|h| h.join()).filter(|r| matches!(r, Ok(true))).count();
+            assert_eq!(created, 1, "cap 1, two racing creates: exactly one may win");
+        });
+        assert_pass("create_job cap", &outcome);
+    }
+
+    /// Two workers fetching from one real job through `State::fetch`:
+    /// grants must be disjoint on every schedule, whichever worker's
+    /// fetch commits first.
+    #[test]
+    fn standalone_fetches_never_overlap() {
+        let outcome = check(move || {
+            let state = tiny_state(ServiceConfig { shards: 1, ..Default::default() });
+            assert!(matches!(
+                state.create_job(6, dls::Kind::SS, vec![]),
+                Response::JobCreated { job: 0 }
+            ));
+            let handles: Vec<_> = (0..2)
+                .map(|worker| {
+                    let st = Arc::clone(&state);
+                    conc_check::thread::spawn(move || {
+                        match st.fetch(0, worker, 2, u64::from(worker)) {
+                            Response::Chunks { chunks } => {
+                                chunks.into_iter().map(|g| (g.lo, g.hi)).collect::<Vec<_>>()
+                            }
+                            other => panic!("fetch failed: {other:?}"),
+                        }
+                    })
+                })
+                .collect();
+            let mut ranges: Vec<(u64, u64)> =
+                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "overlapping grants from racing fetches: {:?} and {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        });
+        assert_pass("standalone fetch", &outcome);
     }
 }

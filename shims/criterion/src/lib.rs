@@ -11,6 +11,9 @@
 //! convention: a `--test` flag in the arguments), benchmarks execute a
 //! single iteration as a smoke test, keeping `cargo test` fast.
 
+// A pure-std shim has no business holding unsafe code.
+#![forbid(unsafe_code)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

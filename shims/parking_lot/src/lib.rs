@@ -11,6 +11,9 @@
 //! - `Condvar::wait` takes `&mut MutexGuard` and reacquires the same
 //!   mutex before returning, like `parking_lot`.
 
+// A pure-std shim has no business holding unsafe code.
+#![forbid(unsafe_code)]
+
 use std::sync;
 
 /// A mutual-exclusion primitive with `parking_lot`-style (non-poisoning)

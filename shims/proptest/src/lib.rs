@@ -19,6 +19,9 @@
 //! - Generation is driven by a deterministic xoshiro-based RNG from the
 //!   vendored `rand` shim, so test runs are reproducible everywhere.
 
+// A pure-std shim has no business holding unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod sample;
 pub mod strategy;

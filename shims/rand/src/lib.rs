@@ -8,6 +8,9 @@
 //! upstream `rand`'s (`StdRng` there is ChaCha12); nothing in this
 //! workspace depends on upstream's exact streams, only on determinism.
 
+// A pure-std shim has no business holding unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 
 use std::ops::Range;
