@@ -68,6 +68,28 @@ pub struct NodeActivity {
     pub lock_revocations: u64,
 }
 
+/// Durability counters of a journaled `dls-service` run, re-exported
+/// through the same report pipeline (zeroed/absent for in-memory runs
+/// and for the simulator backends, which have no journal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceJournal {
+    /// True when the server ran with `--journal-dir`.
+    pub enabled: bool,
+    /// Server epoch (increments on every journaled restart).
+    pub epoch: u32,
+    /// Records group-committed this incarnation.
+    pub records: u64,
+    /// Journal bytes written this incarnation.
+    pub bytes: u64,
+    /// Fsyncs issued this incarnation — `records / fsyncs` is the
+    /// group-commit amortisation the BENCH_9 gate measures.
+    pub fsyncs: u64,
+    /// Snapshots installed this incarnation.
+    pub snapshots: u64,
+    /// Live segment files at snapshot time.
+    pub segments: u64,
+}
+
 /// Everything the paper's Figures 2/3 break down per worker, in one
 /// exportable structure.
 #[derive(Clone, Debug, Default)]
@@ -93,6 +115,10 @@ pub struct ActivityReport {
     /// reclaims, failovers, lock repairs), time-ordered. Empty for
     /// fault-free runs. Attach with [`ActivityReport::with_recovery`].
     pub recovery: Vec<RecoveryEvent>,
+    /// Journal counters when the run was a journaled `dls-service`
+    /// campaign ([`service_report`] fills this from the snapshot);
+    /// `None` for backends without a durability layer.
+    pub journal: Option<ServiceJournal>,
 }
 
 /// Place `value` in its log2 bucket (0 for zero, `i` for
@@ -174,6 +200,7 @@ impl ActivityReport {
             workers: worker_rows,
             nodes: node_rows,
             recovery: Vec::new(),
+            journal: None,
         }
     }
 
@@ -245,7 +272,17 @@ impl ActivityReport {
                 comma(i, self.recovery.len())
             ));
         }
-        out.push_str("  ]\n}\n");
+        match &self.journal {
+            None => out.push_str("  ]\n}\n"),
+            Some(j) => {
+                out.push_str("  ],\n");
+                out.push_str(&format!(
+                    "  \"journal\": {{\"enabled\": {}, \"epoch\": {}, \"records\": {}, \
+                     \"bytes\": {}, \"fsyncs\": {}, \"snapshots\": {}, \"segments\": {}}}\n}}\n",
+                    j.enabled, j.epoch, j.records, j.bytes, j.fsyncs, j.snapshots, j.segments
+                ));
+            }
+        }
         out
     }
 }
@@ -315,6 +352,15 @@ pub fn service_report(label: &str, snap: &StatsSnapshot) -> ActivityReport {
         nodes,
         lock_poll_histogram: Vec::new(),
         recovery: Vec::new(),
+        journal: Some(ServiceJournal {
+            enabled: snap.journal.enabled,
+            epoch: snap.journal.epoch,
+            records: snap.journal.journal_records,
+            bytes: snap.journal.journal_bytes,
+            fsyncs: snap.journal.fsyncs,
+            snapshots: snap.journal.snapshots,
+            segments: snap.journal.segments,
+        }),
     }
 }
 
@@ -529,6 +575,15 @@ mod tests {
     #[test]
     fn service_report_reshapes_snapshot() {
         let mut snap = StatsSnapshot { uptime_ns: 5_000, ..Default::default() };
+        snap.journal = dls_service::JournalTotals {
+            enabled: true,
+            epoch: 2,
+            journal_records: 40,
+            journal_bytes: 1_024,
+            fsyncs: 5,
+            snapshots: 1,
+            segments: 2,
+        };
         snap.conns.push(dls_service::ConnSnapshot {
             conn: 0,
             worker: 2,
@@ -564,8 +619,18 @@ mod tests {
         // iterations 300/100: mean 200, max 300 -> imbalance 0.5, cov 0.5.
         assert!((r.compute_imbalance - 0.5).abs() < 1e-12);
         assert!((r.compute_cov - 0.5).abs() < 1e-12);
+        // Journal counters ride through unchanged.
+        let j = r.journal.expect("service reports carry journal stats");
+        assert!(j.enabled);
+        assert_eq!(j.epoch, 2);
+        assert_eq!(j.records, 40);
+        assert_eq!(j.fsyncs, 5);
         let json = r.to_json();
         assert!(json.contains("\"label\": \"net GSS\""));
+        assert!(json.contains(
+            "\"journal\": {\"enabled\": true, \"epoch\": 2, \"records\": 40, \
+             \"bytes\": 1024, \"fsyncs\": 5, \"snapshots\": 1, \"segments\": 2}"
+        ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

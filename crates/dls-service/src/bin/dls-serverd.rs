@@ -3,20 +3,32 @@
 //! ```text
 //! cargo run -p dls-service --bin dls-serverd -- [--addr 127.0.0.1:0]
 //!     [--max-connections N] [--max-batch N] [--quota N]
-//!     [--event-loops N] [--report PATH]
+//!     [--event-loops N] [--report PATH] [--addr-file PATH]
+//!     [--journal-dir DIR] [--sync always|never|every:N]
+//!     [--snapshot-every N] [--segment-bytes N]
 //! ```
 //!
 //! Prints `LISTEN <addr>` once bound (with the real port when started
-//! on port 0 — parents parse this line), serves until a `Shutdown`
-//! frame or SIGTERM arrives, then drains in-flight requests, prints
-//! `STATS <json>` (the final snapshot, per-job progress counters
-//! included), optionally writes it to `--report PATH`, and exits 0.
+//! on port 0 — parents parse this line; `--addr-file` additionally
+//! publishes the address to a file, atomically, so workers started
+//! before or across a server restart can find the new port), serves
+//! until a `Shutdown` frame or SIGTERM arrives, then drains in-flight
+//! requests — flushing and fsyncing the journal when one is configured
+//! — prints `STATS <json>` (the final snapshot, per-job progress and
+//! journal counters included), optionally writes it to `--report
+//! PATH`, and exits 0.
+//!
+//! With `--journal-dir`, every exactly-once-relevant transition is
+//! journaled and the daemon survives SIGKILL: restart it with the same
+//! directory and it replays snapshot + segments, re-arms unsettled
+//! leases, bumps the epoch, and resumes the same job ids.
 
 // The single unsafe block (signal handler installation in `sig`) must
 // carry its own SAFETY justification.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use dls_service::{Server, ServiceConfig};
+use durability::{JournalOptions, SyncPolicy};
 use std::io::Write;
 use std::time::Duration;
 
@@ -74,15 +86,32 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: dls-serverd [--addr HOST:PORT] [--max-connections N] \
-         [--max-batch N] [--quota N] [--event-loops N] [--report PATH]"
+         [--max-batch N] [--quota N] [--event-loops N] [--report PATH] \
+         [--addr-file PATH] [--journal-dir DIR] [--sync always|never|every:N] \
+         [--snapshot-every N] [--segment-bytes N]"
     );
     std::process::exit(2)
+}
+
+/// Publish the bound address atomically: write-to-tmp + rename, so a
+/// worker polling the file never reads a half-written line.
+fn publish_addr(path: &str, addr: &std::net::SocketAddr) {
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, path)).is_err() {
+        eprintln!("dls-serverd: cannot publish address to {path}");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let mut addr = "127.0.0.1:0".to_string();
     let mut cfg = ServiceConfig::default();
     let mut report: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut sync = SyncPolicy::Always;
+    let mut snapshot_every = 4096u64;
+    let mut segment_bytes: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -95,20 +124,39 @@ fn main() {
             "--quota" => cfg.worker_quota = value().parse().unwrap_or_else(|_| usage()),
             "--event-loops" => cfg.event_loops = value().parse().unwrap_or_else(|_| usage()),
             "--report" => report = Some(value()),
+            "--addr-file" => addr_file = Some(value()),
+            "--journal-dir" => journal_dir = Some(value()),
+            "--sync" => sync = value().parse().unwrap_or_else(|_| usage()),
+            "--snapshot-every" => snapshot_every = value().parse().unwrap_or_else(|_| usage()),
+            "--segment-bytes" => segment_bytes = Some(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
 
     sig::install();
-    let server = match Server::start(cfg, &addr) {
+    let started = match &journal_dir {
+        Some(dir) => {
+            let mut jopts = JournalOptions::new(dir);
+            jopts.sync = sync;
+            if let Some(b) = segment_bytes {
+                jopts.segment_bytes = b.max(64);
+            }
+            Server::start_with_journal(cfg, &addr, jopts, snapshot_every)
+        }
+        None => Server::start(cfg, &addr),
+    };
+    let server = match started {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("dls-serverd: cannot bind {addr}: {e}");
+            eprintln!("dls-serverd: cannot start on {addr}: {e}");
             std::process::exit(1);
         }
     };
     println!("LISTEN {}", server.addr());
     std::io::stdout().flush().ok();
+    if let Some(path) = &addr_file {
+        publish_addr(path, &server.addr());
+    }
 
     // Serve until a Shutdown frame or a termination signal.
     loop {

@@ -1,8 +1,8 @@
 //! `net-worker` — one worker process of the networked scheduler.
 //!
 //! ```text
-//! net-worker <ADDR> --job ID --n N --seed S [--worker W] [--batch B]
-//!     [--crash-after K]
+//! net-worker <ADDR|@FILE> --job ID --n N --seed S [--worker W]
+//!     [--batch B] [--crash-after K] [--pace-us U] [--retry-secs S]
 //! ```
 //!
 //! Connects to a `dls-serverd`, fetches chunks of the shared job in
@@ -11,37 +11,89 @@
 //! process), settles each chunk's lease, and on completion prints
 //!
 //! ```text
+//! RANGES worker=W lo-hi,lo-hi,...
+//! AMBIG worker=W lo-hi,...
 //! RESULT worker=W checksum=C iters=I chunks=Q crashed=false
 //! ```
 //!
 //! where `checksum` covers exactly the chunks whose `ReportDone` was
-//! acknowledged. `--crash-after K` reuses the `resilience` crash
-//! trigger (`FaultKind::Crash { after_sub_chunks: K }`): the process
-//! executes its K-th chunk and dies *before reporting it* — from the
-//! server's side, a worker that vanished mid-chunk. The abandoned
-//! lease must be reclaimed exactly once for the job to finish.
+//! acknowledged and `RANGES` lists those chunks' iteration ranges —
+//! the restart smoke test unions them across workers to prove each
+//! iteration was settled exactly once. `AMBIG` lists ranges whose
+//! report round trip died mid-flight: the server may have settled and
+//! journaled the lease just before dying (ack lost) or not (lease
+//! re-armed and re-issued on recovery). The test resolves each against
+//! the acked union — covered there ⇒ it was lost and redone elsewhere;
+//! covered nowhere ⇒ it was settled pre-crash and counts.
+//! `--crash-after K` reuses the `resilience` crash trigger
+//! (`FaultKind::Crash { after_sub_chunks: K }`): the process executes
+//! its K-th chunk and dies *before reporting it*.
+//!
+//! Restart survival: `@FILE` addressing reads the server address from
+//! a file (re-read on every reconnect — a restarted server binds a
+//! fresh port and republishes), and `--retry-secs S` keeps the worker
+//! alive across server death for up to `S` seconds per outage:
+//! reconnect, `ResumeJob` to adopt the new epoch, and continue
+//! fetching. Work acked before the crash stays counted; leases lost
+//! with the old server are re-issued to whoever fetches them after
+//! recovery re-arms them. `--pace-us U` sleeps `U` microseconds per
+//! executed chunk so a test can land a SIGKILL mid-campaign.
 
-use dls_service::{drive_job, Client};
+use dls_service::{drive_job_tracked, Client, ClientError, ErrorCode};
 use resilience::{FaultKind, FaultPlan};
 use std::io::Write;
+use std::time::{Duration, Instant};
 use workloads::synthetic::Synthetic;
 use workloads::Workload;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: net-worker ADDR --job ID --n N --seed S [--worker W] [--batch B] \
-         [--crash-after K]"
+        "usage: net-worker ADDR|@FILE --job ID --n N --seed S [--worker W] [--batch B] \
+         [--crash-after K] [--pace-us U] [--retry-secs S]"
     );
     std::process::exit(2)
 }
 
+/// Resolve `ADDR` or `@FILE` (poll the file until it holds an
+/// address — the server publishes it atomically after binding).
+fn resolve_addr(spec: &str, budget: Duration) -> Option<String> {
+    let Some(path) = spec.strip_prefix('@') else {
+        return Some(spec.to_string());
+    };
+    let start = Instant::now();
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            let s = s.trim();
+            if !s.is_empty() {
+                return Some(s.to_string());
+            }
+        }
+        if start.elapsed() >= budget {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A failure the retry loop may ride out: the server died (socket
+/// error) or restarted under us (stale epoch / draining).
+fn retryable(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_)
+            | ClientError::Server { code: ErrorCode::StaleEpoch | ErrorCode::ShuttingDown, .. }
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| usage());
+    let addr_spec = args.next().unwrap_or_else(|| usage());
     let (mut job, mut n, mut seed) = (None, None, None);
     let mut worker = 0u32;
     let mut batch = 4u32;
     let mut crash_after: Option<u32> = None;
+    let mut pace_us = 0u64;
+    let mut retry_secs = 0u64;
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -51,10 +103,14 @@ fn main() {
             "--worker" => worker = value().parse().unwrap_or_else(|_| usage()),
             "--batch" => batch = value().parse().unwrap_or_else(|_| usage()),
             "--crash-after" => crash_after = value().parse().ok(),
+            "--pace-us" => pace_us = value().parse().unwrap_or_else(|_| usage()),
+            "--retry-secs" => retry_secs = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
     let (Some(job), Some(n), Some(seed)) = (job, n, seed) else { usage() };
+    let retry_budget = Duration::from_secs(retry_secs);
+    let connect_budget = retry_budget.max(Duration::from_secs(10));
 
     // The crash trigger comes from the same fault model the in-process
     // executors use, so chaos scenarios read identically across the
@@ -67,46 +123,121 @@ fn main() {
     };
 
     let workload = Synthetic::uniform(n, 1, 100, seed);
-    let mut client = match Client::connect(&addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("net-worker: cannot connect {addr}: {e}");
-            std::process::exit(1);
+    let connect = |resume: bool| -> Option<Client> {
+        let deadline = Instant::now() + connect_budget;
+        loop {
+            if let Some(addr) =
+                resolve_addr(&addr_spec, deadline.saturating_duration_since(Instant::now()))
+            {
+                if let Ok(mut c) = Client::connect(&addr) {
+                    if !resume {
+                        return Some(c);
+                    }
+                    // Adopt the (possibly bumped) epoch before any
+                    // report; UnknownJob after a restart is fatal —
+                    // the journal should have preserved the job.
+                    match c.resume_job(job) {
+                        Ok(_) => return Some(c),
+                        Err(ClientError::Server { code: ErrorCode::NoJournal, .. }) => {
+                            return Some(c)
+                        }
+                        Err(e) => {
+                            eprintln!("net-worker: resume failed: {e}");
+                            if !retryable(&e) {
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(50));
         }
     };
 
+    let Some(mut client) = connect(false) else {
+        eprintln!("net-worker: cannot connect {addr_spec}");
+        std::process::exit(1);
+    };
+
     let mut crashed = false;
-    let outcome = drive_job(
-        &mut client,
-        job,
-        worker,
-        batch,
-        &mut |i| workload.execute(i),
-        &mut |executed_chunks| {
-            let die = plan
-                .crash_after_sub_chunks(worker)
-                .is_some_and(|k| executed_chunks >= u64::from(k));
-            crashed |= die;
-            !die
-        },
-    );
-    match outcome {
-        Ok((checksum, iters, chunks)) => {
-            println!(
-                "RESULT worker={worker} checksum={checksum} iters={iters} chunks={chunks} \
-                 crashed={crashed}"
-            );
-            std::io::stdout().flush().ok();
-            // A crash trigger exits abruptly *after* printing the work
-            // it actually reported: the lease of the executed-but-
-            // unreported chunk stays with the server.
-            if crashed {
-                std::process::exit(3);
+    let mut executed_chunks = 0u64;
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    let mut ambiguous: Vec<(u64, u64)> = Vec::new();
+    loop {
+        let outcome = drive_job_tracked(
+            &mut client,
+            job,
+            worker,
+            batch,
+            &mut |i| workload.execute(i),
+            &mut |done_in_attempt| {
+                executed_chunks += 1;
+                let _ = done_in_attempt;
+                if pace_us > 0 {
+                    std::thread::sleep(Duration::from_micros(pace_us));
+                }
+                let die = plan
+                    .crash_after_sub_chunks(worker)
+                    .is_some_and(|k| executed_chunks >= u64::from(k));
+                crashed |= die;
+                !die
+            },
+            &mut acked,
+            &mut ambiguous,
+        );
+        match outcome {
+            Ok(()) => break,
+            Err(e) => {
+                // Partial progress before the failure was already
+                // pushed into `acked`/`ambiguous` as it happened.
+                if retry_secs > 0 && retryable(&e) {
+                    eprintln!("net-worker: attempt failed ({e}); reconnecting");
+                    match connect(true) {
+                        Some(c) => {
+                            client = c;
+                            continue;
+                        }
+                        None => {
+                            eprintln!("net-worker: retry budget exhausted");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                eprintln!("net-worker: {e}");
+                std::process::exit(1);
             }
         }
-        Err(e) => {
-            eprintln!("net-worker: {e}");
-            std::process::exit(1);
-        }
+    }
+
+    // Totals derived from acked ranges are authoritative across
+    // attempts: a failed attempt returns Err and discards its local
+    // state, but its acked ranges were recorded as they happened.
+    let acked_iters: u64 = acked.iter().map(|&(lo, hi)| hi - lo).sum();
+    let acked_checksum = acked
+        .iter()
+        .flat_map(|&(lo, hi)| lo..hi)
+        .fold(0u64, |s, i| s.wrapping_add(workload.execute(i)));
+
+    let fmt = |v: &[(u64, u64)]| {
+        v.iter().map(|(lo, hi)| format!("{lo}-{hi}")).collect::<Vec<_>>().join(",")
+    };
+    println!("RANGES worker={worker} {}", fmt(&acked));
+    if !ambiguous.is_empty() {
+        println!("AMBIG worker={worker} {}", fmt(&ambiguous));
+    }
+    println!(
+        "RESULT worker={worker} checksum={acked_checksum} iters={acked_iters} chunks={} \
+         crashed={crashed}",
+        acked.len()
+    );
+    std::io::stdout().flush().ok();
+    // A crash trigger exits abruptly *after* printing the work it
+    // actually reported: the lease of the executed-but-unreported
+    // chunk stays with the server.
+    if crashed {
+        std::process::exit(3);
     }
 }

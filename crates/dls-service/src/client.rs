@@ -67,12 +67,33 @@ pub enum FetchReply {
     Done,
 }
 
+/// What [`Client::resume_job`] learned about a job that survived a
+/// server restart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Server epoch now in force.
+    pub epoch: u32,
+    /// Total iterations.
+    pub n: u64,
+    /// Iterations handed out so far.
+    pub scheduled: u64,
+    /// Iterations settled exactly once.
+    pub completed: u64,
+    /// True when every iteration settled.
+    pub done: bool,
+}
+
 /// One blocking connection to a server.
 pub struct Client {
     stream: TcpStream,
     read_buf: Vec<u8>,
     /// Per-reply wait budget; `None` blocks indefinitely.
     read_deadline: Option<Duration>,
+    /// Server epoch observed on the latest `Chunks`/`JobEpoch` reply;
+    /// echoed in every `ReportDone` so a journaled server can fence
+    /// reports that belong to a dead incarnation (0 until observed —
+    /// also what a volatile server runs at).
+    epoch: u32,
 }
 
 impl Client {
@@ -80,7 +101,12 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, read_buf: Vec::new(), read_deadline: None })
+        Ok(Client { stream, read_buf: Vec::new(), read_deadline: None, epoch: 0 })
+    }
+
+    /// The server epoch this client last observed.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Bound how long each call waits for its reply. A stalled server
@@ -177,17 +203,44 @@ impl Client {
     /// [`FetchReply::Pending`].
     pub fn fetch(&mut self, job: JobId, worker: u32, batch: u32) -> Result<FetchReply> {
         match self.call(&Request::FetchChunk { job, worker, batch })? {
-            Response::Chunks { chunks } if chunks.is_empty() => Ok(FetchReply::Pending),
-            Response::Chunks { chunks } => Ok(FetchReply::Chunks(chunks)),
+            Response::Chunks { chunks, epoch } => {
+                self.epoch = epoch;
+                if chunks.is_empty() {
+                    Ok(FetchReply::Pending)
+                } else {
+                    Ok(FetchReply::Chunks(chunks))
+                }
+            }
             Response::Error { code: ErrorCode::JobFinished, .. } => Ok(FetchReply::Done),
             Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
             _ => Err(ClientError::Unexpected("Chunks")),
         }
     }
 
-    /// Settle executed leases (batched acknowledgement).
+    /// Settle executed leases (batched acknowledgement). Echoes the
+    /// last observed server epoch; a journaled server that restarted
+    /// since the leases were granted answers
+    /// [`ErrorCode::StaleEpoch`] instead of double-counting them.
     pub fn report_done(&mut self, job: JobId, leases: &[LeaseId]) -> Result<()> {
-        Self::expect_ack(self.call(&Request::ReportDone { job, leases: leases.to_vec() })?)
+        let epoch = self.epoch;
+        Self::expect_ack(self.call(&Request::ReportDone { job, leases: leases.to_vec(), epoch })?)
+    }
+
+    /// Ask a journaled server whether `job` survived its restart, and
+    /// at what progress. Adopts the server's epoch on success, so
+    /// subsequent fetches/reports are fenced correctly. Typed errors:
+    /// [`ErrorCode::NoJournal`] from a volatile server,
+    /// [`ErrorCode::UnknownJob`] when the job is not in the recovered
+    /// state.
+    pub fn resume_job(&mut self, job: JobId) -> Result<JobProgress> {
+        match self.call(&Request::ResumeJob { job })? {
+            Response::JobEpoch { job: _, epoch, n, scheduled, completed, done } => {
+                self.epoch = epoch;
+                Ok(JobProgress { epoch, n, scheduled, completed, done })
+            }
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("JobEpoch")),
+        }
     }
 
     /// Liveness ping.
@@ -257,6 +310,63 @@ pub fn drive_job(
                     checksum = checksum.wrapping_add(sum);
                     iterations += c.hi - c.lo;
                     chunks += 1;
+                }
+            }
+        }
+    }
+}
+
+/// [`drive_job`] that additionally records every *acknowledged* range
+/// into `acked` — the restart smoke test unions these across workers
+/// and restarts to prove each iteration was settled exactly once.
+///
+/// A report whose reply never arrives (socket error mid-round-trip)
+/// is pushed to `ambiguous` instead: the server may have settled and
+/// journaled it before dying — or not. The caller resolves each
+/// ambiguous range against the union of acked ranges after the fact
+/// (re-issued and re-acked elsewhere ⇒ it was lost; acked nowhere ⇒
+/// it was settled pre-crash). A *typed* server error is unambiguous
+/// (the reply proves the round trip completed) and records nothing.
+///
+/// Unlike [`drive_job`], partial progress survives an `Err` return:
+/// everything acked before the failure is already in `acked`.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_job_tracked(
+    client: &mut Client,
+    job: JobId,
+    worker: u32,
+    batch: u32,
+    execute: &mut dyn FnMut(u64) -> u64,
+    on_chunk: &mut dyn FnMut(u64) -> bool,
+    acked: &mut Vec<(u64, u64)>,
+    ambiguous: &mut Vec<(u64, u64)>,
+) -> Result<()> {
+    let mut executed_chunks = 0u64;
+    loop {
+        match client.fetch(job, worker, batch)? {
+            FetchReply::Done => return Ok(()),
+            FetchReply::Pending => {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            FetchReply::Chunks(granted) => {
+                for c in &granted {
+                    let mut sum = 0u64;
+                    for i in c.lo..c.hi {
+                        sum = sum.wrapping_add(execute(i));
+                    }
+                    let _ = sum;
+                    executed_chunks += 1;
+                    if !on_chunk(executed_chunks) {
+                        return Ok(());
+                    }
+                    match client.report_done(job, &[c.lease]) {
+                        Ok(()) => acked.push((c.lo, c.hi)),
+                        Err(e @ ClientError::Io(_)) => {
+                            ambiguous.push((c.lo, c.hi));
+                            return Err(e);
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
         }

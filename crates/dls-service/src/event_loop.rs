@@ -166,6 +166,14 @@ impl LoopShard {
             // ---- pass 2: serve --------------------------------------------
             self.serve_cycle(&mut tally);
 
+            // ---- journal barrier ------------------------------------------
+            // Group-commit the cycle's journal records *before* any
+            // response bytes hit a socket: an ack the client can see
+            // implies the matching Settled/Granted record is durable.
+            // (Grant-side loss is additionally fenced by the epoch
+            // bump on restart.)
+            self.state.journal_commit();
+
             // ---- pass 3: flush & retire -----------------------------------
             self.touched.sort_unstable();
             self.touched.dedup();

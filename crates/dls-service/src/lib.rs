@@ -25,6 +25,18 @@
 //! * [`client`] — a blocking client plus the [`client::drive_job`] /
 //!   [`client::drive_job_batched`] worker loops.
 //!
+//! With a journal directory ([`server::Server::start_with_journal`],
+//! `dls-serverd --journal-dir`) the server is **restart-survivable**:
+//! every exactly-once-relevant transition is written to a `durability`
+//! write-ahead journal and group-committed *before* the cycle's
+//! response bytes flush (journal-before-ack), so `kill -9` → restart
+//! on the same directory replays snapshot + journal, re-arms unsettled
+//! leases, bumps the server epoch, and lets workers reconnect and
+//! resume the same job ids (`ResumeJob`). Grants carry the epoch and
+//! reports echo it, so a lease from a previous incarnation settles as
+//! the typed `StaleEpoch` error instead of corrupting the resumed
+//! ledger. See `DESIGN.md` §10 and `tests/restart_smoke.rs`.
+//!
 //! Two binaries make the service a real multi-process system:
 //! `dls-serverd` (the daemon; drains on a `Shutdown` frame or SIGTERM
 //! and exits 0 with a final stats snapshot) and `net-worker` (fetches,
@@ -57,10 +69,12 @@ mod ring;
 pub mod server;
 pub(crate) mod sync;
 
-pub use client::{drive_job, drive_job_batched, Client, ClientError, FetchReply};
+pub use client::{
+    drive_job, drive_job_batched, drive_job_tracked, Client, ClientError, FetchReply, JobProgress,
+};
 pub use protocol::{
-    ConnSnapshot, ErrorCode, GrantedChunk, JobId, JobSnapshot, LeaseId, Request, Response,
-    ServiceTotals, StatsSnapshot, VERSION,
+    ConnSnapshot, ErrorCode, GrantedChunk, JobId, JobSnapshot, JournalTotals, LeaseId, Request,
+    Response, ServiceTotals, StatsSnapshot, VERSION,
 };
 pub use server::{Server, ServiceConfig};
 

@@ -17,15 +17,22 @@
 //!
 //! Requests and responses share the frame format and the version byte
 //! ([`VERSION`]); they are distinguished by tag ranges (requests
-//! `1..=6`, responses `128..`). A server must answer every
+//! `1..=7`, responses `128..`). A server must answer every
 //! *well-framed* request with exactly one response frame — malformed
 //! bodies get a typed [`Response::Error`], never silence and never a
 //! closed socket without one.
+//!
+//! Version 2 adds restart survival: grants carry the server *epoch*
+//! (bumped by every journaled restart, 0 on a journal-less server),
+//! reports echo it back so a grant from a dead incarnation is answered
+//! with [`ErrorCode::StaleEpoch`] instead of being silently
+//! double-counted, and [`Request::ResumeJob`] lets a reconnecting
+//! worker rebind to a recovered job.
 
 use dls::Kind;
 
 /// Protocol version carried in every frame. Bump on any wire change.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Default upper bound on one frame's payload. Large enough for a
 /// `Stats` snapshot of hundreds of jobs, small enough that a malicious
@@ -39,6 +46,7 @@ const T_REPORT_DONE: u8 = 3;
 const T_HEARTBEAT: u8 = 4;
 const T_STATS: u8 = 5;
 const T_SHUTDOWN: u8 = 6;
+const T_RESUME_JOB: u8 = 7;
 
 // Response tags.
 const T_JOB_CREATED: u8 = 128;
@@ -46,6 +54,7 @@ const T_CHUNKS: u8 = 129;
 const T_ACK: u8 = 130;
 const T_SNAPSHOT: u8 = 131;
 const T_ERROR: u8 = 132;
+const T_JOB_EPOCH: u8 = 133;
 
 /// Identifier of a job on one server.
 pub type JobId = u64;
@@ -84,6 +93,10 @@ pub enum Request {
         job: JobId,
         /// Leases whose ranges were fully executed.
         leases: Vec<LeaseId>,
+        /// Server epoch the leases were granted under (echoed from
+        /// [`Response::Chunks`]; 0 against a journal-less server). A
+        /// mismatch is answered with [`ErrorCode::StaleEpoch`].
+        epoch: u32,
     },
     /// Liveness ping; keeps idle connections warm.
     Heartbeat {
@@ -95,6 +108,15 @@ pub enum Request {
     /// Begin graceful shutdown: the server answers `Ack`, drains
     /// in-flight requests, and stops.
     Shutdown,
+    /// Rebind to a job after a server restart: answered with
+    /// [`Response::JobEpoch`] (the recovered job's counters and the
+    /// new epoch), [`ErrorCode::UnknownJob`], or
+    /// [`ErrorCode::NoJournal`] on a server that cannot have
+    /// recovered anything.
+    ResumeJob {
+        /// Job id from before the restart.
+        job: JobId,
+    },
 }
 
 /// One granted chunk: the range plus the lease that must be settled.
@@ -123,6 +145,8 @@ pub enum Response {
     Chunks {
         /// Granted chunks, at most the requested batch.
         chunks: Vec<GrantedChunk>,
+        /// Server epoch of the grants — echo it in `ReportDone`.
+        epoch: u32,
     },
     /// Generic success without payload.
     Ack,
@@ -134,6 +158,21 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         detail: String,
+    },
+    /// `ResumeJob` reply: where the recovered job stands.
+    JobEpoch {
+        /// Job id.
+        job: JobId,
+        /// Current server epoch; use it for subsequent reports.
+        epoch: u32,
+        /// Loop size.
+        n: u64,
+        /// Iterations handed out so far (watermark survives restart).
+        scheduled: u64,
+        /// Iterations settled exactly once.
+        completed: u64,
+        /// True when nothing is left to fetch.
+        done: bool,
     },
 }
 
@@ -168,6 +207,14 @@ pub enum ErrorCode {
     /// `FetchChunk.worker` is outside a weighted job's worker range
     /// (the job defines exactly `weights.len()` worker slots).
     BadWorker = 13,
+    /// `ReportDone.epoch` names a previous server incarnation: the
+    /// lease was granted before a restart and has already been
+    /// re-armed for re-execution — the report must be discarded, not
+    /// credited.
+    StaleEpoch = 14,
+    /// `ResumeJob` against a server running without a journal: no
+    /// state can have survived a restart.
+    NoJournal = 15,
 }
 
 impl ErrorCode {
@@ -186,6 +233,8 @@ impl ErrorCode {
             11 => ErrorCode::TooManyJobs,
             12 => ErrorCode::StaleLease,
             13 => ErrorCode::BadWorker,
+            14 => ErrorCode::StaleEpoch,
+            15 => ErrorCode::NoJournal,
             _ => return None,
         })
     }
@@ -339,6 +388,26 @@ pub struct ConnSnapshot {
     pub open: bool,
 }
 
+/// Write-ahead-journal counters (all zero on a journal-less server,
+/// with `enabled` false).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalTotals {
+    /// True when the server runs with `--journal-dir`.
+    pub enabled: bool,
+    /// Current server epoch (0 without a journal, >= 1 with one).
+    pub epoch: u32,
+    /// Records committed this incarnation.
+    pub journal_records: u64,
+    /// Journal bytes written this incarnation.
+    pub journal_bytes: u64,
+    /// Fsyncs issued this incarnation.
+    pub fsyncs: u64,
+    /// Snapshots installed this incarnation.
+    pub snapshots: u64,
+    /// Live segment files.
+    pub segments: u64,
+}
+
 /// Everything the server knows about itself, exported via the `Stats`
 /// request, the drain path of a graceful shutdown, and (re-shaped) the
 /// `hdls::export::service_report` ActivityReport bridge.
@@ -350,6 +419,8 @@ pub struct StatsSnapshot {
     pub shutting_down: bool,
     /// Server-wide counters.
     pub totals: ServiceTotals,
+    /// Durability counters.
+    pub journal: JournalTotals,
     /// Per-job rows, ordered by job id.
     pub jobs: Vec<JobSnapshot>,
     /// Per-connection rows, ordered by connection id.
@@ -366,7 +437,7 @@ impl StatsSnapshot {
             "{{\"uptime_ns\":{},\"shutting_down\":{},\"totals\":{{\"fetches\":{},\
              \"chunks_granted\":{},\"reclaims\":{},\"empty_polls\":{},\"jobs_created\":{},\
              \"jobs_active\":{},\"conns_active\":{},\"conns_total\":{},\"bytes_in\":{},\
-             \"bytes_out\":{}}},\"jobs\":[",
+             \"bytes_out\":{}}},",
             self.uptime_ns,
             self.shutting_down,
             t.fetches,
@@ -379,6 +450,18 @@ impl StatsSnapshot {
             t.conns_total,
             t.bytes_in,
             t.bytes_out,
+        ));
+        let jn = &self.journal;
+        s.push_str(&format!(
+            "\"journal\":{{\"enabled\":{},\"epoch\":{},\"journal_records\":{},\
+             \"journal_bytes\":{},\"fsyncs\":{},\"snapshots\":{},\"segments\":{}}},\"jobs\":[",
+            jn.enabled,
+            jn.epoch,
+            jn.journal_records,
+            jn.journal_bytes,
+            jn.fsyncs,
+            jn.snapshots,
+            jn.segments,
         ));
         for (i, j) in self.jobs.iter().enumerate() {
             if i > 0 {
@@ -541,9 +624,10 @@ impl Request {
                 w.u32(*batch);
                 w.buf
             }
-            Request::ReportDone { job, leases } => {
+            Request::ReportDone { job, leases, epoch } => {
                 let mut w = Writer::new(T_REPORT_DONE);
                 w.u64(*job);
+                w.u32(*epoch);
                 w.u16(leases.len() as u16);
                 for &l in leases {
                     w.u64(l);
@@ -557,6 +641,11 @@ impl Request {
             }
             Request::Stats => Writer::new(T_STATS).buf,
             Request::Shutdown => Writer::new(T_SHUTDOWN).buf,
+            Request::ResumeJob { job } => {
+                let mut w = Writer::new(T_RESUME_JOB);
+                w.u64(*job);
+                w.buf
+            }
         }
     }
 
@@ -585,16 +674,18 @@ impl Request {
             }
             T_REPORT_DONE => {
                 let job = r.u64()?;
+                let epoch = r.u32()?;
                 let count = r.u16()? as usize;
                 let mut leases = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
                     leases.push(r.u64()?);
                 }
-                Request::ReportDone { job, leases }
+                Request::ReportDone { job, leases, epoch }
             }
             T_HEARTBEAT => Request::Heartbeat { worker: r.u32()? },
             T_STATS => Request::Stats,
             T_SHUTDOWN => Request::Shutdown,
+            T_RESUME_JOB => Request::ResumeJob { job: r.u64()? },
             other => return Err(DecodeError::Tag(other)),
         };
         r.done()?;
@@ -611,8 +702,9 @@ impl Response {
                 w.u64(*job);
                 w.buf
             }
-            Response::Chunks { chunks } => {
+            Response::Chunks { chunks, epoch } => {
                 let mut w = Writer::new(T_CHUNKS);
+                w.u32(*epoch);
                 w.u16(chunks.len() as u16);
                 for c in chunks {
                     w.u64(c.lease);
@@ -639,6 +731,14 @@ impl Response {
                     t.bytes_in,
                     t.bytes_out,
                 ] {
+                    w.u64(v);
+                }
+                let jn = &s.journal;
+                w.u8(u8::from(jn.enabled));
+                w.u32(jn.epoch);
+                for v in
+                    [jn.journal_records, jn.journal_bytes, jn.fsyncs, jn.snapshots, jn.segments]
+                {
                     w.u64(v);
                 }
                 w.u16(s.jobs.len() as u16);
@@ -683,6 +783,16 @@ impl Response {
                 w.bytes(&bytes[..len]);
                 w.buf
             }
+            Response::JobEpoch { job, epoch, n, scheduled, completed, done } => {
+                let mut w = Writer::new(T_JOB_EPOCH);
+                w.u64(*job);
+                w.u32(*epoch);
+                w.u64(*n);
+                w.u64(*scheduled);
+                w.u64(*completed);
+                w.u8(u8::from(*done));
+                w.buf
+            }
         }
     }
 
@@ -697,12 +807,13 @@ impl Response {
         let resp = match tag {
             T_JOB_CREATED => Response::JobCreated { job: r.u64()? },
             T_CHUNKS => {
+                let epoch = r.u32()?;
                 let count = r.u16()? as usize;
                 let mut chunks = Vec::with_capacity(count.min(4096));
                 for _ in 0..count {
                     chunks.push(GrantedChunk { lease: r.u64()?, lo: r.u64()?, hi: r.u64()? });
                 }
-                Response::Chunks { chunks }
+                Response::Chunks { chunks, epoch }
             }
             T_ACK => Response::Ack,
             T_SNAPSHOT => {
@@ -719,6 +830,15 @@ impl Response {
                     conns_total: r.u64()?,
                     bytes_in: r.u64()?,
                     bytes_out: r.u64()?,
+                };
+                let journal = JournalTotals {
+                    enabled: r.u8()? != 0,
+                    epoch: r.u32()?,
+                    journal_records: r.u64()?,
+                    journal_bytes: r.u64()?,
+                    fsyncs: r.u64()?,
+                    snapshots: r.u64()?,
+                    segments: r.u64()?,
                 };
                 let n_jobs = r.u16()? as usize;
                 let mut jobs = Vec::with_capacity(n_jobs.min(4096));
@@ -754,7 +874,14 @@ impl Response {
                         open: r.u8()? != 0,
                     });
                 }
-                Response::Snapshot(StatsSnapshot { uptime_ns, shutting_down, totals, jobs, conns })
+                Response::Snapshot(StatsSnapshot {
+                    uptime_ns,
+                    shutting_down,
+                    totals,
+                    journal,
+                    jobs,
+                    conns,
+                })
             }
             T_ERROR => {
                 let code =
@@ -763,6 +890,14 @@ impl Response {
                 let detail = String::from_utf8_lossy(r.take(len)?).into_owned();
                 Response::Error { code, detail }
             }
+            T_JOB_EPOCH => Response::JobEpoch {
+                job: r.u64()?,
+                epoch: r.u32()?,
+                n: r.u64()?,
+                scheduled: r.u64()?,
+                completed: r.u64()?,
+                done: r.u8()? != 0,
+            },
             other => return Err(DecodeError::Tag(other)),
         };
         r.done()?;
@@ -795,10 +930,11 @@ mod tests {
         roundtrip_req(Request::CreateJob { n: 1 << 40, kind: Kind::GSS, weights: vec![] });
         roundtrip_req(Request::CreateJob { n: 7, kind: Kind::WF, weights: vec![0.5, 1.5] });
         roundtrip_req(Request::FetchChunk { job: 3, worker: 9, batch: 64 });
-        roundtrip_req(Request::ReportDone { job: 3, leases: vec![0, 1, 99] });
+        roundtrip_req(Request::ReportDone { job: 3, leases: vec![0, 1, 99], epoch: 7 });
         roundtrip_req(Request::Heartbeat { worker: 2 });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::ResumeJob { job: 11 });
     }
 
     #[test]
@@ -809,14 +945,34 @@ mod tests {
                 GrantedChunk { lease: 0, lo: 0, hi: 128 },
                 GrantedChunk { lease: 1, lo: 128, hi: 130 },
             ],
+            epoch: 3,
         });
-        roundtrip_resp(Response::Chunks { chunks: vec![] });
+        roundtrip_resp(Response::Chunks { chunks: vec![], epoch: 0 });
         roundtrip_resp(Response::Ack);
         roundtrip_resp(Response::Error { code: ErrorCode::UnknownJob, detail: "job 9".into() });
+        roundtrip_resp(Response::Error { code: ErrorCode::StaleEpoch, detail: "epoch 1".into() });
+        roundtrip_resp(Response::Error { code: ErrorCode::NoJournal, detail: String::new() });
+        roundtrip_resp(Response::JobEpoch {
+            job: 4,
+            epoch: 2,
+            n: 4096,
+            scheduled: 100,
+            completed: 96,
+            done: false,
+        });
         let snap = StatsSnapshot {
             uptime_ns: 123,
             shutting_down: true,
             totals: ServiceTotals { fetches: 5, chunks_granted: 9, ..Default::default() },
+            journal: JournalTotals {
+                enabled: true,
+                epoch: 2,
+                journal_records: 40,
+                journal_bytes: 2048,
+                fsyncs: 7,
+                snapshots: 1,
+                segments: 2,
+            },
             jobs: vec![JobSnapshot { job: 1, n: 100, done: true, ..Default::default() }],
             conns: vec![ConnSnapshot { conn: 0, worker: 3, open: true, ..Default::default() }],
         };
@@ -869,5 +1025,9 @@ mod tests {
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("\"totals\""));
         assert!(s.contains("\"jobs\":[]"));
+        assert!(s.contains("\"journal\":{\"enabled\":false"));
+        assert!(s.contains("\"journal_records\":0"));
+        assert!(s.contains("\"fsyncs\":0"));
+        assert!(s.contains("\"snapshots\":0"));
     }
 }

@@ -34,13 +34,14 @@
 
 use crate::event_loop::LoopShard;
 use crate::protocol::{
-    ConnSnapshot, ErrorCode, GrantedChunk, JobSnapshot, Request, Response, ServiceTotals,
-    StatsSnapshot,
+    ConnSnapshot, ErrorCode, GrantedChunk, JobSnapshot, JournalTotals, Request, Response,
+    ServiceTotals, StatsSnapshot,
 };
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Arc, Condvar, Mutex};
 use dls::technique::WorkerCtx;
 use dls::{ChunkCalculator, LoopSpec, SchedState, Technique};
+use durability::{GrantEntry, JobImage, Journal, JournalOptions, JournalRecord, RecoveredState};
 use resilience::{LeaseId, LeaseTable};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -95,6 +96,9 @@ impl Default for ServiceConfig {
 pub(crate) struct Job {
     spec: LoopSpec,
     technique: Technique,
+    /// Technique kind — kept alongside `technique` so the job can be
+    /// journaled and re-created from its `JobCreated` record.
+    kind: dls::Kind,
     weights: Vec<f64>,
     /// Scheduling step — the first global counter.
     step: u64,
@@ -130,6 +134,7 @@ impl Job {
         Job {
             spec: LoopSpec::new(n, p.max(1)),
             technique: Technique::from_kind(kind),
+            kind,
             weights,
             step: 0,
             scheduled: 0,
@@ -147,6 +152,37 @@ impl Job {
         }
     }
 
+    /// Rebuild a live job from its replayed image. Connection indices
+    /// start empty: every pre-crash client is gone, and recovery has
+    /// already re-armed their leases into the reclaim pool.
+    fn from_image(img: JobImage) -> Job {
+        let kind = img.kind.unwrap_or(dls::Kind::SS);
+        let mut job = Job::new(img.n, kind, img.weights);
+        job.step = img.step;
+        job.scheduled = img.scheduled;
+        job.completed = img.completed;
+        job.done = job.done || img.done;
+        job.reclaim_pool = img.reclaim_pool.into_iter().collect();
+        job.leases = img.leases;
+        job
+    }
+
+    /// The journal's view of this job's replayed image — the snapshot
+    /// body is serialized from live state through this.
+    fn to_image(&self) -> JobImage {
+        JobImage {
+            n: self.spec.n_iters,
+            kind: Some(self.kind),
+            weights: self.weights.clone(),
+            step: self.step,
+            scheduled: self.scheduled,
+            completed: self.completed,
+            done: self.done,
+            reclaim_pool: self.reclaim_pool.iter().copied().collect(),
+            leases: self.leases.clone(),
+        }
+    }
+
     fn grant(&mut self, worker: u32, lo: u64, hi: u64, conn: u64, now_ns: u64) -> GrantedChunk {
         let lease = self.leases.grant(worker, lo, hi, now_ns);
         self.lease_conn.insert(lease, conn);
@@ -157,15 +193,22 @@ impl Job {
     }
 
     /// Serve up to `batch` chunks: reclaimed ranges first, then fresh
-    /// advances of the two counters.
-    fn fetch(&mut self, worker: u32, batch: u32, conn: u64, now_ns: u64) -> Vec<GrantedChunk> {
+    /// advances of the two counters. Each grant carries a `from_pool`
+    /// flag so the caller can journal the burst faithfully.
+    fn fetch(
+        &mut self,
+        worker: u32,
+        batch: u32,
+        conn: u64,
+        now_ns: u64,
+    ) -> Vec<(GrantedChunk, bool)> {
         let n = self.spec.n_iters;
         let weight = self.weights.get(worker as usize).copied().unwrap_or(1.0);
         let ctx = WorkerCtx { worker, weight };
         let mut out = Vec::new();
         for _ in 0..batch {
             if let Some((lo, hi)) = self.reclaim_pool.pop_front() {
-                out.push(self.grant(worker, lo, hi, conn, now_ns));
+                out.push((self.grant(worker, lo, hi, conn, now_ns), true));
             } else if self.scheduled < n {
                 let state = SchedState { step: self.step, scheduled: self.scheduled };
                 let size =
@@ -173,7 +216,7 @@ impl Job {
                 let lo = self.scheduled;
                 self.step += 1;
                 self.scheduled += size;
-                out.push(self.grant(worker, lo, lo + size, conn, now_ns));
+                out.push((self.grant(worker, lo, lo + size, conn, now_ns), false));
             } else {
                 break;
             }
@@ -210,10 +253,11 @@ impl Job {
     }
 
     /// Reclaim every unsettled lease held by `conn` (it disconnected).
-    /// Returns how many leases were reclaimed.
-    fn reclaim_conn(&mut self, conn: u64) -> u64 {
-        let Some(list) = self.conn_leases.remove(&conn) else { return 0 };
-        let mut reclaimed = 0;
+    /// Returns the reclaimed lease ids (in grant order) so the caller
+    /// can journal them.
+    fn reclaim_conn(&mut self, conn: u64) -> Vec<LeaseId> {
+        let Some(list) = self.conn_leases.remove(&conn) else { return Vec::new() };
+        let mut reclaimed = Vec::new();
         for lease in list {
             // Only unsettled leases remain in the reverse index, so the
             // ledger transition must succeed; a failure here would mean
@@ -228,7 +272,7 @@ impl Job {
                     }
                     self.lease_conn.remove(&lease);
                     self.reclaims += 1;
-                    reclaimed += 1;
+                    reclaimed.push(lease);
                 }
                 Err(e) => debug_assert!(false, "disconnect reclaim hit settled lease: {e}"),
             }
@@ -298,9 +342,68 @@ pub(crate) struct State {
     pub(crate) shutdown: AtomicBool,
     shutdown_cv: (Mutex<bool>, Condvar),
     pub(crate) conn_stats: Mutex<HashMap<u64, ConnSnapshot>>,
+    /// Write-ahead journal (None = volatile server). Lock ordering:
+    /// the journal lock is only ever taken *after* a job-table shard
+    /// lock, or with no shard lock held — never the other way around.
+    /// `Journal::append` does no I/O, so the under-shard-lock appends
+    /// on the grant/settle paths cost a buffered encode, nothing more.
+    journal: Option<Mutex<Journal>>,
+    /// Epoch fencing every lease this incarnation grants (0 = no
+    /// journal; monotone across restarts otherwise).
+    journal_epoch: u32,
+    /// Take a snapshot once this many records accumulate since the
+    /// last one (0 = never snapshot).
+    snapshot_every: u64,
+    /// `JournalStats::records` at the last snapshot.
+    last_snap_records: AtomicU64,
 }
 
 impl State {
+    fn new(cfg: ServiceConfig) -> State {
+        let shards = cfg.shards.max(1);
+        State {
+            cfg,
+            epoch: Instant::now(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_job: AtomicU64::new(0),
+            jobs_created: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            chunks_granted: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            empty_polls: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            shutdown_cv: (Mutex::new(false), Condvar::new()),
+            conn_stats: Mutex::new(HashMap::new()),
+            journal: None,
+            journal_epoch: 0,
+            snapshot_every: 0,
+            last_snap_records: AtomicU64::new(0),
+        }
+    }
+
+    /// Seed a fresh `State` from a recovered journal image: rebuild
+    /// every job (re-armed leases land in the reclaim pools) and adopt
+    /// the bumped epoch.
+    fn adopt_recovered(&mut self, journal: Journal, rec: RecoveredState, snapshot_every: u64) {
+        self.journal_epoch = rec.epoch;
+        self.snapshot_every = snapshot_every;
+        self.last_snap_records = AtomicU64::new(journal.stats().records);
+        self.journal = Some(Mutex::new(journal));
+        self.next_job = AtomicU64::new(rec.jobs_created);
+        self.jobs_created = AtomicU64::new(rec.jobs_created);
+        for (id, img) in rec.jobs {
+            let shard = self.shard_index(id);
+            if let Ok(mut jobs) = self.shards[shard].lock() {
+                jobs.insert(id, Job::from_image(img));
+            }
+        }
+    }
     fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
     }
@@ -313,6 +416,97 @@ impl State {
 
     fn shard_of(&self, job: u64) -> &Mutex<HashMap<u64, Job>> {
         &self.shards[self.shard_index(job)]
+    }
+
+    /// Buffer one journal record (no-op on a volatile server). Called
+    /// on the grant/settle/reclaim paths while the affected job's
+    /// shard lock is held, which is what orders the records: no I/O
+    /// happens here, only an encode into the journal's buffer.
+    fn journal_append(&self, rec: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            if let Ok(mut j) = journal.lock() {
+                j.append(rec);
+            }
+        }
+    }
+
+    /// Group-commit the journal: one buffered write + fsync (per
+    /// policy) per event-loop cycle, called by every loop shard after
+    /// its serve pass and *before* its flush pass — a `ReportDone` ack
+    /// never reaches a socket before its `Settled` record is durable.
+    /// Also the snapshot trigger: when enough records have accumulated,
+    /// seal the segment, serialize live state, and install.
+    pub(crate) fn journal_commit(&self) {
+        let Some(journal) = &self.journal else { return };
+        let boundary = {
+            let Ok(mut j) = journal.lock() else { return };
+            if let Err(e) = j.commit() {
+                // A server that cannot persist must stop granting:
+                // drain now rather than hand out leases it would
+                // forget after a crash.
+                eprintln!("dls-service: journal commit failed, draining: {e}");
+                drop(j);
+                self.request_shutdown();
+                return;
+            }
+            let records = j.stats().records;
+            let due = self.snapshot_every > 0
+                && records.saturating_sub(self.last_snap_records.load(Ordering::Relaxed))
+                    >= self.snapshot_every;
+            if !due {
+                return;
+            }
+            // Claim the snapshot while still holding the journal lock
+            // so concurrent loop shards don't both start one.
+            self.last_snap_records.store(records, Ordering::Relaxed);
+            match j.begin_snapshot() {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("dls-service: snapshot rotation failed: {e}");
+                    return;
+                }
+            }
+            // Journal lock released here: serializing live state takes
+            // shard locks, and shard -> journal is the locking order.
+        };
+        let body = self.serialize_live().serialize();
+        if let Ok(mut j) = journal.lock() {
+            if let Err(e) = j.install_snapshot(boundary, &body) {
+                eprintln!("dls-service: snapshot install failed: {e}");
+            }
+        }
+    }
+
+    /// The journal's view of the live state, shard by shard (one lock
+    /// at a time, never nested with the journal lock). The image may
+    /// run *ahead* of the committed journal — replay idempotence makes
+    /// the overlap harmless.
+    fn serialize_live(&self) -> RecoveredState {
+        let mut rec = RecoveredState::new();
+        rec.epoch = self.journal_epoch;
+        rec.jobs_created = self.jobs_created.load(Ordering::SeqCst);
+        for shard in &self.shards {
+            if let Ok(shard) = shard.lock() {
+                for (&id, job) in shard.iter() {
+                    rec.jobs.insert(id, job.to_image());
+                }
+            }
+        }
+        rec
+    }
+
+    /// Drain the journal: flush + force-fsync everything buffered and
+    /// stamp the clean-exit `Drained` record. Called once from
+    /// `Server::shutdown` after the loop shards have joined.
+    fn journal_drain(&self) {
+        if let Some(journal) = &self.journal {
+            if let Ok(mut j) = journal.lock() {
+                j.append(&JournalRecord::Drained { epoch: self.journal_epoch });
+                if let Err(e) = j.sync() {
+                    eprintln!("dls-service: journal drain sync failed: {e}");
+                }
+            }
+        }
     }
 
     fn request_shutdown(&self) {
@@ -360,6 +554,21 @@ impl State {
                 bytes_in: self.bytes_in.load(Ordering::Relaxed),
                 bytes_out: self.bytes_out.load(Ordering::Relaxed),
             },
+            journal: match &self.journal {
+                Some(journal) => {
+                    let s = journal.lock().map(|j| j.stats()).unwrap_or_default();
+                    JournalTotals {
+                        enabled: true,
+                        epoch: self.journal_epoch,
+                        journal_records: s.records,
+                        journal_bytes: s.bytes,
+                        fsyncs: s.fsyncs,
+                        snapshots: s.snapshots,
+                        segments: s.segments,
+                    }
+                }
+                None => JournalTotals::default(),
+            },
             jobs,
             conns,
         }
@@ -374,12 +583,25 @@ impl State {
                 stat.worker = worker;
                 stat.fetches += 1;
                 let resp = self.fetch(job, worker, batch, conn);
-                if let Response::Chunks { chunks } = &resp {
+                if let Response::Chunks { chunks, .. } = &resp {
                     stat.chunks += chunks.len() as u64;
                 }
                 resp
             }
-            Request::ReportDone { job, leases } => {
+            Request::ReportDone { job, leases, epoch } => {
+                // Epoch fence: a report against a lease granted by a
+                // previous incarnation must not settle anything — the
+                // recovery path already re-armed those leases, and
+                // crediting them here would double-count the range.
+                if epoch != self.journal_epoch {
+                    return Response::Error {
+                        code: ErrorCode::StaleEpoch,
+                        detail: format!(
+                            "report from epoch {epoch}, server is at {}",
+                            self.journal_epoch
+                        ),
+                    };
+                }
                 let resp = self.report(job, &leases);
                 if matches!(resp, Response::Ack) {
                     // The ledger keeps settled leases' ranges, so the
@@ -388,6 +610,7 @@ impl State {
                 }
                 resp
             }
+            Request::ResumeJob { job } => self.resume_job(job),
             Request::Heartbeat { worker } => {
                 stat.worker = worker;
                 Response::Ack
@@ -397,6 +620,40 @@ impl State {
                 self.request_shutdown();
                 Response::Ack
             }
+        }
+    }
+
+    /// Answer a reconnecting worker: does `job` still exist, what
+    /// epoch is in force, and how far along is it. Only meaningful on
+    /// a journaled server — a volatile one forgot everything, and a
+    /// typed error beats letting the client poll a job that will never
+    /// reappear.
+    fn resume_job(&self, job: u64) -> Response {
+        if self.journal.is_none() {
+            return Response::Error {
+                code: ErrorCode::NoJournal,
+                detail: "server runs without a journal; jobs do not survive restarts".into(),
+            };
+        }
+        let Ok(shard) = self.shard_of(job).lock() else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                detail: "shard poisoned".into(),
+            };
+        };
+        let Some(j) = shard.get(&job) else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                detail: format!("job {job} is not in the recovered state"),
+            };
+        };
+        Response::JobEpoch {
+            job,
+            epoch: self.journal_epoch,
+            n: j.spec.n_iters,
+            scheduled: j.scheduled,
+            completed: j.completed,
+            done: j.done,
         }
     }
 
@@ -428,7 +685,10 @@ impl State {
         }
         let job = self.next_job.fetch_add(1, Ordering::SeqCst);
         if let Ok(mut shard) = self.shard_of(job).lock() {
-            shard.insert(job, Job::new(n, kind, weights));
+            shard.insert(job, Job::new(n, kind, weights.clone()));
+            // Under the shard lock so the JobCreated record is ordered
+            // before any Granted record a racing fetch could append.
+            self.journal_append(&JournalRecord::JobCreated { job, n, kind, weights });
         }
         Response::JobCreated { job }
     }
@@ -519,13 +779,35 @@ impl State {
             return (resp, none);
         }
         let batch = batch.min(self.cfg.worker_quota - out);
-        let chunks = j.fetch(worker, batch, conn, self.now_ns());
+        let granted = j.fetch(worker, batch, conn, self.now_ns());
+        if self.journal.is_some() && !granted.is_empty() {
+            // One record per burst: post-burst watermarks plus every
+            // lease, appended while the caller's shard lock pins the
+            // counters. No I/O until the cycle's journal_commit.
+            let grants = granted
+                .iter()
+                .map(|(g, from_pool)| GrantEntry {
+                    lease: g.lease,
+                    worker,
+                    lo: g.lo,
+                    hi: g.hi,
+                    from_pool: *from_pool,
+                })
+                .collect();
+            self.journal_append(&JournalRecord::Granted {
+                job,
+                step: j.step,
+                scheduled: j.scheduled,
+                grants,
+            });
+        }
+        let chunks: Vec<GrantedChunk> = granted.into_iter().map(|(g, _)| g).collect();
         let tally = FetchTally {
             fetches: 1,
             granted: chunks.len() as u64,
             empty: u64::from(chunks.is_empty()),
         };
-        (Response::Chunks { chunks }, tally)
+        (Response::Chunks { chunks, epoch: self.journal_epoch }, tally)
     }
 
     fn report(&self, job: u64, leases: &[LeaseId]) -> Response {
@@ -541,15 +823,35 @@ impl State {
                 detail: format!("job {job} was never created"),
             };
         };
+        let was_done = j.done;
+        let mut settled = Vec::new();
+        let mut failed = None;
         for &lease in leases {
-            if let Err(code) = j.report(lease) {
-                return Response::Error {
-                    code,
-                    detail: format!("lease {lease} is unknown or already settled"),
-                };
+            match j.report(lease) {
+                Ok(_) => settled.push(lease),
+                Err(code) => {
+                    failed = Some((lease, code));
+                    break;
+                }
             }
         }
-        Response::Ack
+        // Journal whatever prefix actually settled — on a partial
+        // failure the in-memory ledger has already transitioned those
+        // leases, and the journal must agree or replay re-arms them
+        // into double execution.
+        if !settled.is_empty() {
+            self.journal_append(&JournalRecord::Settled { job, leases: settled });
+        }
+        if !was_done && j.done {
+            self.journal_append(&JournalRecord::JobFinished { job });
+        }
+        match failed {
+            Some((lease, code)) => Response::Error {
+                code,
+                detail: format!("lease {lease} is unknown or already settled"),
+            },
+            None => Response::Ack,
+        }
     }
 
     /// Iterations credited to reports from `leases` — used to keep the
@@ -566,8 +868,12 @@ impl State {
         let mut reclaimed = 0;
         for shard in &self.shards {
             if let Ok(mut shard) = shard.lock() {
-                for job in shard.values_mut() {
-                    reclaimed += job.reclaim_conn(conn);
+                for (&id, job) in shard.iter_mut() {
+                    let leases = job.reclaim_conn(conn);
+                    if !leases.is_empty() {
+                        reclaimed += leases.len() as u64;
+                        self.journal_append(&JournalRecord::Reclaimed { job: id, leases });
+                    }
                 }
             }
         }
@@ -602,33 +908,42 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start the loop shards.
+    /// start the loop shards. Volatile: jobs die with the process.
     pub fn start<A: ToSocketAddrs>(cfg: ServiceConfig, addr: A) -> std::io::Result<Server> {
+        Server::launch(State::new(cfg), addr)
+    }
+
+    /// Like [`Server::start`], but durable: open (or recover) the
+    /// write-ahead journal in `jopts.dir`, replay snapshot + segments
+    /// into the job table, re-arm every lease the dead incarnation
+    /// left active, and fence the new epoch before accepting traffic.
+    /// `snapshot_every` is the record count between snapshots (0 =
+    /// never snapshot).
+    pub fn start_with_journal<A: ToSocketAddrs>(
+        cfg: ServiceConfig,
+        addr: A,
+        jopts: JournalOptions,
+        snapshot_every: u64,
+    ) -> std::io::Result<Server> {
+        let (journal, mut rec) =
+            Journal::open(jopts).map_err(|e| std::io::Error::other(e.to_string()))?;
+        let re_armed = rec.re_arm();
+        if re_armed > 0 {
+            eprintln!(
+                "dls-service: recovery re-armed {re_armed} unsettled lease(s) into reclaim pools"
+            );
+        }
+        let mut state = State::new(cfg);
+        state.adopt_recovered(journal, rec, snapshot_every);
+        Server::launch(state, addr)
+    }
+
+    fn launch<A: ToSocketAddrs>(state: State, addr: A) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shards = cfg.shards.max(1);
-        let event_loops = cfg.event_loops.max(1);
-        let state = Arc::new(State {
-            cfg,
-            epoch: Instant::now(),
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            next_job: AtomicU64::new(0),
-            jobs_created: AtomicU64::new(0),
-            next_conn: AtomicU64::new(0),
-            conns_active: AtomicU64::new(0),
-            conns_total: AtomicU64::new(0),
-            conns_peak: AtomicU64::new(0),
-            fetches: AtomicU64::new(0),
-            chunks_granted: AtomicU64::new(0),
-            reclaims: AtomicU64::new(0),
-            empty_polls: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-            shutdown_cv: (Mutex::new(false), Condvar::new()),
-            conn_stats: Mutex::new(HashMap::new()),
-        });
+        let event_loops = state.cfg.event_loops.max(1);
+        let state = Arc::new(state);
         let mut loops = Vec::with_capacity(event_loops as usize);
         for i in 0..event_loops {
             // Clones share one file description: every shard polls the
@@ -688,6 +1003,9 @@ impl Server {
         for h in self.loops.drain(..) {
             let _ = h.join();
         }
+        // Loop shards are gone: nothing appends anymore. Stamp the
+        // clean-exit record and force the final fsync.
+        self.state.journal_drain();
         self.state.snapshot()
     }
 }
@@ -704,27 +1022,7 @@ mod conc_models {
     /// A `State` with no sockets and no loop shards: exactly what
     /// `Server::start` builds, minus the listener.
     fn tiny_state(cfg: ServiceConfig) -> Arc<State> {
-        let shards = cfg.shards.max(1);
-        Arc::new(State {
-            cfg,
-            epoch: Instant::now(),
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            next_job: AtomicU64::new(0),
-            jobs_created: AtomicU64::new(0),
-            next_conn: AtomicU64::new(0),
-            conns_active: AtomicU64::new(0),
-            conns_total: AtomicU64::new(0),
-            conns_peak: AtomicU64::new(0),
-            fetches: AtomicU64::new(0),
-            chunks_granted: AtomicU64::new(0),
-            reclaims: AtomicU64::new(0),
-            empty_polls: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-            shutdown_cv: (Mutex::new(false), Condvar::new()),
-            conn_stats: Mutex::new(HashMap::new()),
-        })
+        Arc::new(State::new(cfg))
     }
 
     fn assert_pass(name: &str, outcome: &Outcome) {
@@ -785,7 +1083,7 @@ mod conc_models {
                     let st = Arc::clone(&state);
                     conc_check::thread::spawn(move || {
                         match st.fetch(0, worker, 2, u64::from(worker)) {
-                            Response::Chunks { chunks } => {
+                            Response::Chunks { chunks, .. } => {
                                 chunks.into_iter().map(|g| (g.lo, g.hi)).collect::<Vec<_>>()
                             }
                             other => panic!("fetch failed: {other:?}"),

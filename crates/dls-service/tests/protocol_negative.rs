@@ -233,6 +233,93 @@ fn out_of_range_worker_on_weighted_job_is_typed() {
     srv.shutdown();
 }
 
+fn journaled_server(tag: &str) -> (Server, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dls-protoneg-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let srv = Server::start_with_journal(
+        ServiceConfig::default(),
+        "127.0.0.1:0",
+        durability::JournalOptions::new(&dir),
+        4096,
+    )
+    .expect("bind journaled");
+    (srv, dir)
+}
+
+#[test]
+fn resume_unknown_job_is_typed() {
+    let (srv, dir) = journaled_server("resume-unknown");
+    let mut c = Client::connect(srv.addr()).expect("connect");
+    match c.resume_job(0xDEAD_BEEF) {
+        Err(ClientError::Server { code: ErrorCode::UnknownJob, .. }) => {}
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
+    drop(c);
+    wait_drained(&srv);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_epoch_report_is_typed_and_settles_nothing() {
+    let (srv, dir) = journaled_server("stale-epoch");
+    let mut c = Client::connect(srv.addr()).expect("connect");
+    let job = c.create_job(100, dls::Kind::SS, &[]).expect("create job");
+    let FetchReply::Chunks(held) = c.fetch(job, 0, 1).expect("fetch") else { panic!("chunks") };
+    assert_eq!(c.epoch(), 1, "first incarnation");
+
+    // A report carrying a dead incarnation's epoch: typed rejection.
+    let mut s = raw(&srv);
+    let req = Request::ReportDone { job, leases: vec![held[0].lease], epoch: 0 };
+    s.write_all(&frame(&req.encode())).expect("write");
+    assert_eq!(error_code(read_response(&mut s)), ErrorCode::StaleEpoch);
+
+    // Nothing settled: the same lease still settles under the real
+    // epoch, exactly once.
+    c.report_done(job, &[held[0].lease]).expect("current-epoch report");
+    let snap = c.stats().expect("stats");
+    assert_eq!(snap.jobs[0].leases_completed, 1, "settled once, by the live epoch");
+    drop((c, s));
+    wait_drained(&srv);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_on_journal_disabled_server_is_typed_not_a_hang() {
+    let srv = server();
+    let mut c = Client::connect(srv.addr()).expect("connect");
+    let job = c.create_job(100, dls::Kind::SS, &[]).expect("create job");
+    match c.resume_job(job) {
+        Err(ClientError::Server { code: ErrorCode::NoJournal, .. }) => {}
+        other => panic!("expected NoJournal, got {other:?}"),
+    }
+    // The connection survives the refusal.
+    assert!(matches!(c.fetch(job, 0, 1), Ok(FetchReply::Chunks(_))));
+    drop(c);
+    wait_drained(&srv);
+    srv.shutdown();
+}
+
+#[test]
+fn resume_on_journaled_server_reports_progress() {
+    let (srv, dir) = journaled_server("resume-ok");
+    let mut c = Client::connect(srv.addr()).expect("connect");
+    let job = c.create_job(100, dls::Kind::SS, &[]).expect("create job");
+    let FetchReply::Chunks(held) = c.fetch(job, 0, 2).expect("fetch") else { panic!("chunks") };
+    c.report_done(job, &[held[0].lease]).expect("report");
+    let p = c.resume_job(job).expect("resume");
+    assert_eq!(p.epoch, 1);
+    assert_eq!(p.n, 100);
+    assert_eq!(p.completed, held[0].hi - held[0].lo);
+    assert!(p.scheduled >= p.completed);
+    assert!(!p.done);
+    drop(c);
+    wait_drained(&srv);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn abusive_connections_leak_no_threads() {
     let srv = server();

@@ -1,0 +1,491 @@
+//! Deterministic, idempotent replay of a journal record stream.
+//!
+//! [`RecoveredState`] is the journal's view of the service: per-job
+//! counter watermarks, the lease ledger, and the reclaim pool. Two
+//! properties carry the whole recovery design:
+//!
+//! * **Determinism** — applying the same record stream to the same
+//!   base always yields a byte-identical [`RecoveredState::serialize`]
+//!   image (jobs live in a `BTreeMap`, every encoding is canonical
+//!   little-endian), so "replay twice, compare digests" is a real
+//!   test, and the snapshot is just the serialized state.
+//! * **Idempotence** — re-applying a record the state already
+//!   reflects is a no-op: `JobCreated` inserts only if absent,
+//!   `Granted` advances counters by max-watermark and skips lease ids
+//!   already in the ledger, `Settled`/`Reclaimed` skip leases already
+//!   settled. This lets a snapshot be taken from *live* state that may
+//!   already include transitions whose records sit after the snapshot
+//!   boundary; replaying the overlap changes nothing.
+
+use std::collections::BTreeMap;
+
+use dls::Kind;
+use resilience::lease::{LeaseState, LeaseTable};
+
+use crate::record::JournalRecord;
+
+/// Rank recorded as the reclaimer when recovery re-arms a lease whose
+/// owner died with the server (mirrors the service's own
+/// server-reclaimer sentinel).
+pub const RECOVERY_RECLAIMER: u32 = u32::MAX;
+
+/// Replayed image of one job.
+#[derive(Clone, Debug, Default)]
+pub struct JobImage {
+    /// Total iterations.
+    pub n: u64,
+    /// Scheduling technique.
+    pub kind: Option<Kind>,
+    /// Per-worker weights.
+    pub weights: Vec<f64>,
+    /// Chunk-index counter watermark.
+    pub step: u64,
+    /// Scheduled-iterations counter watermark.
+    pub scheduled: u64,
+    /// Iterations settled exactly once.
+    pub completed: u64,
+    /// True once every iteration settled.
+    pub done: bool,
+    /// Ranges awaiting re-execution, oldest first.
+    pub reclaim_pool: Vec<(u64, u64)>,
+    /// Full lease ledger (dense ids).
+    pub leases: LeaseTable,
+}
+
+/// A record that cannot be applied to the current state — always
+/// corruption or a journaling bug, never a normal outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// `Granted`/`Settled`/... names a job with no `JobCreated`.
+    UnknownJob(u64),
+    /// A grant's lease id skips ahead of the ledger (ids are dense).
+    NonDenseLease {
+        /// Offending job.
+        job: u64,
+        /// Lease id in the record.
+        lease: u64,
+        /// Ledger length it should have matched.
+        ledger: u64,
+    },
+    /// `Settled`/`Reclaimed` names a lease id never granted.
+    UnknownLease {
+        /// Offending job.
+        job: u64,
+        /// Lease id in the record.
+        lease: u64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::UnknownJob(job) => write!(f, "record references unknown job {job}"),
+            ReplayError::NonDenseLease { job, lease, ledger } => {
+                write!(f, "job {job}: grant of lease {lease} skips ledger length {ledger}")
+            }
+            ReplayError::UnknownLease { job, lease } => {
+                write!(f, "job {job}: settlement of unknown lease {lease}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The service state a journal replays into.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredState {
+    /// Highest epoch seen in a `ServerStart` record (0 = none).
+    pub epoch: u32,
+    /// Jobs by id, in id order.
+    pub jobs: BTreeMap<u64, JobImage>,
+    /// Jobs ever created (monotone; job ids are allocated densely so
+    /// this doubles as the next job id to hand out).
+    pub jobs_created: u64,
+    /// True when the stream ends in a clean `Drained` record for the
+    /// latest epoch.
+    pub drained: bool,
+}
+
+impl RecoveredState {
+    /// Empty state (no journal yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one record. Idempotent: records the state already
+    /// reflects are no-ops.
+    pub fn apply(&mut self, rec: &JournalRecord) -> Result<(), ReplayError> {
+        match rec {
+            JournalRecord::ServerStart { epoch } => {
+                self.epoch = self.epoch.max(*epoch);
+                self.drained = false;
+            }
+            JournalRecord::JobCreated { job, n, kind, weights } => {
+                self.jobs_created = self.jobs_created.max(job + 1);
+                self.jobs.entry(*job).or_insert_with(|| JobImage {
+                    n: *n,
+                    kind: Some(*kind),
+                    weights: weights.clone(),
+                    ..JobImage::default()
+                });
+            }
+            JournalRecord::Granted { job, step, scheduled, grants } => {
+                let img = self.jobs.get_mut(job).ok_or(ReplayError::UnknownJob(*job))?;
+                img.step = img.step.max(*step);
+                img.scheduled = img.scheduled.max(*scheduled);
+                for g in grants {
+                    let ledger = img.leases.len();
+                    if g.lease < ledger {
+                        continue; // already applied (snapshot overlap)
+                    }
+                    if g.lease > ledger {
+                        return Err(ReplayError::NonDenseLease {
+                            job: *job,
+                            lease: g.lease,
+                            ledger,
+                        });
+                    }
+                    img.leases.grant(g.worker, g.lo, g.hi, 0);
+                    if g.from_pool {
+                        if let Some(pos) = img.reclaim_pool.iter().position(|&r| r == (g.lo, g.hi))
+                        {
+                            img.reclaim_pool.remove(pos);
+                        }
+                    }
+                }
+            }
+            JournalRecord::Settled { job, leases } => {
+                let img = self.jobs.get_mut(job).ok_or(ReplayError::UnknownJob(*job))?;
+                for &id in leases {
+                    let lease = img
+                        .leases
+                        .get(id)
+                        .copied()
+                        .ok_or(ReplayError::UnknownLease { job: *job, lease: id })?;
+                    if lease.state == LeaseState::Active {
+                        let _ = img.leases.complete(id);
+                        img.completed += lease.hi - lease.lo;
+                    }
+                }
+            }
+            JournalRecord::Reclaimed { job, leases } => {
+                let img = self.jobs.get_mut(job).ok_or(ReplayError::UnknownJob(*job))?;
+                for &id in leases {
+                    let lease = img
+                        .leases
+                        .get(id)
+                        .copied()
+                        .ok_or(ReplayError::UnknownLease { job: *job, lease: id })?;
+                    if lease.state == LeaseState::Active {
+                        let _ = img.leases.reclaim(id, RECOVERY_RECLAIMER);
+                        img.reclaim_pool.push((lease.lo, lease.hi));
+                    }
+                }
+            }
+            JournalRecord::JobFinished { job } => {
+                let img = self.jobs.get_mut(job).ok_or(ReplayError::UnknownJob(*job))?;
+                img.done = true;
+            }
+            JournalRecord::Drained { epoch } => {
+                if *epoch == self.epoch {
+                    self.drained = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-arm after a crash: every lease still active belonged to a
+    /// client of a dead epoch and can never be settled — reclaim it
+    /// and push its range to the pool, oldest grant first. Returns the
+    /// number of leases re-armed.
+    pub fn re_arm(&mut self) -> u64 {
+        let mut armed = 0;
+        for img in self.jobs.values_mut() {
+            let active: Vec<u64> = img.leases.active(None).map(|l| l.id).collect();
+            for id in active {
+                if let Ok(range) = img.leases.reclaim(id, RECOVERY_RECLAIMER) {
+                    img.reclaim_pool.push(range);
+                    armed += 1;
+                }
+            }
+        }
+        armed
+    }
+
+    /// Canonical serialization — the snapshot body, and the input to
+    /// [`RecoveredState::digest`].
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.push(self.drained as u8);
+        b.extend_from_slice(&self.jobs_created.to_le_bytes());
+        b.extend_from_slice(&(self.jobs.len() as u64).to_le_bytes());
+        for (&id, img) in &self.jobs {
+            b.extend_from_slice(&id.to_le_bytes());
+            b.extend_from_slice(&img.n.to_le_bytes());
+            b.push(img.kind.map_or(u8::MAX, kind_byte));
+            b.extend_from_slice(&(img.weights.len() as u32).to_le_bytes());
+            for w in &img.weights {
+                b.extend_from_slice(&w.to_bits().to_le_bytes());
+            }
+            b.extend_from_slice(&img.step.to_le_bytes());
+            b.extend_from_slice(&img.scheduled.to_le_bytes());
+            b.extend_from_slice(&img.completed.to_le_bytes());
+            b.push(img.done as u8);
+            b.extend_from_slice(&(img.reclaim_pool.len() as u64).to_le_bytes());
+            for &(lo, hi) in &img.reclaim_pool {
+                b.extend_from_slice(&lo.to_le_bytes());
+                b.extend_from_slice(&hi.to_le_bytes());
+            }
+            img.leases.serialize_into(&mut b);
+        }
+        b
+    }
+
+    /// Inverse of [`RecoveredState::serialize`]. `None` on malformed
+    /// input.
+    pub fn deserialize(bytes: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        let u32_at = |b: &[u8], off: &mut usize| -> Option<u32> {
+            let s = b.get(*off..*off + 4)?;
+            *off += 4;
+            Some(u32::from_le_bytes(s.try_into().ok()?))
+        };
+        let u64_at = |b: &[u8], off: &mut usize| -> Option<u64> {
+            let s = b.get(*off..*off + 8)?;
+            *off += 8;
+            Some(u64::from_le_bytes(s.try_into().ok()?))
+        };
+        let u8_at = |b: &[u8], off: &mut usize| -> Option<u8> {
+            let v = *b.get(*off)?;
+            *off += 1;
+            Some(v)
+        };
+
+        let epoch = u32_at(bytes, &mut off)?;
+        let drained = u8_at(bytes, &mut off)? != 0;
+        let jobs_created = u64_at(bytes, &mut off)?;
+        let job_count = u64_at(bytes, &mut off)?;
+        if job_count > (bytes.len() as u64 - off as u64) / 8 {
+            return None;
+        }
+        let mut jobs = BTreeMap::new();
+        for _ in 0..job_count {
+            let id = u64_at(bytes, &mut off)?;
+            let n = u64_at(bytes, &mut off)?;
+            let kind = match u8_at(bytes, &mut off)? {
+                u8::MAX => None,
+                k => Some(kind_from_byte(k)?),
+            };
+            let wcount = u32_at(bytes, &mut off)? as usize;
+            if wcount > (bytes.len() - off) / 8 {
+                return None;
+            }
+            let mut weights = Vec::with_capacity(wcount);
+            for _ in 0..wcount {
+                weights.push(f64::from_bits(u64_at(bytes, &mut off)?));
+            }
+            let step = u64_at(bytes, &mut off)?;
+            let scheduled = u64_at(bytes, &mut off)?;
+            let completed = u64_at(bytes, &mut off)?;
+            let done = u8_at(bytes, &mut off)? != 0;
+            let pcount = u64_at(bytes, &mut off)?;
+            if pcount > (bytes.len() as u64 - off as u64) / 16 {
+                return None;
+            }
+            let mut reclaim_pool = Vec::with_capacity(pcount as usize);
+            for _ in 0..pcount {
+                let lo = u64_at(bytes, &mut off)?;
+                let hi = u64_at(bytes, &mut off)?;
+                reclaim_pool.push((lo, hi));
+            }
+            let (leases, used) = LeaseTable::deserialize(&bytes[off..])?;
+            off += used;
+            jobs.insert(
+                id,
+                JobImage {
+                    n,
+                    kind,
+                    weights,
+                    step,
+                    scheduled,
+                    completed,
+                    done,
+                    reclaim_pool,
+                    leases,
+                },
+            );
+        }
+        (off == bytes.len()).then_some(Self { epoch, jobs, jobs_created, drained })
+    }
+
+    /// FNV-1a over the canonical serialization — a cheap, stable
+    /// fingerprint for replay-determinism checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.serialize() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+// Snapshot bodies reuse the journal-record numbering for Kind.
+fn kind_byte(kind: Kind) -> u8 {
+    match kind {
+        Kind::STATIC => 0,
+        Kind::SS => 1,
+        Kind::GSS => 2,
+        Kind::TSS => 3,
+        Kind::FAC => 4,
+        Kind::FAC2 => 5,
+        Kind::TFSS => 6,
+        Kind::FSC => 7,
+        Kind::RND => 8,
+        Kind::WF => 9,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Option<Kind> {
+    Kind::ALL.into_iter().find(|&k| kind_byte(k) == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::GrantEntry;
+
+    fn granted(job: u64, step: u64, scheduled: u64, grants: Vec<GrantEntry>) -> JournalRecord {
+        JournalRecord::Granted { job, step, scheduled, grants }
+    }
+
+    fn small_run() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::ServerStart { epoch: 1 },
+            JournalRecord::JobCreated { job: 0, n: 100, kind: Kind::SS, weights: vec![] },
+            granted(
+                0,
+                2,
+                2,
+                vec![
+                    GrantEntry { lease: 0, worker: 1, lo: 0, hi: 1, from_pool: false },
+                    GrantEntry { lease: 1, worker: 2, lo: 1, hi: 2, from_pool: false },
+                ],
+            ),
+            JournalRecord::Settled { job: 0, leases: vec![0] },
+            JournalRecord::Reclaimed { job: 0, leases: vec![1] },
+            granted(
+                0,
+                2,
+                2,
+                vec![GrantEntry { lease: 2, worker: 3, lo: 1, hi: 2, from_pool: true }],
+            ),
+        ]
+    }
+
+    fn apply_all(recs: &[JournalRecord]) -> RecoveredState {
+        let mut st = RecoveredState::new();
+        for r in recs {
+            st.apply(r).unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn replay_basic_run() {
+        let st = apply_all(&small_run());
+        assert_eq!(st.epoch, 1);
+        assert_eq!(st.jobs_created, 1);
+        let img = &st.jobs[&0];
+        assert_eq!((img.step, img.scheduled, img.completed), (2, 2, 1));
+        assert_eq!(img.leases.counts(), (3, 1, 1));
+        assert!(img.reclaim_pool.is_empty(), "pool-served grant must drain the pool");
+        assert!(!img.done);
+    }
+
+    #[test]
+    fn replay_is_idempotent_per_record() {
+        // Applying every record twice in place must match the single
+        // application byte for byte.
+        let once = apply_all(&small_run());
+        let mut st = RecoveredState::new();
+        for r in small_run() {
+            st.apply(&r).unwrap();
+            st.apply(&r).unwrap();
+        }
+        assert_eq!(st.serialize(), once.serialize());
+        assert_eq!(st.digest(), once.digest());
+    }
+
+    #[test]
+    fn replay_over_snapshot_overlap_is_noop() {
+        // Serialize mid-stream state, then replay the *whole* stream on
+        // top of it — the prefix overlap must change nothing.
+        let recs = small_run();
+        let mid = apply_all(&recs[..4]);
+        let mut st = RecoveredState::deserialize(&mid.serialize()).unwrap();
+        for r in &recs {
+            st.apply(r).unwrap();
+        }
+        assert_eq!(st.serialize(), apply_all(&recs).serialize());
+    }
+
+    #[test]
+    fn re_arm_reclaims_only_active() {
+        let mut st = apply_all(&small_run());
+        assert_eq!(st.re_arm(), 1); // lease 2 was still active
+        let img = &st.jobs[&0];
+        assert_eq!(img.reclaim_pool, vec![(1, 2)]);
+        assert_eq!(img.leases.counts(), (3, 1, 2));
+        assert_eq!(st.re_arm(), 0, "second re-arm is a no-op");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut st = apply_all(&small_run());
+        st.apply(&JournalRecord::JobFinished { job: 0 }).unwrap();
+        st.apply(&JournalRecord::Drained { epoch: 1 }).unwrap();
+        let bytes = st.serialize();
+        let back = RecoveredState::deserialize(&bytes).unwrap();
+        assert_eq!(back.serialize(), bytes);
+        assert!(back.drained);
+        assert!(back.jobs[&0].done);
+        for cut in 0..bytes.len() {
+            assert!(RecoveredState::deserialize(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn errors_on_corrupt_streams() {
+        let mut st = RecoveredState::new();
+        assert_eq!(st.apply(&granted(7, 1, 1, vec![])), Err(ReplayError::UnknownJob(7)));
+        st.apply(&JournalRecord::JobCreated { job: 0, n: 10, kind: Kind::SS, weights: vec![] })
+            .unwrap();
+        assert_eq!(
+            st.apply(&granted(
+                0,
+                1,
+                1,
+                vec![GrantEntry { lease: 5, worker: 0, lo: 0, hi: 1, from_pool: false }]
+            )),
+            Err(ReplayError::NonDenseLease { job: 0, lease: 5, ledger: 0 })
+        );
+        assert_eq!(
+            st.apply(&JournalRecord::Settled { job: 0, leases: vec![3] }),
+            Err(ReplayError::UnknownLease { job: 0, lease: 3 })
+        );
+    }
+
+    #[test]
+    fn stale_epoch_drain_does_not_mark_drained() {
+        let mut st = RecoveredState::new();
+        st.apply(&JournalRecord::ServerStart { epoch: 2 }).unwrap();
+        st.apply(&JournalRecord::Drained { epoch: 1 }).unwrap();
+        assert!(!st.drained);
+        st.apply(&JournalRecord::Drained { epoch: 2 }).unwrap();
+        assert!(st.drained);
+    }
+}

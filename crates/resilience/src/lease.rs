@@ -142,6 +142,84 @@ impl LeaseTable {
             .filter(move |l| l.state == LeaseState::Active && owner.is_none_or(|o| l.owner == o))
     }
 
+    /// All leases in grant order (dense ids `0..len`).
+    pub fn iter(&self) -> impl Iterator<Item = &Lease> {
+        self.leases.iter()
+    }
+
+    /// Number of leases ever granted.
+    pub fn len(&self) -> u64 {
+        self.leases.len() as u64
+    }
+
+    /// True when no lease has been granted.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+
+    /// Append the ledger's canonical little-endian serialization to
+    /// `out`: count, then per lease `owner, lo, hi, granted_ns, state`
+    /// (state `0` active, `1` completed, `2` reclaimed followed by the
+    /// reclaiming rank). Ids are dense so they are not stored.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.leases.len() as u64).to_le_bytes());
+        for l in &self.leases {
+            out.extend_from_slice(&l.owner.to_le_bytes());
+            out.extend_from_slice(&l.lo.to_le_bytes());
+            out.extend_from_slice(&l.hi.to_le_bytes());
+            out.extend_from_slice(&l.granted_ns.to_le_bytes());
+            match l.state {
+                LeaseState::Active => out.push(0),
+                LeaseState::Completed => out.push(1),
+                LeaseState::Reclaimed { by } => {
+                    out.push(2);
+                    out.extend_from_slice(&by.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`LeaseTable::serialize_into`]. Reads one ledger from
+    /// the front of `bytes` and returns it with the number of bytes
+    /// consumed, or `None` on truncated or malformed input.
+    pub fn deserialize(bytes: &[u8]) -> Option<(Self, usize)> {
+        fn u32_at(b: &[u8], off: &mut usize) -> Option<u32> {
+            let s = b.get(*off..*off + 4)?;
+            *off += 4;
+            Some(u32::from_le_bytes(s.try_into().ok()?))
+        }
+        fn u64_at(b: &[u8], off: &mut usize) -> Option<u64> {
+            let s = b.get(*off..*off + 8)?;
+            *off += 8;
+            Some(u64::from_le_bytes(s.try_into().ok()?))
+        }
+        let mut off = 0;
+        let count = u64_at(bytes, &mut off)?;
+        // A real ledger is bounded by what fits in the input; reject
+        // counts the remaining bytes cannot possibly hold (25 bytes is
+        // the smallest per-lease encoding).
+        if count > (bytes.len() as u64 - off as u64) / 25 {
+            return None;
+        }
+        let mut leases = Vec::with_capacity(count as usize);
+        for id in 0..count {
+            let owner = u32_at(bytes, &mut off)?;
+            let lo = u64_at(bytes, &mut off)?;
+            let hi = u64_at(bytes, &mut off)?;
+            let granted_ns = u64_at(bytes, &mut off)?;
+            let tag = *bytes.get(off)?;
+            off += 1;
+            let state = match tag {
+                0 => LeaseState::Active,
+                1 => LeaseState::Completed,
+                2 => LeaseState::Reclaimed { by: u32_at(bytes, &mut off)? },
+                _ => return None,
+            };
+            leases.push(Lease { id, owner, lo, hi, granted_ns, state });
+        }
+        Some((Self { leases }, off))
+    }
+
     /// `(granted, completed, reclaimed)` totals.
     pub fn counts(&self) -> (u64, u64, u64) {
         let mut completed = 0;
@@ -198,6 +276,42 @@ mod tests {
         let mut t = LeaseTable::new();
         assert_eq!(t.complete(7), Err(LeaseError::Unknown(7)));
         assert_eq!(t.reclaim(7, 0), Err(LeaseError::Unknown(7)));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut t = LeaseTable::new();
+        let a = t.grant(0, 0, 10, 5);
+        let b = t.grant(1, 10, 25, 6);
+        t.grant(2, 25, 30, 7);
+        t.complete(a).unwrap();
+        t.reclaim(b, 9).unwrap();
+        let mut bytes = vec![0xAA]; // prefix noise: serialization must append
+        t.serialize_into(&mut bytes);
+        bytes.extend_from_slice(b"suffix");
+        let (back, used) = LeaseTable::deserialize(&bytes[1..]).unwrap();
+        assert_eq!(used, bytes.len() - 1 - 6);
+        assert_eq!(back.len(), 3);
+        for (orig, got) in t.iter().zip(back.iter()) {
+            assert_eq!(orig, got);
+        }
+        assert_eq!(back.counts(), (3, 1, 1));
+    }
+
+    #[test]
+    fn deserialize_rejects_truncation_and_bad_tags() {
+        let mut t = LeaseTable::new();
+        t.grant(0, 0, 4, 1);
+        let mut bytes = Vec::new();
+        t.serialize_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(LeaseTable::deserialize(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() = 9; // unknown state tag
+        assert!(LeaseTable::deserialize(&bad).is_none());
+        // Absurd count with no bytes behind it must not allocate/loop.
+        assert!(LeaseTable::deserialize(&u64::MAX.to_le_bytes()).is_none());
     }
 
     #[test]
