@@ -1,0 +1,34 @@
+//! # autotune — online DLS technique selection
+//!
+//! The paper fixes one DLS technique per run and leaves choosing it to
+//! the user. This crate closes that loop for the `dls-service` AUTO job
+//! mode, in the spirit of Booth's adaptive self-scheduling loop
+//! scheduler (arXiv:2007.07977): fold every completed-chunk report into
+//! streaming per-worker latency statistics ([`stats::JobStats`]), and at
+//! batch boundaries let a policy engine ([`policy::Tuner`]) decide
+//! whether the measured overhead-vs-imbalance balance warrants switching
+//! the live technique along the ladder `SS → GSS → FAC2 → AF`.
+//!
+//! The tuner only ever *proposes* a [`dls::Decision`]; applying it — via
+//! [`dls::SwitchableScheduler::switch`], which re-bases the new
+//! calculator onto the remaining range without touching the job's two
+//! global counters — and journaling it are the service's job. That split
+//! keeps this crate purely computational and deterministic: same report
+//! stream in, same decision stream out, which is what lets a journal
+//! replay reproduce an AUTO job's history bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+// Counter arithmetic here feeds scheduling decisions; deny wrapping
+// operators and narrowing casts in production code (floats are exempt
+// from the lint by design — the estimators are f64 end-to-end).
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
+pub mod policy;
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
+pub mod stats;
+
+pub use policy::{Tuner, TunerConfig};
+pub use stats::{ChunkSample, JobStats, Welford};

@@ -1,0 +1,344 @@
+//! The Booth-style policy engine: decide, at batch boundaries only,
+//! whether to switch the live technique along the overhead/imbalance
+//! ladder `SS → GSS → FAC2 → AF`.
+//!
+//! Two opposing pressures drive the ladder:
+//!
+//! * **Overhead** — when the fixed per-fetch cost `h` is a large
+//!   fraction of the mean chunk latency, the job is paying more to
+//!   *get* work than to *do* it: move to a coarser-chunked technique
+//!   (up the ladder), which amortises `h` over bigger chunks.
+//! * **Imbalance** — when per-iteration latency is irregular (high
+//!   c.o.v. in the window) or the fleet is skewed (straggler ratio),
+//!   fixed chunk-growth formulas misallocate: jump to AF, which sizes
+//!   chunks from measured per-worker rates.
+//!
+//! Decisions carry hysteresis: after a switch the tuner holds for
+//! `cooldown` batch windows so the new technique's own transient (its
+//! large opening chunks, AF's warmup) is not misread as a new signal.
+
+use crate::stats::{ChunkSample, JobStats};
+use dls::switchable::{Decision, SchedKind, SwitchReason};
+use dls::{Kind, SchedState};
+
+/// The technique ladder, finest to coarsest-then-adaptive.
+pub const LADDER: [SchedKind; 4] = [
+    SchedKind::Fixed(Kind::SS),
+    SchedKind::Fixed(Kind::GSS),
+    SchedKind::Fixed(Kind::FAC2),
+    SchedKind::Af,
+];
+
+/// Tuner thresholds and cadence. [`TunerConfig::new`] gives defaults
+/// scaled to the worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct TunerConfig {
+    /// Estimated fixed per-fetch scheduling overhead, nanoseconds.
+    pub overhead_ns: u64,
+    /// Settled chunks per decision window (a "batch"); decisions are
+    /// only taken at multiples of this.
+    pub batch: u64,
+    /// Decision windows to hold after a switch (hysteresis).
+    pub cooldown: u64,
+    /// Minimum chunks observed in the window before acting.
+    pub min_window: u64,
+    /// Overhead fraction `h / (h + mean_chunk_latency)` above which the
+    /// tuner coarsens.
+    pub overhead_hi: f64,
+    /// Straggler skew (slowest worker / mean) above which the tuner
+    /// jumps to AF.
+    pub skew_hi: f64,
+    /// Per-iteration latency c.o.v. within the window above which the
+    /// tuner jumps to AF.
+    pub cov_hi: f64,
+}
+
+impl TunerConfig {
+    /// Defaults for a fleet of `p` workers: one decision per `p`
+    /// settles, one window of cooldown.
+    pub fn new(p: u32) -> Self {
+        Self {
+            overhead_ns: 20_000,
+            batch: u64::from(p.max(1)),
+            cooldown: 1,
+            min_window: 3,
+            overhead_hi: 0.15,
+            skew_hi: 1.5,
+            cov_hi: 0.75,
+        }
+    }
+}
+
+/// The per-job tuner: a [`JobStats`] monitor plus the switching policy.
+///
+/// Drive it with [`observe`](Tuner::observe) on every settled chunk and
+/// [`on_settle`](Tuner::on_settle) after each; the latter returns a
+/// [`Decision`] only at batch boundaries when a signal fires. The tuner
+/// is deterministic in its input stream — replaying the same reports
+/// reproduces the same decisions — but the service never relies on
+/// that: decisions are journaled, and replay applies the journaled
+/// record rather than re-running the policy.
+#[derive(Clone, Debug)]
+pub struct Tuner {
+    cfg: TunerConfig,
+    stats: JobStats,
+    settles: u64,
+    cooldown: u64,
+    seq: u32,
+}
+
+impl Tuner {
+    /// New tuner for `p` worker slots with explicit config.
+    pub fn new(p: u32, cfg: TunerConfig) -> Self {
+        Self { cfg, stats: JobStats::new(p), settles: 0, cooldown: 0, seq: 0 }
+    }
+
+    /// New tuner with [`TunerConfig::new`] defaults.
+    pub fn with_defaults(p: u32) -> Self {
+        Self::new(p, TunerConfig::new(p))
+    }
+
+    /// The monitor's current statistics.
+    pub fn stats(&self) -> &JobStats {
+        &self.stats
+    }
+
+    /// Next decision sequence number to be issued.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Restore the decision counter after journal replay, so resumed
+    /// jobs continue the dense sequence instead of restarting at 0.
+    pub fn resume_at(&mut self, seq: u32) {
+        self.seq = seq;
+    }
+
+    /// Fold one settled chunk's measurement into the monitor.
+    pub fn observe(&mut self, sample: ChunkSample) {
+        self.stats.observe(sample);
+    }
+
+    /// Account one settled lease; at batch boundaries, evaluate the
+    /// policy against `active` and propose a switch. `global` is the
+    /// job's current global counter pair (recorded in the decision as
+    /// the re-basing origin).
+    pub fn on_settle(&mut self, active: SchedKind, global: SchedState) -> Option<Decision> {
+        self.settles = self.settles.saturating_add(1);
+        if self.settles < self.cfg.batch.max(1) {
+            return None;
+        }
+        self.settles = 0;
+        if self.cooldown > 0 {
+            self.cooldown = self.cooldown.saturating_sub(1);
+            self.stats.reset_window();
+            return None;
+        }
+        if self.stats.window_chunks() < self.cfg.min_window {
+            return None;
+        }
+        let proposal = self.evaluate(active);
+        self.stats.reset_window();
+        let (to, reason) = proposal?;
+        let decision = Decision {
+            seq: self.seq,
+            step: global.step,
+            scheduled: global.scheduled,
+            from: active,
+            to,
+            reason,
+        };
+        self.seq = self.seq.saturating_add(1);
+        self.cooldown = self.cfg.cooldown;
+        Some(decision)
+    }
+
+    /// The pure policy: signals from the current window, against the
+    /// active technique's ladder position.
+    fn evaluate(&self, active: SchedKind) -> Option<(SchedKind, SwitchReason)> {
+        let h = self.cfg.overhead_ns as f64;
+        let mean_chunk = self.stats.mean_chunk_latency_ns();
+        let denom = h + mean_chunk;
+        let overhead_frac = if denom > 0.0 { h / denom } else { 0.0 };
+        let pos = LADDER.iter().position(|k| *k == active);
+        if overhead_frac > self.cfg.overhead_hi {
+            // Paying too much per fetch: coarsen one rung.
+            return match pos {
+                Some(i) => {
+                    let next = LADDER.get(i.saturating_add(1))?;
+                    Some((*next, SwitchReason::Overhead))
+                }
+                // Off-ladder technique under overhead pressure: join
+                // the ladder at its coarse end.
+                None => Some((SchedKind::Fixed(Kind::FAC2), SwitchReason::Overhead)),
+            };
+        }
+        let skewed = self.stats.straggler_skew() > self.cfg.skew_hi;
+        let irregular = self.stats.window_iter_cov() > self.cfg.cov_hi;
+        if (skewed || irregular) && active != SchedKind::Af {
+            // Overhead is cheap but allocation is wrong: go adaptive.
+            return Some((SchedKind::Af, SwitchReason::Imbalance));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GLOBAL: SchedState = SchedState { step: 10, scheduled: 500 };
+
+    /// Feed `chunks` settles of uniform (worker, len, latency) samples
+    /// and return the first decision, if any.
+    fn drive(
+        tuner: &mut Tuner,
+        active: SchedKind,
+        samples: &[(u32, u64, u64)],
+    ) -> Option<Decision> {
+        let mut out = None;
+        for &(worker, len, latency_ns) in samples {
+            tuner.observe(ChunkSample { worker, len, latency_ns });
+            let d = tuner.on_settle(active, GLOBAL);
+            out = out.or(d);
+        }
+        out
+    }
+
+    fn cheap_chunks(n: usize) -> Vec<(u32, u64, u64)> {
+        // 1µs chunks against the 20µs default overhead: frac ~0.95.
+        (0..n).map(|i| (i as u32 % 4, 10, 1_000)).collect()
+    }
+
+    fn fat_chunks(n: usize) -> Vec<(u32, u64, u64)> {
+        // 10ms chunks: overhead fraction ~0.002.
+        (0..n).map(|i| (i as u32 % 4, 1_000, 10_000_000)).collect()
+    }
+
+    #[test]
+    fn no_decision_before_batch_boundary() {
+        let mut t = Tuner::with_defaults(4);
+        for s in cheap_chunks(3) {
+            t.observe(ChunkSample { worker: s.0, len: s.1, latency_ns: s.2 });
+            assert!(t.on_settle(LADDER[0], GLOBAL).is_none(), "batch is 4");
+        }
+    }
+
+    #[test]
+    fn overhead_pressure_climbs_one_rung() {
+        let mut t = Tuner::with_defaults(4);
+        let d = drive(&mut t, LADDER[0], &cheap_chunks(4)).expect("decision at boundary");
+        assert_eq!(d.from, LADDER[0]);
+        assert_eq!(d.to, LADDER[1], "SS coarsens to GSS");
+        assert_eq!(d.reason, SwitchReason::Overhead);
+        assert_eq!(d.seq, 0);
+        assert_eq!((d.step, d.scheduled), (GLOBAL.step, GLOBAL.scheduled));
+    }
+
+    #[test]
+    fn ladder_walk_terminates_at_af() {
+        // Sustained overhead pressure walks SS->GSS->FAC2->AF and then
+        // goes quiet: AF is the last rung.
+        let mut t = Tuner::new(4, TunerConfig { cooldown: 0, ..TunerConfig::new(4) });
+        let mut active = LADDER[0];
+        let mut walked = Vec::new();
+        for _ in 0..8 {
+            if let Some(d) = drive(&mut t, active, &cheap_chunks(4)) {
+                assert_eq!(d.from, active);
+                walked.push(d.to);
+                active = d.to;
+            }
+        }
+        assert_eq!(walked, vec![LADDER[1], LADDER[2], LADDER[3]]);
+        assert_eq!(active, SchedKind::Af);
+    }
+
+    #[test]
+    fn balanced_fat_chunks_stay_put() {
+        let mut t = Tuner::with_defaults(4);
+        assert!(drive(&mut t, LADDER[2], &fat_chunks(12)).is_none());
+    }
+
+    #[test]
+    fn straggler_skew_goes_adaptive() {
+        let mut t = Tuner::with_defaults(4);
+        // Worker 3 is 8x slower per iteration; chunks fat, so no
+        // overhead pressure.
+        let samples: Vec<_> = (0..8)
+            .map(|i| {
+                let w = i as u32 % 4;
+                let per_iter = if w == 3 { 80_000 } else { 10_000 };
+                (w, 1_000u64, per_iter * 1_000)
+            })
+            .collect();
+        let d = drive(&mut t, LADDER[2], &samples).expect("imbalance decision");
+        assert_eq!(d.to, SchedKind::Af);
+        assert_eq!(d.reason, SwitchReason::Imbalance);
+    }
+
+    #[test]
+    fn irregular_iterations_go_adaptive() {
+        let mut t = Tuner::with_defaults(4);
+        // Same worker speeds but wildly varying per-iteration cost.
+        let samples: Vec<_> = (0..8)
+            .map(|i| {
+                let cost: u64 = if i % 2 == 0 { 1_000_000 } else { 40_000_000 };
+                (i as u32 % 4, 100u64, cost)
+            })
+            .collect();
+        let d = drive(&mut t, LADDER[1], &samples).expect("cov decision");
+        assert_eq!(d.to, SchedKind::Af);
+        assert_eq!(d.reason, SwitchReason::Imbalance);
+    }
+
+    #[test]
+    fn af_does_not_switch_to_itself_on_imbalance() {
+        let mut t = Tuner::with_defaults(4);
+        let samples: Vec<_> = (0..8)
+            .map(|i| {
+                let w = i as u32 % 4;
+                let per_iter = if w == 0 { 90_000 } else { 10_000 };
+                (w, 1_000u64, per_iter * 1_000)
+            })
+            .collect();
+        assert!(drive(&mut t, SchedKind::Af, &samples).is_none());
+    }
+
+    #[test]
+    fn cooldown_suppresses_the_next_window() {
+        let mut t = Tuner::with_defaults(4);
+        let first = drive(&mut t, LADDER[0], &cheap_chunks(4));
+        assert!(first.is_some());
+        // Next window still under pressure: held by cooldown.
+        assert!(drive(&mut t, LADDER[1], &cheap_chunks(4)).is_none());
+        // Window after that: fires again, with a dense seq.
+        let third = drive(&mut t, LADDER[1], &cheap_chunks(4)).expect("post-cooldown");
+        assert_eq!(third.seq, 1);
+        assert_eq!(third.to, LADDER[2]);
+    }
+
+    #[test]
+    fn resume_at_continues_sequence() {
+        let mut t = Tuner::with_defaults(4);
+        t.resume_at(7);
+        let d = drive(&mut t, LADDER[0], &cheap_chunks(4)).expect("decision");
+        assert_eq!(d.seq, 7);
+        assert_eq!(t.seq(), 8);
+    }
+
+    #[test]
+    fn off_ladder_technique_coarsens_to_fac2() {
+        let mut t = Tuner::with_defaults(4);
+        let d = drive(&mut t, SchedKind::Fixed(Kind::TSS), &cheap_chunks(4)).expect("decision");
+        assert_eq!(d.to, SchedKind::Fixed(Kind::FAC2));
+    }
+
+    #[test]
+    fn extreme_latencies_do_not_panic_the_policy() {
+        let mut t = Tuner::with_defaults(2);
+        let samples: Vec<_> = (0..6).map(|i| (i as u32 % 2, u64::MAX, u64::MAX)).collect();
+        // Enormous (finite) latencies mean zero overhead pressure and
+        // zero spread: no decision, no panic.
+        assert!(drive(&mut t, LADDER[0], &samples).is_none());
+    }
+}

@@ -19,6 +19,12 @@
 //! ([`resilience::RecoveryEvent`]): attach it to a report with
 //! [`ActivityReport::with_recovery`] and overlay it on a timeline with
 //! [`chrome_trace_with_recovery`] (`ph: "i"` instant markers).
+//!
+//! AUTO-mode `dls-service` campaigns additionally carry the tuner's
+//! decision timeline ([`dls::Decision`]): [`service_report`] collects
+//! it from the snapshot, [`ActivityReport::with_decisions`] attaches
+//! one explicitly, and [`chrome_trace_with_decisions`] overlays the
+//! switches on a dedicated track.
 
 use cluster_sim::trace::{ActivityTotals, SegmentKind, Trace};
 use dls_service::StatsSnapshot;
@@ -119,6 +125,12 @@ pub struct ActivityReport {
     /// campaign ([`service_report`] fills this from the snapshot);
     /// `None` for backends without a durability layer.
     pub journal: Option<ServiceJournal>,
+    /// Tuner decision timeline of an AUTO-mode campaign, dense by
+    /// `seq` ([`service_report`] collects it across the snapshot's
+    /// jobs in job order; attach one explicitly with
+    /// [`ActivityReport::with_decisions`]). Empty for fixed-technique
+    /// runs and for backends without the service tuner.
+    pub decisions: Vec<dls::Decision>,
 }
 
 /// Place `value` in its log2 bucket (0 for zero, `i` for
@@ -201,6 +213,7 @@ impl ActivityReport {
             nodes: node_rows,
             recovery: Vec::new(),
             journal: None,
+            decisions: Vec::new(),
         }
     }
 
@@ -209,6 +222,14 @@ impl ActivityReport {
     /// fault story alongside the activity totals.
     pub fn with_recovery(mut self, events: &[RecoveryEvent]) -> Self {
         self.recovery = events.to_vec();
+        self
+    }
+
+    /// Attach a tuner decision timeline (e.g. `JobProgress::decisions`
+    /// or a STATS job row's history) so the report and its JSON carry
+    /// the technique-switch story of an AUTO campaign.
+    pub fn with_decisions(mut self, decisions: &[dls::Decision]) -> Self {
+        self.decisions = decisions.to_vec();
         self
     }
 
@@ -270,6 +291,20 @@ impl ActivityReport {
                 e.label(),
                 escape(&e.to_string()),
                 comma(i, self.recovery.len())
+            ));
+        }
+        out.push_str("  ],\n  \"decisions\": [\n");
+        for (i, d) in self.decisions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"seq\": {}, \"step\": {}, \"scheduled\": {}, \"from\": \"{}\", \
+                 \"to\": \"{}\", \"reason\": \"{}\"}}{}\n",
+                d.seq,
+                d.step,
+                d.scheduled,
+                d.from.name(),
+                d.to.name(),
+                d.reason.name(),
+                comma(i, self.decisions.len())
             ));
         }
         match &self.journal {
@@ -361,6 +396,7 @@ pub fn service_report(label: &str, snap: &StatsSnapshot) -> ActivityReport {
             snapshots: snap.journal.snapshots,
             segments: snap.journal.segments,
         }),
+        decisions: snap.jobs.iter().flat_map(|j| j.decisions.iter().copied()).collect(),
     }
 }
 
@@ -433,6 +469,53 @@ pub fn chrome_trace_with_recovery(
             e.rank(),
             escape(&e.to_string()),
             comma(i, recovery.len())
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Like [`chrome_trace`], with a tuner decision timeline overlaid as
+/// Perfetto *instant* events (`"ph": "i"`, process scope) on a
+/// dedicated track (`pid = u32::MAX`, shown as its own group above the
+/// worker lanes). Decisions are journaled with the job's counters, not
+/// wall clocks, so the track's time axis is the **iteration domain**:
+/// each marker sits at `ts = scheduled` (iterations handed out when
+/// the switch happened), with the counter pair and both techniques in
+/// `args`. Read it as "the job switched from X to Y after Z
+/// iterations", not as a wall-clock instant.
+pub fn chrome_trace_with_decisions(
+    trace: &Trace,
+    workers_per_node: u32,
+    decisions: &[dls::Decision],
+) -> String {
+    let mut out = chrome_trace(trace, workers_per_node);
+    if decisions.is_empty() {
+        return out;
+    }
+    // Splice the instant events into the existing JSON array.
+    let tail = out.rfind("]\n").unwrap_or(out.len());
+    out.truncate(tail);
+    if !trace.segments().is_empty() {
+        // The last segment line has no trailing comma; add one.
+        let last_line = out.trim_end().len();
+        out.truncate(last_line);
+        out.push_str(",\n");
+    }
+    for (i, d) in decisions.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"name\": \"switch {}->{}\", \"cat\": \"tuner\", \"ph\": \"i\", \"s\": \"p\", \
+             \"ts\": {}, \"pid\": {}, \"tid\": 0, \
+             \"args\": {{\"seq\": {}, \"step\": {}, \"scheduled\": {}, \"reason\": \"{}\"}}}}{}\n",
+            d.from.name(),
+            d.to.name(),
+            d.scheduled,
+            u32::MAX,
+            d.seq,
+            d.step,
+            d.scheduled,
+            d.reason.name(),
+            comma(i, decisions.len())
         ));
     }
     out.push_str("]\n");
@@ -632,6 +715,76 @@ mod tests {
              \"bytes\": 1024, \"fsyncs\": 5, \"snapshots\": 1, \"segments\": 2}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    fn decisions() -> Vec<dls::Decision> {
+        use dls::{Kind, SchedKind, SwitchReason};
+        vec![
+            dls::Decision {
+                seq: 0,
+                step: 8,
+                scheduled: 8,
+                from: SchedKind::Fixed(Kind::SS),
+                to: SchedKind::Fixed(Kind::GSS),
+                reason: SwitchReason::Overhead,
+            },
+            dls::Decision {
+                seq: 1,
+                step: 24,
+                scheduled: 350,
+                from: SchedKind::Fixed(Kind::GSS),
+                to: SchedKind::Af,
+                reason: SwitchReason::Imbalance,
+            },
+        ]
+    }
+
+    #[test]
+    fn decision_rows_serialise() {
+        let (tr, stats) = sample();
+        let r = ActivityReport::build("AUTO", &tr, &stats, 2).with_decisions(&decisions());
+        assert_eq!(r.decisions.len(), 2);
+        let json = r.to_json();
+        assert!(json.contains(
+            "{\"seq\": 0, \"step\": 8, \"scheduled\": 8, \"from\": \"SS\", \
+             \"to\": \"GSS\", \"reason\": \"overhead\"}"
+        ));
+        assert!(json.contains("\"to\": \"AF\", \"reason\": \"imbalance\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn service_report_collects_decision_timeline() {
+        let mut snap = StatsSnapshot::default();
+        snap.jobs.push(dls_service::JobSnapshot {
+            job: 0,
+            mode: Some(dls::SchedKind::Auto),
+            kind: Some(dls::SchedKind::Af),
+            decisions: decisions(),
+            ..Default::default()
+        });
+        let r = service_report("net AUTO", &snap);
+        assert_eq!(r.decisions, decisions());
+        let json = r.to_json();
+        assert!(json.contains("\"decisions\": [\n    {\"seq\": 0"));
+    }
+
+    #[test]
+    fn chrome_trace_overlays_decision_instants() {
+        let (tr, _) = sample();
+        let out = chrome_trace_with_decisions(&tr, 1, &decisions());
+        assert_eq!(out.matches("\"ph\": \"X\"").count(), tr.segments().len());
+        assert_eq!(out.matches("\"ph\": \"i\"").count(), 2);
+        assert!(out.contains("\"name\": \"switch SS->GSS\""));
+        assert!(out.contains("\"cat\": \"tuner\""));
+        // The tuner track is its own process group, iteration-domain ts.
+        assert!(out.contains(&format!("\"ts\": 350, \"pid\": {}, \"tid\": 0", u32::MAX)));
+        assert!(out.contains("\"reason\": \"imbalance\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+        // Without decisions the output is exactly the plain trace.
+        assert_eq!(chrome_trace_with_decisions(&tr, 1, &[]), chrome_trace(&tr, 1));
     }
 
     #[test]

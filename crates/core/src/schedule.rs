@@ -25,6 +25,7 @@ pub struct HierSchedule {
     awf: Option<dls::adaptive::AwfVariant>,
     global_mode: hier::GlobalQueueMode,
     faults: resilience::FaultPlan,
+    net_inter: Option<dls::SchedKind>,
 }
 
 impl HierSchedule {
@@ -142,6 +143,7 @@ impl HierSchedule {
         cfg.global_mode = self.global_mode;
         cfg.trace = self.trace;
         cfg.faults = self.faults.clone();
+        cfg.net_inter = self.net_inter;
         cfg
     }
 }
@@ -164,6 +166,7 @@ pub struct HierScheduleBuilder {
     awf: Option<dls::adaptive::AwfVariant>,
     global_mode: hier::GlobalQueueMode,
     faults: resilience::FaultPlan,
+    net_inter: Option<dls::SchedKind>,
 }
 
 impl Default for HierScheduleBuilder {
@@ -184,6 +187,7 @@ impl Default for HierScheduleBuilder {
             awf: None,
             global_mode: hier::GlobalQueueMode::SingleAtomic,
             faults: resilience::FaultPlan::none(),
+            net_inter: None,
         }
     }
 }
@@ -295,6 +299,18 @@ impl HierScheduleBuilder {
         self
     }
 
+    /// Technique the **net backend** (`run_live_net`) asks the
+    /// `dls-service` global queue to run, overriding the inter kind.
+    /// This opens the inter level to the measurement-driven kinds —
+    /// `AF`, the `AWF-*` variants, and the self-switching `AUTO` mode
+    /// — which the server sizes from observed chunk latencies and
+    /// which therefore have no in-process `Technique` equivalent.
+    /// `simulate` and the RMA-backed live runs ignore it.
+    pub fn net_inter(mut self, kind: impl Into<dls::SchedKind>) -> Self {
+        self.net_inter = Some(kind.into());
+        self
+    }
+
     /// Inject faults (rank crashes, stragglers, message faults) from a
     /// deterministic [`resilience::FaultPlan`]. Applies to `simulate`
     /// (all execution models) and, for crashes, to MPI+MPI `run_live`;
@@ -322,6 +338,7 @@ impl HierScheduleBuilder {
             awf: self.awf,
             global_mode: self.global_mode,
             faults: self.faults,
+            net_inter: self.net_inter,
         }
     }
 }

@@ -6,6 +6,7 @@
 //!     [--event-loops N] [--report PATH] [--addr-file PATH]
 //!     [--journal-dir DIR] [--sync always|never|every:N]
 //!     [--snapshot-every N] [--segment-bytes N]
+//!     [--tuner-overhead-ns N]
 //! ```
 //!
 //! Prints `LISTEN <addr>` once bound (with the real port when started
@@ -88,7 +89,7 @@ fn usage() -> ! {
         "usage: dls-serverd [--addr HOST:PORT] [--max-connections N] \
          [--max-batch N] [--quota N] [--event-loops N] [--report PATH] \
          [--addr-file PATH] [--journal-dir DIR] [--sync always|never|every:N] \
-         [--snapshot-every N] [--segment-bytes N]"
+         [--snapshot-every N] [--segment-bytes N] [--tuner-overhead-ns N]"
     );
     std::process::exit(2)
 }
@@ -129,6 +130,9 @@ fn main() {
             "--sync" => sync = value().parse().unwrap_or_else(|_| usage()),
             "--snapshot-every" => snapshot_every = value().parse().unwrap_or_else(|_| usage()),
             "--segment-bytes" => segment_bytes = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--tuner-overhead-ns" => {
+                cfg.tuner_overhead_ns = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }

@@ -9,7 +9,7 @@
 use crate::protocol::{
     frame, ErrorCode, GrantedChunk, JobId, LeaseId, Request, Response, StatsSnapshot,
 };
-use dls::Kind;
+use dls::switchable::{Decision, SchedKind};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -69,7 +69,7 @@ pub enum FetchReply {
 
 /// What [`Client::resume_job`] learned about a job that survived a
 /// server restart.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobProgress {
     /// Server epoch now in force.
     pub epoch: u32,
@@ -81,6 +81,11 @@ pub struct JobProgress {
     pub completed: u64,
     /// True when every iteration settled.
     pub done: bool,
+    /// Technique actively sizing chunks after recovery (for AUTO jobs:
+    /// the last journaled decision's target, replayed not re-derived).
+    pub kind: SchedKind,
+    /// Tuner decision history, dense by `seq`.
+    pub decisions: Vec<Decision>,
 }
 
 /// One blocking connection to a server.
@@ -188,9 +193,17 @@ impl Client {
         }
     }
 
-    /// Register a job of `n` iterations scheduled by `kind`;
-    /// `weights` may be empty for unit weights.
-    pub fn create_job(&mut self, n: u64, kind: Kind, weights: &[f64]) -> Result<JobId> {
+    /// Register a job of `n` iterations scheduled by `kind` (any
+    /// [`dls::Kind`] converts, so `create_job(n, Kind::SS, &[])` and
+    /// `create_job(n, SchedKind::Auto, &[])` both work); `weights` may
+    /// be empty for unit weights.
+    pub fn create_job(
+        &mut self,
+        n: u64,
+        kind: impl Into<SchedKind>,
+        weights: &[f64],
+    ) -> Result<JobId> {
+        let kind = kind.into();
         match self.call(&Request::CreateJob { n, kind, weights: weights.to_vec() })? {
             Response::JobCreated { job } => Ok(job),
             Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
@@ -234,9 +247,18 @@ impl Client {
     /// state.
     pub fn resume_job(&mut self, job: JobId) -> Result<JobProgress> {
         match self.call(&Request::ResumeJob { job })? {
-            Response::JobEpoch { job: _, epoch, n, scheduled, completed, done } => {
+            Response::JobEpoch {
+                job: _,
+                epoch,
+                n,
+                scheduled,
+                completed,
+                done,
+                kind,
+                decisions,
+            } => {
                 self.epoch = epoch;
-                Ok(JobProgress { epoch, n, scheduled, completed, done })
+                Ok(JobProgress { epoch, n, scheduled, completed, done, kind, decisions })
             }
             Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
             _ => Err(ClientError::Unexpected("JobEpoch")),

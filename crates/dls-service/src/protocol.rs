@@ -28,11 +28,18 @@
 //! with [`ErrorCode::StaleEpoch`] instead of being silently
 //! double-counted, and [`Request::ResumeJob`] lets a reconnecting
 //! worker rebind to a recovered job.
+//!
+//! Version 3 widens the technique byte from the ten pure [`dls::Kind`]s
+//! to the full [`SchedKind`] space (adaptive `AF`/`AWF-*` and the
+//! `AUTO` meta-mode, bytes 10–15; pure kinds keep their v2 bytes), and
+//! adds the tuner decision history: [`Response::JobEpoch`] and each
+//! STATS job row carry the active technique plus the ordered list of
+//! [`Decision`]s an AUTO job has taken.
 
-use dls::Kind;
+use dls::switchable::{Decision, SchedKind, SwitchReason};
 
 /// Protocol version carried in every frame. Bump on any wire change.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Default upper bound on one frame's payload. Large enough for a
 /// `Stats` snapshot of hundreds of jobs, small enough that a malicious
@@ -72,8 +79,9 @@ pub enum Request {
     CreateJob {
         /// Total loop iterations.
         n: u64,
-        /// DLS technique driving the global queue.
-        kind: Kind,
+        /// DLS technique driving the global queue (pure, adaptive, or
+        /// the AUTO meta-mode).
+        kind: SchedKind,
         /// Per-worker weights (indexed by worker id), empty for unit.
         weights: Vec<f64>,
     },
@@ -173,6 +181,12 @@ pub enum Response {
         completed: u64,
         /// True when nothing is left to fetch.
         done: bool,
+        /// Technique currently sizing chunks (for AUTO jobs this is
+        /// the tuner's latest pick, not `AUTO` itself).
+        kind: SchedKind,
+        /// Tuner decision history in dense `seq` order (empty for
+        /// fixed-technique jobs).
+        decisions: Vec<Decision>,
     },
 }
 
@@ -271,37 +285,57 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 // ---------------------------------------------------------------------------
-// Technique kinds on the wire.
+// Technique kinds and tuner decisions on the wire.
+//
+// The technique byte is [`SchedKind::to_byte`] — the canonical map
+// shared with the durability journal (pure kinds 0–9 exactly as in
+// protocol v2, adaptive 10–14, AUTO 15). A [`Decision`] travels as 27
+// bytes: seq u32, step u64, scheduled u64, from u8, to u8, reason u8.
 
-fn kind_to_u8(kind: Kind) -> u8 {
-    match kind {
-        Kind::STATIC => 0,
-        Kind::SS => 1,
-        Kind::GSS => 2,
-        Kind::TSS => 3,
-        Kind::FAC => 4,
-        Kind::FAC2 => 5,
-        Kind::TFSS => 6,
-        Kind::FSC => 7,
-        Kind::RND => 8,
-        Kind::WF => 9,
+fn write_decision(w: &mut Writer, d: &Decision) {
+    w.u32(d.seq);
+    w.u64(d.step);
+    w.u64(d.scheduled);
+    w.u8(d.from.to_byte());
+    w.u8(d.to.to_byte());
+    w.u8(d.reason.to_byte());
+}
+
+fn read_decision(r: &mut Reader<'_>) -> Result<Decision, DecodeError> {
+    let seq = r.u32()?;
+    let step = r.u64()?;
+    let scheduled = r.u64()?;
+    let from = SchedKind::from_byte(r.u8()?).ok_or(DecodeError::Malformed("decision from-kind"))?;
+    let to = SchedKind::from_byte(r.u8()?).ok_or(DecodeError::Malformed("decision to-kind"))?;
+    let reason =
+        SwitchReason::from_byte(r.u8()?).ok_or(DecodeError::Malformed("decision reason"))?;
+    Ok(Decision { seq, step, scheduled, from, to, reason })
+}
+
+fn write_decisions(w: &mut Writer, decisions: &[Decision]) {
+    w.u16(decisions.len() as u16);
+    for d in decisions {
+        write_decision(w, d);
     }
 }
 
-fn kind_from_u8(b: u8) -> Option<Kind> {
-    Some(match b {
-        0 => Kind::STATIC,
-        1 => Kind::SS,
-        2 => Kind::GSS,
-        3 => Kind::TSS,
-        4 => Kind::FAC,
-        5 => Kind::FAC2,
-        6 => Kind::TFSS,
-        7 => Kind::FSC,
-        8 => Kind::RND,
-        9 => Kind::WF,
-        _ => return None,
-    })
+fn read_decisions(r: &mut Reader<'_>) -> Result<Vec<Decision>, DecodeError> {
+    let count = r.u16()? as usize;
+    let mut decisions = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        decisions.push(read_decision(r)?);
+    }
+    Ok(decisions)
+}
+
+/// `u8::MAX` is the wire sentinel for an absent kind (defaulted
+/// snapshot rows); everything else must name a real [`SchedKind`].
+fn read_opt_kind(r: &mut Reader<'_>) -> Result<Option<SchedKind>, DecodeError> {
+    let b = r.u8()?;
+    if b == u8::MAX {
+        return Ok(None);
+    }
+    SchedKind::from_byte(b).map(Some).ok_or(DecodeError::Malformed("unknown technique"))
 }
 
 // ---------------------------------------------------------------------------
@@ -362,6 +396,14 @@ pub struct JobSnapshot {
     pub leases_completed: u64,
     /// Ledger: leases reclaimed after owner death.
     pub leases_reclaimed: u64,
+    /// Technique currently sizing chunks (`None` only in defaulted
+    /// snapshots — the server always fills it).
+    pub kind: Option<SchedKind>,
+    /// Mode the job was created with (differs from `kind` for AUTO
+    /// jobs once the tuner has switched).
+    pub mode: Option<SchedKind>,
+    /// Tuner decision history, dense by `seq` (empty for fixed jobs).
+    pub decisions: Vec<Decision>,
 }
 
 /// One connection's counters (live and closed connections both appear;
@@ -471,7 +513,8 @@ impl StatsSnapshot {
                 "{{\"job\":{},\"n\":{},\"step\":{},\"scheduled\":{},\"completed\":{},\
                  \"done\":{},\"fetches\":{},\"chunks_granted\":{},\"reclaims\":{},\
                  \"empty_polls\":{},\"leases_granted\":{},\"leases_completed\":{},\
-                 \"leases_reclaimed\":{}}}",
+                 \"leases_reclaimed\":{},\"kind\":\"{}\",\"mode\":\"{}\",\"switches\":{},\
+                 \"decisions\":[",
                 j.job,
                 j.n,
                 j.step,
@@ -485,7 +528,26 @@ impl StatsSnapshot {
                 j.leases_granted,
                 j.leases_completed,
                 j.leases_reclaimed,
+                j.kind.map_or("?", |k| k.name()),
+                j.mode.map_or("?", |k| k.name()),
+                j.decisions.len(),
             ));
+            for (k, d) in j.decisions.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"seq\":{},\"step\":{},\"scheduled\":{},\"from\":\"{}\",\
+                     \"to\":\"{}\",\"reason\":\"{}\"}}",
+                    d.seq,
+                    d.step,
+                    d.scheduled,
+                    d.from.name(),
+                    d.to.name(),
+                    d.reason.name(),
+                ));
+            }
+            s.push_str("]}");
         }
         s.push_str("],\"conns\":[");
         for (i, c) in self.conns.iter().enumerate() {
@@ -610,7 +672,7 @@ impl Request {
             Request::CreateJob { n, kind, weights } => {
                 let mut w = Writer::new(T_CREATE_JOB);
                 w.u64(*n);
-                w.u8(kind_to_u8(*kind));
+                w.u8(kind.to_byte());
                 w.u16(weights.len() as u16);
                 for &wt in weights {
                     w.f64(wt);
@@ -660,8 +722,8 @@ impl Request {
         let req = match tag {
             T_CREATE_JOB => {
                 let n = r.u64()?;
-                let kind =
-                    kind_from_u8(r.u8()?).ok_or(DecodeError::Malformed("unknown technique"))?;
+                let kind = SchedKind::from_byte(r.u8()?)
+                    .ok_or(DecodeError::Malformed("unknown technique"))?;
                 let count = r.u16()? as usize;
                 let mut weights = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
@@ -760,6 +822,9 @@ impl Response {
                         w.u64(v);
                     }
                     w.u8(u8::from(j.done));
+                    w.u8(j.kind.map_or(u8::MAX, SchedKind::to_byte));
+                    w.u8(j.mode.map_or(u8::MAX, SchedKind::to_byte));
+                    write_decisions(&mut w, &j.decisions);
                 }
                 w.u16(s.conns.len() as u16);
                 for c in &s.conns {
@@ -783,7 +848,7 @@ impl Response {
                 w.bytes(&bytes[..len]);
                 w.buf
             }
-            Response::JobEpoch { job, epoch, n, scheduled, completed, done } => {
+            Response::JobEpoch { job, epoch, n, scheduled, completed, done, kind, decisions } => {
                 let mut w = Writer::new(T_JOB_EPOCH);
                 w.u64(*job);
                 w.u32(*epoch);
@@ -791,6 +856,8 @@ impl Response {
                 w.u64(*scheduled);
                 w.u64(*completed);
                 w.u8(u8::from(*done));
+                w.u8(kind.to_byte());
+                write_decisions(&mut w, decisions);
                 w.buf
             }
         }
@@ -857,6 +924,9 @@ impl Response {
                         leases_completed: r.u64()?,
                         leases_reclaimed: r.u64()?,
                         done: r.u8()? != 0,
+                        kind: read_opt_kind(&mut r)?,
+                        mode: read_opt_kind(&mut r)?,
+                        decisions: read_decisions(&mut r)?,
                     });
                 }
                 let n_conns = r.u16()? as usize;
@@ -897,6 +967,9 @@ impl Response {
                 scheduled: r.u64()?,
                 completed: r.u64()?,
                 done: r.u8()? != 0,
+                kind: SchedKind::from_byte(r.u8()?)
+                    .ok_or(DecodeError::Malformed("unknown technique"))?,
+                decisions: read_decisions(&mut r)?,
             },
             other => return Err(DecodeError::Tag(other)),
         };
@@ -916,6 +989,7 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dls::Kind;
 
     fn roundtrip_req(req: Request) {
         assert_eq!(Request::decode(&req.encode()), Ok(req));
@@ -925,10 +999,22 @@ mod tests {
         assert_eq!(Response::decode(&resp.encode()), Ok(resp));
     }
 
+    fn decision(seq: u32) -> Decision {
+        Decision {
+            seq,
+            step: 10 + u64::from(seq),
+            scheduled: 100 * u64::from(seq),
+            from: SchedKind::Fixed(Kind::SS),
+            to: SchedKind::Af,
+            reason: SwitchReason::Imbalance,
+        }
+    }
+
     #[test]
     fn requests_roundtrip() {
-        roundtrip_req(Request::CreateJob { n: 1 << 40, kind: Kind::GSS, weights: vec![] });
-        roundtrip_req(Request::CreateJob { n: 7, kind: Kind::WF, weights: vec![0.5, 1.5] });
+        roundtrip_req(Request::CreateJob { n: 1 << 40, kind: Kind::GSS.into(), weights: vec![] });
+        roundtrip_req(Request::CreateJob { n: 7, kind: Kind::WF.into(), weights: vec![0.5, 1.5] });
+        roundtrip_req(Request::CreateJob { n: 9, kind: SchedKind::Auto, weights: vec![] });
         roundtrip_req(Request::FetchChunk { job: 3, worker: 9, batch: 64 });
         roundtrip_req(Request::ReportDone { job: 3, leases: vec![0, 1, 99], epoch: 7 });
         roundtrip_req(Request::Heartbeat { worker: 2 });
@@ -959,6 +1045,8 @@ mod tests {
             scheduled: 100,
             completed: 96,
             done: false,
+            kind: SchedKind::Fixed(Kind::GSS),
+            decisions: vec![decision(0), decision(1)],
         });
         let snap = StatsSnapshot {
             uptime_ns: 123,
@@ -973,7 +1061,15 @@ mod tests {
                 snapshots: 1,
                 segments: 2,
             },
-            jobs: vec![JobSnapshot { job: 1, n: 100, done: true, ..Default::default() }],
+            jobs: vec![JobSnapshot {
+                job: 1,
+                n: 100,
+                done: true,
+                kind: Some(SchedKind::Af),
+                mode: Some(SchedKind::Auto),
+                decisions: vec![decision(0)],
+                ..Default::default()
+            }],
             conns: vec![ConnSnapshot { conn: 0, worker: 3, open: true, ..Default::default() }],
         };
         roundtrip_resp(Response::Snapshot(snap));
@@ -981,9 +1077,55 @@ mod tests {
 
     #[test]
     fn every_kind_roundtrips() {
-        for kind in Kind::ALL {
+        for kind in SchedKind::CONCRETE.into_iter().chain([SchedKind::Auto]) {
             roundtrip_req(Request::CreateJob { n: 10, kind, weights: vec![] });
         }
+    }
+
+    #[test]
+    fn unknown_kind_byte_is_typed() {
+        // Byte 16 is the first unassigned technique byte; 249 probes
+        // deep into the unassigned range without colliding with the
+        // Option sentinel (255).
+        for bad in [16u8, 42, 249] {
+            let mut p =
+                Request::CreateJob { n: 10, kind: SchedKind::Auto, weights: vec![] }.encode();
+            p[10] = bad; // version + tag + n(u64) = offset 10 is the kind byte
+            assert_eq!(
+                Request::decode(&p),
+                Err(DecodeError::Malformed("unknown technique")),
+                "kind byte {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_decision_bytes_are_typed() {
+        let resp = Response::JobEpoch {
+            job: 1,
+            epoch: 1,
+            n: 64,
+            scheduled: 8,
+            completed: 0,
+            done: false,
+            kind: SchedKind::Af,
+            decisions: vec![decision(0)],
+        };
+        let good = resp.encode();
+        // The decision's three trailing bytes: from, to, reason.
+        for back in 1..=3 {
+            let mut p = good.clone();
+            let idx = p.len() - back;
+            p[idx] = 200;
+            assert!(
+                matches!(Response::decode(&p), Err(DecodeError::Malformed(_))),
+                "corrupting decision byte -{back} must be typed"
+            );
+        }
+        // Truncating mid-decision is typed, not a panic.
+        let mut p = good;
+        p.truncate(p.len() - 5);
+        assert!(matches!(Response::decode(&p), Err(DecodeError::Malformed(_))));
     }
 
     #[test]

@@ -39,8 +39,10 @@ use crate::protocol::{
 };
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Arc, Condvar, Mutex};
+use autotune::{ChunkSample, Tuner};
+use dls::switchable::{Decision, SchedKind, SwitchableScheduler};
 use dls::technique::WorkerCtx;
-use dls::{ChunkCalculator, LoopSpec, SchedState, Technique};
+use dls::{LoopSpec, SchedState};
 use durability::{GrantEntry, JobImage, Journal, JournalOptions, JournalRecord, RecoveredState};
 use resilience::{LeaseId, LeaseTable};
 use std::collections::{HashMap, VecDeque};
@@ -74,6 +76,17 @@ pub struct ServiceConfig {
     /// Readiness-poll tick; bounds drain latency and how often batched
     /// counters are committed.
     pub poll_interval: Duration,
+    /// Accept adaptive techniques (`AF`, `AWF-*`, `AUTO`). When false,
+    /// `CreateJob` with any non-pure kind is answered with
+    /// [`ErrorCode::BadTechnique`] — the knob for deployments that
+    /// want the v2 behaviour of purely deterministic sizing.
+    pub adaptive: bool,
+    /// Override the AUTO tuner's assumed per-fetch overhead `h` in
+    /// nanoseconds (`None` uses the `autotune` default). Raising it
+    /// biases the tuner toward coarser techniques — and pins its
+    /// decisions for tests that must not depend on live round-trip
+    /// latency.
+    pub tuner_overhead_ns: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +100,8 @@ impl Default for ServiceConfig {
             shards: 8,
             event_loops: 2,
             poll_interval: Duration::from_millis(20),
+            adaptive: true,
+            tuner_overhead_ns: None,
         }
     }
 }
@@ -95,10 +110,18 @@ impl Default for ServiceConfig {
 /// and reclaim pool.
 pub(crate) struct Job {
     spec: LoopSpec,
-    technique: Technique,
-    /// Technique kind — kept alongside `technique` so the job can be
-    /// journaled and re-created from its `JobCreated` record.
-    kind: dls::Kind,
+    /// Chunk sizing: any technique (pure or adaptive), re-basable onto
+    /// the unscheduled remainder when the tuner switches mid-job.
+    sched: SwitchableScheduler,
+    /// Mode the job was created with — journaled in `JobCreated` and
+    /// reported as `mode` in snapshots (`AUTO` stays `AUTO` here even
+    /// as `sched.active()` moves through the ladder).
+    mode: SchedKind,
+    /// Online technique selector; `Some` iff `mode == AUTO`.
+    tuner: Option<Tuner>,
+    /// Tuner decision history, dense by `seq` (journaled one record
+    /// per decision, replayed verbatim on recovery).
+    decisions: Vec<Decision>,
     weights: Vec<f64>,
     /// Scheduling step — the first global counter.
     step: u64,
@@ -125,16 +148,25 @@ pub(crate) struct Job {
 }
 
 impl Job {
-    fn new(n: u64, kind: dls::Kind, weights: Vec<f64>) -> Job {
+    fn new(n: u64, kind: SchedKind, weights: Vec<f64>, tuner_overhead_ns: Option<u64>) -> Job {
         // `p` only parameterises techniques that divide by worker
         // count; the service has no fixed worker census, so size the
         // spec by the weight table when given, else a default of 8 —
         // the same role `nodes` plays for the inter level in `hier`.
         let p = if weights.is_empty() { 8 } else { weights.len() as u32 };
+        let spec = LoopSpec::new(n, p.max(1));
         Job {
-            spec: LoopSpec::new(n, p.max(1)),
-            technique: Technique::from_kind(kind),
-            kind,
+            spec,
+            sched: SwitchableScheduler::new(spec, kind),
+            mode: kind,
+            tuner: (kind == SchedKind::Auto).then(|| {
+                let mut cfg = autotune::TunerConfig::new(p.max(1));
+                if let Some(h) = tuner_overhead_ns {
+                    cfg.overhead_ns = h;
+                }
+                Tuner::new(p.max(1), cfg)
+            }),
+            decisions: Vec::new(),
             weights,
             step: 0,
             scheduled: 0,
@@ -155,15 +187,31 @@ impl Job {
     /// Rebuild a live job from its replayed image. Connection indices
     /// start empty: every pre-crash client is gone, and recovery has
     /// already re-armed their leases into the reclaim pool.
-    fn from_image(img: JobImage) -> Job {
-        let kind = img.kind.unwrap_or(dls::Kind::SS);
-        let mut job = Job::new(img.n, kind, img.weights);
+    fn from_image(img: JobImage, tuner_overhead_ns: Option<u64>) -> Job {
+        let mode = img.kind.unwrap_or(SchedKind::Fixed(dls::Kind::SS));
+        // The technique in force after a restart is whatever the last
+        // journaled decision switched to — replayed, never re-derived,
+        // so recovery is deterministic whatever the tuner would think
+        // of the post-crash timings.
+        let active = img.active_kind().unwrap_or(mode);
+        let switches = img.decisions.len() as u32;
+        let mut job = Job::new(img.n, mode, img.weights, tuner_overhead_ns);
         job.step = img.step;
         job.scheduled = img.scheduled;
         job.completed = img.completed;
         job.done = job.done || img.done;
         job.reclaim_pool = img.reclaim_pool.into_iter().collect();
         job.leases = img.leases;
+        job.decisions = img.decisions;
+        job.sched = SwitchableScheduler::restore(
+            job.spec,
+            active,
+            SchedState { step: img.step, scheduled: img.scheduled },
+            switches,
+        );
+        if let Some(t) = job.tuner.as_mut() {
+            t.resume_at(switches);
+        }
         job
     }
 
@@ -172,7 +220,7 @@ impl Job {
     fn to_image(&self) -> JobImage {
         JobImage {
             n: self.spec.n_iters,
-            kind: Some(self.kind),
+            kind: Some(self.mode),
             weights: self.weights.clone(),
             step: self.step,
             scheduled: self.scheduled,
@@ -180,6 +228,7 @@ impl Job {
             done: self.done,
             reclaim_pool: self.reclaim_pool.iter().copied().collect(),
             leases: self.leases.clone(),
+            decisions: self.decisions.clone(),
         }
     }
 
@@ -210,9 +259,13 @@ impl Job {
             if let Some((lo, hi)) = self.reclaim_pool.pop_front() {
                 out.push((self.grant(worker, lo, hi, conn, now_ns), true));
             } else if self.scheduled < n {
-                let state = SchedState { step: self.step, scheduled: self.scheduled };
-                let size =
-                    self.technique.chunk_size(&self.spec, state, ctx).clamp(1, n - self.scheduled);
+                // `next_size` consumes the size from the scheduler's
+                // segment view; the global counters must advance by
+                // exactly what it returned (lockstep contract).
+                let size = self.sched.next_size(ctx);
+                if size == 0 {
+                    break;
+                }
                 let lo = self.scheduled;
                 self.step += 1;
                 self.scheduled += size;
@@ -229,13 +282,21 @@ impl Job {
     }
 
     /// Settle one reported lease. Returns the iteration count credited.
-    fn report(&mut self, lease: LeaseId) -> Result<u64, ErrorCode> {
-        let (owner, len) = match self.leases.get(lease) {
-            Some(l) => (l.owner, l.hi - l.lo),
+    fn report(&mut self, lease: LeaseId, now_ns: u64) -> Result<u64, ErrorCode> {
+        let (owner, len, granted_ns) = match self.leases.get(lease) {
+            Some(l) => (l.owner, l.hi - l.lo, l.granted_ns),
             None => return Err(ErrorCode::StaleLease),
         };
         if self.leases.complete(lease).is_err() {
             return Err(ErrorCode::StaleLease);
+        }
+        // Grant-to-settle latency is the monitor's whole signal: it
+        // feeds the adaptive scheduler's per-worker rate estimate and
+        // the tuner's streaming statistics.
+        let latency_ns = now_ns.saturating_sub(granted_ns);
+        self.sched.record(owner, len, latency_ns, 0);
+        if let Some(t) = self.tuner.as_mut() {
+            t.observe(ChunkSample { worker: owner, len, latency_ns });
         }
         self.completed += len;
         if let Some(o) = self.outstanding.get_mut(&owner) {
@@ -250,6 +311,21 @@ impl Job {
             self.done = true;
         }
         Ok(len)
+    }
+
+    /// One settle elapsed: let the tuner re-evaluate at its batch
+    /// boundary. A decision both re-bases the live scheduler (the two
+    /// global counters carry over — exactly-once is untouched) and is
+    /// returned so the caller can journal it.
+    fn tuner_tick(&mut self) -> Option<Decision> {
+        if self.done {
+            return None;
+        }
+        let global = SchedState { step: self.step, scheduled: self.scheduled };
+        let decision = self.tuner.as_mut()?.on_settle(self.sched.active(), global)?;
+        self.sched.switch(decision.to, global);
+        self.decisions.push(decision);
+        Some(decision)
     }
 
     /// Reclaim every unsettled lease held by `conn` (it disconnected).
@@ -296,6 +372,9 @@ impl Job {
             leases_granted: granted,
             leases_completed: completed,
             leases_reclaimed: reclaimed,
+            kind: Some(self.sched.active()),
+            mode: Some(self.mode),
+            decisions: self.decisions.clone(),
         }
     }
 }
@@ -400,7 +479,7 @@ impl State {
         for (id, img) in rec.jobs {
             let shard = self.shard_index(id);
             if let Ok(mut jobs) = self.shards[shard].lock() {
-                jobs.insert(id, Job::from_image(img));
+                jobs.insert(id, Job::from_image(img, self.cfg.tuner_overhead_ns));
             }
         }
     }
@@ -654,14 +733,22 @@ impl State {
             scheduled: j.scheduled,
             completed: j.completed,
             done: j.done,
+            kind: j.sched.active(),
+            decisions: j.decisions.clone(),
         }
     }
 
-    fn create_job(&self, n: u64, kind: dls::Kind, weights: Vec<f64>) -> Response {
+    fn create_job(&self, n: u64, kind: SchedKind, weights: Vec<f64>) -> Response {
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Response::Error {
                 code: ErrorCode::BadTechnique,
                 detail: "weights must be finite and non-negative".into(),
+            };
+        }
+        if !self.cfg.adaptive && !matches!(kind, SchedKind::Fixed(_)) {
+            return Response::Error {
+                code: ErrorCode::BadTechnique,
+                detail: format!("adaptive techniques are disabled on this server ({kind})"),
             };
         }
         // Admission to the job table is a single CAS. The previous
@@ -685,7 +772,7 @@ impl State {
         }
         let job = self.next_job.fetch_add(1, Ordering::SeqCst);
         if let Ok(mut shard) = self.shard_of(job).lock() {
-            shard.insert(job, Job::new(n, kind, weights.clone()));
+            shard.insert(job, Job::new(n, kind, weights.clone(), self.cfg.tuner_overhead_ns));
             // Under the shard lock so the JobCreated record is ordered
             // before any Granted record a racing fetch could append.
             self.journal_append(&JournalRecord::JobCreated { job, n, kind, weights });
@@ -824,11 +911,21 @@ impl State {
             };
         };
         let was_done = j.done;
+        let now_ns = self.now_ns();
         let mut settled = Vec::new();
+        let mut switched = Vec::new();
         let mut failed = None;
         for &lease in leases {
-            match j.report(lease) {
-                Ok(_) => settled.push(lease),
+            match j.report(lease, now_ns) {
+                Ok(_) => {
+                    settled.push(lease);
+                    // Batch boundaries are counted in settles, so the
+                    // tick sits inside the settle loop; decisions are
+                    // collected for journaling below.
+                    if let Some(d) = j.tuner_tick() {
+                        switched.push(d);
+                    }
+                }
                 Err(code) => {
                     failed = Some((lease, code));
                     break;
@@ -841,6 +938,12 @@ impl State {
         // into double execution.
         if !settled.is_empty() {
             self.journal_append(&JournalRecord::Settled { job, leases: settled });
+        }
+        // Decisions after the settles that triggered them: replay then
+        // restores the exact same (counters, active technique) pair the
+        // live server had when it switched.
+        for decision in switched {
+            self.journal_append(&JournalRecord::TechniqueSwitched { job, decision });
         }
         if !was_done && j.done {
             self.journal_append(&JournalRecord::JobFinished { job });
@@ -1054,7 +1157,7 @@ mod conc_models {
                     let st = Arc::clone(&state);
                     conc_check::thread::spawn(move || {
                         matches!(
-                            st.create_job(4, dls::Kind::SS, vec![]),
+                            st.create_job(4, dls::Kind::SS.into(), vec![]),
                             Response::JobCreated { .. }
                         )
                     })
@@ -1075,7 +1178,7 @@ mod conc_models {
         let outcome = check(move || {
             let state = tiny_state(ServiceConfig { shards: 1, ..Default::default() });
             assert!(matches!(
-                state.create_job(6, dls::Kind::SS, vec![]),
+                state.create_job(6, dls::Kind::SS.into(), vec![]),
                 Response::JobCreated { job: 0 }
             ));
             let handles: Vec<_> = (0..2)

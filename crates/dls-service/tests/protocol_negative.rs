@@ -208,6 +208,56 @@ fn bad_technique_byte_is_typed() {
 }
 
 #[test]
+fn first_unassigned_kind_byte_is_typed() {
+    // v3 assigns bytes 0..=15 (pure 0–9, AF 10, AWF-B..E 11–14, AUTO
+    // 15). Byte 16 is the *first* unassigned value — the exact
+    // boundary a field-widening bug would get wrong.
+    let srv = server();
+    let mut s = raw(&srv);
+    let mut payload = vec![VERSION, 1];
+    payload.extend_from_slice(&100u64.to_le_bytes());
+    payload.push(16);
+    payload.extend_from_slice(&0u32.to_le_bytes()); // no weights
+    s.write_all(&frame(&payload)).expect("write");
+    let code = error_code(read_response(&mut s));
+    assert!(
+        matches!(code, ErrorCode::BadTechnique | ErrorCode::BadMessage),
+        "kind byte 16 rejected, got {code:?}"
+    );
+    // The connection survives and valid adaptive bytes work.
+    s.write_all(&frame(
+        &Request::CreateJob { n: 10, kind: dls::SchedKind::Af, weights: vec![] }.encode(),
+    ))
+    .expect("write");
+    assert!(matches!(read_response(&mut s), Response::JobCreated { .. }));
+    drop(s);
+    wait_drained(&srv);
+    srv.shutdown();
+}
+
+#[test]
+fn adaptive_kinds_against_non_adaptive_server_are_typed() {
+    // A server built with `adaptive: false` speaks protocol v3 (the
+    // bytes parse fine) but refuses to *drive* adaptive techniques:
+    // typed BadTechnique, never a silent downgrade to some pure kind.
+    let srv = Server::start(ServiceConfig { adaptive: false, ..Default::default() }, "127.0.0.1:0")
+        .expect("bind");
+    let mut c = Client::connect(srv.addr()).expect("connect");
+    for kind in dls::SchedKind::ADAPTIVE.into_iter().chain([dls::SchedKind::Auto]) {
+        match c.create_job(100, kind, &[]) {
+            Err(ClientError::Server { code: ErrorCode::BadTechnique, .. }) => {}
+            other => panic!("{kind}: expected BadTechnique, got {other:?}"),
+        }
+    }
+    // Pure kinds are unaffected, on the same connection.
+    let job = c.create_job(100, dls::Kind::GSS, &[]).expect("pure kind still served");
+    assert!(matches!(c.fetch(job, 0, 1), Ok(FetchReply::Chunks(_))));
+    drop(c);
+    wait_drained(&srv);
+    srv.shutdown();
+}
+
+#[test]
 fn out_of_range_worker_on_weighted_job_is_typed() {
     let srv = server();
     let mut c = Client::connect(srv.addr()).expect("connect");

@@ -67,6 +67,8 @@ pub mod nonadaptive;
 pub mod openmp;
 pub mod sequence;
 pub mod single_counter;
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
+pub mod switchable;
 pub mod technique;
 #[cfg_attr(not(test), deny(clippy::arithmetic_side_effects, clippy::cast_possible_truncation))]
 pub mod verify;
@@ -74,4 +76,5 @@ pub mod verify;
 pub mod weighted;
 
 pub use chunk::{Chunk, LoopSpec, SchedState};
+pub use switchable::{Decision, SchedKind, SwitchReason, SwitchableScheduler};
 pub use technique::{ChunkCalculator, Kind, Technique};

@@ -620,7 +620,12 @@ mod tests {
         let dir = tmpdir("reopen");
         let (mut j, st) = Journal::open(opts(&dir)).unwrap();
         assert_eq!(st.epoch, 1);
-        j.append(&JournalRecord::JobCreated { job: 0, n: 50, kind: Kind::TSS, weights: vec![] });
+        j.append(&JournalRecord::JobCreated {
+            job: 0,
+            n: 50,
+            kind: Kind::TSS.into(),
+            weights: vec![],
+        });
         j.append(&JournalRecord::Granted {
             job: 0,
             step: 1,
@@ -645,7 +650,12 @@ mod tests {
     fn uncommitted_appends_are_lost_committed_survive() {
         let dir = tmpdir("uncommitted");
         let (mut j, _) = Journal::open(opts(&dir)).unwrap();
-        j.append(&JournalRecord::JobCreated { job: 0, n: 9, kind: Kind::SS, weights: vec![] });
+        j.append(&JournalRecord::JobCreated {
+            job: 0,
+            n: 9,
+            kind: Kind::SS.into(),
+            weights: vec![],
+        });
         j.commit().unwrap();
         j.append(&JournalRecord::JobFinished { job: 0 });
         assert_eq!(j.stats().pending, 1);
@@ -662,7 +672,12 @@ mod tests {
         let mut o = opts(&dir);
         o.segment_bytes = 256; // force frequent rotation
         let (mut j, _) = Journal::open(o.clone()).unwrap();
-        j.append(&JournalRecord::JobCreated { job: 0, n: 1000, kind: Kind::SS, weights: vec![] });
+        j.append(&JournalRecord::JobCreated {
+            job: 0,
+            n: 1000,
+            kind: Kind::SS.into(),
+            weights: vec![],
+        });
         for i in 0..40u64 {
             j.append(&JournalRecord::Granted {
                 job: 0,
@@ -698,7 +713,12 @@ mod tests {
     fn torn_tail_truncates_torn_middle_errors() {
         let dir = tmpdir("torn");
         let (mut j, _) = Journal::open(opts(&dir)).unwrap();
-        j.append(&JournalRecord::JobCreated { job: 0, n: 5, kind: Kind::SS, weights: vec![] });
+        j.append(&JournalRecord::JobCreated {
+            job: 0,
+            n: 5,
+            kind: Kind::SS.into(),
+            weights: vec![],
+        });
         j.commit().unwrap();
         j.append(&JournalRecord::JobFinished { job: 0 });
         j.commit().unwrap();

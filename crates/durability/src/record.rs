@@ -8,7 +8,7 @@
 //! burst produced plus the post-burst counter watermarks, which is
 //! what keeps the hot path at one buffered append per burst.
 
-use dls::Kind;
+use dls::switchable::{Decision, SchedKind, SwitchReason};
 
 /// One grant inside a [`JournalRecord::Granted`] burst.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,8 +42,8 @@ pub enum JournalRecord {
         job: u64,
         /// Total iterations.
         n: u64,
-        /// Scheduling technique.
-        kind: Kind,
+        /// Scheduling technique (or the AUTO meta-mode).
+        kind: SchedKind,
         /// Per-worker weights (empty for unweighted techniques).
         weights: Vec<f64>,
     },
@@ -85,6 +85,18 @@ pub enum JournalRecord {
         /// Epoch that drained.
         epoch: u32,
     },
+    /// An AUTO job's tuner switched the active technique. Journaled
+    /// *before* the switch takes effect on the grant path, so replay
+    /// reproduces the decision history — and therefore the active
+    /// technique at every watermark — bit-identically without ever
+    /// re-running the policy.
+    TechniqueSwitched {
+        /// Job id.
+        job: u64,
+        /// The switch: dense sequence number, global watermarks at the
+        /// re-basing origin, from/to techniques, and the reason.
+        decision: Decision,
+    },
 }
 
 const T_SERVER_START: u8 = 1;
@@ -94,39 +106,7 @@ const T_SETTLED: u8 = 4;
 const T_RECLAIMED: u8 = 5;
 const T_JOB_FINISHED: u8 = 6;
 const T_DRAINED: u8 = 7;
-
-// Same numbering the service protocol uses; kept local because the
-// dependency points the other way (dls-service depends on durability).
-fn kind_to_u8(kind: Kind) -> u8 {
-    match kind {
-        Kind::STATIC => 0,
-        Kind::SS => 1,
-        Kind::GSS => 2,
-        Kind::TSS => 3,
-        Kind::FAC => 4,
-        Kind::FAC2 => 5,
-        Kind::TFSS => 6,
-        Kind::FSC => 7,
-        Kind::RND => 8,
-        Kind::WF => 9,
-    }
-}
-
-fn kind_from_u8(b: u8) -> Option<Kind> {
-    Some(match b {
-        0 => Kind::STATIC,
-        1 => Kind::SS,
-        2 => Kind::GSS,
-        3 => Kind::TSS,
-        4 => Kind::FAC,
-        5 => Kind::FAC2,
-        6 => Kind::TFSS,
-        7 => Kind::FSC,
-        8 => Kind::RND,
-        9 => Kind::WF,
-        _ => return None,
-    })
-}
+const T_TECHNIQUE_SWITCHED: u8 = 8;
 
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -194,7 +174,7 @@ impl JournalRecord {
                 b.push(T_JOB_CREATED);
                 b.extend_from_slice(&job.to_le_bytes());
                 b.extend_from_slice(&n.to_le_bytes());
-                b.push(kind_to_u8(*kind));
+                b.push(kind.to_byte());
                 b.extend_from_slice(&(weights.len() as u32).to_le_bytes());
                 for w in weights {
                     b.extend_from_slice(&w.to_bits().to_le_bytes());
@@ -230,6 +210,16 @@ impl JournalRecord {
                 b.push(T_DRAINED);
                 b.extend_from_slice(&epoch.to_le_bytes());
             }
+            JournalRecord::TechniqueSwitched { job, decision } => {
+                b.push(T_TECHNIQUE_SWITCHED);
+                b.extend_from_slice(&job.to_le_bytes());
+                b.extend_from_slice(&decision.seq.to_le_bytes());
+                b.extend_from_slice(&decision.step.to_le_bytes());
+                b.extend_from_slice(&decision.scheduled.to_le_bytes());
+                b.push(decision.from.to_byte());
+                b.push(decision.to.to_byte());
+                b.push(decision.reason.to_byte());
+            }
         }
     }
 
@@ -242,7 +232,7 @@ impl JournalRecord {
             T_JOB_CREATED => {
                 let job = r.u64()?;
                 let n = r.u64()?;
-                let kind = kind_from_u8(r.u8()?)?;
+                let kind = SchedKind::from_byte(r.u8()?)?;
                 let count = r.count(8)?;
                 let mut weights = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -277,6 +267,18 @@ impl JournalRecord {
             }
             T_JOB_FINISHED => JournalRecord::JobFinished { job: r.u64()? },
             T_DRAINED => JournalRecord::Drained { epoch: r.u32()? },
+            T_TECHNIQUE_SWITCHED => {
+                let job = r.u64()?;
+                let decision = Decision {
+                    seq: r.u32()?,
+                    step: r.u64()?,
+                    scheduled: r.u64()?,
+                    from: SchedKind::from_byte(r.u8()?)?,
+                    to: SchedKind::from_byte(r.u8()?)?,
+                    reason: SwitchReason::from_byte(r.u8()?)?,
+                };
+                JournalRecord::TechniqueSwitched { job, decision }
+            }
             _ => return None,
         };
         r.done()?;
@@ -309,12 +311,30 @@ mod tests {
     fn samples() -> Vec<JournalRecord> {
         vec![
             JournalRecord::ServerStart { epoch: 3 },
-            JournalRecord::JobCreated { job: 1, n: 4096, kind: Kind::GSS, weights: vec![] },
+            JournalRecord::JobCreated {
+                job: 1,
+                n: 4096,
+                kind: dls::Kind::GSS.into(),
+                weights: vec![],
+            },
             JournalRecord::JobCreated {
                 job: 2,
                 n: 10,
-                kind: Kind::WF,
+                kind: dls::Kind::WF.into(),
                 weights: vec![1.0, 0.5, 2.25],
+            },
+            JournalRecord::JobCreated { job: 3, n: 64, kind: SchedKind::Auto, weights: vec![] },
+            JournalRecord::JobCreated { job: 4, n: 64, kind: SchedKind::Af, weights: vec![] },
+            JournalRecord::TechniqueSwitched {
+                job: 3,
+                decision: Decision {
+                    seq: 0,
+                    step: 12,
+                    scheduled: 777,
+                    from: dls::Kind::SS.into(),
+                    to: dls::Kind::GSS.into(),
+                    reason: SwitchReason::Overhead,
+                },
             },
             JournalRecord::Granted {
                 job: 1,
@@ -362,9 +382,38 @@ mod tests {
 
     #[test]
     fn kind_mapping_total() {
-        for kind in Kind::ALL {
-            assert_eq!(kind_from_u8(kind_to_u8(kind)), Some(kind));
+        // The journal shares the canonical SchedKind byte map: pure
+        // kinds keep their historical bytes 0–9, adaptive kinds and
+        // AUTO occupy 10–15, and everything above is rejected.
+        for kind in SchedKind::CONCRETE.into_iter().chain([SchedKind::Auto]) {
+            assert_eq!(SchedKind::from_byte(kind.to_byte()), Some(kind));
         }
-        assert_eq!(kind_from_u8(10), None);
+        for kind in dls::Kind::ALL {
+            assert!(SchedKind::from(kind).to_byte() <= 9, "pure kinds keep v1 bytes");
+        }
+        assert_eq!(SchedKind::from_byte(16), None);
+    }
+
+    #[test]
+    fn switch_record_rejects_bad_bytes() {
+        let good = JournalRecord::TechniqueSwitched {
+            job: 3,
+            decision: Decision {
+                seq: 1,
+                step: 2,
+                scheduled: 3,
+                from: SchedKind::Af,
+                to: dls::Kind::FAC2.into(),
+                reason: SwitchReason::Imbalance,
+            },
+        }
+        .encode();
+        assert_eq!(JournalRecord::decode(&good).as_ref().map(|r| r.encode()), Some(good.clone()));
+        // Corrupt each of the three trailing kind/reason bytes.
+        for (idx, bad) in [(good.len() - 3, 16u8), (good.len() - 2, 255), (good.len() - 1, 4)] {
+            let mut b = good.clone();
+            b[idx] = bad;
+            assert!(JournalRecord::decode(&b).is_none(), "byte {idx} = {bad}");
+        }
     }
 }

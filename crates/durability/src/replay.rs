@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use dls::Kind;
+use dls::switchable::{Decision, SchedKind, SwitchReason};
 use resilience::lease::{LeaseState, LeaseTable};
 
 use crate::record::JournalRecord;
@@ -34,8 +34,8 @@ pub const RECOVERY_RECLAIMER: u32 = u32::MAX;
 pub struct JobImage {
     /// Total iterations.
     pub n: u64,
-    /// Scheduling technique.
-    pub kind: Option<Kind>,
+    /// Scheduling technique (or AUTO) the job was created with.
+    pub kind: Option<SchedKind>,
     /// Per-worker weights.
     pub weights: Vec<f64>,
     /// Chunk-index counter watermark.
@@ -48,8 +48,20 @@ pub struct JobImage {
     pub done: bool,
     /// Ranges awaiting re-execution, oldest first.
     pub reclaim_pool: Vec<(u64, u64)>,
+    /// Tuner decision history, in dense `seq` order. The technique
+    /// active at recovery is the last decision's `to` (or `kind` if no
+    /// decision was ever journaled).
+    pub decisions: Vec<Decision>,
     /// Full lease ledger (dense ids).
     pub leases: LeaseTable,
+}
+
+impl JobImage {
+    /// The technique active when the journal ended: the last switch's
+    /// target, else the creation kind.
+    pub fn active_kind(&self) -> Option<SchedKind> {
+        self.decisions.last().map(|d| d.to).or(self.kind)
+    }
 }
 
 /// A record that cannot be applied to the current state — always
@@ -74,6 +86,16 @@ pub enum ReplayError {
         /// Lease id in the record.
         lease: u64,
     },
+    /// A `TechniqueSwitched` record's sequence number skips ahead of
+    /// the job's decision history (seqs are dense).
+    NonDenseDecision {
+        /// Offending job.
+        job: u64,
+        /// Sequence number in the record.
+        seq: u32,
+        /// History length it should have matched.
+        have: u64,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -85,6 +107,9 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::UnknownLease { job, lease } => {
                 write!(f, "job {job}: settlement of unknown lease {lease}")
+            }
+            ReplayError::NonDenseDecision { job, seq, have } => {
+                write!(f, "job {job}: switch decision seq {seq} skips history length {have}")
             }
         }
     }
@@ -192,6 +217,21 @@ impl RecoveredState {
                     self.drained = true;
                 }
             }
+            JournalRecord::TechniqueSwitched { job, decision } => {
+                let img = self.jobs.get_mut(job).ok_or(ReplayError::UnknownJob(*job))?;
+                let have = img.decisions.len() as u64;
+                match u64::from(decision.seq) {
+                    seq if seq < have => {} // already applied (snapshot overlap)
+                    seq if seq == have => img.decisions.push(*decision),
+                    _ => {
+                        return Err(ReplayError::NonDenseDecision {
+                            job: *job,
+                            seq: decision.seq,
+                            have,
+                        })
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -225,7 +265,7 @@ impl RecoveredState {
         for (&id, img) in &self.jobs {
             b.extend_from_slice(&id.to_le_bytes());
             b.extend_from_slice(&img.n.to_le_bytes());
-            b.push(img.kind.map_or(u8::MAX, kind_byte));
+            b.push(img.kind.map_or(u8::MAX, SchedKind::to_byte));
             b.extend_from_slice(&(img.weights.len() as u32).to_le_bytes());
             for w in &img.weights {
                 b.extend_from_slice(&w.to_bits().to_le_bytes());
@@ -238,6 +278,15 @@ impl RecoveredState {
             for &(lo, hi) in &img.reclaim_pool {
                 b.extend_from_slice(&lo.to_le_bytes());
                 b.extend_from_slice(&hi.to_le_bytes());
+            }
+            b.extend_from_slice(&(img.decisions.len() as u32).to_le_bytes());
+            for d in &img.decisions {
+                b.extend_from_slice(&d.seq.to_le_bytes());
+                b.extend_from_slice(&d.step.to_le_bytes());
+                b.extend_from_slice(&d.scheduled.to_le_bytes());
+                b.push(d.from.to_byte());
+                b.push(d.to.to_byte());
+                b.push(d.reason.to_byte());
             }
             img.leases.serialize_into(&mut b);
         }
@@ -277,7 +326,7 @@ impl RecoveredState {
             let n = u64_at(bytes, &mut off)?;
             let kind = match u8_at(bytes, &mut off)? {
                 u8::MAX => None,
-                k => Some(kind_from_byte(k)?),
+                k => Some(SchedKind::from_byte(k)?),
             };
             let wcount = u32_at(bytes, &mut off)? as usize;
             if wcount > (bytes.len() - off) / 8 {
@@ -301,6 +350,22 @@ impl RecoveredState {
                 let hi = u64_at(bytes, &mut off)?;
                 reclaim_pool.push((lo, hi));
             }
+            let dcount = u32_at(bytes, &mut off)? as usize;
+            // 27 bytes per decision: u32 + 2*u64 + 3 single bytes.
+            if dcount > (bytes.len() - off) / 27 {
+                return None;
+            }
+            let mut decisions = Vec::with_capacity(dcount);
+            for _ in 0..dcount {
+                decisions.push(Decision {
+                    seq: u32_at(bytes, &mut off)?,
+                    step: u64_at(bytes, &mut off)?,
+                    scheduled: u64_at(bytes, &mut off)?,
+                    from: SchedKind::from_byte(u8_at(bytes, &mut off)?)?,
+                    to: SchedKind::from_byte(u8_at(bytes, &mut off)?)?,
+                    reason: SwitchReason::from_byte(u8_at(bytes, &mut off)?)?,
+                });
+            }
             let (leases, used) = LeaseTable::deserialize(&bytes[off..])?;
             off += used;
             jobs.insert(
@@ -314,6 +379,7 @@ impl RecoveredState {
                     completed,
                     done,
                     reclaim_pool,
+                    decisions,
                     leases,
                 },
             );
@@ -333,26 +399,6 @@ impl RecoveredState {
     }
 }
 
-// Snapshot bodies reuse the journal-record numbering for Kind.
-fn kind_byte(kind: Kind) -> u8 {
-    match kind {
-        Kind::STATIC => 0,
-        Kind::SS => 1,
-        Kind::GSS => 2,
-        Kind::TSS => 3,
-        Kind::FAC => 4,
-        Kind::FAC2 => 5,
-        Kind::TFSS => 6,
-        Kind::FSC => 7,
-        Kind::RND => 8,
-        Kind::WF => 9,
-    }
-}
-
-fn kind_from_byte(b: u8) -> Option<Kind> {
-    Kind::ALL.into_iter().find(|&k| kind_byte(k) == b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,7 +411,7 @@ mod tests {
     fn small_run() -> Vec<JournalRecord> {
         vec![
             JournalRecord::ServerStart { epoch: 1 },
-            JournalRecord::JobCreated { job: 0, n: 100, kind: Kind::SS, weights: vec![] },
+            JournalRecord::JobCreated { job: 0, n: 100, kind: SchedKind::Auto, weights: vec![] },
             granted(
                 0,
                 2,
@@ -383,7 +429,20 @@ mod tests {
                 2,
                 vec![GrantEntry { lease: 2, worker: 3, lo: 1, hi: 2, from_pool: true }],
             ),
+            JournalRecord::TechniqueSwitched { job: 0, decision: decision(0) },
+            JournalRecord::TechniqueSwitched { job: 0, decision: decision(1) },
         ]
+    }
+
+    fn decision(seq: u32) -> Decision {
+        Decision {
+            seq,
+            step: 2 + u64::from(seq),
+            scheduled: 2,
+            from: if seq == 0 { dls::Kind::SS.into() } else { dls::Kind::GSS.into() },
+            to: if seq == 0 { dls::Kind::GSS.into() } else { SchedKind::Af },
+            reason: SwitchReason::Overhead,
+        }
     }
 
     fn apply_all(recs: &[JournalRecord]) -> RecoveredState {
@@ -404,6 +463,23 @@ mod tests {
         assert_eq!(img.leases.counts(), (3, 1, 1));
         assert!(img.reclaim_pool.is_empty(), "pool-served grant must drain the pool");
         assert!(!img.done);
+        assert_eq!(img.decisions, vec![decision(0), decision(1)]);
+        assert_eq!(img.active_kind(), Some(SchedKind::Af));
+    }
+
+    #[test]
+    fn active_kind_falls_back_to_creation_kind() {
+        let st = apply_all(&small_run()[..2]);
+        assert_eq!(st.jobs[&0].active_kind(), Some(SchedKind::Auto));
+    }
+
+    #[test]
+    fn non_dense_decision_is_an_error() {
+        let mut st = apply_all(&small_run());
+        assert_eq!(
+            st.apply(&JournalRecord::TechniqueSwitched { job: 0, decision: decision(5) }),
+            Err(ReplayError::NonDenseDecision { job: 0, seq: 5, have: 2 })
+        );
     }
 
     #[test]
@@ -462,8 +538,13 @@ mod tests {
     fn errors_on_corrupt_streams() {
         let mut st = RecoveredState::new();
         assert_eq!(st.apply(&granted(7, 1, 1, vec![])), Err(ReplayError::UnknownJob(7)));
-        st.apply(&JournalRecord::JobCreated { job: 0, n: 10, kind: Kind::SS, weights: vec![] })
-            .unwrap();
+        st.apply(&JournalRecord::JobCreated {
+            job: 0,
+            n: 10,
+            kind: dls::Kind::SS.into(),
+            weights: vec![],
+        })
+        .unwrap();
         assert_eq!(
             st.apply(&granted(
                 0,

@@ -49,13 +49,16 @@ struct Sim {
 
 impl Sim {
     fn new(kind: Kind, n: u64) -> Sim {
-        let mut img = JobImage { n, kind: Some(kind), ..JobImage::default() };
+        let mut img = JobImage { n, kind: Some(kind.into()), ..JobImage::default() };
         img.done = n == 0;
         Sim { img, spec: LoopSpec::new(n, 8), tech: Technique::from_kind(kind) }
     }
 
     fn from_image(img: JobImage) -> Sim {
-        let kind = img.kind.expect("recovered job has a kind");
+        let kind = match img.kind.expect("recovered job has a kind") {
+            dls::SchedKind::Fixed(k) => k,
+            other => panic!("this adversary drives pure kinds only, got {other}"),
+        };
         Sim { spec: LoopSpec::new(img.n, 8), tech: Technique::from_kind(kind), img }
     }
 
@@ -181,7 +184,7 @@ fn write_prefix(dir: &Path, kind: Kind, steps: &[Step], k: usize) {
     let mut bytes = segment_header(1).to_vec();
     let preamble = [
         JournalRecord::ServerStart { epoch: 1 },
-        JournalRecord::JobCreated { job: JOB, n: N, kind, weights: vec![] },
+        JournalRecord::JobCreated { job: JOB, n: N, kind: kind.into(), weights: vec![] },
     ];
     for rec in preamble.iter().chain(steps[..k].iter().filter_map(|s| s.rec.as_ref())) {
         encode_record(&rec.encode(), &mut bytes);

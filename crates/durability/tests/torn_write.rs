@@ -32,7 +32,12 @@ fn tmpdir(tag: &str) -> PathBuf {
 fn build_reference(dir: &Path) -> Vec<u8> {
     let (mut j, state) = Journal::open(JournalOptions::new(dir)).expect("fresh open");
     assert_eq!(state.epoch, 1);
-    j.append(&JournalRecord::JobCreated { job: 0, n: 100, kind: dls::Kind::SS, weights: vec![] });
+    j.append(&JournalRecord::JobCreated {
+        job: 0,
+        n: 100,
+        kind: dls::Kind::SS.into(),
+        weights: vec![],
+    });
     j.append(&JournalRecord::Granted {
         job: 0,
         step: 3,
@@ -230,7 +235,12 @@ fn bit_flip_in_a_sealed_segment_is_a_typed_error_not_a_panic() {
     opts.segment_bytes = 64; // force rotation: several segments
     let (mut j, _) = Journal::open(opts).expect("fresh open");
     for job in 0..6u64 {
-        j.append(&JournalRecord::JobCreated { job, n: 10, kind: dls::Kind::SS, weights: vec![] });
+        j.append(&JournalRecord::JobCreated {
+            job,
+            n: 10,
+            kind: dls::Kind::SS.into(),
+            weights: vec![],
+        });
         j.commit().expect("commit");
     }
     drop(j);

@@ -59,6 +59,14 @@ pub struct LiveConfig {
     /// the kernel by busy-waiting. The empty plan is bit-identical to a
     /// fault-free run.
     pub faults: resilience::FaultPlan,
+    /// Override the technique the **net backend** asks the
+    /// `dls-service` global queue to use (`CreateJob`'s kind). `None`
+    /// sends `spec.inter`'s kind. This is how the inter level runs the
+    /// adaptive techniques (`AF`, `AWF-*`) or the self-switching
+    /// `AUTO` mode, which size chunks from server-side measurements
+    /// and have no pure in-process `Technique` equivalent; the other
+    /// live backends ignore it.
+    pub net_inter: Option<dls::SchedKind>,
 }
 
 impl LiveConfig {
@@ -75,6 +83,7 @@ impl LiveConfig {
             trace: false,
             record_rma: false,
             faults: resilience::FaultPlan::none(),
+            net_inter: None,
         }
     }
 }

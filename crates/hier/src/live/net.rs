@@ -68,8 +68,9 @@ pub fn run_live_net(
     // One connection per node — the node agent. The job itself is
     // created over a separate setup connection.
     let mut setup = Client::connect(addr).expect("connect to dls-service");
+    let inter_kind: dls::SchedKind = cfg.net_inter.unwrap_or_else(|| spec.inter.kind().into());
     let job = setup
-        .create_job(n, spec.inter.kind(), &node_weights(&weights, cfg.nodes, wpn))
+        .create_job(n, inter_kind, &node_weights(&weights, cfg.nodes, wpn))
         .expect("create job");
     // A bounded reply wait per agent call: a wedged server surfaces as
     // a typed TimedOut error instead of hanging every rank on the node.

@@ -21,7 +21,12 @@
 //!   the FCFS bounded-bypass bound;
 //! * [`replay`] — minimal counterexample traces re-emitted as the
 //!   executor's RMA access log (same [`hier::sim::layout`] windows
-//!   and displacements) and fed through `rma-check`.
+//!   and displacements) and fed through `rma-check`;
+//! * [`switch`] — the AUTO mode's technique-switch adversary: DFS over
+//!   every ladder choice at every batch boundary, a crash sweep over
+//!   every event placement (switch-then-crash included), and a
+//!   seeded-broken re-basing variant whose duplicate-execution
+//!   counterexample the checker must find.
 //!
 //! ```
 //! use dls::Kind;
@@ -44,7 +49,12 @@
 pub mod explore;
 pub mod model;
 pub mod replay;
+pub mod switch;
 
 pub use explore::{explore, Counterexample, Options, Outcome};
 pub use model::{Config, Recovery, Variant, Violation};
 pub use replay::{replay, Replay};
+pub use switch::{
+    crash_sweep, explore_switch_plans, SwitchConfig, SwitchOutcome, SwitchPlan, SwitchVariant,
+    SwitchViolation,
+};

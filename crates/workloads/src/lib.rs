@@ -31,6 +31,7 @@
 
 pub mod adjoint;
 pub mod mandelbrot;
+pub mod phased;
 pub mod psia;
 pub mod spin;
 pub mod stats;
@@ -38,6 +39,7 @@ pub mod synthetic;
 
 pub use adjoint::AdjointConvolution;
 pub use mandelbrot::{Mandelbrot, Traversal};
+pub use phased::PhasedSpin;
 pub use psia::{Psia, PsiaStream};
 pub use spin::Spin;
 pub use stats::WorkloadStats;

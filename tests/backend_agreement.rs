@@ -78,6 +78,51 @@ fn net_backend_agrees_with_live_rma_for_all_pairs() {
 }
 
 #[test]
+fn adaptive_inter_kinds_agree_over_tcp() {
+    // The measurement-driven kinds (AF, the AWF variants, and the
+    // self-switching AUTO mode) size inter chunks from observed
+    // latencies, so their chunk *boundaries* legitimately differ from
+    // any fixed technique and from run to run. Every timing-independent
+    // quantity must still agree with the RMA executor: the serial
+    // checksum, exactly-once coverage, total iterations, the
+    // deposit-per-fetch discipline, and a fully settled server ledger.
+    let w = Synthetic::uniform(400, 1, 100, 4);
+    let live = schedule(Kind::GSS, Kind::SS, Approach::MpiMpi).run_live(&w);
+    let adaptive = dls::SchedKind::ADAPTIVE.into_iter().chain([dls::SchedKind::Auto]);
+    for kind in adaptive {
+        let s = HierSchedule::builder()
+            .inter(Kind::GSS)
+            .intra(Kind::SS)
+            .approach(Approach::MpiMpi)
+            .nodes(2)
+            .workers_per_node(3)
+            .record_chunks(true)
+            .net_inter(kind)
+            .build();
+        let (net, snap) = s.run_live_net(&w);
+        let label = kind.name();
+        coverage(&net.executed, w.n_iters());
+        assert_eq!(net.checksum, live.checksum, "{label} checksum");
+        assert_eq!(net.stats.total_iterations, live.stats.total_iterations, "{label} iterations");
+        let fetches: u64 = net.stats.workers.iter().map(|w| w.global_fetches).sum();
+        let deposits: u64 = net.stats.nodes.iter().map(|n| n.deposits).sum();
+        assert_eq!(fetches, deposits, "{label} deposit discipline");
+        let job = &snap.jobs[0];
+        assert!(job.done, "{label} job finished");
+        assert_eq!(job.completed, w.n_iters(), "{label} server-side completion");
+        assert_eq!(job.leases_granted, job.leases_completed, "{label} ledger");
+        assert_eq!(job.chunks_granted, deposits, "{label} grants == deposits");
+        // The snapshot reports the mode the job was created with; only
+        // AUTO may accrete switch decisions.
+        assert_eq!(job.mode, Some(kind), "{label} mode");
+        if kind != dls::SchedKind::Auto {
+            assert!(job.decisions.is_empty(), "{label} must not switch");
+            assert_eq!(job.kind, Some(kind), "{label} active kind");
+        }
+    }
+}
+
+#[test]
 fn static_static_produces_identical_partitions() {
     // Fully static scheduling is timing-independent: both backends must
     // produce the *same* sub-chunk boundaries.
